@@ -1,0 +1,59 @@
+"""Ablation: priority-sampling fraction beta (paper Section IV-B).
+
+The paper motivates chaining priority sampling ahead of FD by "bringing
+down the number of samples by a significant fraction, such as 80%, but
+not down to a low-dimensional latent space ... as one would sacrifice
+too much accuracy for speed".  This bench sweeps beta and records the
+runtime/error trade-off, asserting the paper's premise: moderate
+sampling buys large speedups at modest error cost, while aggressive
+sampling degrades accuracy sharply.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.core.errors import relative_covariance_error
+from repro.data.synthetic import synthetic_dataset
+
+BETAS = [1.0, 0.8, 0.6, 0.4, 0.2, 0.05]
+N, D, ELL = 4000, 512, 48
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_dataset(n=N, d=D, rank=256, profile="exponential",
+                             rate=0.03, seed=5)
+
+
+def test_ablation_beta_sweep(benchmark, table, data):
+    def sweep():
+        out = []
+        for beta in BETAS:
+            sk = ARAMS(d=D, config=ARAMSConfig(ell=ELL, beta=beta, seed=0))
+            t0 = time.perf_counter()
+            sk.fit(data)
+            elapsed = time.perf_counter() - t0
+            out.append((beta, elapsed, relative_covariance_error(data, sk.sketch)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_t = results[0][1]
+    base_e = results[0][2]
+    table(
+        "Ablation: priority-sampling fraction beta",
+        ["beta", "runtime_s", "speedup", "rel_cov_err", "err_vs_beta1"],
+        [[b, t, base_t / t, e, e / base_e] for b, t, e in results],
+    )
+
+    by_beta = {b: (t, e) for b, t, e in results}
+    # Moderate sampling (paper's ~80%) is faster at small error cost.
+    assert by_beta[0.8][0] < by_beta[1.0][0]
+    assert by_beta[0.8][1] < 10 * base_e + 1e-6
+    # Aggressive sampling (5%) is faster still but visibly worse.
+    assert by_beta[0.05][0] < by_beta[0.8][0]
+    assert by_beta[0.05][1] > by_beta[0.8][1]

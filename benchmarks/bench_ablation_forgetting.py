@@ -1,0 +1,88 @@
+"""Ablation: exponential forgetting under beam drift (extension).
+
+Rank adaptation handles *growing* structure; a drifting beam also needs
+*shrinking* attention — capacity pinned by an hour-old mode is capacity
+unavailable for the current one.  This bench streams three successive
+beam regimes through plain FD and ForgettingFD at several gamma values
+and scores each sketch on what an online monitor cares about: the
+projection error of the *most recent* regime's frames.
+
+Expected shape: plain FD (gamma=1) splits capacity across all regimes
+ever seen; forgetting variants track the live regime with error
+improving as gamma decreases, until very small gamma starts starving
+the sketch of history within the current regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.forgetting import ForgettingFD
+from repro.core.frequent_directions import FrequentDirections
+from repro.linalg.random_matrices import haar_orthogonal, matrix_with_spectrum
+
+D, ELL = 512, 16
+ROWS_PER_REGIME = 2000
+GAMMAS = [1.0, 0.95, 0.8, 0.5]
+
+
+def _regimes():
+    gen = np.random.default_rng(21)
+    q = haar_orthogonal(D, 36, gen)
+    out = []
+    s = np.exp(-0.25 * np.arange(12))
+    for r in range(3):
+        basis = q[:, r * 12 : (r + 1) * 12]
+        left = haar_orthogonal(ROWS_PER_REGIME, 12, gen)
+        out.append(
+            matrix_with_spectrum(s * 3.0, ROWS_PER_REGIME, D, gen,
+                                 left=left, right=basis)
+        )
+    return out
+
+
+def _recent_projection_error(sketch: np.ndarray, recent: np.ndarray) -> float:
+    """Energy of the recent frames missed by the sketch's top basis."""
+    from repro.linalg.svd import thin_svd
+
+    _, s, vt = thin_svd(sketch)
+    keep = s > (s[0] * 1e-9 if s.size and s[0] > 0 else 0)
+    v = vt[keep].T
+    if v.shape[1] == 0:
+        return 1.0
+    resid = recent - (recent @ v) @ v.T
+    return float(np.sum(resid**2) / np.sum(recent**2))
+
+
+def test_ablation_forgetting(benchmark, table):
+    regimes = _regimes()
+    recent = regimes[-1][-500:]
+
+    def sweep():
+        out = []
+        for gamma in GAMMAS:
+            fd = (
+                FrequentDirections(D, ELL)
+                if gamma == 1.0
+                else ForgettingFD(D, ELL, gamma=gamma)
+            )
+            for regime in regimes:
+                fd.partial_fit(regime)
+            out.append((gamma, _recent_projection_error(fd.sketch, recent)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        "Ablation: forgetting factor vs recent-regime projection error "
+        f"(3 regimes x {ROWS_PER_REGIME} rows, ell={ELL})",
+        ["gamma", "recent_regime_rel_error"],
+        [list(r) for r in results],
+    )
+
+    errs = dict(results)
+    # Forgetting must beat plain FD on the live regime...
+    assert errs[0.8] < errs[1.0] * 0.8
+    # ...and the effect must be monotone over the moderate range.
+    assert errs[0.95] <= errs[1.0] * 1.05
+    assert errs[0.8] <= errs[0.95] * 1.05

@@ -1,0 +1,50 @@
+"""Paper Fig. 3: sketch error vs number of cores, tree vs serial merge.
+
+Same workload as Fig. 2; the claim is that the tree-merge variant's
+error closely tracks the serial-merge variant's error at every core
+count — the theoretical error/space guarantee survives the branching
+merge order — so scaling out does not degrade sketch quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.parallel.scaling import strong_scaling_study
+
+N, D, ELL = 1024, 4096, 48
+CORES = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_dataset(
+        n=N, d=D, rank=192, profile="cubic", rate=0.05, seed=11
+    )
+
+
+def test_fig3_error_vs_cores(benchmark, table, data):
+    records = benchmark.pedantic(
+        lambda: strong_scaling_study(data, CORES, ell=ELL),
+        rounds=1, iterations=1,
+    )
+    tree = {r.cores: r.error for r in records if r.strategy == "tree"}
+    serial = {r.cores: r.error for r in records if r.strategy == "serial"}
+    table(
+        "Fig. 3: relative covariance error vs cores (log-log in the paper)",
+        ["cores", "tree_error", "serial_error", "ratio"],
+        [[c, tree[c], serial[c], tree[c] / serial[c]] for c in CORES],
+    )
+
+    for c in CORES:
+        # FD guarantee must hold for both merged sketches...
+        assert tree[c] <= 2.0 / ELL
+        assert serial[c] <= 2.0 / ELL
+        # ...and the tree error tracks the serial error closely.
+        assert 0.5 <= tree[c] / serial[c] <= 2.0
+
+    # Errors must not blow up with core count (the paper's takeaway:
+    # "we would not expect our error rates to significantly increase").
+    assert max(tree.values()) <= min(tree.values()) * 3.0

@@ -1,0 +1,126 @@
+"""Paper Fig. 5: latent-space embedding of beam-profile data.
+
+The paper runs the full pipeline (preprocess -> ARAMS sketch -> PCA ->
+UMAP -> clustering/anomaly detection) on beam-profile images from LCLS
+run xppc00121 and reports that, unsupervised, the 2-D embedding
+organizes itself physically:
+
+- one axis orders profiles by left/right weight (center-of-mass
+  asymmetry);
+- the other axis orders them by circularity (compact round spot vs
+  elongated / multi-lobe);
+- exotic non-zero-order profiles "separate themselves readily".
+
+The LCLS camera data is private; the synthetic beam generator
+(`repro.data.beam`) parameterizes exactly those factors, so the claims
+become quantitative: axis-statistic correlations and an outlier
+separation ratio, printed below alongside an ASCII density map (the
+Bokeh-HTML stand-in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMSConfig
+from repro.data.beam import (
+    BeamProfileConfig,
+    BeamProfileGenerator,
+    measured_asymmetry,
+    measured_circularity,
+)
+from repro.pipeline.monitor import MonitoringPipeline
+from repro.pipeline.results import ascii_density_map, embedding_axis_correlations
+
+N_SHOTS = 1200
+
+
+def _run_pipeline():
+    cfg = BeamProfileConfig(shape=(64, 64), exotic_fraction=0.04)
+    gen = BeamProfileGenerator(cfg, seed=0)
+    images, truth = gen.sample(N_SHOTS)
+    pipe = MonitoringPipeline(
+        image_shape=(64, 64),
+        seed=0,
+        n_latent=16,
+        umap={"n_epochs": 200, "n_neighbors": 15, "min_dist": 0.1},
+        optics={"min_samples": 20},
+        sketch=ARAMSConfig(ell=24, beta=0.8, epsilon=0.05, nu=8, seed=0),
+        outlier_contamination=0.05,
+    )
+    for i in range(0, N_SHOTS, 300):
+        pipe.consume(images[i : i + 300])
+    return images, truth, pipe, pipe.analyze()
+
+
+def _knn_decodability(embedding: np.ndarray, target: np.ndarray, k: int = 10) -> float:
+    """R^2 of predicting a statistic from each point's embedding
+    neighbours — "can an operator read the factor off the map?".
+
+    UMAP preserves neighbourhoods, not linear axes; a factor the map
+    organizes along a *curved* direction scores low on Pearson axis
+    correlation but high here.
+    """
+    from repro.embed.knn import knn_brute
+
+    idx, _ = knn_brute(embedding, k)
+    pred = target[idx].mean(axis=1)
+    ss_res = float(np.sum((target - pred) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+
+def test_fig5_beam_profile_embedding(benchmark, table):
+    images, truth, pipe, res = benchmark.pedantic(_run_pipeline, rounds=1, iterations=1)
+    exotic = truth["exotic"]
+    stats = {
+        "asymmetry (truth)": truth["asymmetry"],
+        "asymmetry (measured)": measured_asymmetry(images),
+        "circularity (truth)": truth["circularity"],
+        "circularity (measured)": measured_circularity(images),
+    }
+    corr = embedding_axis_correlations(res.embedding, stats, mask=~exotic)
+    decode = {
+        name: _knn_decodability(res.embedding[~exotic], stat[~exotic])
+        for name, stat in stats.items()
+    }
+    table(
+        "Fig. 5: embedding organization by physical factors",
+        ["statistic", "|corr| best axis", "|corr| other axis", "kNN decodability R^2"],
+        [[k, v[0], v[1], decode[k]] for k, v in corr.items()],
+    )
+
+    # Exotic-profile separation: distance from the zero-order cloud.
+    center = res.embedding[~exotic].mean(axis=0)
+    d_zero = np.linalg.norm(res.embedding[~exotic] - center, axis=1)
+    d_exotic = np.linalg.norm(res.embedding[exotic] - center, axis=1)
+    sep = float(np.median(d_exotic) / np.median(d_zero))
+    flagged = res.outliers[exotic].mean() if exotic.any() else 0.0
+    table(
+        "Fig. 5: exotic-profile separation",
+        ["n_exotic", "median_dist_ratio", "ABOD flag rate on exotic",
+         "overall flag rate"],
+        [[int(exotic.sum()), sep, float(flagged), float(res.outliers.mean())]],
+    )
+    table(
+        "Fig. 5: pipeline stage timings",
+        ["stage", "seconds"],
+        [["preprocess+sketch", pipe.preprocess_time + pipe.sketch_time]]
+        + [[k, v] for k, v in res.timings.items()],
+    )
+    print("\nFig. 5 embedding density map (non-exotic shots cluster, exotic scatter):")
+    print(ascii_density_map(res.embedding, width=70, height=22))
+
+    # The paper's qualitative claims, quantified.  Circularity aligns
+    # with an axis; asymmetry is organized by the map but may lie along
+    # a curved direction, so it is scored by local decodability (see
+    # _knn_decodability) with the axis correlation as an alternative.
+    assert corr["circularity (measured)"][0] > 0.6, "one axis must track circularity"
+    assert (
+        corr["asymmetry (truth)"][0] > 0.6 or decode["asymmetry (truth)"] > 0.4
+    ), "the embedding must organize shots by asymmetry"
+    assert sep > 1.5, "exotic modes must separate from the zero-order cloud"
+    # Unsupervised: beam-profile data forms a mostly-connected manifold,
+    # not many separated clusters (contrast with Fig. 6).
+    assert res.n_clusters <= 6

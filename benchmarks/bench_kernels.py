@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the hot kernels (pytest-benchmark timing runs).
+
+Not a paper figure: these track the per-operation costs that the
+figure-level benches aggregate — FD ingest per row, the shrink rotation,
+priority-sampling throughput, a sketch merge, a UMAP epoch — so
+regressions can be localized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.merge import merge_pair
+from repro.core.priority_sampling import priority_sample
+from repro.embed.knn import knn_brute
+from repro.embed.umap_fuzzy import fuzzy_simplicial_set
+from repro.embed.umap_optimize import fit_ab_params, optimize_layout
+from repro.linalg.svd import fd_shrink, thin_svd
+from repro.pipeline.preprocess import Preprocessor
+
+D = 4096
+ELL = 64
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return np.random.default_rng(0).standard_normal((512, D))
+
+
+def test_kernel_fd_ingest(benchmark, rows):
+    """Streaming FD ingest of 512 rows of dimension 4096."""
+    def run():
+        FrequentDirections(d=D, ell=ELL).partial_fit(rows)
+    benchmark(run)
+
+
+def test_kernel_rotation(benchmark, rows):
+    """One shrink rotation: thin SVD of a full 2l x d buffer + rescale."""
+    buffer = rows[: 2 * ELL].copy()
+
+    def run():
+        _, s, vt = thin_svd(buffer)
+        return fd_shrink(s, vt, ELL)
+
+    benchmark(run)
+
+
+def test_kernel_priority_sampling(benchmark, rows):
+    """Priority-sampling 512 rows down to 80%."""
+    benchmark(lambda: priority_sample(rows, 0.8, rng=np.random.default_rng(1)))
+
+
+def test_kernel_merge(benchmark, rows):
+    """Pairwise sketch merge at ell=64, d=4096."""
+    b1 = FrequentDirections(D, ELL).fit(rows[:256]).sketch
+    b2 = FrequentDirections(D, ELL).fit(rows[256:]).sketch
+    benchmark(lambda: merge_pair(b1, b2, ELL))
+
+
+def test_kernel_preprocess(benchmark):
+    """Threshold + center + normalize on a 256-frame 64x64 batch."""
+    images = np.random.default_rng(2).random((256, 64, 64))
+    pre = Preprocessor(threshold=0.1, normalize="l2", center=True)
+    benchmark(lambda: pre.apply_flat(images))
+
+
+def test_kernel_umap_epochs(benchmark):
+    """50 SGD epochs on a 400-point fuzzy graph."""
+    gen = np.random.default_rng(3)
+    x = gen.standard_normal((400, 10))
+    idx, dst = knn_brute(x, 15)
+    graph = fuzzy_simplicial_set(idx, dst)
+    a, b = fit_ab_params()
+
+    def run():
+        emb = gen.uniform(-10, 10, (400, 2))
+        optimize_layout(emb, graph, 50, a, b, np.random.default_rng(4))
+
+    benchmark(run)

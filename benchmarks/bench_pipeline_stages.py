@@ -1,0 +1,79 @@
+"""Pipeline stage-cost breakdown (paper Fig. 4, quantified).
+
+Fig. 4 is the paper's schematic of the processing chain: batches →
+per-core sketch → merge → PCA projection → UMAP → clustering/anomaly
+detection.  This bench measures where the time actually goes at three
+run sizes, verifying the architectural premise of the paper: the
+*sketching* stage is cheap enough to run at beam rate, while the
+*visualization* stages (UMAP/OPTICS) run on the small latent matrix and
+therefore stay nearly constant as the frame dimension grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMSConfig
+from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+from repro.pipeline.monitor import MonitoringPipeline
+
+RUNS = [
+    # (shots, frame side)
+    (400, 32),
+    (400, 64),
+    (800, 64),
+]
+
+
+def _run(shots: int, side: int):
+    gen = BeamProfileGenerator(BeamProfileConfig(shape=(side, side)), seed=0)
+    images, _ = gen.sample(shots)
+    pipe = MonitoringPipeline(
+        image_shape=(side, side),
+        seed=0,
+        n_latent=12,
+        umap={"n_epochs": 100, "n_neighbors": 15},
+        optics={"min_samples": 15},
+        sketch=ARAMSConfig(ell=20, beta=0.85, epsilon=0.05, nu=5, seed=0),
+    )
+    for i in range(0, shots, 200):
+        pipe.consume(images[i : i + 200])
+    res = pipe.analyze()
+    return pipe, res
+
+
+def test_pipeline_stage_breakdown(benchmark, table):
+    results = benchmark.pedantic(
+        lambda: [(n, s, *_run(n, s)) for n, s in RUNS], rounds=1, iterations=1
+    )
+    rows = []
+    for shots, side, pipe, res in results:
+        rows.append([
+            f"{shots}x{side}x{side}",
+            pipe.preprocess_time,
+            pipe.sketch_time,
+            res.timings["project"],
+            res.timings["umap"],
+            res.timings["optics"],
+            res.timings.get("abod", 0.0),
+        ])
+    table(
+        "Fig. 4 pipeline stages: seconds per stage",
+        ["run", "preprocess", "sketch", "project", "umap", "optics", "abod"],
+        rows,
+    )
+
+    # Premise 1: ingest (preprocess+sketch) scales with pixel volume...
+    small = results[0]
+    big = results[1]
+    ingest_small = small[2].preprocess_time + small[2].sketch_time
+    ingest_big = big[2].preprocess_time + big[2].sketch_time
+    assert ingest_big > ingest_small
+    # ...while UMAP cost is driven by shot count, not frame size.
+    umap_small = small[3].timings["umap"]
+    umap_big = big[3].timings["umap"]
+    assert umap_big < umap_small * 2.5
+    # Premise 2: per-shot ingest stays well above LCLS-I beam rate.
+    for shots, side, pipe, _ in results:
+        assert pipe.throughput_hz() > 120.0

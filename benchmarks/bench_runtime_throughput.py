@@ -1,0 +1,87 @@
+"""Paper Section VI-B: end-to-end runtime of the monitoring framework.
+
+The paper processes a full LCLS XPCS run — 120,000 2-megapixel images —
+at 136 Hz using 64 cores (beating the 120 Hz LCLS-I repetition rate),
+and produces the UMAP/OPTICS visualization in under a minute.
+
+Scaled reproduction: 6,000 frames of 64 x 64 (the per-core work shape —
+frames/core — matches the paper's 120k/64 ≈ 1.9k; our frames are 512x
+smaller than 2 Mpx, which is documented in EXPERIMENTS.md).  Two
+measurements:
+
+1. ingest throughput (preprocess + ARAMS sketch) in Hz, single-stream
+   and sharded across 64 simulated ranks (virtual makespan);
+2. wall time of the analysis stage (PCA + UMAP + OPTICS), which the
+   paper requires to finish in under a minute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMSConfig
+from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+from repro.data.stream import EventStream
+from repro.pipeline.monitor import MonitoringPipeline
+
+N_SHOTS = 6000
+N_RANKS = 64
+LCLS_RATE = 120.0
+
+
+def _make_pipe(seed=0):
+    return MonitoringPipeline(
+        image_shape=(64, 64),
+        seed=seed,
+        n_latent=12,
+        umap={"n_epochs": 150, "n_neighbors": 15},
+        optics={"min_samples": 30},
+        sketch=ARAMSConfig(ell=24, beta=0.8, epsilon=0.05, nu=8, seed=0),
+        outlier_contamination=0.03,
+    )
+
+
+def test_runtime_throughput(benchmark, table):
+    gen = BeamProfileGenerator(BeamProfileConfig(shape=(64, 64)), seed=3)
+    stream = EventStream(gen, n_shots=N_SHOTS, rep_rate=LCLS_RATE, batch_size=500)
+    # Pre-generate so generator cost doesn't pollute the measurement.
+    batches = [images for images, _, _ in stream.batches()]
+
+    def run():
+        pipe = _make_pipe()
+        for images in batches:
+            pipe.consume(images)
+        res = pipe.analyze()
+        return pipe, res
+
+    pipe, res = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    single_hz = pipe.throughput_hz()
+
+    # Sharded ingest: one representative batch across 64 simulated ranks.
+    pipe_sharded = _make_pipe(seed=1)
+    pipe_sharded.consume_sharded(batches[0], n_ranks=N_RANKS)
+    sharded_hz = pipe_sharded.throughput_hz()
+
+    analysis_s = sum(res.timings.values())
+    table(
+        "Section VI-B: runtime (paper: 120k 2-Mpx frames at 136 Hz on 64 cores; "
+        "UMAP/OPTICS < 1 min)",
+        ["metric", "value"],
+        [
+            ["frames processed", N_SHOTS],
+            ["frame size", "64 x 64 (paper: 2 Mpx)"],
+            ["single-stream ingest Hz", single_hz],
+            [f"sharded ingest Hz ({N_RANKS} virtual ranks)", sharded_hz],
+            ["LCLS-I repetition rate Hz", LCLS_RATE],
+            ["analysis (PCA+UMAP+OPTICS+ABOD) seconds", analysis_s],
+            ["clusters found", res.n_clusters],
+        ],
+    )
+
+    # Paper claims, scaled: ingest beats the repetition rate, and the
+    # visualization stage completes in under a minute.
+    assert single_hz > LCLS_RATE, "ingest must beat the 120 Hz rep rate"
+    assert sharded_hz > LCLS_RATE
+    assert analysis_s < 60.0, "UMAP/OPTICS stage must finish within a minute"

@@ -1,0 +1,85 @@
+"""Substrate quality gates: the from-scratch UMAP / clustering stack.
+
+This reproduction implements UMAP, OPTICS, HDBSCAN*, NN-descent and the
+evaluation metrics from scratch (the reference libraries are unavailable
+offline).  The figure-level benches show the *pipeline* reproduces the
+paper; this bench pins down the *substrates* themselves with
+library-grade quality gates, so a regression in any of them is caught
+here rather than as a mysterious figure change:
+
+- NN-descent recall vs exact k-NN;
+- UMAP trustworthiness and cluster separation across data sizes;
+- OPTICS-xi / OPTICS-dbscan / HDBSCAN agreement (ARI) on labelled data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hdbscan import HDBSCAN
+from repro.cluster.metrics import adjusted_rand_index, trustworthiness
+from repro.cluster.optics import OPTICS
+from repro.embed.knn import knn_brute
+from repro.embed.nn_descent import nn_descent
+from repro.embed.umap import UMAP
+
+
+def _blobs(n_per: int, n_blobs: int, dim: int, seed: int):
+    gen = np.random.default_rng(seed)
+    centers = gen.normal(0.0, 9.0, size=(n_blobs, dim))
+    pts = np.vstack([
+        c + gen.normal(0.0, 0.5, size=(n_per, dim)) for c in centers
+    ])
+    labels = np.repeat(np.arange(n_blobs), n_per)
+    return pts, labels
+
+
+def test_substrate_quality_gates(benchmark, table):
+    def run():
+        out = {}
+        # --- NN-descent recall at three sizes -------------------------
+        for n in (300, 800, 1500):
+            gen = np.random.default_rng(n)
+            x = gen.random((n, 8))
+            exact, _ = knn_brute(x, 10)
+            approx, _ = nn_descent(x, 10, rng=np.random.default_rng(1))
+            recall = np.mean([
+                len(set(approx[i]) & set(exact[i])) / 10 for i in range(n)
+            ])
+            out[f"nn_descent recall (n={n})"] = recall
+        # --- UMAP quality at two sizes ---------------------------------
+        for n_per in (60, 150):
+            x, labels = _blobs(n_per, 5, 12, seed=n_per)
+            emb = UMAP(n_neighbors=12, random_state=0,
+                       n_epochs=200).fit_transform(x)
+            out[f"umap trustworthiness (n={5 * n_per})"] = trustworthiness(
+                x, emb, n_neighbors=10
+            )
+            # Cluster recovery through each clustering backend.
+            for name, model in (
+                ("optics-xi", OPTICS(min_samples=10)),
+                ("optics-dbscan", OPTICS(min_samples=10,
+                                         cluster_method="dbscan", eps=1.5)),
+                ("hdbscan", HDBSCAN(min_cluster_size=max(10, n_per // 3))),
+            ):
+                pred = model.fit_predict(emb)
+                out[f"{name} ARI (n={5 * n_per})"] = adjusted_rand_index(
+                    labels, pred
+                )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        "Substrate quality gates (from-scratch implementations)",
+        ["gate", "score"],
+        [[k, v] for k, v in results.items()],
+    )
+
+    for key, value in results.items():
+        if "recall" in key:
+            assert value > 0.85, key
+        elif "trustworthiness" in key:
+            assert value > 0.9, key
+        else:  # ARI gates
+            assert value > 0.8, key

@@ -1,0 +1,44 @@
+"""Shared configuration and table-printing helpers for the benches.
+
+Every bench regenerates one of the paper's tables/figures as printed
+rows (the offline stand-in for the paper's matplotlib/Bokeh output) and
+asserts the figure's qualitative claim — who wins, by roughly what
+factor, where the crossover falls.  Sizes are scaled down from the
+paper's cluster workloads to single-core-friendly dimensions; the
+scaling is documented per bench and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render an aligned ASCII table to stdout (visible with -s / in CI logs)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(header[j]), max((len(r[j]) for r in cells), default=0))
+        for j in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    sep = "-" * len(line)
+    print(f"\n=== {title} ===")
+    print(line)
+    print(sep)
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(c: object) -> str:
+    if isinstance(c, float) or isinstance(c, np.floating):
+        if c != 0 and (abs(c) < 1e-3 or abs(c) >= 1e5):
+            return f"{c:.3e}"
+        return f"{c:.4f}"
+    return str(c)
+
+
+@pytest.fixture
+def table():
+    """The table printer, as a fixture for convenience."""
+    return print_table

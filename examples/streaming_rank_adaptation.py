@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Rank adaptation under drift: the online scenario the paper motivates.
+
+SASE X-ray beams drift — the intrinsic rank of the shot stream is not
+known in advance and can change mid-run.  This example streams three
+regimes of data with increasing intrinsic rank through a rank-adaptive
+FD sketcher and shows the sketch growing exactly when the data demands
+it, while a fixed-rank sketcher accumulates error it can never recover.
+
+Run:  python examples/streaming_rank_adaptation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import relative_covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.rank_adaptive import RankAdaptiveFD
+from repro.linalg.random_matrices import haar_orthogonal, matrix_with_spectrum
+
+
+def regime(n: int, d: int, rank: int, seed: int) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    s = np.exp(-0.15 * np.arange(rank))
+    return matrix_with_spectrum(
+        s, n, d, gen,
+        left=haar_orthogonal(n, rank, gen),
+        right=haar_orthogonal(d, rank, gen),
+    )
+
+
+def main() -> None:
+    d = 384
+    regimes = [
+        ("stable beam (rank 12)", regime(1500, d, 12, seed=1)),
+        ("mode hop (rank 36)", regime(1500, d, 36, seed=2)),
+        ("unstable beam (rank 72)", regime(1500, d, 72, seed=3)),
+    ]
+    stream = np.vstack([r for _, r in regimes])
+
+    adaptive = RankAdaptiveFD(d=d, ell=8, epsilon=0.02, nu=8, max_ell=128,
+                              rng=np.random.default_rng(0))
+    fixed = FrequentDirections(d=d, ell=8)
+
+    print(f"{'rows':>6s}  {'regime':24s}  {'adaptive ell':>12s}")
+    boundary = 0
+    for name, chunk in regimes:
+        for start in range(0, len(chunk), 500):
+            adaptive.partial_fit(chunk[start : start + 500])
+            fixed.partial_fit(chunk[start : start + 500])
+            print(f"{boundary + start + 500:6d}  {name:24s}  {adaptive.ell:12d}")
+        boundary += len(chunk)
+
+    print("\nrank history (rows seen -> new ell):")
+    for rows, ell in adaptive.rank_history:
+        print(f"  {rows:6d} -> {ell}")
+
+    e_adaptive = relative_covariance_error(stream, adaptive.sketch)
+    e_fixed = relative_covariance_error(stream, fixed.sketch)
+    print(f"\nfinal relative covariance error over the full stream:")
+    print(f"  rank-adaptive (ell={adaptive.ell:3d}): {e_adaptive:.2e}")
+    print(f"  fixed rank    (ell=  8): {e_fixed:.2e}")
+    print(f"  -> adaptation bought a {e_fixed / max(e_adaptive, 1e-30):.0f}x "
+          f"error reduction by spending memory only when the beam demanded it")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""XPCS analysis with beam-aware grouping: the paper's motivation, live.
+
+The paper opens with the problem this example demonstrates: SASE beam
+fluctuations inject uncertainty into XPCS speckle-contrast measurements
+(Section III-A).  Here a simulated run interleaves three beam states,
+each driving the downstream speckle with a different coherent mode
+count; the pipeline clusters the *beam* images unsupervised, and the
+speckle contrast and g2 dynamics are then computed per beam group:
+
+- pooled over all shots, the contrast spread makes the measurement
+  nearly useless;
+- grouped by discovered beam cluster, each group's contrast is tight
+  and the g2 decay time is recovered cleanly.
+
+Run:  python examples/xpcs_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.arams import ARAMSConfig
+from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+from repro.data.xpcs import XPCSConfig, XPCSGenerator, g2_correlation, speckle_contrast
+from repro.pipeline.monitor import MonitoringPipeline
+
+STATES = [
+    ("tight round beam", dict(circularity_range=(0.9, 1.0), lobe_separation=0.02,
+                              asymmetry_range=(-0.05, 0.05)), 1),
+    ("elongated beam", dict(circularity_range=(0.35, 0.45), lobe_separation=0.10,
+                            asymmetry_range=(-0.1, 0.1)), 2),
+    ("double-lobed beam", dict(circularity_range=(0.6, 0.75), lobe_separation=0.30,
+                               asymmetry_range=(0.55, 0.75)), 4),
+]
+SHOTS = 200
+
+
+def main() -> None:
+    beams, speckle_seqs, labels = [], [], []
+    for sid, (name, beam_kw, modes) in enumerate(STATES):
+        bgen = BeamProfileGenerator(
+            BeamProfileConfig(shape=(48, 48), exotic_fraction=0.0, **beam_kw),
+            seed=sid,
+        )
+        xgen = XPCSGenerator(
+            XPCSConfig(shape=(48, 48), speckle_size=2.0, n_modes=modes,
+                       tau_shots=6.0),
+            seed=100 + sid,
+        )
+        imgs, _ = bgen.sample(SHOTS)
+        beams.append(imgs)
+        speckle_seqs.append(xgen.sample(SHOTS))
+        labels.append(np.full(SHOTS, sid))
+        print(f"state {sid} ({name}): {modes} coherent modes, "
+              f"ideal contrast {1 / modes:.2f}")
+    beams_all = np.concatenate(beams)
+    speckle_all = np.concatenate(speckle_seqs)
+    labels_all = np.concatenate(labels)
+
+    print("\nclustering beam profiles (unsupervised) ...")
+    pipe = MonitoringPipeline(
+        image_shape=(48, 48), seed=0, n_latent=12,
+        umap={"n_epochs": 150, "n_neighbors": 15},
+        optics={"min_samples": 25},
+        sketch=ARAMSConfig(ell=20, beta=0.85, epsilon=0.05, seed=0),
+        outlier_contamination=None,
+    )
+    res = pipe.consume(beams_all).analyze()
+    found = sorted(set(res.labels.tolist()) - {-1})
+    print(f"discovered {len(found)} beam clusters "
+          f"(noise: {(res.labels == -1).sum()} shots)")
+
+    contrast = speckle_contrast(speckle_all)
+    print(f"\npooled speckle contrast: {contrast.mean():.3f} "
+          f"+/- {contrast.std():.3f}   <- useless spread")
+    print(f"{'cluster':>7s} {'shots':>6s} {'contrast':>16s} {'g2 tau (shots)':>15s}")
+    for c in found:
+        members = np.nonzero(res.labels == c)[0]
+        mc = contrast[members]
+        # g2 needs a time-ordered sequence: use each cluster's shots in
+        # original order (they come from one beam state's generator).
+        seq = speckle_all[np.sort(members)]
+        g2 = g2_correlation(seq, max_delay=min(20, len(seq) // 2))
+        # Crude decay time: first delay where g2-1 halves.
+        base = g2[0] - 1.0
+        tau = next((dt for dt in range(1, len(g2)) if g2[dt] - 1 < base / 2), len(g2))
+        print(f"{c:7d} {len(members):6d} {mc.mean():8.3f} +/- {mc.std():5.3f} "
+              f"{tau:15d}")
+    print("\nwithin-cluster contrast spreads are a fraction of the pooled "
+          "spread — the paper's motivation realized.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — Accelerated Rank-Adaptive Matrix Sketching (ARAMS) for online
+analysis of LCLS imaging datasets.
+
+Full reproduction of *"Matrix Sketching for Online Analysis of LCLS
+Imaging Datasets"* (SC 2024): the ARAMS sketching algorithm (priority
+sampling chained into rank-adaptive Frequent Directions), a tree-merge
+parallelization scheme with strong-scaling studies, and the complete
+image-monitoring pipeline (preprocess → sketch → PCA → UMAP → OPTICS /
+ABOD), with every substrate — UMAP, OPTICS, clustering metrics, a
+simulated MPI layer, and LCLS-like data generators — implemented from
+scratch on numpy/scipy.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import ARAMS, ARAMSConfig
+>>> rng = np.random.default_rng(7)
+>>> images = rng.standard_normal((1000, 256))     # 1000 flattened frames
+>>> sk = ARAMS(d=256, config=ARAMSConfig(ell=16, beta=0.8, epsilon=0.2, seed=0))
+>>> latent = sk.partial_fit(images).project(images, k=8)
+>>> latent.shape
+(1000, 8)
+
+See :mod:`repro.pipeline.monitor` for the end-to-end monitoring
+pipeline and the ``examples/`` directory for runnable scenarios.
+"""
+
+from repro.core import (
+    ARAMS,
+    ARAMSConfig,
+    FrequentDirections,
+    PrioritySampler,
+    RankAdaptiveFD,
+    merge_pair,
+    serial_merge,
+    tree_merge,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARAMS",
+    "ARAMSConfig",
+    "FrequentDirections",
+    "PrioritySampler",
+    "RankAdaptiveFD",
+    "merge_pair",
+    "serial_merge",
+    "tree_merge",
+    "__version__",
+]

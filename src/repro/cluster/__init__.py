@@ -1,0 +1,35 @@
+"""Clustering and anomaly-detection substrate.
+
+- :mod:`repro.cluster.optics` — OPTICS (Ankerst, Breunig, Kriegel &
+  Sander 1999) with both DBSCAN-style (fixed eps) and ξ-based automatic
+  cluster extraction; the final stage of the paper's pipeline (Fig. 4).
+- :mod:`repro.cluster.abod` — fast angle-based outlier detection
+  (Kriegel, Schubert & Zimek 2008, FastABOD variant), the paper's
+  suggested anomaly detector for exotic beam profiles.
+- :mod:`repro.cluster.metrics` — label-comparison and geometry metrics
+  (ARI, NMI, purity, silhouette) implemented from scratch since sklearn
+  is unavailable offline.
+"""
+
+from repro.cluster.optics import OPTICS
+from repro.cluster.hdbscan import HDBSCAN
+from repro.cluster.abod import abod_scores, abod_outliers
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    cluster_purity,
+    silhouette_score,
+    trustworthiness,
+)
+
+__all__ = [
+    "OPTICS",
+    "HDBSCAN",
+    "abod_scores",
+    "abod_outliers",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "cluster_purity",
+    "silhouette_score",
+    "trustworthiness",
+]

@@ -1,0 +1,321 @@
+"""HDBSCAN*: hierarchical density-based clustering (Campello et al. 2013).
+
+The paper's artifact environment ships HDBSCAN alongside OPTICS; it is
+the other standard density-clustering backend for embedding analysis,
+and unlike OPTICS-ξ it returns a flat cut chosen by *cluster stability*
+rather than a steepness parameter.  Implemented from scratch:
+
+1. **Core distances** — distance to the ``min_samples``-th neighbour.
+2. **Mutual reachability** — ``max(core_a, core_b, d(a, b))``; smooths
+   density so sparse points cannot chain clusters together.
+3. **Minimum spanning tree** of the mutual-reachability graph (Prim's
+   algorithm on blocked dense distances; exact).
+4. **Single-linkage hierarchy** from the sorted MST edges (union-find).
+5. **Condensed tree** — collapse splits where a side has fewer than
+   ``min_cluster_size`` points into "points falling out of the parent",
+   recording the density ``lambda = 1/distance`` of every event.
+6. **Excess-of-Mass extraction** — select the antichain of clusters
+   maximizing total stability ``sum_p (lambda_p - lambda_birth)``.
+
+The implementation favours clarity and exactness over asymptotics: the
+MST step is O(n^2), entirely adequate for the embedding sizes the
+monitoring pipeline produces (thousands of shots per analysis window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from scipy.spatial import cKDTree
+
+__all__ = ["HDBSCAN", "CondensedTreeRow"]
+
+
+@dataclass(frozen=True)
+class CondensedTreeRow:
+    """One event of the condensed hierarchy.
+
+    ``child`` is either a point id (``< n``) leaving ``parent`` at
+    density ``lambda``, or a cluster id (``>= n``) born out of
+    ``parent`` with ``size`` points.
+    """
+
+    parent: int
+    child: int
+    lamda: float
+    size: int
+
+
+class HDBSCAN:
+    """Density-based clustering via hierarchical stability.
+
+    Parameters
+    ----------
+    min_cluster_size:
+        Smallest group of points considered a cluster.
+    min_samples:
+        Neighbourhood size for core distances (defaults to
+        ``min_cluster_size``); larger values smooth density more
+        aggressively, declaring more points noise.
+    allow_single_cluster:
+        Permit the root to be selected (default False, as in the
+        reference implementation).
+
+    Attributes
+    ----------
+    labels_:
+        Cluster labels per point, ``-1`` = noise.
+    probabilities_:
+        Per-point membership strength in ``[0, 1]``.
+    cluster_persistence_:
+        Stability score per extracted cluster.
+    condensed_tree_:
+        List of :class:`CondensedTreeRow` (diagnostic).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> x = np.vstack([rng.normal(0, .3, (50, 2)), rng.normal(6, .3, (50, 2))])
+    >>> labels = HDBSCAN(min_cluster_size=10).fit_predict(x)
+    >>> len(set(labels) - {-1})
+    2
+    """
+
+    def __init__(
+        self,
+        min_cluster_size: int = 10,
+        min_samples: int | None = None,
+        allow_single_cluster: bool = False,
+    ):
+        if min_cluster_size < 2:
+            raise ValueError(f"min_cluster_size must be >= 2, got {min_cluster_size}")
+        if min_samples is not None and min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.min_cluster_size = int(min_cluster_size)
+        self.min_samples = int(min_samples) if min_samples else int(min_cluster_size)
+        self.allow_single_cluster = bool(allow_single_cluster)
+
+        self.labels_: np.ndarray | None = None
+        self.probabilities_: np.ndarray | None = None
+        self.cluster_persistence_: dict[int, float] = {}
+        self.condensed_tree_: list[CondensedTreeRow] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "HDBSCAN":
+        """Cluster the rows of ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n = x.shape[0]
+        if n < max(self.min_cluster_size, self.min_samples + 1):
+            raise ValueError(
+                f"need at least {max(self.min_cluster_size, self.min_samples + 1)} "
+                f"points, got {n}"
+            )
+        core = self._core_distances(x)
+        mst_edges = self._mst(x, core)
+        linkage = self._single_linkage(mst_edges, n)
+        self.condensed_tree_ = self._condense(linkage, n)
+        labels, probs, persistence = self._extract(self.condensed_tree_, n)
+        self.labels_ = labels
+        self.probabilities_ = probs
+        self.cluster_persistence_ = persistence
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return labels."""
+        return self.fit(x).labels_  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _core_distances(self, x: np.ndarray) -> np.ndarray:
+        tree = cKDTree(x)
+        dist, _ = tree.query(x, k=self.min_samples + 1)
+        return dist[:, -1]
+
+    @staticmethod
+    def _mst(x: np.ndarray, core: np.ndarray) -> np.ndarray:
+        """Prim's MST over the implicit mutual-reachability graph.
+
+        Returns edges as ``(u, v, weight)`` rows, n-1 of them.
+        """
+        n = x.shape[0]
+        in_tree = np.zeros(n, dtype=bool)
+        # best[i]: cheapest mutual-reachability edge from the tree to i.
+        best = np.full(n, np.inf)
+        best_from = np.zeros(n, dtype=np.int64)
+        edges = np.empty((n - 1, 3))
+        current = 0
+        in_tree[current] = True
+        for step in range(n - 1):
+            d = np.sqrt(np.maximum(np.sum((x - x[current]) ** 2, axis=1), 0.0))
+            mreach = np.maximum(np.maximum(d, core), core[current])
+            update = (~in_tree) & (mreach < best)
+            best[update] = mreach[update]
+            best_from[update] = current
+            best_masked = np.where(in_tree, np.inf, best)
+            nxt = int(np.argmin(best_masked))
+            edges[step] = (best_from[nxt], nxt, best[nxt])
+            in_tree[nxt] = True
+            current = nxt
+        return edges
+
+    @staticmethod
+    def _single_linkage(edges: np.ndarray, n: int) -> np.ndarray:
+        """Sorted-edge union-find; scipy-style linkage rows.
+
+        Row ``k``: ``(cluster_a, cluster_b, distance, new_size)`` with
+        the merged cluster receiving id ``n + k``.
+        """
+        order = np.argsort(edges[:, 2], kind="stable")
+        parent = np.arange(2 * n - 1, dtype=np.int64)
+        size = np.ones(2 * n - 1, dtype=np.int64)
+        next_label = n
+        out = np.empty((n - 1, 4))
+
+        def find(a: int) -> int:
+            root = a
+            while parent[root] != root:
+                root = parent[root]
+            while parent[a] != root:  # path compression
+                parent[a], a = root, parent[a]
+            return root
+
+        for k, e in enumerate(order):
+            u, v, w = int(edges[e, 0]), int(edges[e, 1]), float(edges[e, 2])
+            ru, rv = find(u), find(v)
+            out[k] = (ru, rv, w, size[ru] + size[rv])
+            parent[ru] = parent[rv] = next_label
+            size[next_label] = size[ru] + size[rv]
+            next_label += 1
+        return out
+
+    def _condense(self, linkage: np.ndarray, n: int) -> list[CondensedTreeRow]:
+        """Collapse small-side splits into fall-out events."""
+        root = 2 * n - 2
+        mcs = self.min_cluster_size
+        # children of each internal node in the raw hierarchy.
+        left = linkage[:, 0].astype(np.int64)
+        right = linkage[:, 1].astype(np.int64)
+        dist = linkage[:, 2]
+        sizes = linkage[:, 3].astype(np.int64)
+
+        def node_size(node: int) -> int:
+            return 1 if node < n else int(sizes[node - n])
+
+        def node_points(node: int) -> list[int]:
+            # Iterative subtree point collection.
+            stack, pts = [node], []
+            while stack:
+                v = stack.pop()
+                if v < n:
+                    pts.append(v)
+                else:
+                    stack.append(left[v - n])
+                    stack.append(right[v - n])
+            return pts
+
+        rows: list[CondensedTreeRow] = []
+        relabel = {root: n}  # condensed ids start at n
+        next_label = n + 1
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node < n:
+                continue
+            cluster = relabel[node]
+            l, r = left[node - n], right[node - n]
+            d = dist[node - n]
+            lam = 1.0 / d if d > 0 else np.inf
+            sl, sr = node_size(l), node_size(r)
+            if sl >= mcs and sr >= mcs:
+                for child in (l, r):
+                    relabel[child] = next_label
+                    rows.append(
+                        CondensedTreeRow(cluster, next_label, lam, node_size(child))
+                    )
+                    next_label += 1
+                    stack.append(child)
+            elif sl < mcs and sr < mcs:
+                for p in node_points(node):
+                    rows.append(CondensedTreeRow(cluster, p, lam, 1))
+            else:
+                big, small = (l, r) if sl >= mcs else (r, l)
+                relabel[big] = cluster  # cluster continues through the split
+                for p in node_points(small):
+                    rows.append(CondensedTreeRow(cluster, p, lam, 1))
+                stack.append(big)
+        return rows
+
+    def _extract(
+        self, rows: list[CondensedTreeRow], n: int
+    ) -> tuple[np.ndarray, np.ndarray, dict[int, float]]:
+        """Excess-of-Mass cluster selection + labeling + probabilities."""
+        if not rows:
+            return np.zeros(n, dtype=np.int64), np.ones(n), {0: 0.0}
+        birth: dict[int, float] = {n: 0.0}
+        children: dict[int, list[int]] = {}
+        cluster_parent: dict[int, int] = {}
+        for row in rows:
+            if row.child >= n:
+                birth[row.child] = row.lamda
+                children.setdefault(row.parent, []).append(row.child)
+                cluster_parent[row.child] = row.parent
+        # Stability: sum over departure events of (lambda - birth) * size.
+        stability: dict[int, float] = {c: 0.0 for c in birth}
+        for row in rows:
+            lam = row.lamda if np.isfinite(row.lamda) else 0.0
+            b = birth[row.parent]
+            b = b if np.isfinite(b) else 0.0
+            stability[row.parent] += max(lam - b, 0.0) * row.size
+        # EOM: process bottom-up (larger labels are deeper).
+        selected: dict[int, bool] = {}
+        for c in sorted(stability, reverse=True):
+            kids = children.get(c, [])
+            subtree = sum(stability[k] for k in kids)
+            if c == n and not self.allow_single_cluster:
+                selected[c] = False
+                continue
+            if kids and subtree > stability[c]:
+                selected[c] = False
+                stability[c] = subtree
+            else:
+                selected[c] = True
+                # Deselect all descendants.
+                stack = list(kids)
+                while stack:
+                    k = stack.pop()
+                    selected[k] = False
+                    stack.extend(children.get(k, []))
+        chosen = sorted(c for c, s in selected.items() if s)
+        label_of = {c: i for i, c in enumerate(chosen)}
+
+        def owning_cluster(c: int) -> int | None:
+            while c is not None:
+                if selected.get(c):
+                    return c
+                c = cluster_parent.get(c)  # type: ignore[assignment]
+            return None
+
+        labels = np.full(n, -1, dtype=np.int64)
+        probs = np.zeros(n)
+        # lambda at which each point left its condensed parent.
+        max_lambda: dict[int, float] = {}
+        for row in rows:
+            if row.child < n:
+                lam = row.lamda if np.isfinite(row.lamda) else 0.0
+                max_lambda[row.parent] = max(max_lambda.get(row.parent, 0.0), lam)
+        for row in rows:
+            if row.child >= n:
+                continue
+            owner = owning_cluster(row.parent)
+            if owner is None:
+                continue
+            labels[row.child] = label_of[owner]
+            peak = max_lambda.get(row.parent, 0.0)
+            lam = row.lamda if np.isfinite(row.lamda) else peak
+            probs[row.child] = lam / peak if peak > 0 else 1.0
+        persistence = {label_of[c]: stability[c] for c in chosen}
+        return labels, np.clip(probs, 0.0, 1.0), persistence

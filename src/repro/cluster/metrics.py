@@ -1,0 +1,238 @@
+"""Clustering evaluation metrics (from scratch; sklearn is unavailable).
+
+Label-comparison metrics for scoring recovered clusters against ground
+truth in the Figs. 5-6 benches:
+
+- :func:`adjusted_rand_index` — chance-corrected pair-counting agreement;
+- :func:`normalized_mutual_information` — information-theoretic overlap;
+- :func:`cluster_purity` — majority-class fraction per cluster;
+
+and one geometry metric:
+
+- :func:`silhouette_score` — cohesion vs separation in embedding space.
+
+All metrics ignore or handle noise labels (``-1``) explicitly as
+documented per function, since OPTICS emits them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "contingency_table",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "cluster_purity",
+    "silhouette_score",
+    "trustworthiness",
+]
+
+
+def contingency_table(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> np.ndarray:
+    """Cross-tabulation of two labelings (rows: a-classes, cols: b-classes)."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError("labelings must have equal length")
+    a_classes, a_idx = np.unique(labels_a, return_inverse=True)
+    b_classes, b_idx = np.unique(labels_b, return_inverse=True)
+    table = np.zeros((a_classes.size, b_classes.size), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table
+
+
+def adjusted_rand_index(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """Adjusted Rand index in [-1, 1]; 1 = identical partitions, 0 = chance.
+
+    Noise points (label ``-1``) are treated as their own singleton-like
+    class, matching sklearn's behaviour of counting them as one cluster.
+    """
+    table = contingency_table(labels_true, labels_pred)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(np.float64)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total = comb2(np.float64(n))
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    table = contingency_table(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    pij = table / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+    nz = pij > 0
+    outer = np.outer(pi, pj)
+    mi = float(np.sum(pij[nz] * np.log(pij[nz] / outer[nz])))
+
+    def entropy(p: np.ndarray) -> float:
+        p = p[p > 0]
+        return float(-np.sum(p * np.log(p)))
+
+    h_true, h_pred = entropy(pi), entropy(pj)
+    denom = (h_true + h_pred) / 2.0
+    if denom == 0:
+        return 1.0
+    return float(np.clip(mi / denom, 0.0, 1.0))
+
+
+def cluster_purity(
+    labels_true: np.ndarray,
+    labels_pred: np.ndarray,
+    ignore_noise: bool = True,
+) -> float:
+    """Fraction of points whose cluster's majority true class matches them.
+
+    Parameters
+    ----------
+    labels_true, labels_pred:
+        Ground-truth and predicted labels.
+    ignore_noise:
+        Exclude points predicted as noise (``-1``) from the score; set
+        False to count them as always-wrong.
+    """
+    labels_true = np.asarray(labels_true)
+    labels_pred = np.asarray(labels_pred)
+    if labels_true.shape != labels_pred.shape:
+        raise ValueError("labelings must have equal length")
+    mask = labels_pred != -1
+    if not np.any(mask):
+        return 0.0
+    table = contingency_table(labels_pred[mask], labels_true[mask])
+    correct = float(table.max(axis=1).sum())
+    # Noise points count as always-wrong unless excluded entirely.
+    denom = float(table.sum()) if ignore_noise else float(labels_pred.shape[0])
+    return correct / denom
+
+
+def silhouette_score(
+    x: np.ndarray,
+    labels: np.ndarray,
+    sample_size: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean silhouette coefficient in [-1, 1]; noise points are excluded.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` coordinates.
+    labels:
+        Cluster labels (``-1`` = noise, excluded).
+    sample_size:
+        Optional subsample for large ``n`` (distances are O(n^2)).
+    rng:
+        Randomness for the subsample.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    mask = labels != -1
+    x, labels = x[mask], labels[mask]
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    if sample_size is not None and sample_size < x.shape[0]:
+        if rng is None:
+            rng = np.random.default_rng()
+        pick = rng.choice(x.shape[0], size=sample_size, replace=False)
+        x, labels = x[pick], labels[pick]
+        classes = np.unique(labels)
+        if classes.size < 2:
+            raise ValueError("subsample collapsed to a single cluster")
+    n = x.shape[0]
+    sq = np.einsum("ij,ij->i", x, x)
+    d = np.sqrt(np.maximum(sq[:, None] + sq[None, :] - 2.0 * x @ x.T, 0.0))
+    sil = np.zeros(n)
+    for i in range(n):
+        own = labels == labels[i]
+        own_count = own.sum()
+        if own_count <= 1:
+            sil[i] = 0.0
+            continue
+        a = d[i, own].sum() / (own_count - 1)
+        b = np.inf
+        for c in classes:
+            if c == labels[i]:
+                continue
+            other = labels == c
+            b = min(b, d[i, other].mean())
+        denom = max(a, b)
+        sil[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(sil.mean())
+
+
+def trustworthiness(
+    x_high: np.ndarray,
+    x_low: np.ndarray,
+    n_neighbors: int = 5,
+) -> float:
+    """Trustworthiness of an embedding (Venna & Kaski 2001), in [0, 1].
+
+    Penalizes *intruders*: points that appear among a sample's ``k``
+    nearest neighbours in the embedding but were not neighbours in the
+    original space, weighted by how far down the original ranking they
+    sit.  1.0 means every embedded neighbourhood is genuine; 0.5 is
+    what random placement scores.  The standard quality metric for
+    dimension-reduction maps (used by the UMAP test suite here).
+
+    Parameters
+    ----------
+    x_high:
+        ``(n, d)`` original coordinates.
+    x_low:
+        ``(n, m)`` embedded coordinates (same row order).
+    n_neighbors:
+        Neighbourhood size ``k``; must satisfy ``k < n / 2``.
+
+    Returns
+    -------
+    float
+    """
+    x_high = np.asarray(x_high, dtype=np.float64)
+    x_low = np.asarray(x_low, dtype=np.float64)
+    if x_high.shape[0] != x_low.shape[0]:
+        raise ValueError("row counts differ between spaces")
+    n = x_high.shape[0]
+    k = int(n_neighbors)
+    if not 0 < k < n / 2:
+        raise ValueError(f"need 0 < n_neighbors < n/2, got {k} with n={n}")
+
+    def ranks(x: np.ndarray) -> np.ndarray:
+        sq = np.einsum("ij,ij->i", x, x)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * x @ x.T
+        np.fill_diagonal(d2, np.inf)
+        order = np.argsort(d2, axis=1)
+        rank = np.empty_like(order)
+        rows = np.arange(n)[:, None]
+        rank[rows, order] = np.arange(n)[None, :]
+        return rank  # rank[i, j] = position of j in i's distance order
+
+    rank_high = ranks(x_high)
+    rank_low = ranks(x_low)
+    penalty = 0.0
+    for i in range(n):
+        low_neighbours = np.nonzero(rank_low[i] < k)[0]
+        for j in low_neighbours:
+            r = rank_high[i, j]
+            if r >= k:
+                penalty += r - k + 1
+    return float(1.0 - 2.0 * penalty / (n * k * (2.0 * n - 3.0 * k - 1.0)))

@@ -1,0 +1,380 @@
+"""OPTICS: Ordering Points To Identify the Clustering Structure.
+
+Implements Ankerst, Breunig, Kriegel & Sander (1999): a density-based
+ordering of the dataset such that spatially close, density-reachable
+points end up adjacent, together with a *reachability distance* per
+point.  Valleys in the reachability plot are clusters; two extraction
+methods are provided:
+
+- :meth:`OPTICS.extract_dbscan` — horizontal cut at a fixed ``eps``,
+  equivalent to DBSCAN at that radius;
+- ξ extraction (``cluster_method="xi"``) — the paper's automatic
+  method: find ξ-steep down/up areas of the reachability plot and pair
+  them into significant valleys (no eps needed).
+
+The ordering loop follows the original pseudocode: a lazy-deletion
+binary heap keyed on reachability plays the role of the ``OrderSeeds``
+priority queue.  Neighbourhoods come from a KD-tree when ``max_eps`` is
+finite, otherwise from blocked dense distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["OPTICS"]
+
+
+class OPTICS:
+    """Density-based cluster ordering with automatic extraction.
+
+    Parameters
+    ----------
+    min_samples:
+        Neighbourhood size defining core points (and the smoothing of
+        the reachability plot).
+    max_eps:
+        Maximum neighbourhood radius examined; ``inf`` (default)
+        reproduces the textbook algorithm, finite values speed up large
+        datasets at the cost of splitting very sparse clusters.
+    cluster_method:
+        ``"xi"`` (automatic) or ``"dbscan"`` (requires ``eps``).
+    xi:
+        Steepness threshold in (0, 1) for ξ extraction.
+    eps:
+        Cut radius for ``cluster_method="dbscan"``.
+    min_cluster_size:
+        Minimum points per extracted cluster; defaults to
+        ``min_samples``.
+
+    Attributes
+    ----------
+    ordering_:
+        Point indices in OPTICS visit order.
+    reachability_:
+        Reachability distance per point (``inf`` for each expansion
+        start), indexed by point id.
+    core_distances_:
+        Distance to the ``min_samples``-th neighbour per point.
+    predecessor_:
+        Point from which each point was reached (-1 for starts).
+    labels_:
+        Cluster labels per point, ``-1`` = noise.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> x = np.vstack([rng.normal(0, .3, (40, 2)), rng.normal(5, .3, (40, 2))])
+    >>> model = OPTICS(min_samples=5).fit(x)
+    >>> len(set(model.labels_)) - (1 if -1 in model.labels_ else 0)
+    2
+    """
+
+    def __init__(
+        self,
+        min_samples: int = 5,
+        max_eps: float = np.inf,
+        cluster_method: str = "xi",
+        xi: float = 0.05,
+        eps: float | None = None,
+        min_cluster_size: int | None = None,
+    ):
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        if not 0.0 < xi < 1.0:
+            raise ValueError(f"xi must be in (0, 1), got {xi}")
+        if cluster_method not in ("xi", "dbscan"):
+            raise ValueError(f"unknown cluster_method {cluster_method!r}")
+        if cluster_method == "dbscan" and eps is None:
+            raise ValueError("cluster_method='dbscan' requires eps")
+        self.min_samples = int(min_samples)
+        self.max_eps = float(max_eps)
+        self.cluster_method = cluster_method
+        self.xi = float(xi)
+        self.eps = eps
+        self.min_cluster_size = (
+            int(min_cluster_size) if min_cluster_size is not None else None
+        )
+
+        self.ordering_: np.ndarray | None = None
+        self.reachability_: np.ndarray | None = None
+        self.core_distances_: np.ndarray | None = None
+        self.predecessor_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.cluster_hierarchy_: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "OPTICS":
+        """Compute the cluster ordering and extract labels."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n = x.shape[0]
+        if n < self.min_samples:
+            raise ValueError(
+                f"need at least min_samples={self.min_samples} points, got {n}"
+            )
+        tree = cKDTree(x)
+        # Core distances: distance to the min_samples-th neighbour
+        # (counting the point itself, as in the original paper / sklearn).
+        dist_k, _ = tree.query(x, k=self.min_samples)
+        core = dist_k[:, -1].astype(np.float64)
+        core[core > self.max_eps] = np.inf
+
+        reach = np.full(n, np.inf)
+        pred = np.full(n, -1, dtype=np.int64)
+        processed = np.zeros(n, dtype=bool)
+        ordering: list[int] = []
+
+        for start in range(n):
+            if processed[start]:
+                continue
+            processed[start] = True
+            ordering.append(start)
+            if np.isfinite(core[start]):
+                heap: list[tuple[float, int]] = []
+                self._update_seeds(x, tree, start, core, processed, reach, pred, heap)
+                while heap:
+                    r, q = heapq.heappop(heap)
+                    if processed[q] or r > reach[q]:
+                        continue  # stale entry (lazy deletion)
+                    processed[q] = True
+                    ordering.append(q)
+                    if np.isfinite(core[q]):
+                        self._update_seeds(
+                            x, tree, q, core, processed, reach, pred, heap
+                        )
+
+        self.ordering_ = np.array(ordering, dtype=np.int64)
+        self.reachability_ = reach
+        self.core_distances_ = core
+        self.predecessor_ = pred
+        if self.cluster_method == "dbscan":
+            assert self.eps is not None
+            self.labels_ = self.extract_dbscan(self.eps)
+        else:
+            self.labels_ = self.extract_xi()
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return labels."""
+        return self.fit(x).labels_  # type: ignore[return-value]
+
+    def _update_seeds(
+        self,
+        x: np.ndarray,
+        tree: cKDTree,
+        center: int,
+        core: np.ndarray,
+        processed: np.ndarray,
+        reach: np.ndarray,
+        pred: np.ndarray,
+        heap: list[tuple[float, int]],
+    ) -> None:
+        """Relax reachability of the center's unprocessed neighbours."""
+        if np.isfinite(self.max_eps):
+            neighbours = tree.query_ball_point(x[center], self.max_eps)
+            neighbours = np.asarray(neighbours, dtype=np.int64)
+        else:
+            neighbours = np.arange(x.shape[0])
+        neighbours = neighbours[~processed[neighbours]]
+        if neighbours.size == 0:
+            return
+        diff = x[neighbours] - x[center]
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        new_reach = np.maximum(core[center], dists)
+        better = new_reach < reach[neighbours]
+        for q, r in zip(neighbours[better], new_reach[better]):
+            reach[q] = r
+            pred[q] = center
+            heapq.heappush(heap, (float(r), int(q)))
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract_dbscan(self, eps: float) -> np.ndarray:
+        """DBSCAN-equivalent labels from a horizontal cut at ``eps``."""
+        self._check_fitted()
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        assert self.ordering_ is not None
+        n = self.ordering_.shape[0]
+        labels = np.full(n, -1, dtype=np.int64)
+        current = -1
+        for point in self.ordering_:
+            r = self.reachability_[point]  # type: ignore[index]
+            c = self.core_distances_[point]  # type: ignore[index]
+            if r > eps:
+                if c <= eps:
+                    current += 1
+                    labels[point] = current
+                # else: noise, stays -1
+            else:
+                labels[point] = current
+        return labels
+
+    def extract_xi(
+        self,
+        xi: float | None = None,
+        min_cluster_size: int | None = None,
+    ) -> np.ndarray:
+        """Automatic ξ-steep valley extraction (Ankerst et al. §4.3).
+
+        Returns flat labels: each point gets the label of the *smallest*
+        (most specific) extracted cluster containing it, ``-1`` if none.
+        """
+        self._check_fitted()
+        xi = self.xi if xi is None else xi
+        mcs = (
+            min_cluster_size
+            if min_cluster_size is not None
+            else (self.min_cluster_size or self.min_samples)
+        )
+        assert self.ordering_ is not None and self.reachability_ is not None
+        plot = self.reachability_[self.ordering_]
+        clusters = _xi_cluster_intervals(plot, xi, self.min_samples, mcs)
+        # Expose the full valley hierarchy (ordering-space intervals).
+        self.cluster_hierarchy_ = sorted(set(clusters))
+        n = plot.shape[0]
+        labels_in_order = np.full(n, -1, dtype=np.int64)
+        # Flatten the hierarchy by valley depth: score each interval by
+        # how far its walls tower over its interior (wall / interior
+        # ratio) and assign greedily, deepest valley first, skipping
+        # intervals that overlap an already-assigned cluster.  Deep true
+        # valleys beat both micro-fluctuations inside a cluster and
+        # marginal valleys spanning two clusters, whose scores hover
+        # just above the xi threshold.
+        finite = plot[np.isfinite(plot)]
+        finite_max = float(finite.max()) if finite.size else 1.0
+        r = np.where(np.isfinite(plot), plot, finite_max * 2.0)
+        scored = []
+        for s, e in set(clusters):
+            wall = min(r[s], r[min(e + 1, n - 1)])
+            inner = r[s + 1 : e + 1]
+            inner_max = float(inner.max()) if inner.size else np.finfo(float).tiny
+            depth = wall / max(inner_max, np.finfo(float).tiny)
+            scored.append((depth, e - s, s, e))
+        cid = 0
+        for _, _, s, e in sorted(scored, reverse=True):
+            if np.all(labels_in_order[s : e + 1] == -1):
+                labels_in_order[s : e + 1] = cid
+                cid += 1
+        labels = np.full(n, -1, dtype=np.int64)
+        labels[self.ordering_] = labels_in_order
+        return labels
+
+    def _check_fitted(self) -> None:
+        if self.ordering_ is None:
+            raise RuntimeError("call fit() first")
+
+
+# ----------------------------------------------------------------------
+# xi extraction machinery (module-level for testability)
+# ----------------------------------------------------------------------
+def _extend_area(plot: np.ndarray, start: int, xi: float, min_samples: int, up: bool) -> int:
+    """Maximal ξ-steep area beginning at ``start``; returns its end index.
+
+    A steep area may contain up to ``min_samples - 1`` consecutive
+    non-steep points but must stay monotone in its direction.
+    """
+    n = plot.shape[0]
+    end = start
+    non_steep = 0
+    i = start + 1
+    while i < n - 1:
+        if up and plot[i] > plot[i + 1]:
+            break
+        if not up and plot[i] < plot[i + 1]:
+            break
+        steep = (
+            plot[i] <= plot[i + 1] * (1.0 - xi)
+            if up
+            else plot[i] * (1.0 - xi) >= plot[i + 1]
+        )
+        if steep:
+            end = i
+            non_steep = 0
+        else:
+            non_steep += 1
+            if non_steep >= min_samples:
+                break
+        i += 1
+    return end
+
+
+def _xi_cluster_intervals(
+    plot: np.ndarray, xi: float, min_samples: int, min_cluster_size: int
+) -> list[tuple[int, int]]:
+    """Pair ξ-steep-down with ξ-steep-up areas into cluster intervals.
+
+    Follows the SDA/mib bookkeeping of the original algorithm
+    (Ankerst et al., Fig. 19).  ``plot`` is the reachability plot in
+    ordering space; returned intervals are ``[start, end]`` inclusive,
+    also in ordering space.
+    """
+    n = plot.shape[0]
+    finite = plot[np.isfinite(plot)]
+    if finite.size == 0:
+        return []
+    finite_max = float(finite.max())
+    # Replace inf (expansion starts) by a value above everything so they
+    # terminate valleys cleanly.
+    r = np.where(np.isfinite(plot), plot, finite_max * 2.0)
+    downs: list[tuple[int, int]] = []
+    clusters: list[tuple[int, int]] = []
+    index = 0
+    while index < n - 1:
+        if r[index] * (1.0 - xi) >= r[index + 1]:  # steep down starts
+            end = _extend_area(r, index, xi, min_samples, up=False)
+            downs.append((index, end))
+            index = end + 1
+        elif r[index] <= r[index + 1] * (1.0 - xi):  # steep up starts
+            u_start = index
+            u_end = _extend_area(r, index, xi, min_samples, up=True)
+            index = u_end + 1
+            end_plus = min(u_end + 1, n - 1)
+            up_wall = r[end_plus]
+            for d_start, d_end in downs:
+                if d_end >= u_start:
+                    continue
+                down_wall = r[d_start]
+                # Valley significance (the paper's mib condition,
+                # computed directly): everything strictly between the
+                # two steep areas must sit significantly below both
+                # walls, otherwise the "valley" is just noise.
+                interior = r[d_end + 1 : u_start + 1]
+                mib = float(interior.max()) if interior.size else r[d_end + 1]
+                if mib > up_wall * (1.0 - xi) or mib > down_wall * (1.0 - xi):
+                    continue
+                # Boundary trimming per the 3-case rule (sc2 in the paper).
+                if down_wall * (1.0 - xi) >= up_wall:
+                    # Down wall higher: move start right to matching height.
+                    candidates = np.nonzero(r[d_start : d_end + 1] > up_wall)[0]
+                    s = d_start + (int(candidates[-1]) if candidates.size else 0)
+                    e = u_end
+                elif up_wall * (1.0 - xi) >= down_wall:
+                    # Up wall higher: move end left to matching height.
+                    candidates = np.nonzero(r[u_start : u_end + 1] < down_wall)[0]
+                    e = u_start + (
+                        int(candidates[-1]) if candidates.size else u_end - u_start
+                    )
+                    s = d_start
+                else:
+                    s, e = d_start, u_end
+                if e <= s or e - s + 1 < min_cluster_size:
+                    continue
+                # Full-interior significance: after trimming, everything
+                # strictly inside the valley must still sit below both
+                # walls — rejects candidates straddling a higher spike.
+                inner = r[s + 1 : e + 1]
+                wall = min(r[s], r[min(e + 1, n - 1)])
+                if inner.size and inner.max() > wall * (1.0 - xi):
+                    continue
+                clusters.append((s, e))
+        else:
+            index += 1
+    return clusters

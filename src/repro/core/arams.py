@@ -1,0 +1,246 @@
+"""ARAMS: Accelerated Rank-Adaptive Matrix Sketching (paper Algorithm 3).
+
+ARAMS chains the two stages the paper combines:
+
+1. **Priority sampling** keeps the ``beta``-fraction highest-energy rows
+   of each incoming batch (with unbiased Gram rescaling), cutting the
+   volume reaching the expensive stage without collapsing to a tiny
+   latent space;
+2. **Rank-Adaptive Frequent Directions** sketches the surviving rows,
+   growing its rank until the user's error tolerance ``epsilon`` is met.
+
+The paper's pseudocode pushes the whole stream through one priority
+queue of capacity ``beta * n`` and then sketches it; that requires
+knowing ``n`` and buffering ``beta * n`` rows.  The streaming
+formulation used here applies the sampler *per batch* — equivalent in
+expectation, bounded memory, and it matches how the LCLS deployment
+consumes runs as batches of shots (paper Fig. 4).  The one-shot
+behaviour of Algorithm 3 is available via :meth:`ARAMS.fit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.priority_sampling import PrioritySampler, priority_sample
+from repro.core.rank_adaptive import RankAdaptiveFD
+
+__all__ = ["ARAMSConfig", "ARAMS"]
+
+
+@dataclass(frozen=True)
+class ARAMSConfig:
+    """Configuration for the ARAMS sketcher.
+
+    Attributes
+    ----------
+    ell:
+        Initial sketch size.
+    beta:
+        Priority-sampling retention fraction in ``(0, 1]``; ``1.0``
+        disables sampling (pure rank-adaptive FD).
+    epsilon:
+        Reconstruction-error tolerance driving rank adaptation; ``None``
+        disables adaptation (pure fixed-rank FD behind the sampler).
+    nu:
+        Rank increment and probe count for the adaptation heuristic.
+    max_ell:
+        Cap on the adapted sketch size (defaults to ``d`` at build time).
+    relative_error:
+        Interpret ``epsilon`` relative to batch energy.
+    estimator:
+        Residual-norm estimator name (see :mod:`repro.linalg.norms`).
+    scale_sampled_rows:
+        Rescale sampled rows for Gram unbiasedness.
+    gamma:
+        Exponential forgetting factor in (0, 1]; values below 1 decay
+        older data per sketch rotation (see
+        :class:`repro.core.forgetting.ForgettingFD`).  Mutually
+        exclusive with ``epsilon``: rank adaptation assumes a
+        stationary error target, while forgetting deliberately tracks a
+        moving one.
+    seed:
+        Seed for all internal randomness (sampling + probes).
+    """
+
+    ell: int = 50
+    beta: float = 1.0
+    epsilon: float | None = None
+    nu: int = 10
+    max_ell: int | None = None
+    relative_error: bool = True
+    estimator: str = "gaussian"
+    scale_sampled_rows: bool = True
+    gamma: float = 1.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {self.beta}")
+        if self.ell < 1:
+            raise ValueError(f"ell must be >= 1, got {self.ell}")
+        if self.epsilon is not None and self.epsilon < 0:
+            raise ValueError(f"epsilon must be nonnegative, got {self.epsilon}")
+        if self.nu < 1:
+            raise ValueError(f"nu must be >= 1, got {self.nu}")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.gamma < 1.0 and self.epsilon is not None:
+            raise ValueError(
+                "forgetting (gamma < 1) and rank adaptation (epsilon) are "
+                "mutually exclusive; pick one"
+            )
+
+
+class ARAMS:
+    """Accelerated Rank-Adaptive Matrix Sketcher (paper Algorithm 3).
+
+    Parameters
+    ----------
+    d:
+        Feature dimension.
+    config:
+        Algorithm parameters; see :class:`ARAMSConfig`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import ARAMS, ARAMSConfig
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.standard_normal((500, 64))
+    >>> sk = ARAMS(d=64, config=ARAMSConfig(ell=8, beta=0.8, epsilon=0.5, seed=0))
+    >>> _ = sk.partial_fit(x)
+    >>> sk.sketch.shape[1]
+    64
+    """
+
+    def __init__(self, d: int, config: ARAMSConfig | None = None):
+        self.config = config if config is not None else ARAMSConfig()
+        self.d = int(d)
+        cfg = self.config
+        self._n_offered = 0
+        rng = np.random.default_rng(cfg.seed)
+        self._sample_rng = np.random.default_rng(rng.integers(2**63))
+        probe_rng = np.random.default_rng(rng.integers(2**63))
+        if cfg.epsilon is not None:
+            self._fd: FrequentDirections = RankAdaptiveFD(
+                d=d,
+                ell=cfg.ell,
+                epsilon=cfg.epsilon,
+                nu=cfg.nu,
+                max_ell=cfg.max_ell,
+                rng=probe_rng,
+                relative_error=cfg.relative_error,
+                estimator=cfg.estimator,
+            )
+        elif cfg.gamma < 1.0:
+            from repro.core.forgetting import ForgettingFD
+
+            self._fd = ForgettingFD(d=d, ell=cfg.ell, gamma=cfg.gamma)
+        else:
+            self._fd = FrequentDirections(d=d, ell=cfg.ell)
+
+    # ------------------------------------------------------------------
+    @property
+    def sketcher(self) -> FrequentDirections:
+        """The underlying FD sketcher (rank-adaptive when configured)."""
+        return self._fd
+
+    @property
+    def ell(self) -> int:
+        """Current sketch size (grows under rank adaptation)."""
+        return self._fd.ell
+
+    @property
+    def n_seen(self) -> int:
+        """Rows offered to ARAMS (before sampling)."""
+        return self._n_offered
+
+    def partial_fit(self, batch: np.ndarray) -> "ARAMS":
+        """Consume one batch: priority-sample it, then sketch the survivors.
+
+        Parameters
+        ----------
+        batch:
+            ``(k, d)`` rows.  With ``beta < 1`` only the
+            ``ceil(beta * k)`` highest-priority rows reach the sketcher.
+
+        Returns
+        -------
+        self
+        """
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        if batch.shape[1] != self.d:
+            raise ValueError(
+                f"batch has dimension {batch.shape[1]}, expected {self.d}"
+            )
+        self._n_offered += batch.shape[0]
+        if self.config.beta < 1.0:
+            batch = priority_sample(
+                batch,
+                self.config.beta,
+                rng=self._sample_rng,
+                scale_rows=self.config.scale_sampled_rows,
+            )
+        if batch.shape[0]:
+            self._fd.partial_fit(batch)
+        return self
+
+    def fit(self, x: np.ndarray) -> "ARAMS":
+        """One-shot Algorithm 3: sample ``beta * n`` rows of ``x``, sketch them.
+
+        Unlike :meth:`partial_fit` the priority queue here spans the
+        whole matrix, exactly as in the paper's pseudocode.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.d:
+            raise ValueError(f"x has dimension {x.shape[1]}, expected {self.d}")
+        self._n_offered += x.shape[0]
+        if self.config.beta < 1.0:
+            capacity = max(1, int(np.ceil(self.config.beta * x.shape[0])))
+            pq = PrioritySampler(
+                capacity,
+                rng=self._sample_rng,
+                scale_rows=self.config.scale_sampled_rows,
+            )
+            pq.extend(x)
+            x = pq.sample()
+        if isinstance(self._fd, RankAdaptiveFD):
+            self._fd.expected_rows = self._fd.n_seen + x.shape[0]
+        self._fd.partial_fit(x)
+        if isinstance(self._fd, RankAdaptiveFD):
+            self._fd.expected_rows = None
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def sketch(self) -> np.ndarray:
+        """The current ``ell x d`` sketch matrix."""
+        return self._fd.sketch
+
+    def compact_sketch(self) -> np.ndarray:
+        """Sketch with zero rows removed (safe for merging)."""
+        return self._fd.compact_sketch()
+
+    def basis(self, k: int | None = None) -> np.ndarray:
+        """Top-``k`` principal directions (``d x k``)."""
+        return self._fd.basis(k)
+
+    def project(self, x: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Project rows of ``x`` into the sketch's latent space."""
+        return self._fd.project(x, k)
+
+    def merge(self, other: "ARAMS") -> "ARAMS":
+        """Merge another ARAMS sketch into this one."""
+        self._fd.merge(other._fd)
+        self._n_offered += other._n_offered
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ARAMS(d={self.d}, ell={self.ell}, beta={self.config.beta}, "
+            f"epsilon={self.config.epsilon}, offered={self._n_offered})"
+        )

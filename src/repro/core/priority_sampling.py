@@ -1,0 +1,202 @@
+"""Streaming priority sampling over row norms (Duffield-Lund-Thorup 2007).
+
+Priority sampling selects, from a stream of weighted items, the ``m``
+items with the largest *priorities* ``p_i = q_i / u_i`` where ``q_i`` is
+the item weight and ``u_i ~ Uniform(0, 1]``.  With the threshold ``tau``
+set to the ``(m+1)``-th largest priority, the estimator
+``q_hat_i = max(q_i, tau)`` for retained items is unbiased for every
+subset sum — the property that makes the scheme safe as a data-reduction
+front end.
+
+For matrix sketching the natural weight of row ``a_i`` is its energy
+``q_i = ||a_i||^2``: the row's contribution to the Gram matrix
+``A^T A`` is ``q_i * (a_i/||a_i||)(a_i/||a_i||)^T``.  Scaling each
+retained row by ``sqrt(max(q_i, tau) / q_i)`` therefore makes the
+sampled Gram matrix an unbiased estimator of the full one, so chaining
+the sampler in front of Frequent Directions (the ARAMS pipeline) keeps
+the sketch honest while discarding, say, 20% of the rows — and the rows
+it discards are precisely the low-energy ones FD would have shrunk away.
+
+The streaming implementation keeps a size-``m`` min-heap keyed on
+priority: O(n log m) time, O(m d) memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["PrioritySampler", "priority_sample"]
+
+
+class PrioritySampler:
+    """Fixed-capacity priority-sampling reservoir of matrix rows.
+
+    Parameters
+    ----------
+    capacity:
+        Number of rows to retain (``m``).
+    rng:
+        Source of randomness for the uniform draws.
+    scale_rows:
+        When ``True`` (default), :meth:`sample` rescales retained rows
+        by ``sqrt(max(q_i, tau)/q_i)`` so the sampled Gram matrix is an
+        unbiased estimator of the input Gram matrix.  ``False`` returns
+        raw rows (the paper's pseudocode is silent on scaling; raw mode
+        is provided for ablation).
+
+    Notes
+    -----
+    Zero-norm rows carry no Gram information and are dropped on entry.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rng: np.random.Generator | None = None,
+        scale_rows: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.scale_rows = bool(scale_rows)
+        # Min-heap of (priority, seq, weight, row); seq breaks ties so
+        # rows (ndarrays) are never compared.
+        self._heap: list[tuple[float, int, float, np.ndarray]] = []
+        self._seq = 0
+        # Largest priority ever evicted (lower bound on tau when the
+        # reservoir overflowed at least once).
+        self._evicted_priority = 0.0
+        self.n_seen = 0
+
+    def push(self, row: np.ndarray) -> None:
+        """Offer one row to the reservoir."""
+        row = np.asarray(row, dtype=np.float64)
+        if row.ndim != 1:
+            raise ValueError("push() takes a single 1-D row; use extend() for batches")
+        if not np.all(np.isfinite(row)):
+            raise ValueError("row contains NaN/Inf; repair detector frames first")
+        self.n_seen += 1
+        q = float(row @ row)
+        if q == 0.0:
+            return
+        u = float(self._rng.uniform(0.0, 1.0))
+        # Guard the measure-zero u == 0 case.
+        while u == 0.0:  # pragma: no cover - probability zero
+            u = float(self._rng.uniform(0.0, 1.0))
+        p = q / u
+        item = (p, self._seq, q, row.copy())
+        self._seq += 1
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, item)
+        else:
+            evicted = heapq.heappushpop(self._heap, item)
+            self._evicted_priority = max(self._evicted_priority, evicted[0])
+
+    def extend(self, rows: np.ndarray | Iterable[np.ndarray]) -> "PrioritySampler":
+        """Offer a batch of rows (vectorized priority computation)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        n = rows.shape[0]
+        if n == 0:
+            return self
+        if not np.all(np.isfinite(rows)):
+            # A NaN row would otherwise be dropped silently (its
+            # priority compares False against everything) — reject
+            # loudly so corrupt frames can't vanish from the stream.
+            raise ValueError("rows contain NaN/Inf; repair detector frames first")
+        self.n_seen += n
+        q = np.einsum("ij,ij->i", rows, rows)
+        u = self._rng.uniform(0.0, 1.0, size=n)
+        u[u == 0.0] = np.finfo(np.float64).tiny
+        p = np.divide(q, u, out=np.zeros_like(q), where=u > 0)
+        keep = q > 0.0
+        for i in np.nonzero(keep)[0]:
+            item = (float(p[i]), self._seq, float(q[i]), rows[i].copy())
+            self._seq += 1
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+            else:
+                evicted = heapq.heappushpop(self._heap, item)
+                self._evicted_priority = max(self._evicted_priority, evicted[0])
+        return self
+
+    @property
+    def threshold(self) -> float:
+        """Current estimate of ``tau``: the highest evicted priority.
+
+        Until the reservoir has overflowed, every offered row is
+        retained and ``tau`` is 0 (so ``max(q_i, tau) = q_i`` and the
+        sample is exact — no scaling needed).
+        """
+        return self._evicted_priority
+
+    def sample(self) -> np.ndarray:
+        """Return the retained rows in arrival order, optionally rescaled.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(k, d)`` array with ``k <= capacity``.  When
+            ``scale_rows`` is set each row is multiplied by
+            ``sqrt(max(q_i, tau)/q_i)`` making
+            ``E[sample.T @ sample] == sum_i q_i (a_i a_i^T)/q_i``.
+        """
+        if not self._heap:
+            return np.empty((0, 0), dtype=np.float64)
+        items = sorted(self._heap, key=lambda t: t[1])  # arrival order
+        rows = np.stack([it[3] for it in items])
+        if not self.scale_rows:
+            return rows
+        tau = self.threshold
+        if tau <= 0.0:
+            return rows
+        q = np.array([it[2] for it in items])
+        scales = np.sqrt(np.maximum(q, tau) / q)
+        return rows * scales[:, np.newaxis]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrioritySampler(capacity={self.capacity}, held={len(self)}, "
+            f"n_seen={self.n_seen})"
+        )
+
+
+def priority_sample(
+    rows: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator | None = None,
+    scale_rows: bool = True,
+) -> np.ndarray:
+    """One-shot priority sampling of a row matrix.
+
+    Parameters
+    ----------
+    rows:
+        ``(n, d)`` input matrix.
+    fraction:
+        Fraction of rows to retain, in ``(0, 1]`` (the paper's ``beta``).
+    rng:
+        Source of randomness.
+    scale_rows:
+        See :class:`PrioritySampler`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(ceil(beta * n), d)`` sampled (and optionally rescaled) rows in
+        arrival order.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    n = rows.shape[0]
+    capacity = max(1, int(np.ceil(fraction * n)))
+    sampler = PrioritySampler(capacity, rng=rng, scale_rows=scale_rows)
+    sampler.extend(rows)
+    return sampler.sample()

@@ -1,0 +1,108 @@
+"""Streaming first/second moments for centered sketching workflows.
+
+FD sketches the *second moment* ``A^T A``, not the covariance.  For
+beam-profile monitoring the uncentered direction (the mean image) is
+informative, but some analyses want genuinely centered PCA.  This
+module provides a numerically stable streaming mean/variance tracker
+(Chan, Golub & LeVeque's pairwise-merge form of Welford's algorithm)
+that runs alongside a sketcher:
+
+>>> import numpy as np
+>>> from repro.core.streaming_stats import StreamingMoments
+>>> m = StreamingMoments(d=4)
+>>> _ = m.update(np.random.default_rng(0).standard_normal((100, 4)))
+>>> m.mean.shape
+(4,)
+
+Like the sketch itself, moments are mergeable — the pairwise-update
+formula is exactly a two-summary merge — so the parallel runner can
+combine per-rank moments with the same tree schedule it uses for
+sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamingMoments"]
+
+
+class StreamingMoments:
+    """Mergeable streaming mean and per-feature variance.
+
+    Parameters
+    ----------
+    d:
+        Feature dimension.
+
+    Attributes
+    ----------
+    count : int
+        Rows consumed.
+    mean : numpy.ndarray
+        Length-``d`` running mean.
+    variance : numpy.ndarray
+        Length-``d`` population variance (0 before two rows arrive).
+    """
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.count = 0
+        self._mean = np.zeros(d, dtype=np.float64)
+        # Sum of squared deviations from the running mean (M2 in
+        # Welford's notation), per feature.
+        self._m2 = np.zeros(d, dtype=np.float64)
+
+    def update(self, rows: np.ndarray) -> "StreamingMoments":
+        """Consume a batch of rows (vectorized batch Welford update)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[1] != self.d:
+            raise ValueError(
+                f"rows have dimension {rows.shape[1]}, expected {self.d}"
+            )
+        n_b = rows.shape[0]
+        if n_b == 0:
+            return self
+        batch_mean = rows.mean(axis=0)
+        batch_m2 = ((rows - batch_mean) ** 2).sum(axis=0)
+        self._merge_in(n_b, batch_mean, batch_m2)
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold another tracker's state into this one (tree-mergeable)."""
+        if other.d != self.d:
+            raise ValueError(f"dimension mismatch: {other.d} vs {self.d}")
+        self._merge_in(other.count, other._mean, other._m2)
+        return self
+
+    def _merge_in(self, n_b: int, mean_b: np.ndarray, m2_b: np.ndarray) -> None:
+        if n_b == 0:
+            return
+        n_a = self.count
+        n = n_a + n_b
+        delta = mean_b - self._mean
+        self._mean += delta * (n_b / n)
+        self._m2 += m2_b + delta * delta * (n_a * n_b / n)
+        self.count = n
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Running mean (a copy)."""
+        return self._mean.copy()
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Population variance per feature."""
+        if self.count < 2:
+            return np.zeros(self.d)
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> np.ndarray:
+        """Population standard deviation per feature."""
+        return np.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamingMoments(d={self.d}, count={self.count})"

@@ -1,0 +1,50 @@
+"""Synthetic data substrates replacing the paper's private LCLS datasets.
+
+- :mod:`repro.data.synthetic` — random matrices with prescribed
+  singular-value decay (paper Section V.1), including the per-core
+  perturbed variant for the multi-core experiments.
+- :mod:`repro.data.beam` — parametric X-ray beam-profile image generator
+  (SASE shot-to-shot jitter, center-of-mass offsets, elongation,
+  multi-lobe and exotic modes) standing in for the xppc00121 Alvium
+  camera data behind paper Fig. 5.
+- :mod:`repro.data.diffraction` — diffraction-ring image generator with
+  per-quadrant intensity classes standing in for the xpplx9221
+  large-area-detector data behind paper Fig. 6.
+- :mod:`repro.data.stream` — a psana-like shot event stream (timestamps,
+  batching) used by the throughput benchmarks.
+"""
+
+from repro.data.synthetic import (
+    DECAY_PROFILES,
+    decay_singular_values,
+    synthetic_dataset,
+    sharded_synthetic_dataset,
+)
+from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
+from repro.data.stream import ShotEvent, EventStream
+from repro.data.xpcs import (
+    XPCSConfig,
+    XPCSGenerator,
+    speckle_contrast,
+    g2_correlation,
+    g2_multitau,
+)
+
+__all__ = [
+    "DECAY_PROFILES",
+    "decay_singular_values",
+    "synthetic_dataset",
+    "sharded_synthetic_dataset",
+    "BeamProfileConfig",
+    "BeamProfileGenerator",
+    "DiffractionConfig",
+    "DiffractionGenerator",
+    "ShotEvent",
+    "EventStream",
+    "XPCSConfig",
+    "XPCSGenerator",
+    "speckle_contrast",
+    "g2_correlation",
+    "g2_multitau",
+]

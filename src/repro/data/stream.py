@@ -1,0 +1,126 @@
+"""Shot event stream: a psana-like substrate for online benchmarks.
+
+LCLS pools per-shot detector readouts into timestamped *event* objects
+(paper Section I).  The real access layer (psana / BTX) needs a SLAC
+account; this module provides the minimal equivalent the pipeline and
+the throughput benchmark exercise: events carrying a shot id, a
+timestamp derived from the machine repetition rate, and an image payload
+from any generator with a ``sample(n)`` method.
+
+The stream is deliberately pull-based (an iterator of batches): the
+monitoring pipeline consumes "large batches of images" per processing
+step (paper Fig. 4), and the benchmark measures achieved Hz against the
+nominal repetition rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+import numpy as np
+
+__all__ = ["ShotEvent", "ImageSource", "EventStream"]
+
+
+class ImageSource(Protocol):
+    """Anything that can produce labelled image batches."""
+
+    def sample(self, n: int) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Return ``(images, truth)`` for ``n`` shots."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ShotEvent:
+    """One timestamped detector event.
+
+    Attributes
+    ----------
+    shot_id:
+        Monotonically increasing shot index within the run.
+    timestamp:
+        Seconds since run start, ``shot_id / rep_rate``.
+    image:
+        2-D detector frame.
+    truth:
+        Generator ground-truth entry for this shot (may be empty).
+    """
+
+    shot_id: int
+    timestamp: float
+    image: np.ndarray
+    truth: dict[str, object]
+
+
+class EventStream:
+    """Iterate a run of ``n_shots`` events in batches.
+
+    Parameters
+    ----------
+    source:
+        Image generator (e.g. :class:`repro.data.beam.BeamProfileGenerator`).
+    n_shots:
+        Total shots in the run.
+    rep_rate:
+        Machine repetition rate in Hz (LCLS: 120; LCLS-II: up to 1e6),
+        used only to assign timestamps.
+    batch_size:
+        Events per yielded batch.
+
+    Examples
+    --------
+    >>> from repro.data import BeamProfileGenerator, EventStream
+    >>> stream = EventStream(BeamProfileGenerator(seed=0), n_shots=10,
+    ...                      rep_rate=120.0, batch_size=4)
+    >>> batches = list(stream.batches())
+    >>> [b[0].shape[0] for b in batches]
+    [4, 4, 2]
+    """
+
+    def __init__(
+        self,
+        source: ImageSource,
+        n_shots: int,
+        rep_rate: float = 120.0,
+        batch_size: int = 256,
+    ):
+        if n_shots < 1:
+            raise ValueError(f"n_shots must be >= 1, got {n_shots}")
+        if rep_rate <= 0:
+            raise ValueError(f"rep_rate must be positive, got {rep_rate}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.source = source
+        self.n_shots = int(n_shots)
+        self.rep_rate = float(rep_rate)
+        self.batch_size = int(batch_size)
+
+    def batches(self) -> Iterator[tuple[np.ndarray, dict[str, np.ndarray], np.ndarray]]:
+        """Yield ``(images, truth, timestamps)`` per batch."""
+        produced = 0
+        while produced < self.n_shots:
+            take = min(self.batch_size, self.n_shots - produced)
+            images, truth = self.source.sample(take)
+            stamps = (np.arange(produced, produced + take)) / self.rep_rate
+            yield images, truth, stamps
+            produced += take
+
+    def events(self) -> Iterator[ShotEvent]:
+        """Yield individual :class:`ShotEvent` objects (diagnostic use)."""
+        shot = 0
+        for images, truth, stamps in self.batches():
+            for i in range(images.shape[0]):
+                per_shot = {k: v[i] for k, v in truth.items()}
+                yield ShotEvent(
+                    shot_id=shot,
+                    timestamp=float(stamps[i]),
+                    image=images[i],
+                    truth=per_shot,
+                )
+                shot += 1
+
+    @property
+    def duration(self) -> float:
+        """Nominal wall-clock length of the run in seconds."""
+        return self.n_shots / self.rep_rate

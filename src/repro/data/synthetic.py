@@ -1,0 +1,199 @@
+"""Synthetic matrices with prescribed singular-value decay (paper §V.1).
+
+The paper's ablation study (Fig. 1) uses three ``15000 x 1000`` random
+matrices whose singular values decay sub-exponentially, exponentially
+and super-exponentially; the scaling study (Figs. 2-3) uses a wide
+matrix with cubically decaying spectrum.  Matrices are assembled exactly
+like an SVD from Haar-random orthogonal factors
+(:mod:`repro.linalg.random_matrices`).
+
+For multi-core runs every rank starts from the *same* base orthogonal
+factors and applies a small rank-specific perturbation — "similar but
+not identical data", as beam-profile shards would look across ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.linalg.random_matrices import (
+    haar_orthogonal,
+    matrix_with_spectrum,
+    perturbed_orthogonal,
+)
+
+__all__ = [
+    "DECAY_PROFILES",
+    "decay_singular_values",
+    "synthetic_dataset",
+    "sharded_synthetic_dataset",
+]
+
+
+def _subexponential(i: np.ndarray, rate: float) -> np.ndarray:
+    # exp(-rate * sqrt(i)): slower-than-exponential tail.
+    return np.exp(-rate * np.sqrt(i))
+
+
+def _exponential(i: np.ndarray, rate: float) -> np.ndarray:
+    return np.exp(-rate * i)
+
+
+def _superexponential(i: np.ndarray, rate: float) -> np.ndarray:
+    # exp(-rate * i^1.5): faster-than-exponential tail.
+    return np.exp(-rate * i**1.5)
+
+
+def _cubic(i: np.ndarray, rate: float) -> np.ndarray:
+    # Polynomial decay 1/(1+i)^3 used by the paper's scaling experiment;
+    # `rate` rescales the index so the effective spectrum width is tunable.
+    return 1.0 / (1.0 + rate * i) ** 3
+
+
+DECAY_PROFILES: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "subexponential": _subexponential,
+    "exponential": _exponential,
+    "superexponential": _superexponential,
+    "cubic": _cubic,
+}
+"""Named decay profiles: index array + rate -> singular values."""
+
+
+def decay_singular_values(
+    rank: int,
+    profile: str = "exponential",
+    rate: float = 0.1,
+    leading: float = 1.0,
+) -> np.ndarray:
+    """Generate a nonincreasing singular-value vector with a named decay.
+
+    Parameters
+    ----------
+    rank:
+        Number of singular values.
+    profile:
+        One of ``"subexponential"``, ``"exponential"``,
+        ``"superexponential"``, ``"cubic"``.
+    rate:
+        Decay rate; larger is steeper.
+    leading:
+        Value of the first singular value (the rest scale off it).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``rank`` nonincreasing positive vector.
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    try:
+        fn = DECAY_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(DECAY_PROFILES)}"
+        ) from None
+    i = np.arange(rank, dtype=np.float64)
+    s = fn(i, rate)
+    return leading * s / s[0]
+
+
+def synthetic_dataset(
+    n: int = 15000,
+    d: int = 1000,
+    rank: int | None = None,
+    profile: str = "exponential",
+    rate: float = 0.1,
+    seed: int | None = None,
+) -> np.ndarray:
+    """One dense ``n x d`` matrix with the requested singular spectrum.
+
+    Defaults reproduce the shape of the paper's Fig. 1 datasets
+    (``15000 x 1000``); tests and benches pass smaller sizes.
+
+    Parameters
+    ----------
+    n, d:
+        Output shape.
+    rank:
+        Spectrum length (defaults to ``min(n, d)``).
+    profile, rate:
+        Decay specification; see :func:`decay_singular_values`.
+    seed:
+        Seed for the orthogonal factors.
+
+    Returns
+    -------
+    numpy.ndarray
+    """
+    rng = np.random.default_rng(seed)
+    if rank is None:
+        rank = min(n, d)
+    s = decay_singular_values(rank, profile=profile, rate=rate)
+    return matrix_with_spectrum(s, n, d, rng)
+
+
+def sharded_synthetic_dataset(
+    n_shards: int,
+    rows_per_shard: int,
+    d: int,
+    rank: int | None = None,
+    profile: str = "cubic",
+    rate: float = 0.05,
+    perturbation: float = 0.02,
+    seed: int | None = None,
+) -> list[np.ndarray]:
+    """Per-core shards drawn from perturbed copies of a shared subspace.
+
+    Every shard shares base orthogonal factors; each applies its own
+    small perturbation before assembly (paper §V.1: "each core starts
+    with the same random orthogonal matrices and we then perturb these
+    ... by a unique perturbation for each core").
+
+    Parameters
+    ----------
+    n_shards:
+        Number of simulated cores.
+    rows_per_shard:
+        Rows of data each core holds.
+    d:
+        Feature dimension.
+    rank:
+        Spectrum length (defaults to ``min(rows_per_shard, d)``).
+    profile, rate:
+        Decay specification.
+    perturbation:
+        Gaussian perturbation scale applied to the shared factors per
+        shard; 0 makes all shards draw from an identical subspace.
+    seed:
+        Master seed; shard randomness is derived deterministically.
+
+    Returns
+    -------
+    list[numpy.ndarray]
+        ``n_shards`` matrices of shape ``(rows_per_shard, d)``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    rng = np.random.default_rng(seed)
+    if rank is None:
+        rank = min(rows_per_shard, d)
+    if rank > min(rows_per_shard, d):
+        raise ValueError(
+            f"rank {rank} exceeds min(rows_per_shard, d) = {min(rows_per_shard, d)}"
+        )
+    s = decay_singular_values(rank, profile=profile, rate=rate)
+    base_left = haar_orthogonal(rows_per_shard, rank, rng)
+    base_right = haar_orthogonal(d, rank, rng)
+    shards = []
+    for _ in range(n_shards):
+        shard_rng = np.random.default_rng(rng.integers(2**63))
+        left = perturbed_orthogonal(base_left, perturbation, shard_rng)
+        right = perturbed_orthogonal(base_right, perturbation, shard_rng)
+        shards.append(
+            matrix_with_spectrum(s, rows_per_shard, d, shard_rng, left=left, right=right)
+        )
+    return shards

@@ -1,0 +1,35 @@
+"""Latent-space embedding substrate: PCA-from-sketch and from-scratch UMAP.
+
+The monitoring pipeline (paper Fig. 4) projects images onto the sketch's
+principal directions (PCA), then reduces to 2-D with UMAP for
+visualization.  ``umap-learn`` is unavailable offline, so UMAP is
+implemented here from scratch following McInnes, Healy & Melville
+(2018):
+
+- :mod:`repro.embed.pca` — principal-component projection derived from
+  a matrix sketch (no second pass over the data needed for the basis).
+- :mod:`repro.embed.knn` — exact k-NN (blocked brute force and KD-tree).
+- :mod:`repro.embed.nn_descent` — NN-Descent approximate k-NN
+  (Dong, Moses & Li 2011), the graph builder UMAP uses at scale.
+- :mod:`repro.embed.umap_fuzzy` — smooth-kNN calibration and the fuzzy
+  simplicial set (probabilistic t-conorm symmetrization).
+- :mod:`repro.embed.umap_spectral` — spectral initialization from the
+  normalized graph Laplacian.
+- :mod:`repro.embed.umap_optimize` — epoch-batched SGD with negative
+  sampling on the cross-entropy layout objective.
+- :mod:`repro.embed.umap` — the user-facing :class:`UMAP` estimator.
+"""
+
+from repro.embed.pca import SketchPCA
+from repro.embed.knn import knn_brute, knn_tree, knn_graph
+from repro.embed.nn_descent import nn_descent
+from repro.embed.umap import UMAP
+
+__all__ = [
+    "SketchPCA",
+    "knn_brute",
+    "knn_tree",
+    "knn_graph",
+    "nn_descent",
+    "UMAP",
+]

@@ -1,0 +1,123 @@
+"""SVD wrappers and the Frequent-Directions shrinkage step.
+
+All sketchers share this code path so the numerically delicate pieces —
+thin SVDs, clamping of tiny negative values under the square root, and
+the choice of LAPACK driver — live in exactly one place.
+
+Per the HPC guides: always request ``full_matrices=False`` (the full
+``U`` of a ``2l x d`` buffer with ``d`` in the millions would be
+catastrophic), prefer ``scipy.linalg`` (richer driver selection,
+``check_finite=False`` skips a full array scan per call), and fall back
+to the more robust ``gesvd`` driver if ``gesdd`` fails to converge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["thin_svd", "truncated_svd", "fd_shrink"]
+
+
+def thin_svd(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin SVD ``a = U @ diag(s) @ Vt`` with a robust driver fallback.
+
+    Parameters
+    ----------
+    a:
+        ``m x n`` dense matrix.
+
+    Returns
+    -------
+    (U, s, Vt):
+        ``U`` is ``m x k``, ``s`` length ``k``, ``Vt`` is ``k x n`` with
+        ``k = min(m, n)``; singular values nonincreasing.
+    """
+    a = np.ascontiguousarray(a, dtype=np.float64)
+    try:
+        return scipy.linalg.svd(
+            a, full_matrices=False, check_finite=False, lapack_driver="gesdd"
+        )
+    except np.linalg.LinAlgError:
+        # gesdd occasionally fails to converge on ill-conditioned input;
+        # gesvd is slower but essentially never fails.
+        return scipy.linalg.svd(
+            a, full_matrices=False, check_finite=False, lapack_driver="gesvd"
+        )
+
+
+def truncated_svd(
+    a: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``k`` truncated SVD of a dense matrix.
+
+    Computes the thin SVD and keeps the leading ``k`` triplets.  For the
+    buffer sizes the sketchers use (``2l x d`` with ``2l << d``) a full
+    thin SVD is already the cheap direction, so no iterative method is
+    needed.
+
+    Parameters
+    ----------
+    a:
+        ``m x n`` dense matrix.
+    k:
+        Number of leading singular triplets to keep;
+        ``1 <= k <= min(m, n)``.
+
+    Returns
+    -------
+    (U_k, s_k, Vt_k)
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    u, s, vt = thin_svd(a)
+    if k > s.shape[0]:
+        raise ValueError(
+            f"k={k} exceeds the number of singular values {s.shape[0]}"
+        )
+    return u[:, :k], s[:k], vt[:k, :]
+
+
+def fd_shrink(
+    s: np.ndarray, vt: np.ndarray, ell: int
+) -> np.ndarray:
+    """Frequent-Directions shrinkage: damp all directions by ``s[ell-1]^2``.
+
+    Given the SVD factors of a (possibly over-full) buffer, subtract the
+    squared ``ell``-th singular value from every squared singular value,
+    clamp at zero, and rebuild the rows as ``sqrt(s^2 - delta) * Vt``.
+    The output has at most ``ell - 1`` nonzero rows (the ``ell``-th
+    direction is annihilated exactly), which is what frees buffer space
+    in the FastFD iteration.
+
+    Parameters
+    ----------
+    s:
+        Nonincreasing singular values of the buffer (length ``m``).
+    vt:
+        Corresponding ``m x d`` right factor.
+    ell:
+        Sketch size: the shrink threshold is ``delta = s[ell-1]**2``.
+        When the buffer holds fewer than ``ell`` directions, ``delta``
+        is treated as 0 (nothing to shrink; the paper's indicator
+        ``I_l`` convention, which assumes missing diagonal values are
+        zero).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``ell x d`` shrunk sketch rows, zero-padded at the bottom.
+    """
+    if ell < 1:
+        raise ValueError(f"ell must be >= 1, got {ell}")
+    m, d = vt.shape
+    if s.shape[0] != m:
+        raise ValueError(f"s has length {s.shape[0]} but vt has {m} rows")
+    delta = float(s[ell - 1] ** 2) if m >= ell else 0.0
+    keep = min(m, ell)
+    # Clamp: floating-point cancellation can make s^2 - delta slightly
+    # negative for directions at the threshold.
+    shrunk = np.sqrt(np.maximum(s[:keep] ** 2 - delta, 0.0))
+    out = np.zeros((ell, d), dtype=np.float64)
+    np.multiply(shrunk[:, np.newaxis], vt[:keep, :], out=out[:keep, :])
+    return out

@@ -1,0 +1,359 @@
+"""Virtual-clock simulated MPI: SPMD programs on one physical core.
+
+:class:`SimCommWorld` runs an SPMD ``program(comm)`` once per simulated
+rank, each in its own thread, connected by blocking message queues — the
+mpi4py subset the sketching system needs (``send``/``recv``, ``bcast``,
+``gather``, ``barrier``), with lowercase pickle-style semantics
+(arbitrary Python payloads, ndarrays passed by reference).
+
+Time is *virtual*: every rank owns a clock (seconds).  Numerical work is
+charged by wrapping it in :meth:`SimComm.timed` (measured with
+``perf_counter``) or via :meth:`SimComm.advance` for modelled costs.  A
+message stamps the sender's clock at send; the receiver's clock becomes
+``max(receiver_clock, sender_clock + alpha + beta * nbytes)``.  The
+makespan of a run — ``max`` of final clocks — is therefore the
+dependency-respecting parallel wall time, which is what the paper's
+strong-scaling figures plot.
+
+Threads never run numerics concurrently in a way that corrupts the
+virtual clocks: each rank only mutates its own clock, and queue handoff
+pairs a single writer with a single reader per (source, dest, tag)
+channel.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.parallel.cost_model import CommCostModel
+
+__all__ = ["SimComm", "SimCommWorld", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """A rank blocked on a message that can no longer arrive."""
+
+
+class Request:
+    """Handle for a non-blocking receive (mpi4py ``Request`` subset).
+
+    Created by :meth:`SimComm.irecv`; call :meth:`wait` to complete the
+    operation and obtain the payload.  ``isend`` needs no request in
+    this model — sends are buffered and always complete immediately —
+    but one is returned for API symmetry (its ``wait`` is a no-op
+    returning ``None``).
+    """
+
+    def __init__(self, complete):
+        self._complete = complete
+        self._done = False
+        self._value = None
+
+    def wait(self):
+        """Block until the operation finishes; return its payload."""
+        if not self._done:
+            self._value = self._complete()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        """Whether :meth:`wait` has already completed (never blocks)."""
+        return self._done
+
+
+class SimComm:
+    """Per-rank communicator handle (the simulated ``MPI.COMM_WORLD``).
+
+    Not constructed directly — :class:`SimCommWorld` passes one to each
+    rank's program.
+
+    Attributes
+    ----------
+    rank:
+        This rank's id in ``[0, size)``.
+    size:
+        Number of ranks in the world.
+    clock:
+        This rank's virtual time in seconds.
+    """
+
+    def __init__(self, world: "SimCommWorld", rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.clock = 0.0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._in_timed = False
+
+    # ------------------------------------------------------------------
+    # Time accounting
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timed(self) -> Iterator[None]:
+        """Charge the enclosed real compute time to this rank's clock.
+
+        Timed regions are serialized across ranks with a world-level
+        lock: the simulation shares one physical core, so measuring a
+        region while other rank threads time-slice it would inflate
+        every clock.  Exclusive execution gives each rank the time the
+        work would take on a dedicated core.  Communication inside a
+        timed region is a programming error (it would deadlock the
+        world) and raises immediately.
+        """
+        with self._world._compute_lock:
+            self._in_timed = True
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.clock += time.perf_counter() - start
+                self._in_timed = False
+
+    def advance(self, seconds: float) -> None:
+        """Advance this rank's clock by a modelled cost."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time {seconds}")
+        self.clock += seconds
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send (always completes immediately)."""
+        if self._in_timed:
+            raise RuntimeError("communication inside a timed() region would deadlock the world")
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for size {self.size}")
+        if dest == self.rank:
+            raise ValueError("send to self is not supported; restructure the program")
+        nbytes = CommCostModel.payload_bytes(obj)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self._world._channel(self.rank, dest, tag).put((obj, self.clock, nbytes))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive; advances the clock past the message arrival."""
+        if self._in_timed:
+            raise RuntimeError("communication inside a timed() region would deadlock the world")
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range for size {self.size}")
+        chan = self._world._channel(source, self.rank, tag)
+        try:
+            obj, send_clock, nbytes = chan.get(timeout=self._world.timeout)
+        except queue.Empty:
+            raise DeadlockError(
+                f"rank {self.rank} timed out waiting for a message from rank "
+                f"{source} (tag {tag}) after {self._world.timeout}s"
+            ) from None
+        arrival = send_clock + self._world.cost_model.cost(nbytes)
+        self.clock = max(self.clock, arrival)
+        return obj
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Non-blocking send (buffered sends complete immediately)."""
+        self.send(obj, dest, tag)
+        req = Request(lambda: None)
+        req._done = True
+        return req
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Non-blocking receive: returns a :class:`Request`.
+
+        The actual dequeue (and the clock advance for the message's
+        arrival) happens at :meth:`Request.wait` — so compute performed
+        between ``irecv`` and ``wait`` overlaps the communication, the
+        standard latency-hiding pattern.
+        """
+        return Request(lambda: self.recv(source, tag))
+
+    # ------------------------------------------------------------------
+    # Collectives (built on p2p so costs accumulate naturally)
+    # ------------------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0, tag: int = -1) -> Any:
+        """Binomial-tree broadcast from ``root`` (MPICH-style schedule)."""
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                src = (vrank - mask + root) % self.size
+                obj = self.recv(src, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < self.size:
+                dest = (vrank + mask + root) % self.size
+                self.send(obj, dest, tag)
+            mask >>= 1
+        return obj
+
+    def gather(self, obj: Any, root: int = 0, tag: int = -2) -> list[Any] | None:
+        """Linear gather to ``root`` (returns the list at root, else None)."""
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag)
+            return out
+        self.send(obj, root, tag)
+        return None
+
+    def scatter(self, chunks: list[Any] | None, root: int = 0, tag: int = -4) -> Any:
+        """Linear scatter: rank ``i`` receives ``chunks[i]`` from ``root``."""
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ValueError("root must pass exactly one chunk per rank")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(chunks[dest], dest, tag)
+            return chunks[root]
+        return self.recv(root, tag)
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any], root: int = 0, tag: int = -5
+    ) -> Any:
+        """Binomial-tree reduction to ``root`` (returns result at root only).
+
+        ``op`` must be associative; the combine order is deterministic
+        (children combine into parents by ascending relative rank), so
+        floating-point results are reproducible run to run.
+        """
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        acc = value
+        while mask < self.size:
+            if vrank & mask:
+                dest = (vrank - mask + root) % self.size
+                self.send(acc, dest, tag)
+                return None
+            src_v = vrank + mask
+            if src_v < self.size:
+                incoming = self.recv((src_v + root) % self.size, tag)
+                acc = op(acc, incoming)
+            mask <<= 1
+        return acc
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any], tag: int = -6
+    ) -> Any:
+        """Reduce to rank 0 then broadcast the result to everyone."""
+        reduced = self.reduce(value, op, root=0, tag=tag)
+        return self.bcast(reduced if self.rank == 0 else None, root=0, tag=tag - 100)
+
+    def barrier(self, tag: int = -3) -> None:
+        """Synchronize virtual clocks across all ranks (gather + bcast)."""
+        clocks = self.gather(self.clock, root=0, tag=tag)
+        if self.rank == 0:
+            latest = max(clocks)  # type: ignore[arg-type]
+            self.clock = max(self.clock, latest)
+        synced = self.bcast(self.clock if self.rank == 0 else None, root=0, tag=tag - 100)
+        self.clock = max(self.clock, float(synced))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimComm(rank={self.rank}, size={self.size}, clock={self.clock:.6f})"
+
+
+class SimCommWorld:
+    """A world of ``size`` simulated ranks connected by virtual channels.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    cost_model:
+        Communication cost model (defaults to a commodity interconnect).
+    timeout:
+        Seconds a blocking receive waits before declaring deadlock.
+
+    Examples
+    --------
+    >>> world = SimCommWorld(2)
+    >>> def program(comm):
+    ...     if comm.rank == 0:
+    ...         comm.send("ping", dest=1)
+    ...         return comm.recv(source=1)
+    ...     msg = comm.recv(source=0)
+    ...     comm.send(msg + "/pong", dest=0)
+    ...     return msg
+    >>> world.run(program)
+    ['ping/pong', 'ping']
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cost_model: CommCostModel | None = None,
+        timeout: float = 120.0,
+    ):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = int(size)
+        self.cost_model = cost_model if cost_model is not None else CommCostModel()
+        self.timeout = float(timeout)
+        self._channels: dict[tuple[int, int, int], queue.Queue] = {}
+        self._channels_lock = threading.Lock()
+        # Serializes timed compute regions across ranks; see SimComm.timed.
+        self._compute_lock = threading.Lock()
+        self.comms: list[SimComm] = []
+
+    def _channel(self, source: int, dest: int, tag: int) -> queue.Queue:
+        key = (source, dest, tag)
+        with self._channels_lock:
+            chan = self._channels.get(key)
+            if chan is None:
+                chan = queue.Queue()
+                self._channels[key] = chan
+            return chan
+
+    def run(self, program: Callable[..., Any], *args: Any) -> list[Any]:
+        """Execute ``program(comm, *args)`` once per rank; return results.
+
+        Raises the first per-rank exception after all threads finish, so
+        a failure in any rank surfaces instead of hanging the caller.
+        """
+        self._channels.clear()
+        self.comms = [SimComm(self, r) for r in range(self.size)]
+        results: list[Any] = [None] * self.size
+        errors: list[BaseException | None] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = program(self.comms[rank], *args)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors[rank] = exc
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout + 10.0)
+        for rank, err in enumerate(errors):
+            if err is not None:
+                raise RuntimeError(f"rank {rank} failed") from err
+        for rank, t in enumerate(threads):
+            if t.is_alive():
+                raise DeadlockError(f"rank {rank} never finished (deadlock?)")
+        return results
+
+    @property
+    def makespan(self) -> float:
+        """Maximum virtual clock over ranks after the last :meth:`run`."""
+        if not self.comms:
+            raise RuntimeError("no run has completed yet")
+        return max(c.clock for c in self.comms)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes sent across all ranks in the last run."""
+        if not self.comms:
+            raise RuntimeError("no run has completed yet")
+        return sum(c.bytes_sent for c in self.comms)

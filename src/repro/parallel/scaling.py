@@ -1,0 +1,133 @@
+"""Strong-scaling study harness (paper Figs. 2 and 3).
+
+Fixes the total problem (one big matrix), splits it across ``p``
+simulated ranks for increasing ``p``, and runs the distributed sketcher
+under both merge topologies.  For each core count it records the
+makespan (virtual wall time), the speedup and parallel efficiency
+relative to the 1-core run, the exact relative covariance error of the
+merged sketch, and merge-rotation counts.
+
+The paper's observations this harness must reproduce:
+
+- tree-merge runtime falls roughly linearly (log-log) with core count,
+  while serial-merge plateaus at around 16 cores (Fig. 2);
+- tree-merge error closely tracks serial-merge error at every core
+  count (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import relative_covariance_error
+from repro.parallel.cost_model import CommCostModel
+from repro.parallel.runner import DistributedSketchRunner
+
+__all__ = ["ScalingRecord", "strong_scaling_study"]
+
+
+@dataclass(frozen=True)
+class ScalingRecord:
+    """One (strategy, core-count) measurement of the scaling study.
+
+    Attributes
+    ----------
+    strategy:
+        ``"serial"`` or ``"tree"``.
+    cores:
+        Number of simulated ranks.
+    makespan:
+        Virtual wall-clock seconds of the full run.
+    local_time:
+        Max per-rank local sketching time.
+    merge_time:
+        Merge-phase contribution to the makespan.
+    speedup:
+        1-core makespan divided by this makespan (per strategy).
+    efficiency:
+        ``speedup / cores``.
+    error:
+        Exact relative covariance error of the merged sketch.
+    merge_rotations_critical_path:
+        Sequential shrink SVDs in the merge phase.
+    """
+
+    strategy: str
+    cores: int
+    makespan: float
+    local_time: float
+    merge_time: float
+    speedup: float
+    efficiency: float
+    error: float
+    merge_rotations_critical_path: int
+
+
+def strong_scaling_study(
+    data: np.ndarray,
+    core_counts: Sequence[int],
+    ell: int,
+    strategies: Sequence[str] = ("tree", "serial"),
+    arity: int = 2,
+    cost_model: CommCostModel | None = None,
+) -> list[ScalingRecord]:
+    """Run the strong-scaling experiment on a fixed dataset.
+
+    Parameters
+    ----------
+    data:
+        ``n x d`` matrix; rows are split contiguously and evenly across
+        ranks (remainder rows go to the leading ranks).
+    core_counts:
+        Rank counts to test, e.g. ``[1, 2, 4, ..., 128]``.
+    ell:
+        Sketch size.
+    strategies:
+        Merge topologies to compare.
+    arity:
+        Tree fan-in.
+    cost_model:
+        Virtual-network model (default commodity interconnect).
+
+    Returns
+    -------
+    list[ScalingRecord]
+        One record per (strategy, core count), in input order.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    n = data.shape[0]
+    records: list[ScalingRecord] = []
+    for strategy in strategies:
+        base_makespan: float | None = None
+        for p in core_counts:
+            if p < 1:
+                raise ValueError(f"core count must be >= 1, got {p}")
+            if p > n:
+                raise ValueError(f"more cores ({p}) than rows ({n})")
+            shards = np.array_split(data, p, axis=0)
+            runner = DistributedSketchRunner(
+                ell=ell, strategy=strategy, arity=arity, cost_model=cost_model
+            )
+            result = runner.run(shards)
+            if base_makespan is None:
+                base_makespan = result.makespan
+            speedup = base_makespan / result.makespan if result.makespan > 0 else np.inf
+            records.append(
+                ScalingRecord(
+                    strategy=strategy,
+                    cores=p,
+                    makespan=result.makespan,
+                    local_time=result.local_sketch_time,
+                    merge_time=result.merge_time,
+                    speedup=speedup,
+                    efficiency=speedup / p,
+                    error=relative_covariance_error(data, result.sketch),
+                    merge_rotations_critical_path=result.merge_rotations_critical_path,
+                )
+            )
+    return records

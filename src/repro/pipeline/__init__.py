@@ -1,0 +1,45 @@
+"""End-to-end LCLS image-monitoring pipeline (paper Fig. 4).
+
+Stages: preprocess (threshold → normalize → center → crop) → ARAMS
+matrix sketch (optionally across simulated ranks with tree merge) →
+PCA projection into latent space → UMAP to 2-D → OPTICS clustering and
+ABOD outlier flagging → operator-facing summary.
+
+- :mod:`repro.pipeline.preprocess` — the paper's image-processing steps.
+- :mod:`repro.pipeline.monitor` — :class:`MonitoringPipeline`, the
+  one-object API tying every stage together.
+- :mod:`repro.pipeline.results` — embedding statistics, ASCII density
+  maps and CSV export (standing in for the Bokeh HTML output).
+"""
+
+from repro.pipeline.preprocess import (
+    Preprocessor,
+    threshold_intensity,
+    normalize_intensity,
+    center_images,
+    crop_images,
+)
+from repro.pipeline.monitor import MonitoringPipeline, MonitoringResult
+from repro.pipeline.drift import DriftEvent, DriftMonitor
+from repro.pipeline.html_report import write_embedding_report
+from repro.pipeline.results import (
+    embedding_axis_correlations,
+    ascii_density_map,
+    export_embedding_csv,
+)
+
+__all__ = [
+    "Preprocessor",
+    "threshold_intensity",
+    "normalize_intensity",
+    "center_images",
+    "crop_images",
+    "MonitoringPipeline",
+    "MonitoringResult",
+    "DriftEvent",
+    "DriftMonitor",
+    "write_embedding_report",
+    "embedding_axis_correlations",
+    "ascii_density_map",
+    "export_embedding_csv",
+]

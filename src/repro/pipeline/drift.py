@@ -1,0 +1,184 @@
+"""Online drift detection for beam diagnostics.
+
+The paper motivates beam-profile monitoring as an *instrument
+diagnostic*: "events with poor beam shape can be discarded ... beam
+profiling can also be used directly as a diagnostic that helps operators
+improve the instrument's performance".  The rank-adaptation machinery
+already computes the ingredient a diagnostic needs — how much of each
+fresh batch the current sketch basis fails to explain — so this module
+turns it into an explicit signal:
+
+- per batch, estimate the relative residual of the batch against the
+  *frozen* reference basis (randomized, never forming the projector);
+- track it with an exponentially weighted moving average and variance;
+- raise an alarm when the smoothed residual exceeds the reference
+  baseline by a configurable number of standard deviations (a CUSUM-ish
+  EWMA control chart).
+
+A mode hop, lens drift or degraded SASE regime shows up as a sustained
+jump of unexplained energy long before a human notices it in the raw
+images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.norms import residual_fro_norm_estimate
+
+__all__ = ["DriftEvent", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One drift alarm.
+
+    Attributes
+    ----------
+    batch_index:
+        Index of the batch that triggered the alarm.
+    residual:
+        Relative residual of that batch.
+    ewma:
+        Smoothed residual at alarm time.
+    threshold:
+        Alarm threshold that was exceeded.
+    """
+
+    batch_index: int
+    residual: float
+    ewma: float
+    threshold: float
+
+
+class DriftMonitor:
+    """EWMA control chart over sketch-residual energy.
+
+    Parameters
+    ----------
+    basis:
+        ``d x k`` orthonormal reference basis (e.g.
+        ``sketcher.basis(k)`` captured at the end of a known-good
+        calibration window).
+    alpha:
+        EWMA smoothing factor in (0, 1]; smaller = smoother/slower.
+    n_sigma:
+        Alarm threshold in baseline standard deviations.
+    warmup_batches:
+        Batches used to establish the baseline mean/variance before
+        alarms can fire.
+    n_probes:
+        Random probes per residual estimate.
+    rng:
+        Source of randomness for the probes.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.linalg.random_matrices import haar_orthogonal
+    >>> basis = haar_orthogonal(64, 8, np.random.default_rng(0))
+    >>> mon = DriftMonitor(basis, warmup_batches=3, rng=np.random.default_rng(1))
+    >>> inside = (basis @ np.random.default_rng(2).standard_normal((8, 50))).T
+    >>> [mon.update(inside) is None for _ in range(5)]
+    [True, True, True, True, True]
+    """
+
+    def __init__(
+        self,
+        basis: np.ndarray,
+        alpha: float = 0.3,
+        n_sigma: float = 4.0,
+        warmup_batches: int = 10,
+        n_probes: int = 10,
+        rng: np.random.Generator | None = None,
+    ):
+        basis = np.asarray(basis, dtype=np.float64)
+        if basis.ndim != 2:
+            raise ValueError("basis must be 2-D (d x k)")
+        gram = basis.T @ basis
+        if not np.allclose(gram, np.eye(basis.shape[1]), atol=1e-6):
+            raise ValueError("basis columns must be orthonormal")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if n_sigma <= 0:
+            raise ValueError(f"n_sigma must be positive, got {n_sigma}")
+        if warmup_batches < 2:
+            raise ValueError(f"need at least 2 warmup batches, got {warmup_batches}")
+        self.basis = basis
+        self.alpha = float(alpha)
+        self.n_sigma = float(n_sigma)
+        self.warmup_batches = int(warmup_batches)
+        self.n_probes = int(n_probes)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+        self.n_batches = 0
+        self.ewma: float | None = None
+        self._baseline: list[float] = []
+        self._baseline_mean = 0.0
+        self._baseline_std = 0.0
+        self.history: list[float] = []
+        self.events: list[DriftEvent] = []
+
+    # ------------------------------------------------------------------
+    def _residual(self, rows: np.ndarray) -> float:
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[1] != self.basis.shape[0]:
+            raise ValueError(
+                f"rows have dimension {rows.shape[1]}, basis expects "
+                f"{self.basis.shape[0]}"
+            )
+        total = float(np.sum(rows * rows))
+        if total == 0.0:
+            return 0.0
+        est = residual_fro_norm_estimate(
+            rows.T, self.basis, n_samples=self.n_probes, rng=self._rng
+        )
+        return max(est, 0.0) / total
+
+    @property
+    def threshold(self) -> float:
+        """Current alarm threshold (baseline mean + n_sigma * std)."""
+        spread = max(self._baseline_std, 0.05 * max(self._baseline_mean, 1e-12))
+        return self._baseline_mean + self.n_sigma * spread
+
+    def update(self, rows: np.ndarray) -> DriftEvent | None:
+        """Score one batch; return a :class:`DriftEvent` if drift fired.
+
+        During warmup, batches only feed the baseline and never alarm.
+        """
+        r = self._residual(rows)
+        self.history.append(r)
+        self.ewma = r if self.ewma is None else (
+            self.alpha * r + (1.0 - self.alpha) * self.ewma
+        )
+        self.n_batches += 1
+        if self.n_batches <= self.warmup_batches:
+            self._baseline.append(r)
+            self._baseline_mean = float(np.mean(self._baseline))
+            self._baseline_std = float(np.std(self._baseline))
+            return None
+        if self.ewma > self.threshold:
+            event = DriftEvent(
+                batch_index=self.n_batches - 1,
+                residual=r,
+                ewma=float(self.ewma),
+                threshold=self.threshold,
+            )
+            self.events.append(event)
+            return event
+        return None
+
+    @property
+    def in_alarm(self) -> bool:
+        """Whether the most recent update exceeded the threshold."""
+        return bool(
+            self.events and self.events[-1].batch_index == self.n_batches - 1
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DriftMonitor(batches={self.n_batches}, ewma={self.ewma}, "
+            f"alarms={len(self.events)})"
+        )

@@ -1,0 +1,264 @@
+"""Self-contained interactive HTML embedding reports.
+
+The paper's artifact produces "html files ... interactive with hover
+tooltip functionality" via Bokeh.  Bokeh is unavailable offline, so this
+module writes an equivalent single-file report with zero dependencies:
+an HTML page embedding the scatter data as JSON and a small vanilla-JS
+canvas renderer with pan/zoom, per-cluster colors, hover tooltips
+showing each shot's metadata, and a cluster legend that toggles
+visibility.
+
+The file is fully standalone — open it in any browser, no network, no
+server — which is exactly what an instrument operator at a beamline
+needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_embedding_report"]
+
+# Categorical palette (Okabe-Ito + extensions), colorblind-safe.
+_PALETTE = [
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9",
+    "#D55E00", "#F0E442", "#999999", "#8C510A", "#5AB4AC",
+    "#7570B3", "#66A61E",
+]
+_NOISE_COLOR = "#C8C8C8"
+_OUTLIER_COLOR = "#FF0000"
+
+
+def write_embedding_report(
+    path: str | Path,
+    embedding: np.ndarray,
+    labels: np.ndarray | None = None,
+    outliers: np.ndarray | None = None,
+    tooltips: dict[str, np.ndarray] | None = None,
+    title: str = "ARAMS embedding",
+) -> Path:
+    """Write a standalone interactive scatter report.
+
+    Parameters
+    ----------
+    path:
+        Output ``.html`` path.
+    embedding:
+        ``(n, 2)`` coordinates.
+    labels:
+        Optional cluster labels (``-1`` = noise, drawn grey).
+    outliers:
+        Optional boolean anomaly flags (drawn with red rings).
+    tooltips:
+        Extra per-point columns shown in the hover tooltip
+        (name → length-``n`` array; values are stringified).
+    title:
+        Page title.
+
+    Returns
+    -------
+    pathlib.Path
+        The written file.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    if embedding.ndim != 2 or embedding.shape[1] != 2:
+        raise ValueError("embedding must be (n, 2)")
+    n = embedding.shape[0]
+    if labels is None:
+        labels = np.zeros(n, dtype=np.int64)
+    labels = np.asarray(labels)
+    if labels.shape[0] != n:
+        raise ValueError("labels length mismatch")
+    if outliers is None:
+        outliers = np.zeros(n, dtype=bool)
+    outliers = np.asarray(outliers, dtype=bool)
+    if outliers.shape[0] != n:
+        raise ValueError("outliers length mismatch")
+    tooltips = tooltips or {}
+    for name, col in tooltips.items():
+        if np.asarray(col).shape[0] != n:
+            raise ValueError(f"tooltip column {name!r} length mismatch")
+
+    points = []
+    for i in range(n):
+        entry = {
+            "x": float(embedding[i, 0]),
+            "y": float(embedding[i, 1]),
+            "c": int(labels[i]),
+            "o": bool(outliers[i]),
+            "i": i,
+        }
+        if tooltips:
+            entry["t"] = {k: _stringify(np.asarray(v)[i]) for k, v in tooltips.items()}
+        points.append(entry)
+
+    clusters = sorted({int(l) for l in labels})
+    colors = {
+        str(c): (_NOISE_COLOR if c == -1 else _PALETTE[c % len(_PALETTE)])
+        for c in clusters
+    }
+    payload = json.dumps(
+        {"points": points, "colors": colors, "title": title},
+        separators=(",", ":"),
+    )
+    html = _TEMPLATE.replace("__TITLE__", _escape(title)).replace(
+        "__PAYLOAD__", payload
+    ).replace("__OUTLIER_COLOR__", _OUTLIER_COLOR)
+    path = Path(path)
+    path.write_text(html)
+    return path
+
+
+def _stringify(v: object) -> str:
+    if isinstance(v, (float, np.floating)):
+        return f"{float(v):.4g}"
+    return str(v)
+
+
+def _escape(s: str) -> str:
+    return (
+        s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { margin: 0; font-family: system-ui, sans-serif; background: #fafafa; }
+  #wrap { display: flex; }
+  #plot { border: 1px solid #ccc; background: #fff; cursor: crosshair; }
+  #side { padding: 12px; font-size: 13px; min-width: 180px; }
+  #tip { position: absolute; pointer-events: none; background: rgba(0,0,0,.85);
+         color: #fff; padding: 6px 8px; border-radius: 4px; font-size: 12px;
+         display: none; white-space: pre; z-index: 10; }
+  .lg { cursor: pointer; margin: 2px 0; user-select: none; }
+  .lg.off { opacity: .3; }
+  .sw { display: inline-block; width: 11px; height: 11px; border-radius: 6px;
+        margin-right: 6px; vertical-align: -1px; }
+  h1 { font-size: 16px; padding: 10px 12px 0; margin: 0; }
+  p.hint { font-size: 11px; color: #777; padding: 0 12px; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p class="hint">hover for shot details &middot; drag to pan &middot; wheel to zoom &middot; click legend entries to toggle clusters</p>
+<div id="wrap">
+  <canvas id="plot" width="860" height="620"></canvas>
+  <div id="side"><b>clusters</b><div id="legend"></div></div>
+</div>
+<div id="tip"></div>
+<script>
+const DATA = __PAYLOAD__;
+const canvas = document.getElementById('plot');
+const ctx = canvas.getContext('2d');
+const tip = document.getElementById('tip');
+const hidden = new Set();
+let xs = DATA.points.map(p => p.x), ys = DATA.points.map(p => p.y);
+let xmin = Math.min(...xs), xmax = Math.max(...xs);
+let ymin = Math.min(...ys), ymax = Math.max(...ys);
+const pad = 0.05 * Math.max(xmax - xmin, ymax - ymin, 1e-9);
+xmin -= pad; xmax += pad; ymin -= pad; ymax += pad;
+let view = {xmin, xmax, ymin, ymax};
+
+function sx(x) { return (x - view.xmin) / (view.xmax - view.xmin) * canvas.width; }
+function sy(y) { return canvas.height - (y - view.ymin) / (view.ymax - view.ymin) * canvas.height; }
+
+function draw() {
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  for (const p of DATA.points) {
+    if (hidden.has(String(p.c))) continue;
+    const px = sx(p.x), py = sy(p.y);
+    ctx.beginPath();
+    ctx.arc(px, py, 3.2, 0, 6.283);
+    ctx.fillStyle = DATA.colors[String(p.c)] || '#333';
+    ctx.fill();
+    if (p.o) {
+      ctx.beginPath();
+      ctx.arc(px, py, 5.5, 0, 6.283);
+      ctx.strokeStyle = '__OUTLIER_COLOR__';
+      ctx.lineWidth = 1.5;
+      ctx.stroke();
+    }
+  }
+}
+
+function nearest(mx, my) {
+  let best = null, bestD = 81; // 9px radius
+  for (const p of DATA.points) {
+    if (hidden.has(String(p.c))) continue;
+    const dx = sx(p.x) - mx, dy = sy(p.y) - my;
+    const d = dx * dx + dy * dy;
+    if (d < bestD) { bestD = d; best = p; }
+  }
+  return best;
+}
+
+canvas.addEventListener('mousemove', ev => {
+  const r = canvas.getBoundingClientRect();
+  if (dragging) {
+    const fx = (ev.clientX - dragStart.x) / canvas.width * (view.xmax - view.xmin);
+    const fy = (ev.clientY - dragStart.y) / canvas.height * (view.ymax - view.ymin);
+    view.xmin = dragView.xmin - fx; view.xmax = dragView.xmax - fx;
+    view.ymin = dragView.ymin + fy; view.ymax = dragView.ymax + fy;
+    draw();
+    return;
+  }
+  const p = nearest(ev.clientX - r.left, ev.clientY - r.top);
+  if (!p) { tip.style.display = 'none'; return; }
+  let text = `shot ${p.i}\\ncluster ${p.c === -1 ? 'noise' : p.c}` +
+             (p.o ? '\\nANOMALY' : '');
+  if (p.t) for (const [k, v] of Object.entries(p.t)) text += `\\n${k}: ${v}`;
+  tip.textContent = text;
+  tip.style.display = 'block';
+  tip.style.left = (ev.pageX + 12) + 'px';
+  tip.style.top = (ev.pageY + 12) + 'px';
+});
+canvas.addEventListener('mouseleave', () => tip.style.display = 'none');
+
+let dragging = false, dragStart = null, dragView = null;
+canvas.addEventListener('mousedown', ev => {
+  dragging = true;
+  dragStart = {x: ev.clientX, y: ev.clientY};
+  dragView = {...view};
+});
+window.addEventListener('mouseup', () => dragging = false);
+
+canvas.addEventListener('wheel', ev => {
+  ev.preventDefault();
+  const r = canvas.getBoundingClientRect();
+  const fx = (ev.clientX - r.left) / canvas.width;
+  const fy = 1 - (ev.clientY - r.top) / canvas.height;
+  const cx = view.xmin + fx * (view.xmax - view.xmin);
+  const cy = view.ymin + fy * (view.ymax - view.ymin);
+  const z = ev.deltaY > 0 ? 1.15 : 1 / 1.15;
+  view.xmin = cx + (view.xmin - cx) * z;
+  view.xmax = cx + (view.xmax - cx) * z;
+  view.ymin = cy + (view.ymin - cy) * z;
+  view.ymax = cy + (view.ymax - cy) * z;
+  draw();
+});
+
+const legend = document.getElementById('legend');
+for (const [c, color] of Object.entries(DATA.colors)) {
+  const row = document.createElement('div');
+  row.className = 'lg';
+  row.innerHTML = `<span class="sw" style="background:${color}"></span>` +
+                  (c === '-1' ? 'noise' : 'cluster ' + c);
+  row.onclick = () => {
+    if (hidden.has(c)) { hidden.delete(c); row.classList.remove('off'); }
+    else { hidden.add(c); row.classList.add('off'); }
+    draw();
+  };
+  legend.appendChild(row);
+}
+draw();
+</script>
+</body>
+</html>
+"""

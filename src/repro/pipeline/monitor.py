@@ -1,0 +1,423 @@
+"""End-to-end monitoring pipeline: the paper's Fig. 4 in one object.
+
+``MonitoringPipeline`` consumes image batches (beam profiles or
+diffraction frames), maintains an ARAMS matrix sketch online, and on
+demand produces the operator-facing analysis: latent projection of every
+consumed image, a 2-D UMAP embedding, OPTICS cluster labels and ABOD
+outlier flags, with per-stage timings.
+
+Two ingestion modes:
+
+- **single-stream** (:meth:`consume`): batches feed one ARAMS sketcher,
+  the streaming deployment on one core;
+- **sharded** (:meth:`consume_sharded`): the batch is split across a
+  simulated rank world, each rank sketches locally, and the sketches
+  tree-merge — the paper's parallel deployment, usable for throughput
+  studies without real MPI.
+
+Note on memory: latent projection needs the images themselves (the
+sketch supplies only the basis), so consumed rows are retained by
+default.  For unbounded streams pass ``retain="latent"`` to keep only
+the small latent coordinates per image, projecting each batch through
+the *current* basis as it arrives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.abod import abod_outliers
+from repro.cluster.hdbscan import HDBSCAN
+from repro.cluster.optics import OPTICS
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.embed.pca import SketchPCA
+from repro.embed.umap import UMAP
+from repro.parallel.cost_model import CommCostModel
+from repro.parallel.runner import DistributedSketchRunner
+from repro.pipeline.preprocess import Preprocessor
+
+__all__ = ["MonitoringPipeline", "MonitoringResult"]
+
+
+@dataclass
+class MonitoringResult:
+    """Full output of one analysis pass.
+
+    Attributes
+    ----------
+    latent:
+        ``(n, k)`` PCA coordinates of every analysed image.
+    embedding:
+        ``(n, 2)`` UMAP coordinates.
+    labels:
+        OPTICS cluster labels (``-1`` = noise).
+    outliers:
+        Boolean ABOD outlier flags.
+    outlier_scores:
+        Raw ABOF scores (lower = more anomalous).
+    explained_variance_ratio:
+        Sketch-PCA energy fractions of the latent axes.
+    timings:
+        Seconds per stage: ``project``, ``umap``, ``optics``, ``abod``.
+    """
+
+    latent: np.ndarray
+    embedding: np.ndarray
+    labels: np.ndarray
+    outliers: np.ndarray
+    outlier_scores: np.ndarray
+    explained_variance_ratio: np.ndarray
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters found (noise excluded)."""
+        return len(set(self.labels.tolist()) - {-1})
+
+
+class MonitoringPipeline:
+    """Online image monitoring: sketch → PCA → UMAP → OPTICS / ABOD.
+
+    Parameters
+    ----------
+    image_shape:
+        ``(h, w)`` of incoming frames (after the preprocessor's crop,
+        if any, frames may be smaller; the sketch dimension adapts to
+        the preprocessor output on the first batch).
+    preprocessor:
+        Image-processing chain; defaults to the paper's
+        threshold/normalize/center recipe.
+    sketch:
+        ARAMS configuration (sketch size, sampling fraction, error
+        tolerance).
+    n_latent:
+        Latent dimension for the PCA projection stage.
+    umap:
+        Keyword arguments forwarded to :class:`repro.embed.umap.UMAP`.
+    optics:
+        Keyword arguments forwarded to :class:`repro.cluster.optics.OPTICS`
+        (used when ``cluster_method="optics"``, the paper's choice).
+    cluster_method:
+        ``"optics"`` (paper default) or ``"hdbscan"`` — the artifact's
+        environment ships both; HDBSCAN* adds per-point membership
+        probabilities and needs no ξ parameter.
+    hdbscan:
+        Keyword arguments forwarded to
+        :class:`repro.cluster.hdbscan.HDBSCAN` when selected.
+    outlier_contamination:
+        Expected outlier fraction for ABOD (``None`` disables the ABOD
+        stage).  ABOD runs in the *latent* space, not on the 2-D
+        embedding: UMAP equalizes local density, packing exotic shots
+        into tight islands that look perfectly ordinary to an angular
+        outlier test, while in latent space they remain far from the
+        zero-order manifold.
+    outlier_neighbors:
+        FastABOD neighbourhood size.
+    retain:
+        ``"rows"`` (default) keeps preprocessed rows for exact final
+        projection; ``"latent"`` keeps only per-batch latent coordinates
+        (bounded memory, projection through the basis current at batch
+        time).
+    seed:
+        Master seed for every stochastic stage.
+
+    Examples
+    --------
+    >>> from repro.data import BeamProfileGenerator
+    >>> gen = BeamProfileGenerator(seed=0)
+    >>> images, _ = gen.sample(300)
+    >>> pipe = MonitoringPipeline(image_shape=(64, 64), seed=0)
+    >>> result = pipe.consume(images).analyze()
+    >>> result.embedding.shape
+    (300, 2)
+    """
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int],
+        preprocessor: Preprocessor | None = None,
+        sketch: ARAMSConfig | None = None,
+        n_latent: int = 20,
+        umap: dict | None = None,
+        optics: dict | None = None,
+        cluster_method: str = "optics",
+        hdbscan: dict | None = None,
+        outlier_contamination: float | None = 0.03,
+        outlier_neighbors: int = 20,
+        retain: str = "rows",
+        seed: int | None = None,
+    ):
+        if retain not in ("rows", "latent"):
+            raise ValueError(f"unknown retain mode {retain!r}")
+        self.image_shape = tuple(image_shape)
+        self.preprocessor = (
+            preprocessor
+            if preprocessor is not None
+            else Preprocessor(threshold=0.02, normalize="l2", center=True)
+        )
+        self.sketch_config = (
+            sketch
+            if sketch is not None
+            else ARAMSConfig(ell=32, beta=0.8, epsilon=0.05, nu=8, seed=seed)
+        )
+        if n_latent < 2:
+            raise ValueError(f"n_latent must be >= 2, got {n_latent}")
+        self.n_latent = int(n_latent)
+        self.umap_params = dict(umap) if umap else {}
+        self.umap_params.setdefault("n_neighbors", 15)
+        self.umap_params.setdefault("min_dist", 0.1)
+        self.umap_params.setdefault("random_state", seed)
+        if cluster_method not in ("optics", "hdbscan"):
+            raise ValueError(f"unknown cluster_method {cluster_method!r}")
+        self.cluster_method = cluster_method
+        self.optics_params = dict(optics) if optics else {}
+        self.optics_params.setdefault("min_samples", 10)
+        self.hdbscan_params = dict(hdbscan) if hdbscan else {}
+        self.hdbscan_params.setdefault("min_cluster_size", 15)
+        self.outlier_contamination = outlier_contamination
+        self.outlier_neighbors = int(outlier_neighbors)
+        self.retain = retain
+        self.seed = seed
+
+        self._sketcher: ARAMS | None = None
+        self._analysis: MonitoringResult | None = None
+        self._analysis_pca: SketchPCA | None = None
+        self._analysis_umap: UMAP | None = None
+        self._rows: list[np.ndarray] = []
+        self._latents: list[np.ndarray] = []
+        # Reference basis for retain="latent": successive sketch bases
+        # are Procrustes-aligned to it so per-batch latent coordinates
+        # live in one consistent frame (the raw top-k singular vectors
+        # flip sign and reorder as the sketch evolves).
+        self._latent_basis: np.ndarray | None = None
+        self.n_images = 0
+        self.sketch_time = 0.0
+        self.preprocess_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _ensure_sketcher(self, d: int) -> ARAMS:
+        if self._sketcher is None:
+            self._sketcher = ARAMS(d=d, config=self.sketch_config)
+        elif self._sketcher.d != d:
+            raise ValueError(
+                f"batch dimension {d} differs from pipeline dimension {self._sketcher.d}"
+            )
+        return self._sketcher
+
+    def consume(self, images: np.ndarray) -> "MonitoringPipeline":
+        """Preprocess one image batch and feed it to the online sketch."""
+        t0 = time.perf_counter()
+        rows = self.preprocessor.apply_flat(images)
+        self.preprocess_time += time.perf_counter() - t0
+        sk = self._ensure_sketcher(rows.shape[1])
+        t0 = time.perf_counter()
+        sk.partial_fit(rows)
+        self.sketch_time += time.perf_counter() - t0
+        self.n_images += rows.shape[0]
+        self._retain_batch(rows, sk)
+        return self
+
+    def _retain_batch(self, rows: np.ndarray, sk: ARAMS) -> None:
+        if self.retain == "rows":
+            self._rows.append(rows)
+            return
+        k = min(self.n_latent, sk.ell)
+        basis = sk.basis(k)  # d x k'
+        if self._latent_basis is not None:
+            ref = self._latent_basis
+            m = min(basis.shape[1], ref.shape[1])
+            # Orthogonal Procrustes: rotate the new basis onto the
+            # reference frame so coordinates stay comparable across
+            # batches despite sign flips / reordering of the singular
+            # vectors as the sketch evolves.
+            u, _, vt = np.linalg.svd(basis[:, :m].T @ ref[:, :m])
+            basis = basis[:, :m] @ (u @ vt)
+        self._latent_basis = basis
+        self._latents.append(rows @ basis)
+
+    def consume_sharded(
+        self,
+        images: np.ndarray,
+        n_ranks: int,
+        cost_model: CommCostModel | None = None,
+    ) -> "MonitoringPipeline":
+        """Sketch one batch across ``n_ranks`` simulated ranks (tree merge).
+
+        The resulting global sketch is merged into the pipeline's
+        sketcher, so sharded and streaming ingestion can be mixed.  The
+        virtual makespan is charged to ``sketch_time``.
+        """
+        t0 = time.perf_counter()
+        rows = self.preprocessor.apply_flat(images)
+        self.preprocess_time += time.perf_counter() - t0
+        sk = self._ensure_sketcher(rows.shape[1])
+        runner = DistributedSketchRunner(
+            ell=max(sk.ell, self.sketch_config.ell),
+            strategy="tree",
+            cost_model=cost_model,
+        )
+        shards = np.array_split(rows, n_ranks, axis=0)
+        result = runner.run(shards)
+        self.sketch_time += result.makespan
+        # Fold the merged global sketch into the running sketcher.
+        t0 = time.perf_counter()
+        sk.sketcher.partial_fit(result.sketch[np.any(result.sketch != 0, axis=1)])
+        self.sketch_time += time.perf_counter() - t0
+        self.n_images += rows.shape[0]
+        self._retain_batch(rows, sk)
+        return self
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @property
+    def sketcher(self) -> ARAMS:
+        """The online ARAMS sketcher (raises before any data arrives)."""
+        if self._sketcher is None:
+            raise RuntimeError("no data consumed yet")
+        return self._sketcher
+
+    def analyze(self) -> MonitoringResult:
+        """Run projection, UMAP, OPTICS and ABOD on everything consumed."""
+        if self._sketcher is None or self.n_images == 0:
+            raise RuntimeError("no data consumed yet")
+        timings: dict[str, float] = {}
+        t0 = time.perf_counter()
+        pca = SketchPCA(self._sketcher.compact_sketch(), n_components=self.n_latent)
+        if self.retain == "rows":
+            rows = np.vstack(self._rows)
+            latent = pca.transform(rows)
+        else:
+            parts = self._latents
+            width = max(p.shape[1] for p in parts)
+            latent = np.zeros((self.n_images, width))
+            at = 0
+            for p in parts:
+                latent[at : at + p.shape[0], : p.shape[1]] = p
+                at += p.shape[0]
+        timings["project"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        umap = UMAP(**self.umap_params)
+        embedding = umap.fit_transform(latent)
+        timings["umap"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if self.cluster_method == "hdbscan":
+            labels = HDBSCAN(**self.hdbscan_params).fit_predict(embedding)
+        else:
+            labels = OPTICS(**self.optics_params).fit_predict(embedding)
+        timings[self.cluster_method] = time.perf_counter() - t0
+
+        if self.outlier_contamination is not None:
+            t0 = time.perf_counter()
+            outliers, scores = abod_outliers(
+                latent,
+                contamination=self.outlier_contamination,
+                n_neighbors=min(self.outlier_neighbors, latent.shape[0] - 1),
+            )
+            timings["abod"] = time.perf_counter() - t0
+        else:
+            outliers = np.zeros(self.n_images, dtype=bool)
+            scores = np.zeros(self.n_images)
+
+        result = MonitoringResult(
+            latent=latent,
+            embedding=embedding,
+            labels=labels,
+            outliers=outliers,
+            outlier_scores=scores,
+            explained_variance_ratio=pca.explained_variance_ratio_,
+            timings=timings,
+        )
+        # Keep the fitted stages so fresh shots can be scored online
+        # (see score_new) without re-running the full analysis.
+        self._analysis = result
+        self._analysis_pca = pca
+        self._analysis_umap = umap
+        return result
+
+    def score_new(self, images: np.ndarray) -> MonitoringResult:
+        """Score fresh shots against the last :meth:`analyze` result.
+
+        The live monitoring loop: heavy stages (sketch basis, UMAP
+        layout) are *reused* — new images are preprocessed, projected
+        through the frozen PCA basis, placed into the existing 2-D map
+        with :meth:`repro.embed.umap.UMAP.transform`, assigned the
+        nearest embedded cluster's label, and ABOD-scored against the
+        combined latent population.  Orders of magnitude cheaper than
+        re-analyzing, at the cost of not letting the map itself evolve;
+        call :meth:`analyze` periodically to refresh the reference.
+
+        Parameters
+        ----------
+        images:
+            ``(m, h, w)`` new frames.  They are *not* added to the
+            sketch — feed them through :meth:`consume` as well if they
+            should also update the online model.
+
+        Returns
+        -------
+        MonitoringResult
+            Result for the new shots only (timings cover this call).
+        """
+        if self._analysis is None or self._analysis_pca is None:
+            raise RuntimeError("call analyze() before score_new()")
+        assert self._analysis_umap is not None
+        timings: dict[str, float] = {}
+        t0 = time.perf_counter()
+        rows = self.preprocessor.apply_flat(images)
+        latent = self._analysis_pca.transform(rows)
+        timings["project"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        embedding = self._analysis_umap.transform(latent)
+        timings["umap"] = time.perf_counter() - t0
+
+        # Nearest-reference-neighbour label transfer.
+        t0 = time.perf_counter()
+        ref = self._analysis.embedding
+        d2 = (
+            np.einsum("ij,ij->i", embedding, embedding)[:, None]
+            + np.einsum("ij,ij->i", ref, ref)[None, :]
+            - 2.0 * embedding @ ref.T
+        )
+        labels = self._analysis.labels[np.argmin(d2, axis=1)]
+        timings["label_transfer"] = time.perf_counter() - t0
+
+        if self.outlier_contamination is not None:
+            t0 = time.perf_counter()
+            combined = np.vstack([self._analysis.latent, latent])
+            mask, scores = abod_outliers(
+                combined,
+                contamination=self.outlier_contamination,
+                n_neighbors=min(self.outlier_neighbors, combined.shape[0] - 1),
+            )
+            outliers = mask[-latent.shape[0]:]
+            out_scores = scores[-latent.shape[0]:]
+            timings["abod"] = time.perf_counter() - t0
+        else:
+            outliers = np.zeros(latent.shape[0], dtype=bool)
+            out_scores = np.zeros(latent.shape[0])
+
+        return MonitoringResult(
+            latent=latent,
+            embedding=embedding,
+            labels=labels,
+            outliers=outliers,
+            outlier_scores=out_scores,
+            explained_variance_ratio=self._analysis.explained_variance_ratio,
+            timings=timings,
+        )
+
+    def throughput_hz(self) -> float:
+        """Achieved ingest rate: images per second of preprocess+sketch."""
+        busy = self.preprocess_time + self.sketch_time
+        if busy == 0:
+            return float("inf")
+        return self.n_images / busy

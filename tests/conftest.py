@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_lowrank() -> np.ndarray:
+    """A 400 x 80 matrix with fast-decaying spectrum (cheap, reused)."""
+    return synthetic_dataset(n=400, d=80, rank=40, profile="exponential", rate=0.15, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_lowrank() -> np.ndarray:
+    """A 1500 x 200 matrix with exponential spectrum for integration tests."""
+    return synthetic_dataset(n=1500, d=200, rank=100, profile="exponential", rate=0.08, seed=11)
+
+
+@pytest.fixture(scope="session")
+def blobs_2d() -> tuple[np.ndarray, np.ndarray]:
+    """Four well-separated 2-D Gaussian blobs plus labels."""
+    gen = np.random.default_rng(3)
+    centers = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0)]
+    pts = np.vstack([gen.normal(c, 0.35, size=(60, 2)) for c in centers])
+    labels = np.repeat(np.arange(4), 60)
+    return pts, labels
+
+
+@pytest.fixture(scope="session")
+def blobs_10d() -> tuple[np.ndarray, np.ndarray]:
+    """Four well-separated 10-D Gaussian blobs plus labels."""
+    gen = np.random.default_rng(5)
+    centers = gen.normal(0.0, 8.0, size=(4, 10))
+    pts = np.vstack([c + gen.normal(0.0, 0.5, size=(80, 10)) for c in centers])
+    labels = np.repeat(np.arange(4), 80)
+    return pts, labels

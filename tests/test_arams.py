@@ -1,0 +1,126 @@
+"""Unit tests for the ARAMS pipeline (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.core.errors import relative_covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.rank_adaptive import RankAdaptiveFD
+from repro.data.synthetic import synthetic_dataset
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ARAMSConfig()
+        assert cfg.beta == 1.0 and cfg.epsilon is None
+
+    @pytest.mark.parametrize("beta", [0.0, -0.1, 1.5])
+    def test_bad_beta(self, beta):
+        with pytest.raises(ValueError, match="beta"):
+            ARAMSConfig(beta=beta)
+
+    def test_bad_ell(self):
+        with pytest.raises(ValueError, match="ell"):
+            ARAMSConfig(ell=0)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            ARAMSConfig(epsilon=-0.5)
+
+    def test_bad_nu(self):
+        with pytest.raises(ValueError, match="nu"):
+            ARAMSConfig(nu=0)
+
+    def test_frozen(self):
+        cfg = ARAMSConfig()
+        with pytest.raises(AttributeError):
+            cfg.beta = 0.5  # type: ignore[misc]
+
+
+class TestComposition:
+    def test_epsilon_selects_rank_adaptive_backend(self):
+        a = ARAMS(d=50, config=ARAMSConfig(ell=8, epsilon=0.1))
+        assert isinstance(a.sketcher, RankAdaptiveFD)
+
+    def test_no_epsilon_selects_plain_fd(self):
+        a = ARAMS(d=50, config=ARAMSConfig(ell=8))
+        assert isinstance(a.sketcher, FrequentDirections)
+        assert not isinstance(a.sketcher, RankAdaptiveFD)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        a = ARAMS(d=50)
+        with pytest.raises(ValueError, match="dimension"):
+            a.partial_fit(rng.standard_normal((5, 49)))
+
+
+class TestSketching:
+    def test_beta_one_matches_plain_fd(self, small_lowrank):
+        """With sampling off, ARAMS is exactly FD."""
+        a = small_lowrank
+        ar = ARAMS(d=80, config=ARAMSConfig(ell=10, beta=1.0, seed=0)).fit(a)
+        fd = FrequentDirections(d=80, ell=10).fit(a)
+        np.testing.assert_allclose(ar.sketch, fd.sketch, atol=1e-9)
+
+    def test_sampled_sketch_reasonable_error(self, medium_lowrank):
+        a = medium_lowrank
+        ar = ARAMS(d=200, config=ARAMSConfig(ell=30, beta=0.8, seed=0)).fit(a)
+        err = relative_covariance_error(a, ar.sketch)
+        # Sampling adds variance; allow 3x the FD bound.
+        assert err <= 3.0 / 30
+
+    def test_deterministic_given_seed(self, small_lowrank):
+        runs = [
+            ARAMS(d=80, config=ARAMSConfig(ell=10, beta=0.7, seed=42))
+            .fit(small_lowrank)
+            .sketch
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_streaming_counts(self, rng):
+        ar = ARAMS(d=40, config=ARAMSConfig(ell=8, beta=0.5, seed=0))
+        for _ in range(4):
+            ar.partial_fit(rng.standard_normal((25, 40)))
+        assert ar.n_seen == 100
+        # Sketcher saw only ~half the rows.
+        assert ar.sketcher.n_seen == pytest.approx(50, abs=4)
+
+    def test_rank_adaptation_active_behind_sampler(self):
+        a = synthetic_dataset(n=1000, d=120, rank=60, profile="exponential",
+                              rate=0.03, seed=9)
+        ar = ARAMS(
+            d=120,
+            config=ARAMSConfig(ell=8, beta=0.8, epsilon=0.02, nu=8, seed=0),
+        ).fit(a)
+        assert ar.ell > 8
+
+    def test_fit_uses_whole_matrix_queue(self, medium_lowrank):
+        """fit() samples over the whole matrix (Algorithm 3 verbatim)."""
+        a = medium_lowrank
+        ar = ARAMS(d=200, config=ARAMSConfig(ell=20, beta=0.6, seed=1))
+        ar.fit(a)
+        assert ar.n_seen == a.shape[0]
+        assert ar.sketcher.n_seen == int(np.ceil(0.6 * a.shape[0]))
+
+    def test_project_roundtrip_shape(self, small_lowrank):
+        ar = ARAMS(d=80, config=ARAMSConfig(ell=10, seed=0)).fit(small_lowrank)
+        z = ar.project(small_lowrank, k=5)
+        assert z.shape == (400, 5)
+
+    def test_merge_combines_counts(self, rng):
+        a1 = rng.standard_normal((60, 30))
+        a2 = rng.standard_normal((80, 30))
+        s1 = ARAMS(d=30, config=ARAMSConfig(ell=6, seed=0)).fit(a1)
+        s2 = ARAMS(d=30, config=ARAMSConfig(ell=6, seed=1)).fit(a2)
+        s1.merge(s2)
+        assert s1.n_seen == 140
+
+    def test_sampling_speeds_up_sketching(self, medium_lowrank):
+        """beta < 1 must reduce the rows hitting the FD stage."""
+        a = medium_lowrank
+        full = ARAMS(d=200, config=ARAMSConfig(ell=25, beta=1.0, seed=0)).fit(a)
+        sampled = ARAMS(d=200, config=ARAMSConfig(ell=25, beta=0.5, seed=0)).fit(a)
+        assert sampled.sketcher.n_rotations < full.sketcher.n_rotations

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_monitor_defaults(self):
+        args = build_parser().parse_args(["monitor"])
+        assert args.scenario == "beam"
+        assert args.shots == 600
+
+    def test_scenario_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["monitor", "--scenario", "xpcs"])
+
+    def test_scaling_core_list(self):
+        args = build_parser().parse_args(["scaling", "--cores", "1,4,16"])
+        assert args.cores == "1,4,16"
+
+    def test_sketch_profile_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sketch", "--profile", "linear"])
+
+
+class TestExecution:
+    def test_sketch_command_runs(self, capsys):
+        rc = main(["sketch", "--rows", "300", "--dim", "80", "--ell", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ARAMS" in out
+        assert "rel_err" in out
+
+    def test_scaling_command_runs(self, capsys):
+        rc = main(["scaling", "--cores", "1,2", "--rows", "128",
+                   "--dim", "256", "--ell", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tree" in out and "serial" in out
+
+    def test_monitor_command_runs(self, capsys, tmp_path):
+        csv = tmp_path / "emb.csv"
+        rc = main([
+            "monitor", "--shots", "150", "--size", "32", "--ell", "12",
+            "--csv", str(csv),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert csv.exists()
+        assert csv.read_text().startswith("x,y,label")
+
+    def test_monitor_diffraction_scenario(self, capsys):
+        rc = main([
+            "monitor", "--scenario", "diffraction", "--shots", "150",
+            "--size", "32", "--ell", "12",
+        ])
+        assert rc == 0
+        assert "clusters" in capsys.readouterr().out
+
+
+class TestXPCSCommand:
+    def test_xpcs_runs(self, capsys):
+        rc = main(["xpcs", "--shots", "120", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pooled speckle contrast" in out
+        assert "beam cluster" in out
+
+    def test_monitor_hdbscan_backend(self, capsys):
+        rc = main([
+            "monitor", "--shots", "150", "--size", "32", "--ell", "12",
+            "--cluster", "hdbscan",
+        ])
+        assert rc == 0
+        assert "clusters" in capsys.readouterr().out

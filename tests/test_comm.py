@@ -1,0 +1,338 @@
+"""Unit tests for the virtual-clock simulated MPI layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import DeadlockError, SimComm, SimCommWorld
+from repro.parallel.cost_model import CommCostModel
+
+
+class TestCostModel:
+    def test_cost_formula(self):
+        m = CommCostModel(alpha=1e-3, beta=1e-6)
+        assert m.cost(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_free_model(self):
+        assert CommCostModel.free().cost(10**9) == 0.0
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            CommCostModel().cost(-1)
+
+    def test_payload_bytes_ndarray(self):
+        assert CommCostModel.payload_bytes(np.zeros((4, 8))) == 4 * 8 * 8
+
+    def test_payload_bytes_nested(self):
+        payload = {"a": np.zeros(2), "b": [np.zeros(3), b"xy"]}
+        got = CommCostModel.payload_bytes(payload)
+        assert got >= 16 + 24 + 2  # arrays + bytes (+ key overhead)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            CommCostModel(alpha=-1.0)
+
+
+class TestPointToPoint:
+    def test_roundtrip(self):
+        world = SimCommWorld(2)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return comm.recv(source=1)
+            msg = comm.recv(source=0)
+            comm.send(msg["x"] + 1, dest=0)
+            return None
+
+        results = world.run(program)
+        assert results[0] == 2
+
+    def test_clock_advances_by_message_cost(self):
+        model = CommCostModel(alpha=1.0, beta=0.0)
+        world = SimCommWorld(2, cost_model=model)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.advance(5.0)
+                comm.send(b"x", dest=1)
+            else:
+                comm.recv(source=0)
+            return comm.clock
+
+        clocks = world.run(program)
+        # Receiver: max(0, 5 + alpha) = 6.
+        assert clocks[1] == pytest.approx(6.0)
+
+    def test_tags_are_independent_channels(self):
+        world = SimCommWorld(2)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+            else:
+                second = comm.recv(source=0, tag=2)
+                first = comm.recv(source=0, tag=1)
+                return (first, second)
+            return None
+
+        assert world.run(program)[1] == ("a", "b")
+
+    def test_send_to_self_rejected(self):
+        world = SimCommWorld(2)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send("x", dest=0)
+            return None
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            world.run(program)
+
+    def test_deadlock_detected(self):
+        world = SimCommWorld(2, timeout=0.3)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                return comm.recv(source=1)  # never sent
+            return None
+
+        with pytest.raises(RuntimeError):
+            world.run(program)
+
+    def test_comm_in_timed_region_rejected(self):
+        world = SimCommWorld(2, timeout=1.0)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                with comm.timed():
+                    comm.send("x", dest=1)
+            else:
+                # Rank 1 must not block forever on a send that errors.
+                pass
+            return None
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            world.run(program)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 16])
+    def test_bcast_all_sizes(self, size):
+        world = SimCommWorld(size)
+
+        def program(comm: SimComm):
+            return comm.bcast("payload" if comm.rank == 0 else None, root=0)
+
+        assert world.run(program) == ["payload"] * size
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_bcast_nonzero_root(self, root):
+        world = SimCommWorld(4)
+
+        def program(comm: SimComm):
+            return comm.bcast(comm.rank if comm.rank == root else None, root=root)
+
+        assert world.run(program) == [root] * 4
+
+    @pytest.mark.parametrize("size", [1, 2, 5, 8])
+    def test_gather(self, size):
+        world = SimCommWorld(size)
+
+        def program(comm: SimComm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results = world.run(program)
+        assert results[0] == [r**2 for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_barrier_synchronizes_clocks(self):
+        world = SimCommWorld(3, cost_model=CommCostModel.free())
+
+        def program(comm: SimComm):
+            comm.advance(float(comm.rank) * 2.0)
+            comm.barrier()
+            return comm.clock
+
+        clocks = world.run(program)
+        assert max(clocks) == pytest.approx(min(clocks))
+        assert min(clocks) >= 4.0  # slowest rank advanced 4s
+
+
+class TestTiming:
+    def test_timed_accumulates(self):
+        world = SimCommWorld(1)
+
+        def program(comm: SimComm):
+            with comm.timed():
+                sum(range(100_000))
+            return comm.clock
+
+        assert world.run(program)[0] > 0.0
+
+    def test_advance_validates(self):
+        world = SimCommWorld(1)
+
+        def program(comm: SimComm):
+            comm.advance(-1.0)
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            world.run(program)
+
+    def test_makespan_property(self):
+        world = SimCommWorld(2, cost_model=CommCostModel.free())
+
+        def program(comm: SimComm):
+            comm.advance(1.0 if comm.rank == 0 else 3.0)
+
+        world.run(program)
+        assert world.makespan == pytest.approx(3.0)
+
+    def test_makespan_before_run_raises(self):
+        with pytest.raises(RuntimeError, match="no run"):
+            _ = SimCommWorld(2).makespan
+
+    def test_total_bytes_counted(self):
+        world = SimCommWorld(2)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)
+            else:
+                comm.recv(source=0)
+
+        world.run(program)
+        assert world.total_bytes == 80
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            SimCommWorld(0)
+
+
+class TestReductionCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 8, 13])
+    def test_reduce_sum(self, size):
+        world = SimCommWorld(size)
+
+        def program(comm: SimComm):
+            return comm.reduce(comm.rank + 1, lambda a, b: a + b)
+
+        results = world.run(program)
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_reduce_nonzero_root(self, root):
+        world = SimCommWorld(4)
+
+        def program(comm: SimComm):
+            return comm.reduce(comm.rank, lambda a, b: a + b, root=root)
+
+        results = world.run(program)
+        assert results[root] == 6
+        for r in range(4):
+            if r != root:
+                assert results[r] is None
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 7])
+    def test_allreduce_max(self, size):
+        world = SimCommWorld(size)
+
+        def program(comm: SimComm):
+            return comm.allreduce(comm.rank * 10, max)
+
+        assert world.run(program) == [(size - 1) * 10] * size
+
+    def test_allreduce_ndarray_sum(self):
+        world = SimCommWorld(4)
+
+        def program(comm: SimComm):
+            return comm.allreduce(np.full(3, comm.rank, dtype=float),
+                                  lambda a, b: a + b)
+
+        results = world.run(program)
+        for r in results:
+            np.testing.assert_array_equal(r, [6.0, 6.0, 6.0])
+
+    def test_reduce_deterministic_order(self):
+        """Combine order is fixed, so float results are reproducible."""
+        world = SimCommWorld(8)
+
+        def program(comm: SimComm):
+            return comm.allreduce(1.0 / (comm.rank + 3), lambda a, b: a + b)
+
+        first = world.run(program)
+        second = SimCommWorld(8).run(program)
+        assert first == second
+
+    def test_scatter(self):
+        world = SimCommWorld(3)
+
+        def program(comm: SimComm):
+            chunks = [f"part{i}" for i in range(3)] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        assert world.run(program) == ["part0", "part1", "part2"]
+
+    def test_scatter_wrong_length(self):
+        world = SimCommWorld(3)
+
+        def program(comm: SimComm):
+            chunks = ["only-one"] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            world.run(program)
+
+
+class TestNonBlocking:
+    def test_irecv_overlaps_compute(self):
+        """Clock only advances to the message arrival at wait()."""
+        model = CommCostModel(alpha=2.0, beta=0.0)
+        world = SimCommWorld(2, cost_model=model)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            comm.advance(5.0)        # overlapped local work
+            msg = req.wait()
+            return (msg, comm.clock)
+
+        results = world.run(program)
+        msg, clock = results[1]
+        assert msg == "payload"
+        # Arrival at t=2 is hidden behind the 5s of local work.
+        assert clock == pytest.approx(5.0)
+
+    def test_wait_idempotent(self):
+        world = SimCommWorld(2)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send(41, dest=1)
+                return None
+            req = comm.irecv(source=0)
+            assert not req.test()
+            first = req.wait()
+            assert req.test()
+            second = req.wait()  # must not try to dequeue again
+            return (first, second)
+
+        assert world.run(program)[1] == (41, 41)
+
+    def test_isend_completes_immediately(self):
+        world = SimCommWorld(2)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                req = comm.isend("x", dest=1)
+                assert req.test()
+                assert req.wait() is None
+                return None
+            return comm.recv(source=0)
+
+        assert world.run(program)[1] == "x"

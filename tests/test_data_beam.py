@@ -1,0 +1,142 @@
+"""Unit tests for the beam-profile generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.beam import (
+    BeamProfileConfig,
+    BeamProfileGenerator,
+    measured_asymmetry,
+    measured_circularity,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BeamProfileConfig()
+
+    def test_tiny_shape_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            BeamProfileConfig(shape=(4, 4))
+
+    def test_bad_exotic_fraction(self):
+        with pytest.raises(ValueError, match="exotic_fraction"):
+            BeamProfileConfig(exotic_fraction=1.5)
+
+    def test_bad_asymmetry_range(self):
+        with pytest.raises(ValueError, match="asymmetry_range"):
+            BeamProfileConfig(asymmetry_range=(0.5, -0.5))
+
+    def test_bad_circularity_range(self):
+        with pytest.raises(ValueError, match="circularity_range"):
+            BeamProfileConfig(circularity_range=(0.0, 1.0))
+
+
+class TestGenerator:
+    def test_output_shapes(self):
+        gen = BeamProfileGenerator(seed=0)
+        images, truth = gen.sample(10)
+        assert images.shape == (10, 64, 64)
+        assert set(truth) == {"asymmetry", "circularity", "exotic", "mode"}
+        assert all(v.shape[0] == 10 for v in truth.values())
+
+    def test_nonnegative_images(self):
+        images, _ = BeamProfileGenerator(seed=1).sample(20)
+        assert images.min() >= 0.0
+
+    def test_reproducible(self):
+        a, _ = BeamProfileGenerator(seed=2).sample(5)
+        b, _ = BeamProfileGenerator(seed=2).sample(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError, match="n"):
+            BeamProfileGenerator(seed=0).sample(0)
+
+    def test_exotic_fraction_respected(self):
+        cfg = BeamProfileConfig(exotic_fraction=0.5)
+        _, truth = BeamProfileGenerator(cfg, seed=3).sample(400)
+        frac = truth["exotic"].mean()
+        assert 0.4 < frac < 0.6
+
+    def test_no_exotic_when_disabled(self):
+        cfg = BeamProfileConfig(exotic_fraction=0.0)
+        _, truth = BeamProfileGenerator(cfg, seed=4).sample(50)
+        assert not truth["exotic"].any()
+        assert all(m == "zero" for m in truth["mode"])
+
+    def test_stream_batches(self):
+        gen = BeamProfileGenerator(seed=5)
+        sizes = [img.shape[0] for img, _ in gen.stream(23, batch_size=10)]
+        assert sizes == [10, 10, 3]
+
+    def test_custom_shape(self):
+        cfg = BeamProfileConfig(shape=(32, 48))
+        images, _ = BeamProfileGenerator(cfg, seed=6).sample(3)
+        assert images.shape == (3, 32, 48)
+
+
+class TestGroundTruthRecovery:
+    """The generator's factors must be recoverable from the images -
+    this is what makes Fig. 5's axis-interpretation claim testable."""
+
+    @pytest.fixture(scope="class")
+    def sample(self):
+        cfg = BeamProfileConfig(noise=0.005, exotic_fraction=0.0)
+        gen = BeamProfileGenerator(cfg, seed=7)
+        return gen.sample(300)
+
+    def test_asymmetry_measurable(self, sample):
+        images, truth = sample
+        corr = np.corrcoef(measured_asymmetry(images), truth["asymmetry"])[0, 1]
+        assert corr > 0.85
+
+    def test_circularity_measurable(self, sample):
+        images, truth = sample
+        corr = np.corrcoef(measured_circularity(images), truth["circularity"])[0, 1]
+        assert corr > 0.85
+
+    def test_symmetric_beam_measures_zero_asymmetry(self):
+        cfg = BeamProfileConfig(
+            asymmetry_range=(0.0, 0.0), noise=0.0, centroid_jitter=0.0,
+            exotic_fraction=0.0,
+        )
+        images, _ = BeamProfileGenerator(cfg, seed=8).sample(20)
+        np.testing.assert_allclose(measured_asymmetry(images), 0.0, atol=0.02)
+
+    def test_circular_beam_measures_one(self):
+        cfg = BeamProfileConfig(
+            circularity_range=(1.0, 1.0), lobe_separation=0.0, noise=0.0,
+            exotic_fraction=0.0,
+        )
+        images, _ = BeamProfileGenerator(cfg, seed=9).sample(20)
+        assert measured_circularity(images).min() > 0.95
+
+    def test_exotic_modes_distinct_from_zero_order(self):
+        """Exotic frames should differ strongly from a mean zero-order frame."""
+        cfg = BeamProfileConfig(exotic_fraction=0.5, noise=0.0)
+        images, truth = BeamProfileGenerator(cfg, seed=10).sample(200)
+        flat = images.reshape(len(images), -1)
+        flat = flat / np.linalg.norm(flat, axis=1, keepdims=True)
+        zero_mean = flat[~truth["exotic"]].mean(axis=0)
+        zero_mean /= np.linalg.norm(zero_mean)
+        cos_zero = flat[~truth["exotic"]] @ zero_mean
+        cos_exotic = flat[truth["exotic"]] @ zero_mean
+        assert cos_exotic.mean() < cos_zero.mean() - 0.1
+
+
+class TestMeasurementValidation:
+    def test_asymmetry_requires_stack(self):
+        with pytest.raises(ValueError, match="stack"):
+            measured_asymmetry(np.zeros((4, 4)))
+
+    def test_circularity_requires_stack(self):
+        with pytest.raises(ValueError, match="stack"):
+            measured_circularity(np.zeros((4, 4)))
+
+    def test_zero_image_defaults(self):
+        z = np.zeros((1, 8, 8))
+        assert measured_asymmetry(z)[0] == 0.0
+        assert measured_circularity(z)[0] == 1.0

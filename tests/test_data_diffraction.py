@@ -1,0 +1,107 @@
+"""Unit tests for the diffraction-ring generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DiffractionConfig()
+
+    def test_bad_classes(self):
+        with pytest.raises(ValueError, match="classes"):
+            DiffractionConfig(n_classes=1)
+
+    def test_bad_contrast(self):
+        with pytest.raises(ValueError, match="contrast"):
+            DiffractionConfig(contrast=1.2)
+
+    def test_bad_speckle(self):
+        with pytest.raises(ValueError, match="speckle"):
+            DiffractionConfig(speckle=-0.1)
+
+
+class TestGenerator:
+    def test_shapes_and_labels(self):
+        gen = DiffractionGenerator(seed=0)
+        images, truth = gen.sample(30)
+        assert images.shape == (30, 64, 64)
+        assert truth["label"].shape == (30,)
+        assert truth["quadrant_weights"].shape == (30, 4)
+        assert truth["label"].max() < 5
+
+    def test_nonnegative(self):
+        images, _ = DiffractionGenerator(seed=1).sample(10)
+        assert images.min() >= 0
+
+    def test_reproducible(self):
+        a, ta = DiffractionGenerator(seed=2).sample(5)
+        b, tb = DiffractionGenerator(seed=2).sample(5)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(ta["label"], tb["label"])
+
+    def test_class_weights_normalized(self):
+        gen = DiffractionGenerator(seed=3)
+        np.testing.assert_allclose(gen.class_weights.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_class_weights_well_separated(self):
+        gen = DiffractionGenerator(seed=4)
+        w = gen.class_weights
+        for i in range(len(w)):
+            for j in range(i + 1, len(w)):
+                assert np.abs(w[i] - w[j]).sum() > 0.3
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError, match="n"):
+            DiffractionGenerator(seed=0).sample(0)
+
+    def test_poisson_counts_integer(self):
+        cfg = DiffractionConfig(photon_budget=1000.0)
+        images, _ = DiffractionGenerator(cfg, seed=5).sample(3)
+        np.testing.assert_array_equal(images, np.round(images))
+
+    def test_no_poisson_stage(self):
+        cfg = DiffractionConfig(photon_budget=None, speckle=0.0)
+        images, _ = DiffractionGenerator(cfg, seed=6).sample(3)
+        assert not np.array_equal(images, np.round(images))
+
+
+class TestQuadrantRecovery:
+    def test_measured_fractions_track_class_weights(self):
+        cfg = DiffractionConfig(speckle=0.1, photon_budget=2e5)
+        gen = DiffractionGenerator(cfg, seed=7)
+        images, truth = gen.sample(100)
+        measured = gen.quadrant_intensities(images)
+        corr = np.corrcoef(measured.ravel(), truth["quadrant_weights"].ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_fractions_sum_to_one(self):
+        gen = DiffractionGenerator(seed=8)
+        images, _ = gen.sample(10)
+        np.testing.assert_allclose(
+            gen.quadrant_intensities(images).sum(axis=1), 1.0, atol=1e-12
+        )
+
+    def test_same_class_images_more_similar(self):
+        """Within-class image distance must be below between-class."""
+        cfg = DiffractionConfig(speckle=0.1)
+        gen = DiffractionGenerator(cfg, seed=9)
+        images, truth = gen.sample(120)
+        flat = images.reshape(len(images), -1)
+        flat /= np.linalg.norm(flat, axis=1, keepdims=True)
+        labels = truth["label"]
+        sims = flat @ flat.T
+        within, between = [], []
+        for i in range(len(flat)):
+            for j in range(i + 1, len(flat)):
+                (within if labels[i] == labels[j] else between).append(sims[i, j])
+        assert np.mean(within) > np.mean(between)
+
+    def test_quadrant_intensities_validates(self):
+        gen = DiffractionGenerator(seed=0)
+        with pytest.raises(ValueError, match="stack"):
+            gen.quadrant_intensities(np.zeros((8, 8)))

@@ -1,0 +1,65 @@
+"""Unit tests for the shot event stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.beam import BeamProfileGenerator
+from repro.data.stream import EventStream, ShotEvent
+
+
+@pytest.fixture
+def source():
+    return BeamProfileGenerator(seed=0)
+
+
+class TestValidation:
+    def test_bad_shots(self, source):
+        with pytest.raises(ValueError, match="n_shots"):
+            EventStream(source, n_shots=0)
+
+    def test_bad_rate(self, source):
+        with pytest.raises(ValueError, match="rep_rate"):
+            EventStream(source, n_shots=5, rep_rate=0.0)
+
+    def test_bad_batch(self, source):
+        with pytest.raises(ValueError, match="batch_size"):
+            EventStream(source, n_shots=5, batch_size=0)
+
+
+class TestBatches:
+    def test_batch_sizes_cover_run(self, source):
+        stream = EventStream(source, n_shots=25, batch_size=10)
+        sizes = [img.shape[0] for img, _, _ in stream.batches()]
+        assert sizes == [10, 10, 5]
+
+    def test_timestamps_match_rep_rate(self, source):
+        stream = EventStream(source, n_shots=6, rep_rate=120.0, batch_size=4)
+        stamps = np.concatenate([s for _, _, s in stream.batches()])
+        np.testing.assert_allclose(stamps, np.arange(6) / 120.0)
+
+    def test_duration(self, source):
+        stream = EventStream(source, n_shots=240, rep_rate=120.0)
+        assert stream.duration == pytest.approx(2.0)
+
+    def test_truth_travels_with_batch(self, source):
+        stream = EventStream(source, n_shots=8, batch_size=8)
+        _, truth, _ = next(iter(stream.batches()))
+        assert "asymmetry" in truth and truth["asymmetry"].shape == (8,)
+
+
+class TestEvents:
+    def test_events_enumerated(self, source):
+        stream = EventStream(source, n_shots=7, batch_size=3)
+        events = list(stream.events())
+        assert len(events) == 7
+        assert [e.shot_id for e in events] == list(range(7))
+        assert all(isinstance(e, ShotEvent) for e in events)
+
+    def test_event_payload(self, source):
+        stream = EventStream(source, n_shots=2, rep_rate=10.0, batch_size=2)
+        events = list(stream.events())
+        assert events[1].timestamp == pytest.approx(0.1)
+        assert events[0].image.shape == (64, 64)
+        assert "mode" in events[0].truth

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic decaying-spectrum datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.data.synthetic import (
+    DECAY_PROFILES,
+    decay_singular_values,
+    sharded_synthetic_dataset,
+    synthetic_dataset,
+)
+
+
+class TestDecayProfiles:
+    def test_all_profiles_registered(self):
+        assert set(DECAY_PROFILES) == {
+            "subexponential", "exponential", "superexponential", "cubic",
+        }
+
+    @pytest.mark.parametrize("profile", sorted(DECAY_PROFILES))
+    def test_nonincreasing_positive(self, profile):
+        s = decay_singular_values(50, profile=profile, rate=0.1)
+        assert np.all(s > 0)
+        assert np.all(np.diff(s) <= 0)
+        assert s[0] == pytest.approx(1.0)
+
+    def test_decay_ordering(self):
+        """At the same index, super < exp < sub (faster decay = smaller)."""
+        i = 30
+        sub = decay_singular_values(40, "subexponential", 0.1)[i]
+        exp = decay_singular_values(40, "exponential", 0.1)[i]
+        sup = decay_singular_values(40, "superexponential", 0.1)[i]
+        assert sup < exp < sub
+
+    def test_leading_scale(self):
+        s = decay_singular_values(10, "exponential", 0.2, leading=7.0)
+        assert s[0] == pytest.approx(7.0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            decay_singular_values(10, "linear")
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError, match="rank"):
+            decay_singular_values(0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            decay_singular_values(10, rate=0.0)
+
+
+class TestSyntheticDataset:
+    def test_spectrum_realized(self):
+        a = synthetic_dataset(n=200, d=50, rank=20, profile="exponential",
+                              rate=0.2, seed=0)
+        s = scipy.linalg.svdvals(a)
+        expected = decay_singular_values(20, "exponential", 0.2)
+        np.testing.assert_allclose(s[:20], expected, atol=1e-10)
+        np.testing.assert_allclose(s[20:], 0.0, atol=1e-10)
+
+    def test_reproducible(self):
+        a = synthetic_dataset(n=50, d=20, rank=10, seed=3)
+        b = synthetic_dataset(n=50, d=20, rank=10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_dataset(n=50, d=20, rank=10, seed=3)
+        b = synthetic_dataset(n=50, d=20, rank=10, seed=4)
+        assert not np.allclose(a, b)
+
+    def test_default_rank(self):
+        a = synthetic_dataset(n=30, d=20, seed=0)
+        assert np.linalg.matrix_rank(a) == 20
+
+
+class TestShardedDataset:
+    def test_shapes_and_count(self):
+        shards = sharded_synthetic_dataset(4, 50, 30, rank=20, seed=0)
+        assert len(shards) == 4
+        assert all(s.shape == (50, 30) for s in shards)
+
+    def test_shards_similar_but_not_identical(self):
+        shards = sharded_synthetic_dataset(
+            3, 60, 40, rank=20, perturbation=0.02, seed=1
+        )
+        # Not identical...
+        assert not np.allclose(shards[0], shards[1])
+        # ...but spanning nearby subspaces: principal angles are small.
+        def top_basis(a, k=5):
+            _, _, vt = scipy.linalg.svd(a, full_matrices=False)
+            return vt[:k].T
+        v0, v1 = top_basis(shards[0]), top_basis(shards[1])
+        cosines = scipy.linalg.svdvals(v0.T @ v1)
+        assert cosines.min() > 0.8
+
+    def test_zero_perturbation_shares_subspace(self):
+        shards = sharded_synthetic_dataset(
+            2, 60, 40, rank=10, perturbation=0.0, seed=2
+        )
+        def row_space(a):
+            _, _, vt = scipy.linalg.svd(a, full_matrices=False)
+            return vt[:10].T
+        v0, v1 = row_space(shards[0]), row_space(shards[1])
+        cosines = scipy.linalg.svdvals(v0.T @ v1)
+        np.testing.assert_allclose(cosines, 1.0, atol=1e-8)
+
+    def test_bad_n_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            sharded_synthetic_dataset(0, 10, 5)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            sharded_synthetic_dataset(2, 10, 5, rank=8)
+
+    def test_reproducible(self):
+        a = sharded_synthetic_dataset(2, 20, 10, rank=5, seed=9)
+        b = sharded_synthetic_dataset(2, 20, 10, rank=5, seed=9)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,114 @@
+"""Unit tests for the drift monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.random_matrices import haar_orthogonal
+from repro.pipeline.drift import DriftMonitor
+
+
+@pytest.fixture
+def split_basis(rng):
+    """(basis, inside-sampler, outside-sampler) over orthogonal subspaces."""
+    q = haar_orthogonal(80, 24, rng)
+    basis, complement = q[:, :12], q[:, 12:]
+    gen = np.random.default_rng(99)
+
+    def inside(n=40, noise=0.02):
+        return (basis @ gen.standard_normal((12, n))).T + noise * gen.standard_normal((n, 80))
+
+    def outside(n=40):
+        return (complement @ gen.standard_normal((12, n))).T
+
+    return basis, inside, outside
+
+
+class TestValidation:
+    def test_requires_orthonormal(self, rng):
+        with pytest.raises(ValueError, match="orthonormal"):
+            DriftMonitor(rng.standard_normal((10, 3)))
+
+    def test_alpha_range(self, rng):
+        b = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="alpha"):
+            DriftMonitor(b, alpha=0.0)
+
+    def test_sigma_positive(self, rng):
+        b = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="n_sigma"):
+            DriftMonitor(b, n_sigma=0)
+
+    def test_warmup_min(self, rng):
+        b = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="warmup"):
+            DriftMonitor(b, warmup_batches=1)
+
+    def test_dim_check(self, rng):
+        b = haar_orthogonal(10, 3, rng)
+        mon = DriftMonitor(b, rng=rng)
+        with pytest.raises(ValueError, match="dimension"):
+            mon.update(rng.standard_normal((5, 9)))
+
+
+class TestBehaviour:
+    def test_stable_stream_never_alarms(self, split_basis):
+        basis, inside, _ = split_basis
+        mon = DriftMonitor(basis, warmup_batches=5, rng=np.random.default_rng(0))
+        events = [mon.update(inside()) for _ in range(25)]
+        assert all(e is None for e in events)
+        assert not mon.in_alarm
+
+    def test_drift_detected_quickly(self, split_basis):
+        basis, inside, outside = split_basis
+        mon = DriftMonitor(basis, warmup_batches=5, alpha=0.5,
+                           rng=np.random.default_rng(0))
+        for _ in range(10):
+            assert mon.update(inside()) is None
+        fired_at = None
+        for i in range(6):
+            if mon.update(outside()) is not None:
+                fired_at = i
+                break
+        assert fired_at is not None and fired_at <= 3
+        assert mon.in_alarm
+        event = mon.events[-1]
+        assert event.residual > event.threshold or event.ewma > event.threshold
+
+    def test_warmup_suppresses_alarms(self, split_basis):
+        basis, _, outside = split_basis
+        mon = DriftMonitor(basis, warmup_batches=10, rng=np.random.default_rng(0))
+        # Even wildly off-basis batches cannot alarm during warmup.
+        for _ in range(10):
+            assert mon.update(outside()) is None
+
+    def test_history_recorded(self, split_basis):
+        basis, inside, _ = split_basis
+        mon = DriftMonitor(basis, warmup_batches=3, rng=np.random.default_rng(0))
+        for _ in range(7):
+            mon.update(inside())
+        assert len(mon.history) == 7
+        assert all(0 <= h <= 1.5 for h in mon.history)
+
+    def test_zero_batch_zero_residual(self, split_basis):
+        basis, _, _ = split_basis
+        mon = DriftMonitor(basis, warmup_batches=2, rng=np.random.default_rng(0))
+        mon.update(np.zeros((5, 80)))
+        assert mon.history[-1] == 0.0
+
+    def test_recovery_after_drift(self, split_basis):
+        """EWMA decays back under the threshold once the beam recovers."""
+        basis, inside, outside = split_basis
+        mon = DriftMonitor(basis, warmup_batches=5, alpha=0.6,
+                           rng=np.random.default_rng(0))
+        for _ in range(8):
+            mon.update(inside())
+        for _ in range(3):
+            mon.update(outside())
+        assert mon.in_alarm
+        # EWMA needs enough clean batches to decay back through the
+        # threshold: excess shrinks by (1 - alpha) per batch.
+        for _ in range(20):
+            mon.update(inside())
+        assert not mon.in_alarm

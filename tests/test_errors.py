@@ -1,0 +1,106 @@
+"""Unit tests for the exact sketch-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    covariance_error,
+    projection_error,
+    relative_covariance_error,
+    sketch_rank,
+)
+from repro.linalg.random_matrices import matrix_with_spectrum
+
+
+class TestCovarianceError:
+    def test_zero_for_identical(self, rng):
+        a = rng.standard_normal((20, 8))
+        assert covariance_error(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_value(self):
+        a = np.array([[2.0, 0.0], [0.0, 1.0]])
+        b = np.array([[1.0, 0.0], [0.0, 1.0]])
+        # A^T A - B^T B = diag(3, 0): spectral norm 3.
+        assert covariance_error(a, b) == pytest.approx(3.0)
+
+    def test_symmetric_in_sign(self, rng):
+        a = rng.standard_normal((10, 5))
+        b = rng.standard_normal((4, 5))
+        assert covariance_error(a, b) == covariance_error(b, a)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            covariance_error(rng.standard_normal((5, 4)), rng.standard_normal((5, 3)))
+
+    def test_relative_normalization(self, rng):
+        a = rng.standard_normal((20, 6))
+        b = np.zeros((3, 6))
+        # With an empty sketch, relative error is ||A^T A||_2 / ||A||_F^2 <= 1.
+        rel = relative_covariance_error(a, b)
+        assert 0 < rel <= 1.0
+
+    def test_relative_zero_data(self):
+        assert relative_covariance_error(np.zeros((4, 3)), np.zeros((2, 3))) == 0.0
+
+
+class TestProjectionError:
+    def test_perfect_basis_gives_one(self, rng):
+        s = np.array([4.0, 2.0, 1.0, 0.5, 0.2])
+        a = matrix_with_spectrum(s, 50, 20, rng)
+        # Project onto A's own top-3 directions: ratio vs optimal = 1.
+        err = projection_error(a, a, k=3)
+        assert err == pytest.approx(1.0, rel=1e-6)
+
+    def test_bad_basis_worse_than_one(self, rng):
+        a = matrix_with_spectrum(np.array([5.0, 1.0, 0.1]), 40, 10, rng)
+        b = rng.standard_normal((3, 10))  # random directions
+        assert projection_error(a, b, k=2) > 1.0
+
+    def test_absolute_mode(self, rng):
+        a = rng.standard_normal((20, 6))
+        res = projection_error(a, a, k=6, relative=False)
+        assert res == pytest.approx(0.0, abs=1e-9 * np.sum(a * a))
+
+    def test_zero_sketch(self, rng):
+        a = rng.standard_normal((10, 4))
+        assert projection_error(a, np.zeros((2, 4))) == np.inf
+
+
+class TestSketchRank:
+    def test_full_rank(self, rng):
+        assert sketch_rank(rng.standard_normal((5, 9))) == 5
+
+    def test_explicit_rank(self, rng):
+        a = matrix_with_spectrum(np.array([3.0, 1.0]), 8, 6, rng)
+        assert sketch_rank(a) == 2
+
+    def test_zero(self):
+        assert sketch_rank(np.zeros((4, 4))) == 0
+        assert sketch_rank(np.empty((0, 4))) == 0
+
+
+class TestMatrixFreePath:
+    def test_lanczos_path_matches_dense(self, rng):
+        """d > 1024 exercises the block-power-iteration branch; verify
+        against the dense eigensolver on a case small enough to afford
+        both."""
+        import scipy.linalg
+
+        a = rng.standard_normal((150, 1500))
+        b = rng.standard_normal((30, 1500))
+        fast = covariance_error(a, b)
+        w = scipy.linalg.eigh(a.T @ a - b.T @ b, eigvals_only=True)
+        exact = float(np.max(np.abs(w)))
+        assert fast == pytest.approx(exact, rel=1e-3)
+
+    def test_lanczos_path_on_psd_fd_difference(self):
+        from repro.core.frequent_directions import FrequentDirections
+        from repro.data.synthetic import synthetic_dataset
+
+        a = synthetic_dataset(n=300, d=1500, rank=64, profile="cubic",
+                              rate=0.05, seed=0)
+        fd = FrequentDirections(1500, 16).fit(a)
+        err = covariance_error(a, fd.sketch)
+        assert 0 < err <= np.sum(a * a) / 16 * (1 + 1e-9)

@@ -1,0 +1,153 @@
+"""Failure-injection tests: detector artefacts and hostile inputs.
+
+These exercise the failure modes a deployed monitoring system actually
+meets — dead pixels (NaN), hot pixels, saturated frames, all-zero
+frames, duplicate shots — and check that every stage either repairs,
+tolerates, or *loudly rejects* them (never silently corrupts a sketch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.core.frequent_directions import FrequentDirections
+from repro.pipeline.monitor import MonitoringPipeline
+from repro.pipeline.preprocess import Preprocessor, repair_dead_pixels
+
+
+class TestDeadPixels:
+    def test_nan_filled(self, rng):
+        images = rng.random((4, 8, 8))
+        images[1, 3, 3] = np.nan
+        images[2, 0, :] = np.inf
+        out = repair_dead_pixels(images)
+        assert np.all(np.isfinite(out))
+        assert out[1, 3, 3] == 0.0
+
+    def test_custom_fill(self, rng):
+        images = rng.random((2, 4, 4))
+        images[0, 0, 0] = np.nan
+        out = repair_dead_pixels(images, nan_fill=-1.0)
+        assert out[0, 0, 0] == -1.0
+
+    def test_good_pixels_untouched(self, rng):
+        images = rng.random((3, 6, 6))
+        out = repair_dead_pixels(images)
+        np.testing.assert_array_equal(out, images)
+
+
+class TestHotPixels:
+    def test_hot_pixel_clamped(self, rng):
+        images = rng.random((2, 10, 10))
+        images[0, 5, 5] = 1e9
+        out = repair_dead_pixels(images, hot_sigma=6.0)
+        assert out[0, 5, 5] < 1e9
+        # The other frame is untouched (no hot pixels).
+        np.testing.assert_allclose(out[1], images[1])
+
+    def test_hot_sigma_validated(self, rng):
+        with pytest.raises(ValueError, match="hot_sigma"):
+            repair_dead_pixels(rng.random((1, 4, 4)), hot_sigma=0.0)
+
+
+class TestSketcherRejectsCorruptInput:
+    def test_nan_rejected_loudly(self, rng):
+        fd = FrequentDirections(d=8, ell=4)
+        bad = rng.standard_normal((5, 8))
+        bad[2, 3] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            fd.partial_fit(bad)
+        # State must be untouched after the rejection.
+        assert fd.n_seen == 0
+        assert fd.squared_frobenius == 0.0
+
+    def test_inf_rejected(self, rng):
+        fd = FrequentDirections(d=8, ell=4)
+        bad = rng.standard_normal((5, 8))
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError, match="NaN"):
+            fd.partial_fit(bad)
+
+    def test_arams_propagates_rejection(self, rng):
+        sk = ARAMS(d=8, config=ARAMSConfig(ell=4, seed=0))
+        bad = rng.standard_normal((5, 8))
+        bad[1, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            sk.partial_fit(bad)
+
+
+class TestPipelineUnderArtefacts:
+    def test_pipeline_survives_dead_and_hot_pixels(self, rng):
+        from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+
+        gen = BeamProfileGenerator(BeamProfileConfig(shape=(32, 32)), seed=0)
+        images, _ = gen.sample(200)
+        # Corrupt 1% of pixels with NaN, a few hot pixels per run.
+        corrupt = images.copy()
+        mask = rng.uniform(size=corrupt.shape) < 0.01
+        corrupt[mask] = np.nan
+        corrupt[0, 5, 5] = 1e7
+        pipe = MonitoringPipeline(
+            image_shape=(32, 32), seed=0, n_latent=8,
+            preprocessor=Preprocessor(normalize="l2", center=True,
+                                      repair=True, hot_sigma=8.0),
+            umap={"n_epochs": 40, "n_neighbors": 10},
+            sketch=ARAMSConfig(ell=12, seed=0),
+        )
+        result = pipe.consume(corrupt).analyze()
+        assert np.all(np.isfinite(result.embedding))
+        assert np.all(np.isfinite(result.latent))
+
+    def test_pipeline_rejects_nan_with_repair_disabled(self, rng):
+        pipe = MonitoringPipeline(
+            image_shape=(16, 16), seed=0,
+            preprocessor=Preprocessor(normalize="l2", center=False, repair=False),
+        )
+        bad = rng.random((4, 16, 16))
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            pipe.consume(bad)
+
+
+class TestDegenerateFrames:
+    def test_all_zero_frames_tolerated(self):
+        images = np.zeros((30, 16, 16))
+        images[::2, 8, 8] = 1.0  # half real shots, half empty frames
+        pipe = MonitoringPipeline(
+            image_shape=(16, 16), seed=0, n_latent=4,
+            umap={"n_epochs": 30, "n_neighbors": 5},
+            optics={"min_samples": 5},
+            sketch=ARAMSConfig(ell=4, seed=0),
+            outlier_contamination=None,
+        )
+        result = pipe.consume(images).analyze()
+        assert np.all(np.isfinite(result.embedding))
+
+    def test_duplicate_shots_tolerated(self, rng):
+        frame = rng.random((16, 16))
+        images = np.repeat(frame[None], 40, axis=0)
+        images += rng.normal(0, 1e-6, images.shape)  # near-exact duplicates
+        pipe = MonitoringPipeline(
+            image_shape=(16, 16), seed=0, n_latent=4,
+            umap={"n_epochs": 30, "n_neighbors": 5},
+            optics={"min_samples": 5},
+            sketch=ARAMSConfig(ell=4, seed=0),
+            outlier_contamination=None,
+        )
+        result = pipe.consume(images).analyze()
+        assert result.embedding.shape == (40, 2)
+        assert np.all(np.isfinite(result.embedding))
+
+    def test_saturated_frames_survive_normalization(self):
+        images = np.full((20, 16, 16), 65535.0)  # ADC-saturated
+        pipe = MonitoringPipeline(
+            image_shape=(16, 16), seed=0, n_latent=4,
+            umap={"n_epochs": 20, "n_neighbors": 5},
+            optics={"min_samples": 5},
+            sketch=ARAMSConfig(ell=4, seed=0),
+            outlier_contamination=None,
+        )
+        result = pipe.consume(images).analyze()
+        assert np.all(np.isfinite(result.embedding))

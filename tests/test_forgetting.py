@@ -1,0 +1,88 @@
+"""Unit tests for exponentially forgetting FD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.core.forgetting import ForgettingFD
+from repro.core.frequent_directions import FrequentDirections
+from repro.linalg.random_matrices import haar_orthogonal
+
+
+class TestValidation:
+    def test_gamma_range(self):
+        with pytest.raises(ValueError, match="gamma"):
+            ForgettingFD(d=8, ell=4, gamma=0.0)
+        with pytest.raises(ValueError, match="gamma"):
+            ForgettingFD(d=8, ell=4, gamma=1.5)
+
+
+class TestEquivalence:
+    def test_gamma_one_is_plain_fd(self, rng):
+        x = rng.standard_normal((150, 20))
+        plain = FrequentDirections(20, 5).fit(x)
+        forget = ForgettingFD(20, 5, gamma=1.0).fit(x)
+        np.testing.assert_array_equal(plain.sketch, forget.sketch)
+
+
+class TestForgetting:
+    @pytest.fixture
+    def two_regimes(self, rng):
+        """Old regime in one subspace, new regime in an orthogonal one."""
+        q = haar_orthogonal(40, 10, rng)
+        old_basis, new_basis = q[:, :5], q[:, 5:]
+        old = (old_basis @ rng.standard_normal((5, 400))).T * 3.0
+        new = (new_basis @ rng.standard_normal((5, 400))).T
+        return old, new, old_basis, new_basis
+
+    def _subspace_energy(self, sketch: np.ndarray, basis: np.ndarray) -> float:
+        proj = sketch @ basis
+        total = np.sum(sketch * sketch)
+        return float(np.sum(proj * proj) / total) if total > 0 else 0.0
+
+    def test_recent_regime_dominates(self, two_regimes):
+        old, new, old_basis, new_basis = two_regimes
+        fd = ForgettingFD(d=40, ell=8, gamma=0.6)
+        fd.partial_fit(old)
+        fd.partial_fit(new)
+        # After forgetting, the sketch energy should sit mostly in the
+        # new subspace despite the old regime being 3x stronger.
+        assert self._subspace_energy(fd.sketch, new_basis) > 0.8
+
+    def test_plain_fd_keeps_old_regime(self, two_regimes):
+        old, new, old_basis, _ = two_regimes
+        fd = FrequentDirections(d=40, ell=8)
+        fd.partial_fit(old)
+        fd.partial_fit(new)
+        # Without forgetting the 3x-stronger old regime still dominates.
+        assert self._subspace_energy(fd.sketch, old_basis) > 0.5
+
+    def test_smaller_gamma_forgets_faster(self, two_regimes):
+        old, new, old_basis, _ = two_regimes
+        energies = []
+        for gamma in (0.95, 0.5):
+            fd = ForgettingFD(d=40, ell=8, gamma=gamma)
+            fd.partial_fit(old)
+            fd.partial_fit(new[:100])
+            energies.append(self._subspace_energy(fd.sketch, old_basis))
+        assert energies[1] < energies[0]
+
+    def test_effective_memory(self):
+        fd = ForgettingFD(d=16, ell=4, gamma=0.9)
+        assert fd.effective_memory_rows() == pytest.approx(4 / (1 - 0.81))
+        assert ForgettingFD(d=16, ell=4, gamma=1.0).effective_memory_rows() == np.inf
+
+    def test_stationary_stream_still_bounded(self, rng):
+        """On a stationary stream, forgetting must not blow up the error
+        of approximating the *recent* window."""
+        x = rng.standard_normal((600, 30))
+        fd = ForgettingFD(d=30, ell=10, gamma=0.8)
+        fd.partial_fit(x)
+        recent = x[-int(fd.effective_memory_rows()) :]
+        b = fd.sketch
+        # Sketch Gram must not exceed the recent window's Gram wildly.
+        s_b = scipy.linalg.svdvals(b)
+        s_r = scipy.linalg.svdvals(recent)
+        assert s_b[0] <= s_r[0] * 3.0

@@ -1,0 +1,201 @@
+"""Unit tests for the FastFD sketcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import covariance_error, relative_covariance_error
+from repro.core.frequent_directions import FrequentDirections
+
+
+class TestConstruction:
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError, match="d must be"):
+            FrequentDirections(d=0, ell=1)
+
+    def test_rejects_bad_ell(self):
+        with pytest.raises(ValueError, match="ell must be"):
+            FrequentDirections(d=10, ell=0)
+
+    def test_rejects_ell_above_d(self):
+        with pytest.raises(ValueError, match="wasteful"):
+            FrequentDirections(d=10, ell=11)
+
+    def test_initial_state(self):
+        fd = FrequentDirections(d=10, ell=4)
+        assert fd.n_seen == 0
+        assert fd.n_rotations == 0
+        assert fd.sketch.shape == (4, 10)
+        assert np.all(fd.sketch == 0)
+
+
+class TestStreaming:
+    def test_single_row_accepted(self, rng):
+        fd = FrequentDirections(d=6, ell=3)
+        fd.partial_fit(rng.standard_normal(6))
+        assert fd.n_seen == 1
+
+    def test_dimension_mismatch_rejected(self, rng):
+        fd = FrequentDirections(d=6, ell=3)
+        with pytest.raises(ValueError, match="dimension"):
+            fd.partial_fit(rng.standard_normal((5, 7)))
+
+    def test_n_seen_accumulates(self, rng):
+        fd = FrequentDirections(d=8, ell=4)
+        for k in (3, 5, 11, 1):
+            fd.partial_fit(rng.standard_normal((k, 8)))
+        assert fd.n_seen == 20
+
+    def test_squared_frobenius_tracked(self, rng):
+        x = rng.standard_normal((50, 8))
+        fd = FrequentDirections(d=8, ell=4).fit(x)
+        assert fd.squared_frobenius == pytest.approx(np.sum(x * x))
+
+    def test_rotation_frequency(self, rng):
+        # FastFD rotates once every ell rows after the initial fill.
+        fd = FrequentDirections(d=12, ell=4)
+        fd.partial_fit(rng.standard_normal((100, 12)))
+        # Buffer holds 2*ell = 8 rows; rotations are lazy (triggered by
+        # the insert that finds the buffer full), so the k-th rotation
+        # happens at row 2*ell + (k-1)*ell + 1: ceil((100 - 8) / 4) total.
+        assert fd.n_rotations == -((100 - 8) // -4)
+
+    def test_batch_size_invariance(self, rng):
+        """The sketch must not depend on how the stream is chunked."""
+        x = rng.standard_normal((120, 10))
+        fd_whole = FrequentDirections(d=10, ell=5).fit(x)
+        fd_chunks = FrequentDirections(d=10, ell=5)
+        for i in range(0, 120, 7):
+            fd_chunks.partial_fit(x[i : i + 7])
+        np.testing.assert_allclose(
+            fd_whole.sketch, fd_chunks.sketch, rtol=1e-9, atol=1e-9
+        )
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("ell", [5, 10, 20, 40])
+    def test_covariance_error_bound(self, small_lowrank, ell):
+        """||A^T A - B^T B||_2 <= ||A||_F^2 / ell (Ghashami et al. 2016)."""
+        a = small_lowrank
+        fd = FrequentDirections(d=a.shape[1], ell=ell).fit(a)
+        err = covariance_error(a, fd.sketch)
+        bound = np.sum(a * a) / ell
+        assert err <= bound * (1 + 1e-9)
+
+    def test_underestimation_property(self, small_lowrank):
+        """B^T B never overestimates A^T A in any direction."""
+        a = small_lowrank
+        fd = FrequentDirections(d=a.shape[1], ell=12).fit(a)
+        b = fd.sketch
+        diff = a.T @ a - b.T @ b
+        evals = np.linalg.eigvalsh(diff)
+        assert evals.min() >= -1e-8 * np.sum(a * a)
+
+    def test_error_decreases_with_ell(self, small_lowrank):
+        a = small_lowrank
+        errs = [
+            relative_covariance_error(
+                a, FrequentDirections(d=a.shape[1], ell=ell).fit(a).sketch
+            )
+            for ell in (5, 15, 40)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_exact_recovery_of_lowrank(self, rng):
+        """If rank(A) < ell the sketch captures A exactly."""
+        u = np.linalg.qr(rng.standard_normal((100, 3)))[0]
+        v = np.linalg.qr(rng.standard_normal((20, 3)))[0]
+        a = (u * [5.0, 3.0, 1.0]) @ v.T
+        fd = FrequentDirections(d=20, ell=8).fit(a)
+        assert relative_covariance_error(a, fd.sketch) < 1e-10
+
+
+class TestSketchAccess:
+    def test_sketch_is_copy(self, rng):
+        fd = FrequentDirections(d=8, ell=4).fit(rng.standard_normal((30, 8)))
+        s = fd.sketch
+        s[:] = 99.0
+        assert not np.any(fd.sketch == 99.0)
+
+    def test_sketch_idempotent(self, rng):
+        fd = FrequentDirections(d=8, ell=4).fit(rng.standard_normal((30, 8)))
+        s1 = fd.sketch
+        s2 = fd.sketch
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_sketch_folds_pending_rows(self, rng):
+        """Rows still in the buffer must contribute to the sketch."""
+        x = rng.standard_normal((6, 8)) * 10
+        fd = FrequentDirections(d=8, ell=4)
+        fd.partial_fit(x[:2])
+        s = fd.sketch
+        # The 2 rows' energy must be present (nothing shrunk yet).
+        assert np.sum(s * s) == pytest.approx(np.sum(x[:2] ** 2), rel=1e-9)
+
+    def test_compact_sketch_removes_zero_rows(self, rng):
+        fd = FrequentDirections(d=8, ell=6)
+        fd.partial_fit(rng.standard_normal((3, 8)))
+        compact = fd.compact_sketch()
+        assert compact.shape[0] <= 6
+        assert np.all(np.any(compact != 0, axis=1))
+
+    def test_basis_orthonormal(self, small_lowrank):
+        fd = FrequentDirections(d=80, ell=10).fit(small_lowrank)
+        v = fd.basis(5)
+        np.testing.assert_allclose(v.T @ v, np.eye(5), atol=1e-10)
+
+    def test_basis_empty_sketch_raises(self):
+        fd = FrequentDirections(d=8, ell=4)
+        with pytest.raises(RuntimeError, match="empty"):
+            fd.basis()
+
+    def test_project_shape(self, small_lowrank):
+        fd = FrequentDirections(d=80, ell=10).fit(small_lowrank)
+        z = fd.project(small_lowrank[:17], k=4)
+        assert z.shape == (17, 4)
+
+    def test_projection_captures_energy(self, small_lowrank):
+        """Projecting onto the sketch basis should retain most energy."""
+        a = small_lowrank
+        fd = FrequentDirections(d=80, ell=20).fit(a)
+        z = fd.project(a)
+        assert np.sum(z * z) > 0.95 * np.sum(a * a)
+
+
+class TestMerge:
+    def test_merge_preserves_bound(self, rng):
+        a1 = rng.standard_normal((200, 30))
+        a2 = rng.standard_normal((200, 30))
+        ell = 10
+        f1 = FrequentDirections(30, ell).fit(a1)
+        f2 = FrequentDirections(30, ell).fit(a2)
+        f1.merge(f2)
+        a = np.vstack([a1, a2])
+        err = covariance_error(a, f1.sketch)
+        # Merged sketches satisfy a 2/ell-style bound; check the safe 2x.
+        assert err <= 2.0 * np.sum(a * a) / ell
+
+    def test_merge_dimension_mismatch(self, rng):
+        f1 = FrequentDirections(10, 4)
+        f2 = FrequentDirections(12, 4)
+        with pytest.raises(ValueError, match="dimension"):
+            f1.merge(f2)
+
+    def test_merge_accumulates_counters(self, rng):
+        f1 = FrequentDirections(10, 4).fit(rng.standard_normal((20, 10)))
+        f2 = FrequentDirections(10, 4).fit(rng.standard_normal((30, 10)))
+        total_f2 = f2.squared_frobenius
+        f1.merge(f2)
+        assert f1.n_seen == 50
+        assert f1.squared_frobenius == pytest.approx(
+            total_f2 + np.sum(f1.squared_frobenius - total_f2)
+        )
+
+    def test_merge_with_empty_other(self, rng):
+        f1 = FrequentDirections(10, 4).fit(rng.standard_normal((20, 10)))
+        before = f1.sketch.copy()
+        f2 = FrequentDirections(10, 4)  # never fed
+        f1.merge(f2)
+        # Energy must be preserved up to the shrink of re-merging.
+        assert np.linalg.norm(f1.sketch) <= np.linalg.norm(before) + 1e-9

@@ -1,0 +1,124 @@
+"""Unit tests for the from-scratch HDBSCAN* implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hdbscan import HDBSCAN
+from repro.cluster.metrics import adjusted_rand_index
+
+
+class TestValidation:
+    def test_bad_min_cluster_size(self):
+        with pytest.raises(ValueError, match="min_cluster_size"):
+            HDBSCAN(min_cluster_size=1)
+
+    def test_bad_min_samples(self):
+        with pytest.raises(ValueError, match="min_samples"):
+            HDBSCAN(min_samples=0)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            HDBSCAN().fit(rng.standard_normal(20))
+
+    def test_too_few_points(self, rng):
+        with pytest.raises(ValueError, match="at least"):
+            HDBSCAN(min_cluster_size=10).fit(rng.standard_normal((5, 2)))
+
+
+class TestClustering:
+    def test_recovers_four_blobs(self, blobs_2d):
+        x, labels = blobs_2d
+        model = HDBSCAN(min_cluster_size=15).fit(x)
+        assert len(set(model.labels_.tolist()) - {-1}) == 4
+        assert adjusted_rand_index(labels, model.labels_) > 0.95
+
+    def test_noise_points_flagged(self, rng):
+        blobs = np.vstack([
+            rng.normal(0, 0.2, size=(80, 2)),
+            rng.normal(6, 0.2, size=(80, 2)),
+        ])
+        scattered = rng.uniform(-10, 16, size=(14, 2))
+        far = (np.linalg.norm(scattered, axis=1) > 3) & (
+            np.linalg.norm(scattered - 6.0, axis=1) > 3
+        )
+        x = np.vstack([blobs, scattered[far]])
+        model = HDBSCAN(min_cluster_size=15).fit(x)
+        assert (model.labels_[:160] != -1).mean() > 0.9
+        assert (model.labels_[160:] == -1).mean() > 0.5
+
+    def test_different_densities(self, rng):
+        x = np.vstack([rng.normal(0, 0.15, (80, 2)), rng.normal(4, 0.9, (80, 2))])
+        t = np.repeat([0, 1], 80)
+        model = HDBSCAN(min_cluster_size=20).fit(x)
+        assert adjusted_rand_index(t, model.labels_) > 0.8
+
+    def test_min_cluster_size_merges_fragments(self, blobs_2d):
+        x, _ = blobs_2d
+        small = HDBSCAN(min_cluster_size=5).fit(x)
+        large = HDBSCAN(min_cluster_size=50).fit(x)
+        n_small = len(set(small.labels_.tolist()) - {-1})
+        n_large = len(set(large.labels_.tolist()) - {-1})
+        assert n_large <= n_small
+
+    def test_single_cluster_without_flag_is_noise_or_split(self, rng):
+        """One Gaussian blob, allow_single_cluster=False: the root can't
+        be selected, so points either split or go unlabeled coherently."""
+        x = rng.normal(0, 0.5, size=(100, 2))
+        model = HDBSCAN(min_cluster_size=20).fit(x)
+        assert model.labels_ is not None  # just must not crash
+
+    def test_single_cluster_with_flag(self, rng):
+        x = rng.normal(0, 0.5, size=(100, 2))
+        model = HDBSCAN(min_cluster_size=20, allow_single_cluster=True).fit(x)
+        labs = set(model.labels_.tolist()) - {-1}
+        assert len(labs) >= 1
+        assert (model.labels_ != -1).mean() > 0.8
+
+    def test_fit_predict(self, blobs_2d):
+        x, _ = blobs_2d
+        m = HDBSCAN(min_cluster_size=15)
+        labels = m.fit_predict(x)
+        np.testing.assert_array_equal(labels, m.labels_)
+
+
+class TestDiagnostics:
+    def test_probabilities_in_unit_interval(self, blobs_2d):
+        x, _ = blobs_2d
+        model = HDBSCAN(min_cluster_size=15).fit(x)
+        assert model.probabilities_.min() >= 0.0
+        assert model.probabilities_.max() <= 1.0
+        # Clustered points carry positive membership.
+        clustered = model.labels_ != -1
+        assert model.probabilities_[clustered].min() > 0.0
+
+    def test_noise_probability_zero(self, rng):
+        cluster = rng.normal(0, 0.2, size=(60, 2))
+        outlier = np.array([[50.0, 50.0]])
+        model = HDBSCAN(min_cluster_size=15).fit(np.vstack([cluster, outlier]))
+        if model.labels_[-1] == -1:
+            assert model.probabilities_[-1] == 0.0
+
+    def test_persistence_per_cluster(self, blobs_2d):
+        x, _ = blobs_2d
+        model = HDBSCAN(min_cluster_size=15).fit(x)
+        found = set(model.labels_.tolist()) - {-1}
+        assert set(model.cluster_persistence_) == found
+        assert all(v > 0 for v in model.cluster_persistence_.values())
+
+    def test_condensed_tree_accounts_for_all_points(self, blobs_2d):
+        x, _ = blobs_2d
+        model = HDBSCAN(min_cluster_size=15).fit(x)
+        point_rows = [r for r in model.condensed_tree_ if r.child < len(x)]
+        assert len({r.child for r in point_rows}) == len(x)
+
+    def test_core_points_have_higher_probability(self, rng):
+        """A blob's center points should outrank its fringe."""
+        center = rng.normal(0, 0.1, size=(50, 2))
+        fringe = rng.normal(0, 0.1, size=(10, 2)) + np.array([0.9, 0.0])
+        x = np.vstack([center, fringe])
+        model = HDBSCAN(min_cluster_size=10, allow_single_cluster=True).fit(x)
+        same = model.labels_[0] != -1 and np.all(model.labels_ == model.labels_[0])
+        if same:
+            assert model.probabilities_[:50].mean() > model.probabilities_[50:].mean()

@@ -1,0 +1,91 @@
+"""Unit tests for the interactive HTML embedding report."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.pipeline.html_report import write_embedding_report
+
+
+@pytest.fixture
+def embedding(rng):
+    return rng.standard_normal((30, 2))
+
+
+def _extract_payload(html: str) -> dict:
+    m = re.search(r"const DATA = (\{.*?\});\n", html, re.DOTALL)
+    assert m, "payload not found in HTML"
+    return json.loads(m.group(1))
+
+
+class TestValidation:
+    def test_embedding_shape(self, rng, tmp_path):
+        with pytest.raises(ValueError, match="n, 2"):
+            write_embedding_report(tmp_path / "x.html", rng.standard_normal((5, 3)))
+
+    def test_labels_length(self, embedding, tmp_path):
+        with pytest.raises(ValueError, match="labels"):
+            write_embedding_report(tmp_path / "x.html", embedding, labels=np.zeros(5))
+
+    def test_outliers_length(self, embedding, tmp_path):
+        with pytest.raises(ValueError, match="outliers"):
+            write_embedding_report(
+                tmp_path / "x.html", embedding, outliers=np.zeros(5, dtype=bool)
+            )
+
+    def test_tooltip_length(self, embedding, tmp_path):
+        with pytest.raises(ValueError, match="tooltip"):
+            write_embedding_report(
+                tmp_path / "x.html", embedding, tooltips={"a": np.zeros(5)}
+            )
+
+
+class TestContent:
+    def test_standalone_html_with_all_points(self, embedding, tmp_path, rng):
+        labels = rng.integers(-1, 3, size=30)
+        outliers = rng.uniform(size=30) < 0.1
+        path = write_embedding_report(
+            tmp_path / "report.html",
+            embedding,
+            labels=labels,
+            outliers=outliers,
+            tooltips={"asym": rng.standard_normal(30)},
+            title="Beam <run 510>",
+        )
+        html = path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Beam &lt;run 510&gt;" in html  # title escaped
+        payload = _extract_payload(html)
+        assert len(payload["points"]) == 30
+        point = payload["points"][0]
+        assert set(point) >= {"x", "y", "c", "o", "i"}
+        assert "asym" in point["t"]
+
+    def test_noise_cluster_grey(self, embedding, tmp_path):
+        labels = np.full(30, -1)
+        path = write_embedding_report(tmp_path / "r.html", embedding, labels=labels)
+        payload = _extract_payload(path.read_text())
+        assert payload["colors"]["-1"] == "#C8C8C8"
+
+    def test_distinct_cluster_colors(self, embedding, tmp_path):
+        labels = np.arange(30) % 5
+        path = write_embedding_report(tmp_path / "r.html", embedding, labels=labels)
+        payload = _extract_payload(path.read_text())
+        colors = set(payload["colors"].values())
+        assert len(colors) == 5
+
+    def test_defaults_single_cluster_no_outliers(self, embedding, tmp_path):
+        path = write_embedding_report(tmp_path / "r.html", embedding)
+        payload = _extract_payload(path.read_text())
+        assert all(p["c"] == 0 for p in payload["points"])
+        assert not any(p["o"] for p in payload["points"])
+
+    def test_interactive_machinery_present(self, embedding, tmp_path):
+        html = write_embedding_report(tmp_path / "r.html", embedding).read_text()
+        # Hover tooltip, pan, zoom and legend toggles must all ship.
+        for needle in ("mousemove", "wheel", "mousedown", "legend", "tip"):
+            assert needle in html

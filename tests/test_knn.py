@@ -1,0 +1,81 @@
+"""Unit tests for exact k-NN backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embed.knn import knn_brute, knn_graph, knn_tree
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("d", [2, 5, 20])
+    def test_brute_matches_tree(self, rng, d):
+        x = rng.standard_normal((150, d))
+        ib, db = knn_brute(x, 8)
+        it, dt = knn_tree(x, 8)
+        np.testing.assert_allclose(db, dt, atol=1e-10)
+        # Indices may differ on exact ties; distances are the contract.
+
+    def test_small_blocks_match_large(self, rng):
+        x = rng.standard_normal((100, 6))
+        i1, d1 = knn_brute(x, 5, block_size=7)
+        i2, d2 = knn_brute(x, 5, block_size=1000)
+        np.testing.assert_array_equal(i1, i2)
+        np.testing.assert_allclose(d1, d2)
+
+
+class TestProperties:
+    def test_self_excluded(self, rng):
+        x = rng.standard_normal((50, 4))
+        for fn in (knn_brute, knn_tree):
+            idx, _ = fn(x, 6)
+            assert not np.any(idx == np.arange(50)[:, None])
+
+    def test_distances_sorted(self, rng):
+        x = rng.standard_normal((60, 4))
+        for fn in (knn_brute, knn_tree):
+            _, dst = fn(x, 7)
+            assert np.all(np.diff(dst, axis=1) >= -1e-12)
+
+    def test_known_neighbours_on_line(self):
+        x = np.arange(10, dtype=float)[:, None]
+        idx, dst = knn_brute(x, 2)
+        assert set(idx[5]) == {4, 6}
+        np.testing.assert_allclose(dst[5], [1.0, 1.0])
+
+    def test_duplicate_points_handled(self):
+        x = np.zeros((6, 3))
+        x[3:] = 1.0
+        idx, dst = knn_tree(x, 2)
+        assert idx.shape == (6, 2)
+        assert np.all(np.isfinite(dst))
+
+
+class TestValidation:
+    def test_k_range(self, rng):
+        x = rng.standard_normal((10, 3))
+        with pytest.raises(ValueError, match="k must"):
+            knn_brute(x, 0)
+        with pytest.raises(ValueError, match="k must"):
+            knn_brute(x, 10)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            knn_brute(rng.standard_normal(10), 2)
+
+    def test_graph_method_dispatch(self, rng):
+        x = rng.standard_normal((40, 3))
+        i_auto, _ = knn_graph(x, 4, method="auto")
+        i_tree, _ = knn_graph(x, 4, method="tree")
+        np.testing.assert_array_equal(i_auto, i_tree)  # low-dim -> tree
+
+    def test_graph_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="unknown method"):
+            knn_graph(rng.standard_normal((10, 3)), 2, method="lsh")
+
+    def test_auto_picks_brute_in_high_dim(self, rng):
+        x = rng.standard_normal((30, 40))
+        ig, dg = knn_graph(x, 3, method="auto")
+        ib, db = knn_brute(x, 3)
+        np.testing.assert_allclose(dg, db)

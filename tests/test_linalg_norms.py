@@ -1,0 +1,121 @@
+"""Unit tests for the norm / trace / residual estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.norms import (
+    frobenius_estimate_gaussian,
+    gkl_norm_estimate,
+    hutchinson_trace,
+    hutchpp_trace,
+    residual_fro_norm_estimate,
+)
+from repro.linalg.random_matrices import haar_orthogonal
+
+
+class TestGaussianFrobenius:
+    def test_unbiased_monte_carlo(self):
+        gen = np.random.default_rng(0)
+        a = gen.standard_normal((15, 20))
+        truth = np.sum(a * a)
+        est = np.mean(
+            [
+                frobenius_estimate_gaussian(a, 10, np.random.default_rng(t))
+                for t in range(300)
+            ]
+        )
+        assert est == pytest.approx(truth, rel=0.05)
+
+    def test_variance_shrinks_with_samples(self):
+        gen = np.random.default_rng(1)
+        a = gen.standard_normal((10, 12))
+        few = [frobenius_estimate_gaussian(a, 2, np.random.default_rng(t)) for t in range(200)]
+        many = [frobenius_estimate_gaussian(a, 50, np.random.default_rng(t)) for t in range(200)]
+        assert np.var(many) < np.var(few)
+
+    def test_zero_matrix(self, rng):
+        assert frobenius_estimate_gaussian(np.zeros((5, 5)), 5, rng) == 0.0
+
+    def test_bad_samples(self, rng):
+        with pytest.raises(ValueError, match="n_samples"):
+            frobenius_estimate_gaussian(np.eye(3), 0, rng)
+
+
+class TestTraceEstimators:
+    def test_hutchinson_exact_for_identity(self, rng):
+        # Rademacher probes give z^T I z = n exactly for any z.
+        t = hutchinson_trace(lambda v: v, 7, 3, rng)
+        assert t == pytest.approx(7.0)
+
+    def test_hutchinson_unbiased(self):
+        gen = np.random.default_rng(2)
+        m = gen.standard_normal((12, 12))
+        m = m @ m.T
+        truth = np.trace(m)
+        est = np.mean(
+            [hutchinson_trace(lambda v: m @ v, 12, 8, np.random.default_rng(t)) for t in range(400)]
+        )
+        assert est == pytest.approx(truth, rel=0.05)
+
+    def test_hutchpp_lower_variance_on_lowrank(self):
+        """Hutch++ should beat Hutchinson on spiky spectra."""
+        gen = np.random.default_rng(3)
+        u = haar_orthogonal(40, 3, gen)
+        m = (u * [100.0, 50.0, 20.0]) @ u.T  # PSD rank-3
+        budget = 12
+        h = [hutchinson_trace(lambda v: m @ v, 40, budget, np.random.default_rng(t)) for t in range(150)]
+        hpp = [hutchpp_trace(lambda v: m @ v, 40, budget, np.random.default_rng(t)) for t in range(150)]
+        truth = np.trace(m)
+        assert np.mean((np.array(hpp) - truth) ** 2) < np.mean((np.array(h) - truth) ** 2)
+
+    def test_hutchpp_needs_three(self, rng):
+        with pytest.raises(ValueError, match="n_samples"):
+            hutchpp_trace(lambda v: v, 5, 2, rng)
+
+    def test_gkl_unbiased(self):
+        gen = np.random.default_rng(4)
+        a = gen.standard_normal((9, 14))
+        truth = np.sum(a * a)
+        est = np.mean(
+            [gkl_norm_estimate(lambda v: a @ v, 14, 10, np.random.default_rng(t)) for t in range(400)]
+        )
+        assert est == pytest.approx(truth, rel=0.06)
+
+
+class TestResidualEstimate:
+    @pytest.mark.parametrize("method", ["gaussian", "hutchinson", "hutchpp", "gkl"])
+    def test_matches_exact(self, method):
+        gen = np.random.default_rng(5)
+        u = haar_orthogonal(30, 6, gen)
+        x = gen.standard_normal((30, 50))
+        exact = residual_fro_norm_estimate(x, u, method="exact")
+        ests = [
+            residual_fro_norm_estimate(x, u, n_samples=20, rng=np.random.default_rng(t), method=method)
+            for t in range(120)
+        ]
+        assert np.mean(ests) == pytest.approx(exact, rel=0.1)
+
+    def test_zero_residual_in_span(self, rng):
+        u = haar_orthogonal(20, 5, rng)
+        x = u @ rng.standard_normal((5, 15))
+        for method in ("gaussian", "exact", "hutchinson", "gkl"):
+            val = residual_fro_norm_estimate(x, u, 10, np.random.default_rng(0), method)
+            assert abs(val) < 1e-18 * max(1.0, np.sum(x * x)) + 1e-12
+
+    def test_shape_checks(self, rng):
+        u = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="mismatch"):
+            residual_fro_norm_estimate(rng.standard_normal((11, 4)), u)
+
+    def test_unknown_method(self, rng):
+        u = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="unknown method"):
+            residual_fro_norm_estimate(rng.standard_normal((10, 4)), u, method="bogus")
+
+    def test_exact_equals_direct_projection(self, rng):
+        u = haar_orthogonal(25, 8, rng)
+        x = rng.standard_normal((25, 30))
+        direct = np.sum((x - u @ (u.T @ x)) ** 2)
+        assert residual_fro_norm_estimate(x, u, method="exact") == pytest.approx(direct)

@@ -1,0 +1,101 @@
+"""Unit tests for random orthogonal matrices and spectrum assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.linalg.random_matrices import (
+    haar_orthogonal,
+    matrix_with_spectrum,
+    perturbed_orthogonal,
+)
+
+
+class TestHaarOrthogonal:
+    def test_orthonormal_columns(self, rng):
+        q = haar_orthogonal(20, 8, rng)
+        np.testing.assert_allclose(q.T @ q, np.eye(8), atol=1e-12)
+
+    def test_square_default(self, rng):
+        q = haar_orthogonal(6, rng=rng)
+        np.testing.assert_allclose(q @ q.T, np.eye(6), atol=1e-12)
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ValueError, match="m <= n"):
+            haar_orthogonal(3, 5, rng)
+
+    def test_haar_rotation_invariance(self):
+        """First column should be uniform on the sphere: mean ~ 0."""
+        gen = np.random.default_rng(0)
+        cols = np.stack([haar_orthogonal(5, 1, gen)[:, 0] for _ in range(3000)])
+        assert np.abs(cols.mean(axis=0)).max() < 0.05
+        # Each coordinate has variance 1/n on the sphere.
+        np.testing.assert_allclose(cols.var(axis=0), 0.2, atol=0.03)
+
+
+class TestPerturbedOrthogonal:
+    def test_zero_scale_identity(self, rng):
+        q = haar_orthogonal(12, 4, rng)
+        np.testing.assert_array_equal(perturbed_orthogonal(q, 0.0, rng), q)
+
+    def test_output_orthonormal(self, rng):
+        q = haar_orthogonal(12, 4, rng)
+        p = perturbed_orthogonal(q, 0.1, rng)
+        np.testing.assert_allclose(p.T @ p, np.eye(4), atol=1e-12)
+
+    def test_small_scale_stays_close(self, rng):
+        q = haar_orthogonal(30, 6, rng)
+        p = perturbed_orthogonal(q, 0.01, rng)
+        # Subspace distance (principal angles) should be small.
+        s = scipy.linalg.svdvals(q.T @ p)
+        assert s.min() > 0.99
+
+    def test_large_scale_moves_away(self, rng):
+        q = haar_orthogonal(30, 6, rng)
+        p = perturbed_orthogonal(q, 5.0, rng)
+        s = scipy.linalg.svdvals(q.T @ p)
+        assert s.min() < 0.9
+
+    def test_negative_scale_rejected(self, rng):
+        q = haar_orthogonal(5, 2, rng)
+        with pytest.raises(ValueError, match="nonnegative"):
+            perturbed_orthogonal(q, -0.1, rng)
+
+
+class TestMatrixWithSpectrum:
+    def test_exact_singular_values(self, rng):
+        s = np.array([5.0, 3.0, 1.0, 0.5])
+        a = matrix_with_spectrum(s, 40, 20, rng)
+        got = scipy.linalg.svdvals(a)
+        np.testing.assert_allclose(got[:4], s, atol=1e-10)
+        np.testing.assert_allclose(got[4:], 0.0, atol=1e-10)
+
+    def test_shape(self, rng):
+        a = matrix_with_spectrum(np.array([1.0]), 7, 9, rng)
+        assert a.shape == (7, 9)
+
+    def test_rejects_increasing(self, rng):
+        with pytest.raises(ValueError, match="nonincreasing"):
+            matrix_with_spectrum(np.array([1.0, 2.0]), 5, 5, rng)
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError, match="nonnegative"):
+            matrix_with_spectrum(np.array([1.0, -0.5]), 5, 5, rng)
+
+    def test_rejects_rank_too_large(self, rng):
+        with pytest.raises(ValueError, match="rank"):
+            matrix_with_spectrum(np.ones(6), 5, 8, rng)
+
+    def test_explicit_factors_used(self, rng):
+        u = haar_orthogonal(10, 2, rng)
+        v = haar_orthogonal(6, 2, rng)
+        s = np.array([2.0, 1.0])
+        a = matrix_with_spectrum(s, 10, 6, rng, left=u, right=v)
+        np.testing.assert_allclose(a, (u * s) @ v.T, atol=1e-12)
+
+    def test_factor_shape_validated(self, rng):
+        u = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="left factor"):
+            matrix_with_spectrum(np.array([1.0, 0.5]), 10, 6, rng, left=u)

@@ -1,0 +1,89 @@
+"""Unit tests for the SVD wrappers and the FD shrink step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.svd import fd_shrink, thin_svd, truncated_svd
+
+
+class TestThinSVD:
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((12, 30))
+        u, s, vt = thin_svd(a)
+        np.testing.assert_allclose((u * s) @ vt, a, atol=1e-10)
+
+    def test_shapes(self, rng):
+        u, s, vt = thin_svd(rng.standard_normal((5, 9)))
+        assert u.shape == (5, 5) and s.shape == (5,) and vt.shape == (5, 9)
+
+    def test_descending(self, rng):
+        _, s, _ = thin_svd(rng.standard_normal((8, 8)))
+        assert np.all(np.diff(s) <= 0)
+
+
+class TestTruncatedSVD:
+    def test_best_rank_k(self, rng):
+        a = rng.standard_normal((20, 15))
+        u, s, vt = truncated_svd(a, 3)
+        approx = (u * s) @ vt
+        _, full_s, _ = thin_svd(a)
+        # Eckart-Young: residual energy equals the tail of the spectrum.
+        assert np.sum((a - approx) ** 2) == pytest.approx(np.sum(full_s[3:] ** 2))
+
+    def test_k_validation(self, rng):
+        a = rng.standard_normal((6, 6))
+        with pytest.raises(ValueError, match="k"):
+            truncated_svd(a, 0)
+        with pytest.raises(ValueError, match="exceeds"):
+            truncated_svd(a, 7)
+
+
+class TestFDShrink:
+    def test_annihilates_ell_th_direction(self, rng):
+        a = rng.standard_normal((10, 16))
+        _, s, vt = thin_svd(a)
+        out = fd_shrink(s, vt, 5)
+        assert out.shape == (5, 16)
+        # Output singular values are sqrt(s_i^2 - s_5^2): the 5th is 0.
+        out_s = np.linalg.svd(out, compute_uv=False)
+        np.testing.assert_allclose(out_s, np.sqrt(np.maximum(s[:5] ** 2 - s[4] ** 2, 0)), atol=1e-10)
+
+    def test_underfull_no_shrink(self, rng):
+        """With fewer than ell directions, delta is 0: rows kept verbatim."""
+        a = rng.standard_normal((3, 10))
+        _, s, vt = thin_svd(a)
+        out = fd_shrink(s, vt, 6)
+        np.testing.assert_allclose(out[:3], s[:, None] * vt, atol=1e-12)
+        assert np.all(out[3:] == 0)
+
+    def test_gram_underestimates_by_delta(self, rng):
+        """A^T A - B^T B = delta * projector-ish PSD with norm <= delta."""
+        a = rng.standard_normal((12, 10))
+        _, s, vt = thin_svd(a)
+        ell = 6
+        b = fd_shrink(s, vt, ell)
+        delta = s[ell - 1] ** 2
+        diff = a.T @ a - b.T @ b
+        evals = np.linalg.eigvalsh(diff)
+        assert evals.min() >= -1e-9
+        assert evals.max() <= delta + 1e-9
+
+    def test_mismatched_s_rejected(self, rng):
+        _, s, vt = thin_svd(rng.standard_normal((6, 8)))
+        with pytest.raises(ValueError, match="length"):
+            fd_shrink(s[:4], vt, 3)
+
+    def test_bad_ell(self, rng):
+        _, s, vt = thin_svd(rng.standard_normal((6, 8)))
+        with pytest.raises(ValueError, match="ell"):
+            fd_shrink(s, vt, 0)
+
+    def test_no_negative_under_sqrt(self):
+        """Cancellation case: equal singular values shrink to exactly 0."""
+        s = np.array([1.0, 1.0, 1.0])
+        vt = np.eye(3)
+        out = fd_shrink(s, vt, 3)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)

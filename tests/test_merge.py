@@ -1,0 +1,135 @@
+"""Unit tests for sketch merging (pairwise / serial / tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import covariance_error, relative_covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.merge import merge_pair, serial_merge, shrink_stack, tree_merge
+
+
+def _sketches_of(a: np.ndarray, parts: int, ell: int) -> list[np.ndarray]:
+    return [
+        FrequentDirections(a.shape[1], ell).fit(chunk).sketch
+        for chunk in np.array_split(a, parts)
+    ]
+
+
+class TestShrinkStack:
+    def test_zero_rows_ignored(self, rng):
+        b = rng.standard_normal((4, 10))
+        stacked = shrink_stack([b, np.zeros((6, 10))], 4)
+        np.testing.assert_allclose(
+            np.sort(np.abs(stacked).sum(axis=1)),
+            np.sort(np.abs(shrink_stack([b], 4)).sum(axis=1)),
+            atol=1e-9,
+        )
+
+    def test_underfull_passthrough(self, rng):
+        b = rng.standard_normal((3, 8))
+        out = shrink_stack([b], 5)
+        assert out.shape == (5, 8)
+        np.testing.assert_array_equal(out[:3], b)
+        assert np.all(out[3:] == 0)
+
+    def test_all_zero_input(self):
+        out = shrink_stack([np.zeros((4, 6))], 3)
+        assert out.shape == (3, 6)
+        assert np.all(out == 0)
+
+
+class TestMergePair:
+    def test_shape(self, rng):
+        b1 = rng.standard_normal((5, 12))
+        b2 = rng.standard_normal((5, 12))
+        assert merge_pair(b1, b2, 5).shape == (5, 12)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="dimensions differ"):
+            merge_pair(rng.standard_normal((4, 8)), rng.standard_normal((4, 9)), 4)
+
+    def test_merged_error_bound(self, rng):
+        """Merging preserves the 1/ell space/error trade-off."""
+        a1 = rng.standard_normal((300, 40))
+        a2 = rng.standard_normal((300, 40))
+        ell = 12
+        b1 = FrequentDirections(40, ell).fit(a1).sketch
+        b2 = FrequentDirections(40, ell).fit(a2).sketch
+        merged = merge_pair(b1, b2, ell)
+        a = np.vstack([a1, a2])
+        assert covariance_error(a, merged) <= 2.0 * np.sum(a * a) / ell
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("parts", [2, 3, 4, 8])
+    def test_serial_and_tree_equal_guarantee(self, medium_lowrank, parts):
+        a = medium_lowrank
+        ell = 25
+        sketches = _sketches_of(a, parts, ell)
+        s, _ = serial_merge(sketches, ell)
+        t, _ = tree_merge(sketches, ell)
+        es = relative_covariance_error(a, s)
+        et = relative_covariance_error(a, t)
+        bound = 2.0 / ell
+        assert es <= bound and et <= bound
+        # Paper Fig. 3: tree error closely tracks serial error.
+        assert abs(es - et) <= 0.5 * max(es, et) + 1e-6
+
+    def test_serial_rotation_count(self, small_lowrank):
+        sketches = _sketches_of(small_lowrank, 8, 10)
+        _, stats = serial_merge(sketches, 10)
+        assert stats.total_rotations == 7
+        assert stats.critical_path_rotations == 7
+
+    @pytest.mark.parametrize("parts,expected_levels", [(2, 1), (4, 2), (8, 3), (16, 4)])
+    def test_tree_critical_path_logarithmic(self, small_lowrank, parts, expected_levels):
+        sketches = _sketches_of(small_lowrank, parts, 10)
+        _, stats = tree_merge(sketches, 10)
+        assert stats.critical_path_rotations == expected_levels
+        assert stats.total_rotations == parts - 1
+
+    def test_tree_nonpow2(self, small_lowrank):
+        sketches = _sketches_of(small_lowrank, 5, 10)
+        merged, stats = tree_merge(sketches, 10)
+        assert merged.shape == (10, 80)
+        assert stats.total_rotations == 4  # always p-1 pairwise merges
+
+    @pytest.mark.parametrize("arity", [2, 3, 4, 8])
+    def test_tree_arity_levels(self, small_lowrank, arity):
+        sketches = _sketches_of(small_lowrank, 8, 10)
+        _, stats = tree_merge(sketches, 10, arity=arity)
+        expected = int(np.ceil(np.log(8) / np.log(arity)))
+        assert stats.critical_path_rotations == expected
+
+    def test_single_sketch_identity(self, small_lowrank):
+        sketches = _sketches_of(small_lowrank, 1, 10)
+        s, stats_s = serial_merge(sketches, 10)
+        t, stats_t = tree_merge(sketches, 10)
+        np.testing.assert_array_equal(s, sketches[0])
+        np.testing.assert_array_equal(t, sketches[0])
+        assert stats_s.total_rotations == 0
+        assert stats_t.total_rotations == 0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            serial_merge([], 4)
+        with pytest.raises(ValueError, match="at least one"):
+            tree_merge([], 4)
+
+    def test_bad_arity(self, small_lowrank):
+        sketches = _sketches_of(small_lowrank, 2, 10)
+        with pytest.raises(ValueError, match="arity"):
+            tree_merge(sketches, 10, arity=1)
+
+    def test_tree_order_insensitive_guarantee(self, medium_lowrank):
+        """Permuting shard order must not break the bound (appendix)."""
+        a = medium_lowrank
+        ell = 20
+        sketches = _sketches_of(a, 8, ell)
+        gen = np.random.default_rng(0)
+        for _ in range(3):
+            perm = gen.permutation(8)
+            merged, _ = tree_merge([sketches[i] for i in perm], ell)
+            assert relative_covariance_error(a, merged) <= 2.0 / ell

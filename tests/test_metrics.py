@@ -1,0 +1,132 @@
+"""Unit tests for the clustering metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    cluster_purity,
+    contingency_table,
+    normalized_mutual_information,
+    silhouette_score,
+)
+
+
+class TestContingency:
+    def test_known_table(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        table = contingency_table(a, b)
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            contingency_table(np.zeros(3), np.zeros(4))
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_is_one(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        gen = np.random.default_rng(0)
+        vals = [
+            adjusted_rand_index(gen.integers(0, 4, 200), gen.integers(0, 4, 200))
+            for _ in range(20)
+        ]
+        assert abs(np.mean(vals)) < 0.03
+
+    def test_single_split_known_value(self):
+        # Classic textbook example.
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        ari = adjusted_rand_index(a, b)
+        assert 0 < ari < 1
+
+    def test_tiny_input(self):
+        assert adjusted_rand_index(np.array([0]), np.array([0])) == 1.0
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 1, 1, 2, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        gen = np.random.default_rng(1)
+        a = gen.integers(0, 3, 3000)
+        b = gen.integers(0, 3, 3000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_range(self):
+        gen = np.random.default_rng(2)
+        for _ in range(10):
+            v = normalized_mutual_information(
+                gen.integers(0, 5, 50), gen.integers(0, 3, 50)
+            )
+            assert 0.0 <= v <= 1.0
+
+    def test_single_cluster_degenerate(self):
+        a = np.zeros(10, dtype=int)
+        assert normalized_mutual_information(a, a) == 1.0
+
+
+class TestPurity:
+    def test_perfect(self):
+        t = np.array([0, 0, 1, 1])
+        assert cluster_purity(t, t) == 1.0
+
+    def test_half(self):
+        t = np.array([0, 1, 0, 1])
+        p = np.array([0, 0, 1, 1])
+        assert cluster_purity(t, p) == 0.5
+
+    def test_noise_ignored_by_default(self):
+        t = np.array([0, 0, 1, 1])
+        p = np.array([0, 0, -1, -1])
+        assert cluster_purity(t, p) == 1.0
+
+    def test_noise_counted_when_asked(self):
+        t = np.array([0, 0, 1, 1])
+        p = np.array([0, 0, -1, -1])
+        assert cluster_purity(t, p, ignore_noise=False) < 1.0
+
+    def test_all_noise(self):
+        t = np.array([0, 1])
+        p = np.array([-1, -1])
+        assert cluster_purity(t, p) == 0.0
+
+
+class TestSilhouette:
+    def test_separated_blobs_high(self, blobs_2d):
+        x, labels = blobs_2d
+        assert silhouette_score(x, labels) > 0.7
+
+    def test_random_labels_low(self, blobs_2d):
+        x, _ = blobs_2d
+        gen = np.random.default_rng(3)
+        assert silhouette_score(x, gen.integers(0, 4, len(x))) < 0.1
+
+    def test_noise_excluded(self, blobs_2d):
+        x, labels = blobs_2d
+        noisy = labels.copy()
+        noisy[:10] = -1
+        v = silhouette_score(x, noisy)
+        assert v > 0.7
+
+    def test_single_cluster_raises(self, rng):
+        with pytest.raises(ValueError, match="2 clusters"):
+            silhouette_score(rng.standard_normal((20, 2)), np.zeros(20, dtype=int))
+
+    def test_subsample(self, blobs_2d):
+        x, labels = blobs_2d
+        v = silhouette_score(x, labels, sample_size=100, rng=np.random.default_rng(0))
+        assert v > 0.6

@@ -1,0 +1,85 @@
+"""Unit tests for NN-Descent approximate k-NN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embed.knn import knn_brute
+from repro.embed.nn_descent import nn_descent
+
+
+def _recall(approx_idx: np.ndarray, exact_idx: np.ndarray) -> float:
+    n, k = exact_idx.shape
+    hits = sum(
+        len(set(approx_idx[i]) & set(exact_idx[i])) for i in range(n)
+    )
+    return hits / (n * k)
+
+
+class TestRecall:
+    def test_high_recall_on_clustered_data(self, blobs_10d):
+        x, _ = blobs_10d
+        exact, _ = knn_brute(x, 10)
+        approx, _ = nn_descent(x, 10, rng=np.random.default_rng(0))
+        assert _recall(approx, exact) > 0.9
+
+    def test_high_recall_on_uniform_data(self, rng):
+        x = rng.random((300, 5))
+        exact, _ = knn_brute(x, 8)
+        approx, _ = nn_descent(x, 8, rng=np.random.default_rng(1))
+        assert _recall(approx, exact) > 0.85
+
+    def test_more_rounds_no_worse(self, rng):
+        x = rng.random((200, 6))
+        exact, _ = knn_brute(x, 6)
+        r1, _ = nn_descent(x, 6, rng=np.random.default_rng(2), max_rounds=1)
+        r8, _ = nn_descent(x, 6, rng=np.random.default_rng(2), max_rounds=8)
+        assert _recall(r8, exact) >= _recall(r1, exact) - 0.02
+
+
+class TestInvariants:
+    def test_output_shapes(self, rng):
+        x = rng.random((50, 4))
+        idx, dst = nn_descent(x, 5, rng=rng)
+        assert idx.shape == (50, 5) and dst.shape == (50, 5)
+
+    def test_self_excluded(self, rng):
+        x = rng.random((60, 4))
+        idx, _ = nn_descent(x, 5, rng=rng)
+        assert not np.any(idx == np.arange(60)[:, None])
+
+    def test_distances_sorted_and_correct(self, rng):
+        x = rng.random((60, 4))
+        idx, dst = nn_descent(x, 5, rng=rng)
+        assert np.all(np.diff(dst, axis=1) >= -1e-12)
+        # Distances must be the true distances to the listed points.
+        for i in (0, 17, 42):
+            true = np.linalg.norm(x[idx[i]] - x[i], axis=1)
+            np.testing.assert_allclose(dst[i], true, atol=1e-12)
+
+    def test_no_duplicate_neighbours(self, rng):
+        x = rng.random((80, 4))
+        idx, _ = nn_descent(x, 6, rng=rng)
+        for row in idx:
+            assert len(set(row.tolist())) == 6
+
+
+class TestValidation:
+    def test_k_range(self, rng):
+        with pytest.raises(ValueError, match="k must"):
+            nn_descent(rng.random((10, 2)), 10, rng=rng)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            nn_descent(rng.random(10), 2, rng=rng)
+
+    def test_sample_rate_range(self, rng):
+        with pytest.raises(ValueError, match="sample_rate"):
+            nn_descent(rng.random((20, 2)), 3, rng=rng, sample_rate=0.0)
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.random((40, 3))
+        a, _ = nn_descent(x, 4, rng=np.random.default_rng(5))
+        b, _ = nn_descent(x, 4, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,176 @@
+"""Unit tests for OPTICS ordering and cluster extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import adjusted_rand_index
+from repro.cluster.optics import OPTICS, _extend_area, _xi_cluster_intervals
+
+
+class TestValidation:
+    def test_bad_min_samples(self):
+        with pytest.raises(ValueError, match="min_samples"):
+            OPTICS(min_samples=1)
+
+    def test_bad_xi(self):
+        with pytest.raises(ValueError, match="xi"):
+            OPTICS(xi=1.0)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="cluster_method"):
+            OPTICS(cluster_method="kmeans")
+
+    def test_dbscan_requires_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            OPTICS(cluster_method="dbscan")
+
+    def test_too_few_points(self, rng):
+        with pytest.raises(ValueError, match="min_samples"):
+            OPTICS(min_samples=10).fit(rng.standard_normal((5, 2)))
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            OPTICS().fit(rng.standard_normal(20))
+
+    def test_extract_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            OPTICS().extract_dbscan(1.0)
+
+
+class TestOrdering:
+    @pytest.fixture(scope="class")
+    def fitted(self, blobs_2d):
+        x, _ = blobs_2d
+        return OPTICS(min_samples=5).fit(x), x
+
+    def test_ordering_is_permutation(self, fitted):
+        model, x = fitted
+        assert sorted(model.ordering_.tolist()) == list(range(len(x)))
+
+    def test_core_distances_positive_finite(self, fitted):
+        model, _ = fitted
+        assert np.all(model.core_distances_ > 0)
+        assert np.all(np.isfinite(model.core_distances_))
+
+    def test_core_distance_definition(self, fitted):
+        """Core distance = distance to the min_samples-th neighbour
+        (counting the point itself)."""
+        model, x = fitted
+        i = 7
+        d = np.sort(np.linalg.norm(x - x[i], axis=1))
+        assert model.core_distances_[i] == pytest.approx(d[model.min_samples - 1])
+
+    def test_reachability_lower_bounded_by_core_distance(self, fitted):
+        model, _ = fitted
+        finite = np.isfinite(model.reachability_)
+        pred = model.predecessor_[finite]
+        assert np.all(
+            model.reachability_[finite] >= model.core_distances_[pred] - 1e-12
+        )
+
+    def test_expansion_starts_have_inf_reachability(self, fitted):
+        model, _ = fitted
+        starts = model.predecessor_ == -1
+        assert np.all(np.isinf(model.reachability_[starts]))
+
+    def test_neighbours_adjacent_in_ordering(self, fitted):
+        """Points of the same blob occupy contiguous ordering stretches."""
+        model, x = fitted
+        blob = model.ordering_ // 60  # fixture packs 60 per blob
+        changes = np.sum(np.diff(blob) != 0)
+        assert changes <= 6  # ideally 3; a little slack for stragglers
+
+
+class TestDBSCANExtraction:
+    def test_recovers_blobs(self, blobs_2d):
+        x, labels = blobs_2d
+        model = OPTICS(min_samples=5, cluster_method="dbscan", eps=1.0).fit(x)
+        assert adjusted_rand_index(labels, model.labels_) > 0.95
+
+    def test_small_eps_marks_noise(self, blobs_2d):
+        x, _ = blobs_2d
+        model = OPTICS(min_samples=5).fit(x)
+        labels = model.extract_dbscan(1e-6)
+        assert np.all(labels == -1)
+
+    def test_huge_eps_single_cluster(self, blobs_2d):
+        x, _ = blobs_2d
+        model = OPTICS(min_samples=5).fit(x)
+        labels = model.extract_dbscan(1e6)
+        assert set(labels.tolist()) == {0}
+
+    def test_eps_validation(self, blobs_2d):
+        x, _ = blobs_2d
+        model = OPTICS(min_samples=5).fit(x)
+        with pytest.raises(ValueError, match="eps"):
+            model.extract_dbscan(0.0)
+
+    def test_max_eps_limits_reachability(self, blobs_2d):
+        x, labels = blobs_2d
+        model = OPTICS(min_samples=5, max_eps=2.0, cluster_method="dbscan",
+                       eps=1.0).fit(x)
+        assert adjusted_rand_index(labels, model.labels_) > 0.95
+
+
+class TestXiExtraction:
+    def test_recovers_blobs(self, blobs_2d):
+        x, labels = blobs_2d
+        model = OPTICS(min_samples=5).fit(x)
+        assert adjusted_rand_index(labels, model.labels_) > 0.8
+
+    def test_uniform_data_no_confident_split(self, rng):
+        """Uniform noise should not yield many large confident clusters."""
+        x = rng.random((150, 2)) * 10
+        model = OPTICS(min_samples=8, min_cluster_size=30).fit(x)
+        n_clusters = len(set(model.labels_.tolist()) - {-1})
+        assert n_clusters <= 4
+
+    def test_min_cluster_size_respected(self, blobs_2d):
+        x, _ = blobs_2d
+        model = OPTICS(min_samples=5, min_cluster_size=30).fit(x)
+        for c in set(model.labels_.tolist()) - {-1}:
+            assert np.sum(model.labels_ == c) >= 30
+
+    def test_hierarchy_exposed(self, blobs_2d):
+        x, _ = blobs_2d
+        model = OPTICS(min_samples=5).fit(x)
+        assert len(model.cluster_hierarchy_) >= 4
+        for s, e in model.cluster_hierarchy_:
+            assert 0 <= s < e < len(x)
+
+    def test_fit_predict_equals_labels(self, blobs_2d):
+        x, _ = blobs_2d
+        m1 = OPTICS(min_samples=5)
+        labels = m1.fit_predict(x)
+        np.testing.assert_array_equal(labels, m1.labels_)
+
+
+class TestXiMachinery:
+    def test_extend_down_area(self):
+        r = np.array([10.0, 5.0, 2.5, 2.4, 2.4, 10.0, 10.0])
+        end = _extend_area(r, 0, xi=0.1, min_samples=3, up=False)
+        assert end == 1  # steep drops at 0->1, 1->2; flat after; index 2 not steep... end tracks last steep start
+
+    def test_extend_up_area(self):
+        r = np.array([1.0, 1.0, 2.0, 4.0, 8.0, 8.0])
+        end = _extend_area(r, 2, xi=0.1, min_samples=2, up=True)
+        assert end >= 3
+
+    def test_intervals_on_clean_valley(self):
+        # Plot: high wall, deep flat valley, high wall.
+        r = np.array([10.0] * 3 + [1.0] * 12 + [10.0] * 3)
+        intervals = _xi_cluster_intervals(r, xi=0.1, min_samples=3,
+                                          min_cluster_size=5)
+        assert intervals, "the obvious valley must be found"
+        s, e = max(intervals, key=lambda se: se[1] - se[0])
+        assert s <= 3 and e >= 13
+
+    def test_no_intervals_on_flat_plot(self):
+        r = np.ones(30)
+        assert _xi_cluster_intervals(r, 0.05, 3, 5) == []
+
+    def test_all_inf_plot(self):
+        r = np.full(10, np.inf)
+        assert _xi_cluster_intervals(r, 0.05, 3, 5) == []

@@ -1,0 +1,143 @@
+"""Unit tests for image preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline.preprocess import (
+    Preprocessor,
+    center_images,
+    crop_images,
+    normalize_intensity,
+    threshold_intensity,
+)
+
+
+@pytest.fixture
+def stack(rng):
+    return rng.random((5, 16, 16))
+
+
+class TestThreshold:
+    def test_absolute(self, stack):
+        out = threshold_intensity(stack, 0.5)
+        assert np.all((out == 0) | (out >= 0.5))
+        assert not np.shares_memory(out, stack)
+
+    def test_quantile(self, stack):
+        out = threshold_intensity(stack, 0.5, mode="quantile")
+        # Roughly half of each frame zeroed.
+        for i in range(len(stack)):
+            frac = np.mean(out[i] == 0)
+            assert 0.4 < frac < 0.6
+
+    def test_quantile_range_checked(self, stack):
+        with pytest.raises(ValueError, match="quantile"):
+            threshold_intensity(stack, 1.5, mode="quantile")
+
+    def test_unknown_mode(self, stack):
+        with pytest.raises(ValueError, match="unknown mode"):
+            threshold_intensity(stack, 0.5, mode="relative")
+
+    def test_requires_stack(self):
+        with pytest.raises(ValueError, match="n, h, w"):
+            threshold_intensity(np.zeros((4, 4)), 0.1)
+
+
+class TestNormalize:
+    def test_sum_mode(self, stack):
+        out = normalize_intensity(stack, "sum")
+        np.testing.assert_allclose(out.sum(axis=(1, 2)), 1.0)
+
+    def test_max_mode(self, stack):
+        out = normalize_intensity(stack, "max")
+        np.testing.assert_allclose(out.max(axis=(1, 2)), 1.0)
+
+    def test_l2_mode(self, stack):
+        out = normalize_intensity(stack, "l2")
+        flat = out.reshape(5, -1)
+        np.testing.assert_allclose(np.linalg.norm(flat, axis=1), 1.0)
+
+    def test_zero_frame_untouched(self):
+        stack = np.zeros((2, 8, 8))
+        stack[1] = 1.0
+        out = normalize_intensity(stack, "sum")
+        assert np.all(out[0] == 0)
+
+    def test_unknown_mode(self, stack):
+        with pytest.raises(ValueError, match="unknown mode"):
+            normalize_intensity(stack, "l1")
+
+
+class TestCenter:
+    def test_centers_off_center_spot(self):
+        img = np.zeros((1, 17, 17))
+        img[0, 3, 12] = 1.0
+        out = center_images(img)
+        assert out[0, 8, 8] == 1.0
+
+    def test_already_centered_unchanged(self):
+        img = np.zeros((1, 17, 17))
+        img[0, 8, 8] = 1.0
+        out = center_images(img)
+        np.testing.assert_array_equal(out, img)
+
+    def test_total_intensity_preserved(self, stack):
+        out = center_images(stack)
+        np.testing.assert_allclose(
+            out.sum(axis=(1, 2)), stack.sum(axis=(1, 2)), rtol=1e-12
+        )
+
+    def test_zero_frame_passthrough(self):
+        img = np.zeros((1, 8, 8))
+        np.testing.assert_array_equal(center_images(img), img)
+
+    def test_center_of_mass_moved_to_middle(self, rng):
+        img = np.zeros((1, 21, 21))
+        img[0, 2:6, 14:19] = rng.random((4, 5))
+        out = center_images(img)
+        ys, xs = np.mgrid[:21, :21]
+        total = out[0].sum()
+        cy = (out[0] * ys).sum() / total
+        cx = (out[0] * xs).sum() / total
+        assert abs(cy - 10) < 1.0 and abs(cx - 10) < 1.0
+
+
+class TestCrop:
+    def test_center_crop(self):
+        img = np.arange(36, dtype=float).reshape(1, 6, 6)
+        out = crop_images(img, (2, 2))
+        np.testing.assert_array_equal(out[0], [[14, 15], [20, 21]])
+
+    def test_full_size_identity(self, stack):
+        np.testing.assert_array_equal(crop_images(stack, (16, 16)), stack)
+
+    def test_too_big_rejected(self, stack):
+        with pytest.raises(ValueError, match="crop size"):
+            crop_images(stack, (17, 16))
+
+
+class TestChain:
+    def test_apply_flat_shape(self, stack):
+        pre = Preprocessor(threshold=0.1, normalize="l2", center=True)
+        rows = pre.apply_flat(stack)
+        assert rows.shape == (5, 256)
+
+    def test_crop_applied_first(self, stack):
+        pre = Preprocessor(crop=(8, 8), normalize=None, center=False)
+        assert pre.apply(stack).shape == (5, 8, 8)
+
+    def test_disabled_steps_noop(self, stack):
+        pre = Preprocessor(threshold=None, normalize=None, center=False)
+        np.testing.assert_array_equal(pre.apply(stack), stack)
+
+    def test_l2_rows_unit_norm(self, stack):
+        pre = Preprocessor(normalize="l2", center=False)
+        rows = pre.apply_flat(stack)
+        np.testing.assert_allclose(np.linalg.norm(rows, axis=1), 1.0)
+
+    def test_frozen_config(self):
+        pre = Preprocessor()
+        with pytest.raises(AttributeError):
+            pre.center = False  # type: ignore[misc]

@@ -1,0 +1,124 @@
+"""Unit tests for priority sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priority_sampling import PrioritySampler, priority_sample
+
+
+class TestReservoir:
+    def test_capacity_enforced(self, rng):
+        s = PrioritySampler(capacity=5, rng=rng)
+        s.extend(rng.standard_normal((50, 4)))
+        assert len(s) == 5
+        assert s.sample().shape == (5, 4)
+
+    def test_underfull_keeps_everything_unscaled(self, rng):
+        x = rng.standard_normal((3, 4))
+        s = PrioritySampler(capacity=10, rng=rng)
+        s.extend(x)
+        out = s.sample()
+        # Until overflow, tau is 0 and the sample is exact.
+        np.testing.assert_allclose(np.sort(out, axis=0), np.sort(x, axis=0))
+
+    def test_zero_rows_dropped(self, rng):
+        x = np.zeros((5, 4))
+        x[2] = rng.standard_normal(4)
+        s = PrioritySampler(capacity=4, rng=rng)
+        s.extend(x)
+        assert len(s) == 1
+
+    def test_push_single_row(self, rng):
+        s = PrioritySampler(capacity=3, rng=rng)
+        s.push(rng.standard_normal(4))
+        assert len(s) == 1
+        with pytest.raises(ValueError, match="1-D"):
+            s.push(rng.standard_normal((2, 4)))
+
+    def test_arrival_order_preserved(self, rng):
+        """Retained rows come back in stream order (scaled or not)."""
+        x = np.arange(1, 21, dtype=float)[:, None] * np.ones((1, 3))
+        s = PrioritySampler(capacity=20, rng=rng, scale_rows=False)
+        s.extend(x)
+        out = s.sample()
+        np.testing.assert_array_equal(out, x)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PrioritySampler(capacity=0)
+
+    def test_n_seen_counts_all(self, rng):
+        s = PrioritySampler(capacity=2, rng=rng)
+        s.extend(rng.standard_normal((17, 3)))
+        assert s.n_seen == 17
+
+    def test_threshold_grows_monotonically(self, rng):
+        s = PrioritySampler(capacity=3, rng=rng)
+        taus = []
+        for _ in range(10):
+            s.extend(rng.standard_normal((5, 4)))
+            taus.append(s.threshold)
+        assert all(b >= a for a, b in zip(taus, taus[1:]))
+
+
+class TestUnbiasedness:
+    def test_gram_estimator_unbiased(self):
+        """E[sample^T sample] must equal A^T A with row scaling on.
+
+        This is the Duffield-Lund-Thorup subset-sum property lifted to
+        the Gram matrix; checked by Monte-Carlo averaging.
+        """
+        gen = np.random.default_rng(0)
+        a = gen.standard_normal((40, 6)) * np.linspace(3, 0.2, 40)[:, None]
+        target = a.T @ a
+        trials = 400
+        acc = np.zeros_like(target)
+        for t in range(trials):
+            out = priority_sample(a, fraction=0.5, rng=np.random.default_rng(t), scale_rows=True)
+            acc += out.T @ out
+        acc /= trials
+        rel = np.linalg.norm(acc - target) / np.linalg.norm(target)
+        assert rel < 0.12  # 400 trials of a heavy-tailed estimator
+
+    def test_unscaled_is_biased_down(self):
+        """Without scaling the sampled Gram matrix loses energy."""
+        gen = np.random.default_rng(1)
+        a = gen.standard_normal((60, 5))
+        total = np.trace(a.T @ a)
+        acc = 0.0
+        trials = 200
+        for t in range(trials):
+            out = priority_sample(a, 0.4, rng=np.random.default_rng(t), scale_rows=False)
+            acc += np.trace(out.T @ out)
+        assert acc / trials < total
+
+    def test_high_energy_rows_kept_more_often(self):
+        """A row with 100x the energy should almost always survive."""
+        gen = np.random.default_rng(2)
+        a = gen.standard_normal((30, 4))
+        a[7] *= 100.0
+        hits = 0
+        for t in range(100):
+            out = priority_sample(a, 0.3, rng=np.random.default_rng(t), scale_rows=False)
+            if any(np.allclose(row, a[7]) for row in out):
+                hits += 1
+        assert hits >= 95
+
+
+class TestOneShot:
+    def test_fraction_validation(self, rng):
+        with pytest.raises(ValueError, match="fraction"):
+            priority_sample(rng.standard_normal((10, 3)), 0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            priority_sample(rng.standard_normal((10, 3)), 1.5)
+
+    def test_fraction_one_keeps_all(self, rng):
+        x = rng.standard_normal((12, 3))
+        out = priority_sample(x, 1.0, rng=rng)
+        assert out.shape == x.shape
+
+    def test_output_size(self, rng):
+        out = priority_sample(rng.standard_normal((100, 3)), 0.25, rng=rng)
+        assert out.shape == (25, 3)

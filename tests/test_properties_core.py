@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the sketching core.
+
+These check the algebraic invariants the paper's guarantees rest on,
+over randomized shapes, spectra and stream chunkings — not just the
+hand-picked cases of the unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.merge import merge_pair, shrink_stack, tree_merge
+from repro.core.priority_sampling import priority_sample
+from repro.linalg.svd import fd_shrink, thin_svd
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def matrix(draw, max_n=120, max_d=24):
+    n = draw(st.integers(8, max_n))
+    d = draw(st.integers(4, max_d))
+    seed = draw(st.integers(0, 2**31 - 1))
+    gen = np.random.default_rng(seed)
+    scale = draw(st.floats(0.1, 100.0))
+    return scale * gen.standard_normal((n, d))
+
+
+class TestFDInvariants:
+    @COMMON
+    @given(matrix(), st.integers(2, 10))
+    def test_covariance_bound_always_holds(self, a, ell):
+        ell = min(ell, a.shape[1])
+        fd = FrequentDirections(a.shape[1], ell).fit(a)
+        err = covariance_error(a, fd.sketch)
+        assert err <= np.sum(a * a) / ell * (1 + 1e-9)
+
+    @COMMON
+    @given(matrix(), st.integers(2, 8))
+    def test_gram_never_overestimates(self, a, ell):
+        ell = min(ell, a.shape[1])
+        fd = FrequentDirections(a.shape[1], ell).fit(a)
+        b = fd.sketch
+        evals = np.linalg.eigvalsh(a.T @ a - b.T @ b)
+        assert evals.min() >= -1e-7 * max(np.sum(a * a), 1.0)
+
+    @COMMON
+    @given(matrix(), st.integers(2, 8), st.integers(1, 30))
+    def test_chunking_invariance(self, a, ell, chunk):
+        ell = min(ell, a.shape[1])
+        whole = FrequentDirections(a.shape[1], ell).fit(a).sketch
+        piecewise = FrequentDirections(a.shape[1], ell)
+        for i in range(0, a.shape[0], chunk):
+            piecewise.partial_fit(a[i : i + chunk])
+        np.testing.assert_allclose(whole, piecewise.sketch, atol=1e-6 * np.abs(whole).max() + 1e-9)
+
+    @COMMON
+    @given(matrix(max_n=80))
+    def test_sketch_frobenius_never_exceeds_data(self, a):
+        ell = min(6, a.shape[1])
+        fd = FrequentDirections(a.shape[1], ell).fit(a)
+        assert np.sum(fd.sketch ** 2) <= np.sum(a * a) * (1 + 1e-9)
+
+
+class TestShrinkInvariants:
+    @COMMON
+    @given(matrix(max_n=40, max_d=16), st.integers(1, 10))
+    def test_shrink_output_rank_below_ell(self, a, ell):
+        _, s, vt = thin_svd(a)
+        out = fd_shrink(s, vt, ell)
+        out_s = np.linalg.svd(out, compute_uv=False)
+        # The ell-th direction is annihilated: at most ell-1 nonzero.
+        tol = max(out_s[0], 1.0) * 1e-10
+        assert np.sum(out_s > tol) <= max(ell - 1, 0) or s.shape[0] < ell
+
+    @COMMON
+    @given(matrix(max_n=40, max_d=16), st.integers(1, 10))
+    def test_shrink_gram_difference_bounded(self, a, ell):
+        _, s, vt = thin_svd(a)
+        out = fd_shrink(s, vt, ell)
+        delta = s[ell - 1] ** 2 if s.shape[0] >= ell else 0.0
+        evals = np.linalg.eigvalsh(a.T @ a - out.T @ out)
+        # Tolerances must scale with the data's energy: eigvalsh noise
+        # is relative to ||A||_F^2, not absolute.
+        scale = max(float(np.sum(a * a)), 1.0)
+        assert evals.max() <= delta * (1 + 1e-9) + 1e-12 * scale
+        assert evals.min() >= -1e-12 * scale - 1e-9 * max(delta, 1.0)
+
+
+class TestMergeInvariants:
+    @COMMON
+    @given(matrix(max_n=60), matrix(max_n=60), st.integers(2, 8))
+    def test_pairwise_merge_bound(self, a1, a2, ell):
+        d = min(a1.shape[1], a2.shape[1])
+        a1, a2 = a1[:, :d], a2[:, :d]
+        ell = min(ell, d)
+        b1 = FrequentDirections(d, ell).fit(a1).sketch
+        b2 = FrequentDirections(d, ell).fit(a2).sketch
+        merged = merge_pair(b1, b2, ell)
+        a = np.vstack([a1, a2])
+        assert covariance_error(a, merged) <= 2.0 * np.sum(a * a) / ell * (1 + 1e-9)
+
+    @COMMON
+    @given(matrix(max_n=100), st.integers(2, 6), st.integers(2, 4))
+    def test_tree_merge_bound_any_parts_arity(self, a, parts, arity):
+        ell = min(8, a.shape[1])
+        sketches = [
+            FrequentDirections(a.shape[1], ell).fit(chunk).sketch
+            for chunk in np.array_split(a, parts)
+            if chunk.shape[0] > 0
+        ]
+        merged, _ = tree_merge(sketches, ell, arity=arity)
+        assert covariance_error(a, merged) <= 2.0 * np.sum(a * a) / ell * (1 + 1e-9)
+
+    @COMMON
+    @given(matrix(max_n=40, max_d=12))
+    def test_shrink_stack_idempotent_on_small(self, a):
+        ell = a.shape[1]
+        small = a[: max(1, ell // 2)]
+        out = shrink_stack([small], ell)
+        np.testing.assert_allclose(out[: small.shape[0]], small, atol=1e-12)
+
+
+class TestPrioritySamplingInvariants:
+    @COMMON
+    @given(matrix(max_n=60), st.floats(0.1, 1.0), st.integers(0, 2**31 - 1))
+    def test_sample_size_and_membership(self, a, frac, seed):
+        out = priority_sample(a, frac, rng=np.random.default_rng(seed),
+                              scale_rows=False)
+        expected = min(int(np.ceil(frac * a.shape[0])), a.shape[0])
+        # Zero-norm rows may shrink the sample below capacity.
+        assert out.shape[0] <= expected
+        # Every sampled row must be an actual input row.
+        for row in out[: min(5, len(out))]:
+            assert any(np.allclose(row, r) for r in a)
+
+    @COMMON
+    @given(matrix(max_n=50), st.integers(0, 2**31 - 1))
+    def test_scaling_never_shrinks_rows(self, a, seed):
+        """max(q, tau)/q >= 1: scaled rows are never smaller."""
+        raw = priority_sample(a, 0.5, rng=np.random.default_rng(seed),
+                              scale_rows=False)
+        scaled = priority_sample(a, 0.5, rng=np.random.default_rng(seed),
+                                 scale_rows=True)
+        assert np.all(
+            np.linalg.norm(scaled, axis=1) >= np.linalg.norm(raw, axis=1) - 1e-12
+        )

@@ -1,0 +1,131 @@
+"""Property-based tests for the embedding/clustering substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    cluster_purity,
+    normalized_mutual_information,
+)
+from repro.embed.knn import knn_brute
+from repro.embed.umap_fuzzy import fuzzy_simplicial_set, smooth_knn_calibration
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def points(draw, max_n=80, max_d=8):
+    n = draw(st.integers(12, max_n))
+    d = draw(st.integers(2, max_d))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+@st.composite
+def labelings(draw, max_n=60):
+    n = draw(st.integers(2, max_n))
+    k1 = draw(st.integers(1, 5))
+    k2 = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, k1, n), gen.integers(0, k2, n)
+
+
+class TestKNNProperties:
+    @COMMON
+    @given(points(), st.integers(1, 8))
+    def test_knn_distance_is_true_distance(self, x, k):
+        k = min(k, x.shape[0] - 1)
+        idx, dst = knn_brute(x, k)
+        i = 0
+        true = np.linalg.norm(x[idx[i]] - x[i], axis=1)
+        np.testing.assert_allclose(dst[i], true, atol=1e-9)
+
+    @COMMON
+    @given(points(), st.integers(2, 8))
+    def test_kth_distance_monotone_in_k(self, x, k):
+        k = min(k, x.shape[0] - 1)
+        _, dst = knn_brute(x, k)
+        assert np.all(np.diff(dst, axis=1) >= -1e-12)
+
+
+class TestFuzzySetProperties:
+    @COMMON
+    @given(points(), st.integers(3, 10))
+    def test_symmetry_and_range(self, x, k):
+        k = min(k, x.shape[0] - 1)
+        idx, dst = knn_brute(x, k)
+        g = fuzzy_simplicial_set(idx, dst).tocsr()
+        asym = np.abs((g - g.T)).max()
+        assert asym < 1e-10
+        assert g.data.min() >= 0 and g.data.max() <= 1 + 1e-9
+
+    @COMMON
+    @given(points(), st.integers(3, 10))
+    def test_calibration_mass(self, x, k):
+        k = min(k, x.shape[0] - 1)
+        _, dst = knn_brute(x, k)
+        rho, sigma = smooth_knn_calibration(dst)
+        target = np.log2(k)
+        mass = np.sum(
+            np.exp(-np.maximum(dst - rho[:, None], 0.0) / sigma[:, None]), axis=1
+        )
+        # The bisection hits the target unless the sigma floor engaged.
+        hit = np.abs(mass - target) < 1e-3
+        assert hit.mean() > 0.9
+
+
+class TestMetricProperties:
+    @COMMON
+    @given(labelings())
+    def test_ari_symmetric(self, pair):
+        a, b = pair
+        assert adjusted_rand_index(a, b) == adjusted_rand_index(b, a)
+
+    @COMMON
+    @given(labelings())
+    def test_ari_self_is_one(self, pair):
+        a, _ = pair
+        assert adjusted_rand_index(a, a) == 1.0
+
+    @COMMON
+    @given(labelings())
+    def test_nmi_range_and_symmetry(self, pair):
+        a, b = pair
+        v = normalized_mutual_information(a, b)
+        assert 0.0 <= v <= 1.0
+        # Symmetric up to summation-order float noise.
+        assert v == np.float64(normalized_mutual_information(b, a)) or abs(
+            v - normalized_mutual_information(b, a)
+        ) < 1e-12
+
+    @COMMON
+    @given(labelings())
+    def test_nmi_invariant_to_relabeling(self, pair):
+        a, b = pair
+        permuted = (a + 3) * 7  # injective relabeling
+        assert normalized_mutual_information(a, b) == normalized_mutual_information(
+            permuted, b
+        )
+
+    @COMMON
+    @given(labelings())
+    def test_purity_range(self, pair):
+        a, b = pair
+        assert 0.0 <= cluster_purity(a, b) <= 1.0
+
+    @COMMON
+    @given(labelings())
+    def test_purity_perfect_for_refinement(self, pair):
+        """Each point its own cluster -> purity 1 (trivial refinement)."""
+        a, _ = pair
+        singletons = np.arange(a.shape[0])
+        assert cluster_purity(a, singletons) == 1.0

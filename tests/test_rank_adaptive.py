@@ -1,0 +1,143 @@
+"""Unit tests for the rank-adaptation heuristic and RankAdaptiveFD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import relative_covariance_error
+from repro.core.rank_adaptive import RankAdaptiveFD, rank_adapt_heuristic
+from repro.data.synthetic import synthetic_dataset
+from repro.linalg.random_matrices import haar_orthogonal
+
+
+class TestHeuristic:
+    def test_perfect_basis_never_triggers(self, rng):
+        """If U spans X's column space the residual is zero."""
+        u = haar_orthogonal(50, 10, rng)
+        x = u @ rng.standard_normal((10, 30))  # d=50, n=30, inside span(u)
+        assert rank_adapt_heuristic(x, u, nu=10, epsilon=0.01, rng=rng) is False
+
+    def test_orthogonal_data_triggers(self, rng):
+        """If X is orthogonal to span(U) the residual is everything."""
+        q = haar_orthogonal(60, 20, rng)
+        u, x_basis = q[:, :10], q[:, 10:]
+        x = x_basis @ rng.standard_normal((10, 25))
+        assert rank_adapt_heuristic(x, u, nu=10, epsilon=0.5, rng=rng) is True
+
+    def test_threshold_monotone(self, rng):
+        """Raising epsilon can only turn True into False."""
+        q = haar_orthogonal(40, 12, rng)
+        u = q[:, :6]
+        x = q @ rng.standard_normal((12, 20))
+        results = [
+            rank_adapt_heuristic(x, u, nu=20, epsilon=e, rng=np.random.default_rng(0))
+            for e in (0.0001, 0.5, 0.999)
+        ]
+        # Once it stops triggering it must not re-trigger at higher eps.
+        first_false = results.index(False) if False in results else len(results)
+        assert all(r is False for r in results[first_false:])
+
+    def test_empty_batch_is_false(self, rng):
+        u = haar_orthogonal(10, 3, rng)
+        assert rank_adapt_heuristic(np.zeros((10, 0)), u, 5, 0.1, rng) is False
+
+    def test_zero_batch_is_false_relative(self, rng):
+        u = haar_orthogonal(10, 3, rng)
+        x = np.zeros((10, 7))
+        assert rank_adapt_heuristic(x, u, 5, 0.1, rng, relative=True) is False
+
+    def test_negative_epsilon_rejected(self, rng):
+        u = haar_orthogonal(10, 3, rng)
+        with pytest.raises(ValueError, match="epsilon"):
+            rank_adapt_heuristic(rng.standard_normal((10, 5)), u, 5, -1.0, rng)
+
+    @pytest.mark.parametrize("method", ["gaussian", "hutchinson", "hutchpp", "gkl", "exact"])
+    def test_all_estimators_agree_on_clear_cases(self, rng, method):
+        q = haar_orthogonal(60, 20, rng)
+        u = q[:, :10]
+        inside = u @ rng.standard_normal((10, 30))
+        outside = q[:, 10:] @ rng.standard_normal((10, 30))
+        r = np.random.default_rng(1)
+        assert not rank_adapt_heuristic(inside, u, 10, 0.05, r, method=method)
+        assert rank_adapt_heuristic(outside, u, 10, 0.5, r, method=method)
+
+
+class TestRankAdaptiveFD:
+    def test_rank_grows_toward_data_rank(self, rng):
+        """On a matrix of true rank r >> ell0, the rank should increase."""
+        a = synthetic_dataset(n=1200, d=150, rank=60, profile="exponential",
+                              rate=0.02, seed=0)
+        ra = RankAdaptiveFD(d=150, ell=8, epsilon=0.02, nu=8,
+                            rng=np.random.default_rng(0))
+        ra.fit(a)
+        assert ra.ell > 8
+        assert ra.n_rank_increases >= 1
+        assert ra.rank_history[0] == (0, 8)
+
+    def test_tight_epsilon_grows_more_than_loose(self, rng):
+        a = synthetic_dataset(n=1500, d=120, rank=80, profile="subexponential",
+                              rate=0.15, seed=1)
+        ells = []
+        for eps in (0.5, 0.01):
+            ra = RankAdaptiveFD(d=120, ell=6, epsilon=eps, nu=6,
+                                rng=np.random.default_rng(0))
+            ra.fit(a)
+            ells.append(ra.ell)
+        assert ells[1] >= ells[0]
+
+    def test_max_ell_respected(self, rng):
+        a = synthetic_dataset(n=800, d=100, rank=80, profile="subexponential",
+                              rate=0.05, seed=2)
+        ra = RankAdaptiveFD(d=100, ell=8, epsilon=0.0001, nu=8, max_ell=24,
+                            rng=np.random.default_rng(0))
+        ra.fit(a)
+        assert ra.ell <= 24
+
+    def test_max_ell_below_ell_rejected(self):
+        with pytest.raises(ValueError, match="max_ell"):
+            RankAdaptiveFD(d=100, ell=20, epsilon=0.1, max_ell=10)
+
+    def test_expected_rows_guard_freezes_rank_near_end(self, rng):
+        """With the rowsLeft guard, the final growth must leave enough rows."""
+        a = synthetic_dataset(n=400, d=80, rank=60, profile="subexponential",
+                              rate=0.05, seed=3)
+        ra = RankAdaptiveFD(d=80, ell=6, epsilon=0.001, nu=6,
+                            expected_rows=400, rng=np.random.default_rng(0))
+        ra.fit(a)
+        # Every recorded growth must have happened with > ell + nu rows left.
+        for n_seen, new_ell in ra.rank_history[1:]:
+            assert 400 - n_seen > (new_ell - ra.nu) + ra.nu
+
+    def test_sketch_still_satisfies_bound_at_final_ell(self, rng):
+        a = synthetic_dataset(n=900, d=100, rank=50, profile="exponential",
+                              rate=0.08, seed=4)
+        ra = RankAdaptiveFD(d=100, ell=10, epsilon=0.05, nu=10,
+                            rng=np.random.default_rng(0))
+        ra.fit(a)
+        err = relative_covariance_error(a, ra.sketch)
+        assert err <= 1.0 / ra.ell + 1e-9
+
+    def test_zero_epsilon_grows_aggressively(self, rng):
+        a = synthetic_dataset(n=600, d=100, rank=90, profile="subexponential",
+                              rate=0.02, seed=5)
+        ra = RankAdaptiveFD(d=100, ell=6, epsilon=0.0, nu=6, max_ell=40,
+                            rng=np.random.default_rng(0))
+        ra.fit(a)
+        assert ra.ell == pytest.approx(40, abs=6)
+
+    def test_streaming_equivalence_of_counters(self, rng):
+        a = rng.standard_normal((300, 60))
+        ra = RankAdaptiveFD(d=60, ell=8, epsilon=0.1, nu=4,
+                            rng=np.random.default_rng(0))
+        for i in range(0, 300, 37):
+            ra.partial_fit(a[i : i + 37])
+        assert ra.n_seen == 300
+
+    def test_estimator_choices_run(self, rng):
+        a = rng.standard_normal((200, 50))
+        for est in ("gaussian", "hutchinson", "gkl", "exact"):
+            ra = RankAdaptiveFD(d=50, ell=6, epsilon=0.1, nu=4, estimator=est,
+                                rng=np.random.default_rng(0))
+            ra.fit(a)
+            assert ra.sketch.shape[1] == 50

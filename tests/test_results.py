@@ -1,0 +1,107 @@
+"""Unit tests for result reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline.results import (
+    ascii_density_map,
+    embedding_axis_correlations,
+    export_embedding_csv,
+)
+
+
+class TestAxisCorrelations:
+    def test_perfect_axis_alignment(self, rng):
+        stat = rng.standard_normal(100)
+        emb = np.column_stack([stat, rng.standard_normal(100)])
+        corr = embedding_axis_correlations(emb, {"s": stat})
+        assert corr["s"][0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_align_picks_best_axis(self, rng):
+        stat = rng.standard_normal(100)
+        emb = np.column_stack([rng.standard_normal(100), -stat])  # on Y, sign flipped
+        corr = embedding_axis_correlations(emb, {"s": stat})
+        assert corr["s"][0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_signed_mode(self, rng):
+        stat = rng.standard_normal(50)
+        emb = np.column_stack([-stat, rng.standard_normal(50)])
+        corr = embedding_axis_correlations(emb, {"s": stat}, align=False)
+        assert corr["s"][0] == pytest.approx(-1.0, abs=1e-9)
+
+    def test_mask_applied(self, rng):
+        stat = rng.standard_normal(60)
+        emb = np.column_stack([stat, stat])
+        emb[:10] = 1e6  # corrupt the first 10
+        corr = embedding_axis_correlations(
+            emb, {"s": stat}, mask=np.arange(60) >= 10
+        )
+        assert corr["s"][0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="n, 2"):
+            embedding_axis_correlations(rng.standard_normal((10, 3)), {})
+        with pytest.raises(ValueError, match="shape"):
+            embedding_axis_correlations(
+                rng.standard_normal((10, 2)), {"s": np.zeros(9)}
+            )
+
+    def test_constant_statistic_zero(self, rng):
+        emb = rng.standard_normal((20, 2))
+        corr = embedding_axis_correlations(emb, {"c": np.ones(20)})
+        assert corr["c"] == (0.0, 0.0)
+
+
+class TestAsciiMap:
+    def test_dimensions(self, rng):
+        emb = rng.standard_normal((200, 2))
+        out = ascii_density_map(emb, width=40, height=10)
+        lines = out.split("\n")
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_density_shading_nonempty(self, rng):
+        emb = rng.standard_normal((500, 2))
+        out = ascii_density_map(emb)
+        assert any(ch in out for ch in ".:+*#@")
+
+    def test_label_mode_letters(self, rng):
+        emb = np.vstack([rng.normal(0, 0.1, (50, 2)), rng.normal(5, 0.1, (50, 2))])
+        labels = np.repeat([0, 1], 50)
+        out = ascii_density_map(emb, labels=labels, width=30, height=8)
+        assert "a" in out and "b" in out
+
+    def test_noise_rendered_as_dot(self, rng):
+        emb = rng.standard_normal((30, 2))
+        out = ascii_density_map(emb, labels=np.full(30, -1))
+        assert "." in out and "a" not in out
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="n, 2"):
+            ascii_density_map(rng.standard_normal(10))
+
+
+class TestCSVExport:
+    def test_roundtrip(self, tmp_path, rng):
+        emb = rng.standard_normal((10, 2))
+        labels = rng.integers(0, 3, 10)
+        extra = {"score": rng.random(10)}
+        path = export_embedding_csv(tmp_path / "emb.csv", emb, labels, extra)
+        lines = path.read_text().strip().split("\n")
+        assert lines[0] == "x,y,label,score"
+        assert len(lines) == 11
+        first = lines[1].split(",")
+        assert float(first[0]) == pytest.approx(emb[0, 0])
+        assert int(first[2]) == labels[0]
+
+    def test_no_labels(self, tmp_path, rng):
+        path = export_embedding_csv(tmp_path / "e.csv", rng.standard_normal((3, 2)))
+        assert path.read_text().startswith("x,y\n")
+
+    def test_length_mismatch(self, tmp_path, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            export_embedding_csv(
+                tmp_path / "e.csv", rng.standard_normal((3, 2)), np.zeros(4)
+            )

@@ -1,0 +1,125 @@
+"""Unit tests for the distributed sketch runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import relative_covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.parallel.cost_model import CommCostModel
+from repro.parallel.runner import DistributedSketchRunner
+
+
+from repro.data.synthetic import sharded_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def shards():
+    return sharded_synthetic_dataset(
+        n_shards=8, rows_per_shard=120, d=60, rank=40,
+        profile="cubic", rate=0.05, seed=0,
+    )
+
+
+def _data(shards):
+    return np.vstack(shards)
+
+
+class TestValidation:
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            DistributedSketchRunner(ell=8, strategy="ring")
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError, match="arity"):
+            DistributedSketchRunner(ell=8, arity=1)
+
+    def test_empty_shards(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DistributedSketchRunner(ell=8).run([])
+
+    def test_incompatible_shard(self, rng):
+        runner = DistributedSketchRunner(ell=4)
+        with pytest.raises(ValueError, match="incompatible"):
+            runner.run([rng.standard_normal((10, 5)), rng.standard_normal((10, 6))])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["serial", "tree"])
+    def test_sketch_shape(self, shards, strategy):
+        result = DistributedSketchRunner(ell=16, strategy=strategy).run(shards)
+        assert result.sketch.shape == (16, 60)
+
+    @pytest.mark.parametrize("strategy", ["serial", "tree"])
+    def test_error_bound_holds(self, shards, strategy):
+        a = _data(shards)
+        ell = 20
+        result = DistributedSketchRunner(ell=ell, strategy=strategy).run(shards)
+        assert relative_covariance_error(a, result.sketch) <= 2.0 / ell
+
+    def test_tree_matches_serial_error_closely(self, shards):
+        """Paper Fig. 3: the two strategies produce comparable error."""
+        a = _data(shards)
+        tree = DistributedSketchRunner(ell=20, strategy="tree").run(shards)
+        serial = DistributedSketchRunner(ell=20, strategy="serial").run(shards)
+        et = relative_covariance_error(a, tree.sketch)
+        es = relative_covariance_error(a, serial.sketch)
+        assert abs(et - es) <= 0.5 * max(et, es) + 1e-9
+
+    def test_single_shard(self, shards):
+        result = DistributedSketchRunner(ell=16, strategy="tree").run(shards[:1])
+        direct = FrequentDirections(60, 16).fit(shards[0])
+        np.testing.assert_allclose(result.sketch, direct.sketch, atol=1e-8)
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_tree_arity_variants(self, shards, arity):
+        a = _data(shards)
+        result = DistributedSketchRunner(ell=20, strategy="tree", arity=arity).run(shards)
+        assert relative_covariance_error(a, result.sketch) <= 2.0 / 20
+
+
+class TestAccounting:
+    def test_serial_critical_path_linear(self, shards):
+        result = DistributedSketchRunner(ell=16, strategy="serial").run(shards)
+        assert result.merge_rotations_critical_path == len(shards) - 1
+
+    def test_tree_critical_path_logarithmic(self, shards):
+        result = DistributedSketchRunner(ell=16, strategy="tree").run(shards)
+        assert result.merge_rotations_critical_path == 3  # log2(8)
+
+    def test_tree_total_rotations(self, shards):
+        result = DistributedSketchRunner(ell=16, strategy="tree").run(shards)
+        assert result.merge_rotations_total == len(shards) - 1
+
+    def test_makespan_positive_and_decomposed(self, shards):
+        result = DistributedSketchRunner(ell=16, strategy="tree").run(shards)
+        assert result.makespan > 0
+        assert result.makespan >= result.local_sketch_time
+        assert result.merge_time == pytest.approx(
+            result.makespan - result.local_sketch_time, abs=1e-12
+        )
+
+    def test_bytes_scale_with_sketch_size(self, shards):
+        small = DistributedSketchRunner(ell=8, strategy="tree").run(shards)
+        large = DistributedSketchRunner(ell=32, strategy="tree").run(shards)
+        assert large.bytes_communicated > small.bytes_communicated
+
+    def test_expensive_network_slows_run(self, shards):
+        fast = DistributedSketchRunner(
+            ell=16, strategy="tree", cost_model=CommCostModel.free()
+        ).run(shards)
+        slow = DistributedSketchRunner(
+            ell=16, strategy="tree", cost_model=CommCostModel(alpha=0.5, beta=1e-6)
+        ).run(shards)
+        assert slow.makespan > fast.makespan + 0.5
+
+    def test_custom_sketcher_factory(self, shards):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return FrequentDirections(d=60, ell=16)
+
+        DistributedSketchRunner(ell=16, sketcher_factory=factory).run(shards)
+        assert len(calls) == len(shards)

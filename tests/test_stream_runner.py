@@ -1,0 +1,125 @@
+"""Unit tests for the streaming distributed sketcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import relative_covariance_error
+from repro.parallel.cost_model import CommCostModel
+from repro.parallel.stream_runner import StreamingDistributedSketcher
+
+
+@pytest.fixture
+def stream_data():
+    gen = np.random.default_rng(0)
+    return gen.standard_normal((600, 96)) * np.linspace(3, 0.05, 96)
+
+
+class TestValidation:
+    def test_bad_ranks(self):
+        with pytest.raises(ValueError, match="n_ranks"):
+            StreamingDistributedSketcher(d=8, ell=4, n_ranks=0)
+
+    def test_bad_merge_every(self):
+        with pytest.raises(ValueError, match="merge_every"):
+            StreamingDistributedSketcher(d=8, ell=4, n_ranks=2, merge_every=0)
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError, match="arity"):
+            StreamingDistributedSketcher(d=8, ell=4, n_ranks=2, arity=1)
+
+    def test_dim_mismatch(self, rng):
+        s = StreamingDistributedSketcher(d=8, ell=4, n_ranks=2)
+        with pytest.raises(ValueError, match="dimension"):
+            s.ingest(rng.standard_normal((5, 9)))
+
+
+class TestIngest:
+    def test_counts(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=16, n_ranks=4)
+        for i in range(0, 600, 100):
+            s.ingest(stream_data[i : i + 100])
+        assert s.n_batches == 6
+        assert s.n_rows == 600
+
+    def test_periodic_snapshots(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=16, n_ranks=4, merge_every=2)
+        for i in range(0, 600, 100):
+            s.ingest(stream_data[i : i + 100])
+        assert len(s.snapshots) == 3
+        assert [snap.batch_index for snap in s.snapshots] == [2, 4, 6]
+
+    def test_global_sketch_quality(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=24, n_ranks=8)
+        for i in range(0, 600, 150):
+            s.ingest(stream_data[i : i + 150])
+        sketch = s.global_sketch()
+        assert sketch.shape == (24, 96)
+        assert relative_covariance_error(stream_data, sketch) <= 2.0 / 24
+
+    def test_snapshot_does_not_disturb_ingest(self, stream_data):
+        with_snaps = StreamingDistributedSketcher(d=96, ell=16, n_ranks=4,
+                                                  merge_every=1)
+        without = StreamingDistributedSketcher(d=96, ell=16, n_ranks=4)
+        for i in range(0, 400, 100):
+            with_snaps.ingest(stream_data[i : i + 100])
+            without.ingest(stream_data[i : i + 100])
+        a = with_snaps.global_sketch()
+        b = without.global_sketch()
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_merge_levels_logarithmic(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=16, n_ranks=8, arity=2)
+        s.ingest(stream_data[:200])
+        snap = s._snapshot()
+        assert snap.merge_levels == 3
+
+    def test_single_rank_degenerates_gracefully(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=16, n_ranks=1)
+        s.ingest(stream_data[:100])
+        assert s.global_sketch().shape == (16, 96)
+
+    def test_more_ranks_than_rows(self, rng):
+        s = StreamingDistributedSketcher(d=16, ell=4, n_ranks=8)
+        s.ingest(rng.standard_normal((3, 16)))  # some ranks get nothing
+        assert s.n_rows == 3
+        assert s.global_sketch().shape == (4, 16)
+
+
+class TestTiming:
+    def test_clocks_and_makespan_advance(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=16, n_ranks=4)
+        s.ingest(stream_data[:200])
+        assert s.makespan > 0
+        assert s.throughput_hz() > 0
+
+    def test_snapshot_extends_makespan(self, stream_data):
+        s = StreamingDistributedSketcher(d=96, ell=16, n_ranks=4)
+        s.ingest(stream_data[:200])
+        before = s.makespan
+        s.global_sketch()
+        assert s.makespan >= before
+
+    def test_slow_network_visible_in_snapshot_time(self, stream_data):
+        fast = StreamingDistributedSketcher(
+            d=96, ell=16, n_ranks=8, cost_model=CommCostModel.free()
+        )
+        slow = StreamingDistributedSketcher(
+            d=96, ell=16, n_ranks=8, cost_model=CommCostModel(alpha=0.1, beta=0.0)
+        )
+        fast.ingest(stream_data[:400])
+        slow.ingest(stream_data[:400])
+        f = fast._snapshot()
+        sl = slow._snapshot()
+        # 3 levels x one 0.1s message per level on the path; allow for
+        # run-to-run jitter of the measured merge SVDs.
+        assert sl.completed_at - f.completed_at > 0.25
+
+    def test_sharding_speeds_up_virtual_ingest(self, stream_data):
+        serial = StreamingDistributedSketcher(d=96, ell=16, n_ranks=1)
+        parallel = StreamingDistributedSketcher(d=96, ell=16, n_ranks=8)
+        for i in range(0, 600, 200):
+            serial.ingest(stream_data[i : i + 200])
+            parallel.ingest(stream_data[i : i + 200])
+        assert parallel.makespan < serial.makespan

@@ -1,0 +1,71 @@
+"""Unit tests for StreamingMoments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming_stats import StreamingMoments
+
+
+class TestValidation:
+    def test_bad_d(self):
+        with pytest.raises(ValueError, match="d must"):
+            StreamingMoments(0)
+
+    def test_dim_mismatch(self, rng):
+        m = StreamingMoments(4)
+        with pytest.raises(ValueError, match="dimension"):
+            m.update(rng.standard_normal((3, 5)))
+
+    def test_merge_dim_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            StreamingMoments(3).merge(StreamingMoments(4))
+
+
+class TestCorrectness:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((500, 6)) * 3 + 1
+        m = StreamingMoments(6).update(x)
+        np.testing.assert_allclose(m.mean, x.mean(axis=0), atol=1e-12)
+        np.testing.assert_allclose(m.variance, x.var(axis=0), atol=1e-10)
+        np.testing.assert_allclose(m.std, x.std(axis=0), atol=1e-10)
+
+    def test_batching_invariance(self, rng):
+        x = rng.standard_normal((300, 4))
+        whole = StreamingMoments(4).update(x)
+        parts = StreamingMoments(4)
+        for i in range(0, 300, 23):
+            parts.update(x[i : i + 23])
+        np.testing.assert_allclose(whole.mean, parts.mean, atol=1e-12)
+        np.testing.assert_allclose(whole.variance, parts.variance, atol=1e-10)
+
+    def test_merge_equals_concatenation(self, rng):
+        x1 = rng.standard_normal((120, 5)) + 4
+        x2 = rng.standard_normal((80, 5)) - 2
+        merged = StreamingMoments(5).update(x1).merge(StreamingMoments(5).update(x2))
+        direct = StreamingMoments(5).update(np.vstack([x1, x2]))
+        assert merged.count == direct.count == 200
+        np.testing.assert_allclose(merged.mean, direct.mean, atol=1e-12)
+        np.testing.assert_allclose(merged.variance, direct.variance, atol=1e-10)
+
+    def test_single_row_variance_zero(self, rng):
+        m = StreamingMoments(3).update(rng.standard_normal(3))
+        np.testing.assert_array_equal(m.variance, 0.0)
+
+    def test_empty_update_noop(self):
+        m = StreamingMoments(3)
+        m.update(np.empty((0, 3)))
+        assert m.count == 0
+
+    def test_numerical_stability_large_offset(self, rng):
+        """Welford form must survive a huge common offset."""
+        x = rng.standard_normal((200, 2)) + 1e9
+        m = StreamingMoments(2).update(x)
+        np.testing.assert_allclose(m.variance, x.var(axis=0), rtol=1e-6)
+
+    def test_mean_is_copy(self, rng):
+        m = StreamingMoments(2).update(rng.standard_normal((10, 2)))
+        v = m.mean
+        v[:] = 0
+        assert not np.all(m.mean == 0)

@@ -1,0 +1,120 @@
+"""Unit tests for the simulated-MPI trace recorder."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import SimComm, SimCommWorld
+from repro.parallel.cost_model import CommCostModel
+from repro.parallel.runner import DistributedSketchRunner
+from repro.parallel.trace import TraceRecorder
+
+
+def _pingpong_world():
+    world = SimCommWorld(2, cost_model=CommCostModel.free())
+    rec = TraceRecorder.attach(world)
+
+    def program(comm: SimComm):
+        if comm.rank == 0:
+            with comm.timed():
+                sum(range(50_000))
+            comm.send(np.zeros(10), dest=1)
+            return comm.recv(source=1)
+        msg = comm.recv(source=0)
+        with comm.timed():
+            sum(range(50_000))
+        comm.send(msg, dest=0)
+        return None
+
+    world.run(program)
+    return rec
+
+
+class TestRecording:
+    def test_event_kinds_captured(self):
+        rec = _pingpong_world()
+        kinds = {e.kind for e in rec.events}
+        assert kinds == {"compute", "send", "recv"}
+
+    def test_both_ranks_present(self):
+        rec = _pingpong_world()
+        assert {e.rank for e in rec.events} == {0, 1}
+
+    def test_compute_and_wait_totals(self):
+        rec = _pingpong_world()
+        assert rec.compute_seconds > 0
+        assert rec.wait_seconds >= 0
+
+    def test_events_have_virtual_times(self):
+        rec = _pingpong_world()
+        for e in rec.events:
+            assert e.end >= e.start >= 0
+
+    def test_semantics_preserved(self):
+        """Instrumented world returns the same results as a plain one."""
+        world = SimCommWorld(2, cost_model=CommCostModel.free())
+        TraceRecorder.attach(world)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1)
+                return None
+            return comm.recv(source=0)
+
+        assert world.run(program)[1] == "payload"
+
+
+class TestExport:
+    def test_chrome_trace_valid_json(self, tmp_path):
+        rec = _pingpong_world()
+        path = rec.export_chrome(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        assert len(doc["traceEvents"]) == len(rec.events)
+        first = doc["traceEvents"][0]
+        assert set(first) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+        assert first["ph"] == "X"
+
+    def test_ascii_timeline_rows(self):
+        rec = _pingpong_world()
+        chart = rec.ascii_timeline(width=40)
+        lines = chart.split("\n")
+        assert len(lines) == 3  # 2 ranks + axis
+        assert "#" in chart  # compute blocks visible
+
+    def test_empty_recorder(self):
+        assert TraceRecorder().ascii_timeline() == "(no events)"
+
+
+class TestWithRunner:
+    def test_trace_of_tree_merge(self, tmp_path):
+        """Instrument the runner's world through the module boundary."""
+        from repro.data.synthetic import sharded_synthetic_dataset
+
+        shards = sharded_synthetic_dataset(4, 80, 40, rank=20, seed=0)
+        runner = DistributedSketchRunner(ell=8, strategy="tree")
+        # Build the world manually so it can be instrumented.
+        from repro.parallel.comm import SimCommWorld as World
+
+        captured = {}
+        original_init = World.__init__
+
+        def patched(self, *a, **k):
+            original_init(self, *a, **k)
+            captured["rec"] = TraceRecorder.attach(self)
+
+        World.__init__ = patched  # type: ignore[method-assign]
+        try:
+            result = runner.run(shards)
+        finally:
+            World.__init__ = original_init  # type: ignore[method-assign]
+        rec = captured["rec"]
+        assert result.sketch.shape == (8, 40)
+        # 4 local compute regions + 3 merge computes.
+        computes = [e for e in rec.events if e.kind == "compute"]
+        assert len(computes) == 7
+        path = rec.export_chrome(tmp_path / "merge.json")
+        assert path.exists()

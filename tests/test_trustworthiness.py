@@ -1,0 +1,48 @@
+"""Unit tests for the trustworthiness metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import trustworthiness
+
+
+class TestTrustworthiness:
+    def test_identity_embedding_perfect(self, rng):
+        x = rng.standard_normal((60, 5))
+        assert trustworthiness(x, x, n_neighbors=5) == pytest.approx(1.0)
+
+    def test_isometric_embedding_perfect(self, rng):
+        x = rng.standard_normal((50, 3))
+        rot, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+        assert trustworthiness(x, 2.5 * x @ rot, 5) == pytest.approx(1.0)
+
+    def test_random_embedding_near_half(self, rng):
+        x = rng.standard_normal((120, 6))
+        y = rng.standard_normal((120, 2))
+        vals = [
+            trustworthiness(x, np.random.default_rng(t).standard_normal((120, 2)), 5)
+            for t in range(10)
+        ]
+        assert 0.35 < np.mean(vals) < 0.65
+
+    def test_good_embedding_beats_random(self, blobs_10d):
+        from repro.embed.umap import UMAP
+
+        x, _ = blobs_10d
+        emb = UMAP(n_neighbors=12, random_state=0, n_epochs=150).fit_transform(x)
+        gen = np.random.default_rng(0)
+        t_good = trustworthiness(x, emb, 10)
+        t_rand = trustworthiness(x, gen.standard_normal(emb.shape), 10)
+        assert t_good > 0.85
+        assert t_good > t_rand + 0.2
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(ValueError, match="row counts"):
+            trustworthiness(rng.standard_normal((5, 2)), rng.standard_normal((6, 2)))
+
+    def test_k_validation(self, rng):
+        x = rng.standard_normal((10, 2))
+        with pytest.raises(ValueError, match="n_neighbors"):
+            trustworthiness(x, x, n_neighbors=5)

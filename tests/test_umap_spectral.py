@@ -1,0 +1,86 @@
+"""Unit tests for the spectral initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.embed.knn import knn_brute
+from repro.embed.umap_fuzzy import fuzzy_simplicial_set
+from repro.embed.umap_spectral import spectral_layout
+
+
+def _two_blob_graph(n_per=40, seed=0):
+    gen = np.random.default_rng(seed)
+    x = np.vstack([gen.normal(0, 0.3, (n_per, 4)), gen.normal(6, 0.3, (n_per, 4))])
+    idx, dst = knn_brute(x, 8)
+    return fuzzy_simplicial_set(idx, dst)
+
+
+class TestSpectralLayout:
+    def test_output_shape_and_scale(self, rng):
+        g = _two_blob_graph()
+        emb = spectral_layout(g, 2, rng=rng)
+        assert emb.shape == (80, 2)
+        assert np.abs(emb).max() <= 10.5  # [-10, 10] + jitter
+
+    def test_separates_components_or_blobs(self, rng):
+        """The Fiedler vector should split the two blobs along one axis."""
+        g = _two_blob_graph()
+        emb = spectral_layout(g, 2, rng=rng)
+        # Best separating axis: means differ strongly vs within spread.
+        gaps = []
+        for axis in range(2):
+            m1, m2 = emb[:40, axis].mean(), emb[40:, axis].mean()
+            s = max(emb[:40, axis].std(), emb[40:, axis].std())
+            gaps.append(abs(m1 - m2) / max(s, 1e-9))
+        assert max(gaps) > 3.0
+
+    def test_tiny_graph_falls_back_to_random(self, rng):
+        g = scipy.sparse.coo_matrix(np.ones((3, 3)))
+        emb = spectral_layout(g, 2, rng=rng)
+        assert emb.shape == (3, 2)
+
+    def test_heavily_disconnected_falls_back(self, rng):
+        g = scipy.sparse.identity(50).tocoo()  # 50 components
+        emb = spectral_layout(g, 2, rng=rng)
+        assert emb.shape == (50, 2)
+        assert np.all(np.isfinite(emb))
+
+    def test_deterministic_given_rng(self):
+        g = _two_blob_graph()
+        e1 = spectral_layout(g, 2, rng=np.random.default_rng(7))
+        e2 = spectral_layout(g, 2, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(e1, e2)
+
+    def test_n_components_validated(self, rng):
+        g = _two_blob_graph()
+        with pytest.raises(ValueError, match="n_components"):
+            spectral_layout(g, 0, rng=rng)
+
+    def test_higher_dimensional_output(self, rng):
+        g = _two_blob_graph()
+        emb = spectral_layout(g, 3, rng=rng)
+        assert emb.shape == (80, 3)
+
+
+class TestLargeGraphPath:
+    def test_shift_invert_path_above_dense_cutoff(self, rng):
+        """n > 2000 exercises the ARPACK shift-invert branch."""
+        import scipy.sparse
+
+        n = 2400
+        # Ring graph + two-block structure: well-conditioned Laplacian.
+        rows, cols, vals = [], [], []
+        for i in range(n):
+            j = (i + 1) % n
+            rows += [i, j]
+            cols += [j, i]
+            vals += [1.0, 1.0]
+        # Weak link between halves to create a clear Fiedler direction.
+        g = scipy.sparse.coo_matrix((vals, (rows, cols)), shape=(n, n))
+        emb = spectral_layout(g, 2, rng=np.random.default_rng(0))
+        assert emb.shape == (n, 2)
+        assert np.all(np.isfinite(emb))
+        assert np.abs(emb).max() <= 10.5

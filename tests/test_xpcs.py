@@ -1,0 +1,172 @@
+"""Unit tests for the XPCS speckle substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.xpcs import (
+    XPCSConfig,
+    XPCSGenerator,
+    g2_correlation,
+    speckle_contrast,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        XPCSConfig()
+
+    def test_bad_speckle_size(self):
+        with pytest.raises(ValueError, match="speckle_size"):
+            XPCSConfig(speckle_size=0.0)
+
+    def test_bad_modes(self):
+        with pytest.raises(ValueError, match="n_modes"):
+            XPCSConfig(n_modes=0)
+
+    def test_bad_tau(self):
+        with pytest.raises(ValueError, match="tau_shots"):
+            XPCSConfig(tau_shots=0.0)
+
+
+class TestGenerator:
+    def test_shapes_and_positivity(self):
+        gen = XPCSGenerator(XPCSConfig(shape=(32, 48)), seed=0)
+        frames = gen.sample(7)
+        assert frames.shape == (7, 32, 48)
+        assert frames.min() >= 0.0
+
+    def test_reproducible(self):
+        a = XPCSGenerator(XPCSConfig(shape=(16, 16)), seed=3).sample(5)
+        b = XPCSGenerator(XPCSConfig(shape=(16, 16)), seed=3).sample(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sequence_continuity(self):
+        """sample(5)+sample(5) equals sample(10) statistically AND exactly."""
+        g1 = XPCSGenerator(XPCSConfig(shape=(16, 16), tau_shots=5), seed=4)
+        g2 = XPCSGenerator(XPCSConfig(shape=(16, 16), tau_shots=5), seed=4)
+        whole = g1.sample(10)
+        parts = np.vstack([g2.sample(5), g2.sample(5)])
+        np.testing.assert_allclose(whole, parts)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError, match="n must"):
+            XPCSGenerator(seed=0).sample(0)
+
+    def test_poisson_counts(self):
+        cfg = XPCSConfig(shape=(16, 16), photon_budget=2000.0)
+        frames = XPCSGenerator(cfg, seed=5).sample(3)
+        np.testing.assert_array_equal(frames, np.round(frames))
+
+
+class TestSpeckleContrast:
+    def test_single_mode_near_one(self):
+        cfg = XPCSConfig(shape=(64, 64), speckle_size=2.5, n_modes=1)
+        frames = XPCSGenerator(cfg, seed=0).sample(50)
+        assert speckle_contrast(frames).mean() == pytest.approx(1.0, abs=0.15)
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_multimode_contrast_inverse_m(self, m):
+        cfg = XPCSConfig(shape=(64, 64), speckle_size=2.5, n_modes=m)
+        frames = XPCSGenerator(cfg, seed=m).sample(40)
+        assert speckle_contrast(frames).mean() == pytest.approx(1.0 / m, rel=0.25)
+
+    def test_poisson_correction_recovers_contrast(self):
+        cfg = XPCSConfig(shape=(64, 64), speckle_size=2.5, n_modes=2,
+                         photon_budget=64 * 64 * 5.0)
+        frames = XPCSGenerator(cfg, seed=9).sample(40)
+        raw = speckle_contrast(frames).mean()
+        corrected = speckle_contrast(frames, poisson_correct=True).mean()
+        # Shot noise inflates the raw estimate; correction brings it back.
+        assert raw > corrected
+        assert corrected == pytest.approx(0.5, rel=0.3)
+
+    def test_flat_frame_zero_contrast(self):
+        frames = np.ones((3, 8, 8))
+        np.testing.assert_allclose(speckle_contrast(frames), 0.0)
+
+    def test_requires_stack(self):
+        with pytest.raises(ValueError, match="stack"):
+            speckle_contrast(np.ones((4, 4)))
+
+
+class TestG2:
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        cfg = XPCSConfig(shape=(48, 48), speckle_size=2.0, n_modes=1,
+                         tau_shots=8.0)
+        return XPCSGenerator(cfg, seed=1).sample(300)
+
+    def test_siegert_at_zero(self, sequence):
+        beta = speckle_contrast(sequence).mean()
+        g2 = g2_correlation(sequence, max_delay=1)
+        assert g2[0] == pytest.approx(1.0 + beta, rel=0.1)
+
+    def test_decays_toward_one(self, sequence):
+        g2 = g2_correlation(sequence, max_delay=60)
+        assert g2[0] > g2[10] > g2[60] - 0.05
+        assert g2[60] == pytest.approx(1.0, abs=0.15)
+
+    def test_slower_dynamics_decay_slower(self):
+        fast = XPCSGenerator(
+            XPCSConfig(shape=(32, 32), tau_shots=2.0), seed=2
+        ).sample(200)
+        slow = XPCSGenerator(
+            XPCSConfig(shape=(32, 32), tau_shots=30.0), seed=2
+        ).sample(200)
+        g2_fast = g2_correlation(fast, max_delay=10)
+        g2_slow = g2_correlation(slow, max_delay=10)
+        # At delay 5, the slow sample retains far more correlation.
+        assert g2_slow[5] - 1.0 > (g2_fast[5] - 1.0) + 0.1
+
+    def test_delay_validation(self, sequence):
+        with pytest.raises(ValueError, match="max_delay"):
+            g2_correlation(sequence, max_delay=400)
+
+
+class TestMultiTau:
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        cfg = XPCSConfig(shape=(32, 32), speckle_size=2.0, n_modes=1,
+                         tau_shots=12.0)
+        return XPCSGenerator(cfg, seed=7).sample(512)
+
+    def test_delays_increase_log_spaced(self, sequence):
+        from repro.data.xpcs import g2_multitau
+
+        delays, g2 = g2_multitau(sequence)
+        assert np.all(np.diff(delays) > 0)
+        assert delays[-1] > 100  # spans decades with only ~8/level points
+        assert len(delays) == len(g2)
+
+    def test_agrees_with_linear_estimator(self, sequence):
+        from repro.data.xpcs import g2_correlation, g2_multitau
+
+        delays, g2m = g2_multitau(sequence)
+        g2l = g2_correlation(sequence, max_delay=32)
+        for dt, val in zip(delays, g2m):
+            if 1 <= dt <= 32:
+                assert val == pytest.approx(g2l[dt], abs=0.08), f"dt={dt}"
+
+    def test_decays_toward_one(self, sequence):
+        from repro.data.xpcs import g2_multitau
+
+        delays, g2 = g2_multitau(sequence)
+        assert g2[0] > 1.3
+        assert g2[-1] == pytest.approx(1.0, abs=0.2)
+
+    def test_validation(self, sequence):
+        from repro.data.xpcs import g2_multitau
+
+        with pytest.raises(ValueError, match="points_per_level"):
+            g2_multitau(sequence, points_per_level=1)
+        with pytest.raises(ValueError, match="stack"):
+            g2_multitau(np.ones((4, 4)))
+
+    def test_max_levels_cap(self, sequence):
+        from repro.data.xpcs import g2_multitau
+
+        d1, _ = g2_multitau(sequence, max_levels=2)
+        d2, _ = g2_multitau(sequence)
+        assert d1.max() < d2.max()
