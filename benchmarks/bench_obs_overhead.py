@@ -1,0 +1,95 @@
+"""Observability overhead: instrumented vs null-registry sketching.
+
+The acceptance bar for the obs layer is that *disabled* observability
+(the default :class:`~repro.obs.registry.NullRegistry`) costs nothing
+measurable in the ingest hot loop: the core sketchers pay one ``is not
+None`` attribute test per event and the null instruments never read the
+clock or allocate.  This bench times ``ARAMS.fit`` on the same stream
+three ways:
+
+- ``bare``       — no observer attached at all (the seed behavior);
+- ``null``       — :class:`SketchHealth` wired to a ``NullRegistry``;
+- ``recording``  — :class:`SketchHealth` wired to a live ``Registry``.
+
+and asserts the null path stays within 5% of bare (the recording path
+is reported for context; its budget is intentionally loose since it
+does real work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.obs.health import SketchHealth
+from repro.obs.registry import NullRegistry, Registry
+
+ROWS, D, ELL = 4000, 256, 24
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return np.random.default_rng(11).standard_normal((ROWS, D))
+
+
+def _make_sketcher() -> ARAMS:
+    return ARAMS(
+        d=D, config=ARAMSConfig(ell=ELL, beta=0.8, epsilon=0.05, seed=0)
+    )
+
+
+def _fit_seconds(stream: np.ndarray, observer_registry=None, repeats: int = 5) -> float:
+    """Best-of-N fit time (best-of filters scheduler noise)."""
+    from repro.obs.clock import StopWatch
+
+    best = float("inf")
+    for _ in range(repeats):
+        sk = _make_sketcher()
+        if observer_registry is not None:
+            SketchHealth(observer_registry).attach(sk)
+        with StopWatch() as sw:
+            sk.fit(stream)
+        best = min(best, sw.elapsed)
+    return best
+
+
+def test_obs_overhead_bare(benchmark, stream):
+    benchmark(lambda: _make_sketcher().fit(stream))
+
+
+def test_obs_overhead_null_registry(benchmark, stream):
+    def run():
+        sk = _make_sketcher()
+        SketchHealth(NullRegistry()).attach(sk)
+        sk.fit(stream)
+
+    benchmark(run)
+
+
+def test_obs_overhead_recording_registry(benchmark, stream):
+    def run():
+        sk = _make_sketcher()
+        SketchHealth(Registry()).attach(sk)
+        sk.fit(stream)
+
+    benchmark(run)
+
+
+def test_null_registry_within_5_percent(stream, table):
+    bare = _fit_seconds(stream)
+    null = _fit_seconds(stream, NullRegistry())
+    recording = _fit_seconds(stream, Registry())
+    table(
+        "observability overhead (ARAMS.fit, best of 5)",
+        ["mode", "seconds", "vs bare"],
+        [
+            ["bare", bare, "1.00x"],
+            ["null registry", null, f"{null / bare:.2f}x"],
+            ["recording", recording, f"{recording / bare:.2f}x"],
+        ],
+    )
+    assert null <= bare * 1.05, (
+        f"null-registry observability costs {null / bare - 1:.1%} "
+        f"(budget 5%): bare={bare:.4f}s null={null:.4f}s"
+    )

@@ -29,11 +29,31 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write a metrics snapshot (stage latencies + sketch health) "
+             "to PATH on exit",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=["prom", "jsonl", "table"], default="prom",
+        help="metrics snapshot format: Prometheus text exposition, "
+             "JSON lines (appended), or an aligned table",
+    )
+
+
+def _write_metrics(registry, args: argparse.Namespace) -> None:
+    if getattr(args, "metrics_out", None):
+        from repro.obs.export import write_metrics
+
+        path = write_metrics(registry, args.metrics_out, format=args.metrics_format)
+        print(f"metrics snapshot written to {path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write an interactive HTML report (Bokeh-style)")
     mon.add_argument("--cluster", choices=["optics", "hdbscan"], default="optics",
                      help="clustering backend")
+    _add_metrics_args(mon)
 
     sca = sub.add_parser("scaling", help="tree vs serial strong-scaling study")
     sca.add_argument("--cores", type=str, default="1,2,4,8,16")
@@ -77,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     ske.add_argument("--beta", type=float, default=0.8)
     ske.add_argument("--epsilon", type=float, default=0.05)
     ske.add_argument("--seed", type=int, default=0)
+    _add_metrics_args(ske)
 
     xp = sub.add_parser("xpcs", help="beam-grouped speckle-contrast demo")
     xp.add_argument("--shots", type=int, default=450, help="total shots")
@@ -89,9 +111,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.arams import ARAMSConfig
     from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
     from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
+    from repro.obs.registry import Registry
     from repro.pipeline.monitor import MonitoringPipeline
     from repro.pipeline.results import ascii_density_map, export_embedding_csv
 
+    registry = Registry()
     shape = (args.size, args.size)
     if args.scenario == "beam":
         gen = BeamProfileGenerator(BeamProfileConfig(shape=shape), seed=args.seed)
@@ -109,12 +133,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         optics={"min_samples": max(10, args.shots // 50)},
         cluster_method=args.cluster,
         hdbscan={"min_cluster_size": max(15, args.shots // 40)},
+        registry=registry,
     )
-    t0 = time.perf_counter()
-    for start in range(0, args.shots, 250):
-        pipe.consume(images[start : start + 250])
-    result = pipe.analyze()
-    total = time.perf_counter() - t0
+    with registry.span("cli.monitor") as run_span:
+        for start in range(0, args.shots, 250):
+            pipe.consume(images[start : start + 250])
+        result = pipe.analyze()
+    total = run_span.elapsed
 
     print(f"scenario       : {args.scenario} ({args.shots} shots of {shape[0]}x{shape[1]})")
     print(f"sketch         : ell={pipe.sketcher.ell} (started {args.ell}), "
@@ -155,8 +180,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             labels=result.labels,
             outliers=result.outliers,
             title=f"ARAMS {args.scenario} run ({args.shots} shots)",
+            health=pipe.health_summary(),
         )
         print(f"interactive report written to {path}")
+    _write_metrics(registry, args)
     return 0
 
 
@@ -183,7 +210,10 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
     from repro.core.arams import ARAMS, ARAMSConfig
     from repro.core.errors import relative_covariance_error
     from repro.data.synthetic import synthetic_dataset
+    from repro.obs.health import SketchHealth
+    from repro.obs.registry import Registry
 
+    registry = Registry()
     data = synthetic_dataset(
         n=args.rows, d=args.dim, rank=min(args.rows, args.dim) // 2,
         profile=args.profile, rate=0.05, seed=args.seed,
@@ -198,11 +228,12 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
     for name, kw in variants.items():
         cfg = ARAMSConfig(ell=args.ell, nu=10, seed=args.seed, **kw)
         sk = ARAMS(d=args.dim, config=cfg)
-        t0 = time.perf_counter()
-        sk.fit(data)
-        elapsed = time.perf_counter() - t0
+        SketchHealth(registry, labels={"variant": name}).attach(sk)
+        with registry.span("sketch.fit", tags={"variant": name}) as sp:
+            sk.fit(data)
         err = relative_covariance_error(data, sk.sketch)
-        print(f"{name:32s} {elapsed:10.3f} {sk.ell:9d} {err:10.2e}")
+        print(f"{name:32s} {sp.elapsed:10.3f} {sk.ell:9d} {err:10.2e}")
+    _write_metrics(registry, args)
     return 0
 
 

@@ -142,6 +142,24 @@ class ARAMS:
             self._fd = ForgettingFD(d=d, ell=cfg.ell, gamma=cfg.gamma)
         else:
             self._fd = FrequentDirections(d=d, ell=cfg.ell)
+        self._observer = None
+
+    # ------------------------------------------------------------------
+    @property
+    def observer(self):
+        """Health observer hook (duck-typed; see :mod:`repro.obs.health`).
+
+        Setting it instruments both the ARAMS front end (sampler
+        ``on_batch`` events) and the underlying FD sketcher (rotation /
+        rank events) in one assignment.  ``None`` disables observation
+        at the cost of one attribute test per batch.
+        """
+        return self._observer
+
+    @observer.setter
+    def observer(self, obs) -> None:
+        self._observer = obs
+        self._fd.observer = obs
 
     # ------------------------------------------------------------------
     @property
@@ -177,7 +195,8 @@ class ARAMS:
             raise ValueError(
                 f"batch has dimension {batch.shape[1]}, expected {self.d}"
             )
-        self._n_offered += batch.shape[0]
+        offered = batch.shape[0]
+        self._n_offered += offered
         if self.config.beta < 1.0:
             batch = priority_sample(
                 batch,
@@ -185,6 +204,9 @@ class ARAMS:
                 rng=self._sample_rng,
                 scale_rows=self.config.scale_sampled_rows,
             )
+        obs = self._observer
+        if obs is not None:
+            obs.on_batch(self, offered=offered, kept=batch.shape[0])
         if batch.shape[0]:
             self._fd.partial_fit(batch)
         return self
@@ -198,7 +220,8 @@ class ARAMS:
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if x.shape[1] != self.d:
             raise ValueError(f"x has dimension {x.shape[1]}, expected {self.d}")
-        self._n_offered += x.shape[0]
+        offered = x.shape[0]
+        self._n_offered += offered
         if self.config.beta < 1.0:
             capacity = max(1, int(np.ceil(self.config.beta * x.shape[0])))
             pq = PrioritySampler(
@@ -208,6 +231,9 @@ class ARAMS:
             )
             pq.extend(x)
             x = pq.sample()
+        obs = self._observer
+        if obs is not None:
+            obs.on_batch(self, offered=offered, kept=x.shape[0])
         if isinstance(self._fd, RankAdaptiveFD):
             self._fd.expected_rows = self._fd.n_seen + x.shape[0]
         self._fd.partial_fit(x)

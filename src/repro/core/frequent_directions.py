@@ -54,6 +54,15 @@ class FrequentDirections:
     squared_frobenius : float
         Running ``||A||_F^2`` of the consumed stream, used for
         normalized error reporting.
+    observer : object or None
+        Optional health observer (duck-typed; see
+        :class:`repro.obs.health.SketchHealth`).  When set, the sketcher
+        calls ``observer.on_rotation(self, delta)`` after every shrink
+        SVD, where ``delta`` is that rotation's shrinkage mass
+        ``s_ell^2`` — the quantity Liberty's FD analysis bounds by
+        ``||A||_F^2 / ell`` in total.  The hook is a plain attribute so
+        this module stays free of observability imports; ``None`` (the
+        default) costs one attribute test per rotation.
 
     Examples
     --------
@@ -85,6 +94,12 @@ class FrequentDirections:
         self.n_seen = 0
         self.n_rotations = 0
         self.squared_frobenius = 0.0
+        self.observer = None
+        # Shrinkage mass removed by the latest / all rotations (the
+        # paper's delta_t); tracked even without an observer since it
+        # is O(1) and feeds error diagnostics.
+        self.last_shrinkage = 0.0
+        self.total_shrinkage = 0.0
 
     # ------------------------------------------------------------------
     # Streaming interface
@@ -154,7 +169,17 @@ class FrequentDirections:
         self._next_zero = self.ell
         self._sketch_rows = self.ell
         self.n_rotations += 1
+        self._record_shrinkage(s)
         self._post_rotate(s, vt)
+        obs = self.observer
+        if obs is not None:
+            obs.on_rotation(self, self.last_shrinkage)
+
+    def _record_shrinkage(self, s: np.ndarray) -> None:
+        """Track the shrinkage mass ``delta = s_ell^2`` of one rotation."""
+        delta = float(s[self.ell - 1] ** 2) if s.shape[0] >= self.ell else 0.0
+        self.last_shrinkage = delta
+        self.total_shrinkage += delta
 
     def _post_rotate(self, s: np.ndarray, vt: np.ndarray) -> None:
         """Hook for subclasses (rank adaptation); no-op here."""
@@ -271,6 +296,10 @@ class FrequentDirections:
         self.n_rotations += 1
         self.n_seen += other.n_seen
         self.squared_frobenius += other.squared_frobenius
+        self._record_shrinkage(s)
+        obs = self.observer
+        if obs is not None:
+            obs.on_rotation(self, self.last_shrinkage)
         return self
 
     # ------------------------------------------------------------------

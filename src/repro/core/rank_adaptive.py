@@ -34,7 +34,44 @@ import numpy as np
 from repro.core.frequent_directions import FrequentDirections
 from repro.linalg.norms import residual_fro_norm_estimate
 
-__all__ = ["rank_adapt_heuristic", "RankAdaptiveFD"]
+__all__ = ["rank_adapt_estimate", "rank_adapt_heuristic", "RankAdaptiveFD"]
+
+
+def rank_adapt_estimate(
+    x: np.ndarray,
+    u: np.ndarray,
+    nu: int,
+    rng: np.random.Generator | None = None,
+    relative: bool = True,
+    method: str = "gaussian",
+) -> float:
+    """The normalized residual estimate Algorithm 1 thresholds against.
+
+    Estimates ``||X - U U^T X||_F^2`` with ``nu`` random probes and
+    normalizes it either by the batch energy (``relative=True``) or by
+    the sample count (the paper's ``Avg / n``).  Exposed separately from
+    :func:`rank_adapt_heuristic` so the estimate itself can be observed
+    (it is the "estimated residual error" health metric), not just the
+    boolean decision.
+
+    Returns
+    -------
+    float
+        The normalized estimate; ``0.0`` for an empty or all-zero batch.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("x must be 2-D (features x samples)")
+    n = x.shape[1]
+    if n == 0:
+        return 0.0
+    est = residual_fro_norm_estimate(x, u, n_samples=nu, rng=rng, method=method)
+    if relative:
+        total = float(np.sum(x * x))
+        if total == 0.0:
+            return 0.0
+        return est / total
+    return est / n
 
 
 def rank_adapt_heuristic(
@@ -84,19 +121,10 @@ def rank_adapt_heuristic(
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be nonnegative, got {epsilon}")
-    x = np.asarray(x, dtype=np.float64)
-    if x.ndim != 2:
-        raise ValueError("x must be 2-D (features x samples)")
-    n = x.shape[1]
-    if n == 0:
-        return False
-    est = residual_fro_norm_estimate(x, u, n_samples=nu, rng=rng, method=method)
-    if relative:
-        total = float(np.sum(x * x))
-        if total == 0.0:
-            return False
-        return est / total > epsilon
-    return est / n > epsilon
+    return (
+        rank_adapt_estimate(x, u, nu=nu, rng=rng, relative=relative, method=method)
+        > epsilon
+    )
 
 
 class RankAdaptiveFD(FrequentDirections):
@@ -135,6 +163,10 @@ class RankAdaptiveFD(FrequentDirections):
         How many times the rank was grown.
     rank_history : list[tuple[int, int]]
         ``(n_seen, ell)`` recorded at each growth, for diagnostics.
+    last_error_estimate : float
+        The most recent Algorithm-1 residual estimate (``nan`` before
+        the first rotation) — the quantity health monitoring exports as
+        ``arams_residual_error_estimate``.
     """
 
     def __init__(
@@ -169,6 +201,7 @@ class RankAdaptiveFD(FrequentDirections):
         self._recent_rows: np.ndarray | None = None
         self.n_rank_increases = 0
         self.rank_history: list[tuple[int, int]] = [(0, ell)]
+        self.last_error_estimate = float("nan")
 
     # ------------------------------------------------------------------
     def _rows_left(self) -> int | None:
@@ -203,6 +236,9 @@ class RankAdaptiveFD(FrequentDirections):
         self.ell = new_ell
         self.n_rank_increases += 1
         self.rank_history.append((self.n_seen, new_ell))
+        obs = self.observer
+        if obs is not None:
+            obs.on_rank_increase(self)
 
     def _rotate(self) -> None:
         # Snapshot the raw (unshrunk) rows of this cycle before the SVD
@@ -222,15 +258,19 @@ class RankAdaptiveFD(FrequentDirections):
         # of the pre-shrink buffer (already computed for the shrink).
         k = min(self.ell, vt.shape[0])
         u = vt[:k].T  # d x k, orthonormal columns
-        self._increase_pending = rank_adapt_heuristic(
+        estimate = rank_adapt_estimate(
             self._recent_rows.T,  # d x n, the paper's orientation
             u,
             nu=self.nu,
-            epsilon=self.epsilon,
             rng=self._rng,
             relative=self.relative_error,
             method=self.estimator,
         )
+        self.last_error_estimate = estimate
+        self._increase_pending = estimate > self.epsilon
+        obs = self.observer
+        if obs is not None:
+            obs.on_error_estimate(self, estimate, self._increase_pending)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

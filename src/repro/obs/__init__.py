@@ -1,0 +1,67 @@
+"""``repro.obs`` — dependency-free observability for the sketching system.
+
+The paper's claims are operational (per-batch latency, sketch rank and
+reconstruction error held inside a budget while streaming); this package
+makes those quantities continuously observable instead of reconstructed
+offline:
+
+- :mod:`repro.obs.registry` — counters, gauges, and streaming
+  histograms (P² quantiles, no sample retention) behind a process-global
+  default registry plus injectable instances;
+- :mod:`repro.obs.spans` — context-manager/decorator timing spans
+  replacing scattered ``perf_counter`` pairs;
+- :mod:`repro.obs.health` — sketch-health instruments (rank trajectory,
+  shrinkage mass, residual error, sampler retention) attached to the
+  core sketchers through a duck-typed observer hook;
+- :mod:`repro.obs.export` — Prometheus text, JSON-lines, terminal
+  table, and Chrome/Perfetto trace output.
+
+A :class:`NullRegistry` (the process default until one is installed) is
+a near-zero-cost no-op, so instrumented hot loops stay within noise of
+uninstrumented throughput when metrics are off.
+"""
+
+from repro.obs.clock import StopWatch, now
+from repro.obs.export import (
+    chrome_trace,
+    render_table,
+    to_jsonl,
+    to_prometheus,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.health import SketchHealth
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    P2Quantile,
+    Registry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.spans import Span, SpanEvent, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "Registry",
+    "NullRegistry",
+    "get_default_registry",
+    "set_default_registry",
+    "Span",
+    "SpanEvent",
+    "span",
+    "SketchHealth",
+    "StopWatch",
+    "now",
+    "to_prometheus",
+    "to_jsonl",
+    "render_table",
+    "chrome_trace",
+    "write_metrics",
+    "write_chrome_trace",
+]

@@ -1,0 +1,45 @@
+"""The one place in the library allowed to read the wall clock.
+
+Every timing measurement in the codebase — spans, virtual-clock compute
+regions in the simulated MPI world, snapshot SVD costs — flows through
+:func:`now` or :class:`StopWatch`.  Centralizing the clock keeps
+instrumentation swappable (tests can monkeypatch one function), and a
+lint test (``tests/test_no_raw_perf_counter.py``) enforces that no other
+module under ``src/`` calls ``time.perf_counter`` directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["now", "StopWatch"]
+
+
+def now() -> float:
+    """Monotonic wall-clock seconds (arbitrary epoch, never decreasing)."""
+    return time.perf_counter()
+
+
+class StopWatch:
+    """Context manager measuring the elapsed wall time of a block.
+
+    Examples
+    --------
+    >>> with StopWatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "StopWatch":
+        self.start = now()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = now() - self.start

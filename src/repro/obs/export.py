@@ -1,0 +1,261 @@
+"""Exporters: Prometheus text, JSON-lines, terminal table, Chrome trace.
+
+One registry snapshot, four consumers:
+
+- :func:`to_prometheus` — the text exposition format a Prometheus/
+  VictoriaMetrics scraper (or ``promtool check metrics``) accepts;
+  counters and gauges map directly, histograms are emitted as
+  summaries with P² quantile samples plus ``_sum``/``_count``;
+- :func:`to_jsonl` — one JSON object per instrument, suitable for
+  appending per-run snapshots to a long-lived log;
+- :func:`render_table` — an aligned terminal dashboard for interactive
+  runs;
+- :func:`chrome_trace` — span events (and, optionally, the simulated
+  MPI world's :class:`~repro.parallel.trace.TraceRecorder` events) as
+  one Chrome/Perfetto trace, so real pipeline stages and virtual rank
+  schedules are inspected on a single timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
+
+__all__ = [
+    "to_prometheus",
+    "to_jsonl",
+    "render_table",
+    "chrome_trace",
+    "write_metrics",
+    "write_chrome_trace",
+]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(v: float) -> str:
+    if v != v:  # NaN
+        return "NaN"
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(float(v))
+
+
+def to_prometheus(registry: Registry) -> str:
+    """Render every instrument in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for m in registry.instruments():
+        if m.name not in seen_header:
+            seen_header.add(m.name)
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            prom_type = "summary" if isinstance(m, Histogram) else m.kind
+            lines.append(f"# TYPE {m.name} {prom_type}")
+        if isinstance(m, Histogram):
+            for p in m.quantile_points:
+                if m.count:
+                    lines.append(
+                        f"{m.name}{_label_str(m.labels, {'quantile': repr(float(p))})}"
+                        f" {_fmt_value(m.quantile(p))}"
+                    )
+            lines.append(f"{m.name}_sum{_label_str(m.labels)} {_fmt_value(m.sum)}")
+            lines.append(f"{m.name}_count{_label_str(m.labels)} {m.count}")
+        else:
+            lines.append(f"{m.name}{_label_str(m.labels)} {_fmt_value(m.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(registry: Registry) -> str:
+    """One JSON object per instrument, newline-delimited."""
+    snap = registry.snapshot()
+    lines = []
+    for metric in snap["metrics"]:
+        entry = dict(metric)
+        entry["at"] = snap["at"]
+        lines.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_table(registry: Registry) -> str:
+    """Aligned terminal dashboard of every instrument."""
+    rows: list[tuple[str, str, str]] = []
+    for m in registry.instruments():
+        name = f"{m.name}{_label_str(m.labels)}"
+        if isinstance(m, Histogram):
+            if m.count:
+                detail = (
+                    f"count={m.count} sum={m.sum:.4g} mean={m.mean:.4g} "
+                    + " ".join(
+                        f"p{int(p * 100)}={m.quantile(p):.4g}"
+                        for p in m.quantile_points
+                    )
+                )
+            else:
+                detail = "count=0"
+            rows.append((name, "histogram", detail))
+        else:
+            rows.append((name, m.kind, f"{m.value:.6g}"))
+    if not rows:
+        return "(no metrics)"
+    w_name = max(len(r[0]) for r in rows)
+    w_kind = max(len(r[1]) for r in rows)
+    lines = [f"{'metric'.ljust(w_name)}  {'type'.ljust(w_kind)}  value"]
+    lines.append("-" * (w_name + w_kind + 9))
+    for name, kind, detail in rows:
+        lines.append(f"{name.ljust(w_name)}  {kind.ljust(w_kind)}  {detail}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome / Perfetto traces
+# ----------------------------------------------------------------------
+def chrome_trace(
+    spans: Iterable = (),
+    trace_events: Iterable = (),
+    span_process: str = "pipeline",
+    trace_process: str = "simulated ranks",
+) -> dict:
+    """Merge span events and simulated-rank trace events into one trace.
+
+    Parameters
+    ----------
+    spans:
+        :class:`~repro.obs.spans.SpanEvent` objects (real wall time,
+        one virtual thread lane per recording thread).
+    trace_events:
+        :class:`~repro.parallel.trace.TraceEvent`-shaped objects
+        (virtual time, one lane per rank).
+    span_process, trace_process:
+        Process names shown by Perfetto for the two lanes.
+
+    Returns
+    -------
+    dict
+        ``{"traceEvents": [...]}`` — Chrome trace JSON, with ``"ph":
+        "M"`` metadata naming every process and thread.
+    """
+    entries: list[dict] = []
+    spans = list(spans)
+    trace_events = list(trace_events)
+
+    if spans:
+        t0 = min(e.start for e in spans)
+        threads = {tid: i for i, tid in enumerate(sorted({e.thread for e in spans}))}
+        entries.append(
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": span_process}}
+        )
+        for tid, lane in threads.items():
+            entries.append(
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": lane,
+                 "args": {"name": f"thread {lane}"}}
+            )
+        for e in sorted(spans, key=lambda e: e.start):
+            entry = {
+                "name": e.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": (e.start - t0) * 1e6,
+                "dur": max(e.duration * 1e6, 1.0),
+                "pid": 1,
+                "tid": threads[e.thread],
+            }
+            args = dict(e.tags)
+            if e.parent:
+                args["parent"] = e.parent
+            if args:
+                entry["args"] = args
+            entries.append(entry)
+
+    if trace_events:
+        ranks = sorted({e.rank for e in trace_events})
+        entries.append(
+            {"name": "process_name", "ph": "M", "pid": 2,
+             "args": {"name": trace_process}}
+        )
+        for r in ranks:
+            entries.append(
+                {"name": "thread_name", "ph": "M", "pid": 2, "tid": r,
+                 "args": {"name": f"rank {r}"}}
+            )
+        for e in sorted(trace_events, key=lambda e: (e.rank, e.start)):
+            detail = getattr(e, "detail", "")
+            entries.append(
+                {
+                    "name": e.kind + (f" {detail}" if detail else ""),
+                    "cat": e.kind,
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": max((e.end - e.start) * 1e6, 1.0),
+                    "pid": 2,
+                    "tid": e.rank,
+                }
+            )
+    return {"traceEvents": entries}
+
+
+# ----------------------------------------------------------------------
+# File writers
+# ----------------------------------------------------------------------
+_FORMATS = ("prom", "jsonl", "table")
+
+
+def write_metrics(
+    registry: Registry, path: str | Path, format: str = "prom"
+) -> Path:
+    """Write a registry snapshot to ``path`` in the chosen format.
+
+    ``format`` is one of ``"prom"`` (Prometheus text), ``"jsonl"``
+    (appends to an existing file), or ``"table"``.
+    """
+    if format not in _FORMATS:
+        raise ValueError(f"unknown metrics format {format!r}; pick from {_FORMATS}")
+    path = Path(path)
+    if format == "prom":
+        path.write_text(to_prometheus(registry))
+    elif format == "jsonl":
+        with path.open("a") as fh:
+            fh.write(to_jsonl(registry))
+    else:
+        path.write_text(render_table(registry) + "\n")
+    return path
+
+
+def write_chrome_trace(
+    path: str | Path,
+    registry: Registry | None = None,
+    recorder=None,
+) -> Path:
+    """Write one Chrome/Perfetto trace covering spans and rank events."""
+    doc = chrome_trace(
+        spans=registry.spans if registry is not None else (),
+        trace_events=recorder.events if recorder is not None else (),
+    )
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1))
+    return path

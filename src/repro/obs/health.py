@@ -1,0 +1,176 @@
+"""Sketch-health instruments: the paper's guarantees as live metrics.
+
+The FD error bound keys on quantities the sketchers already compute and
+would otherwise discard — the per-rotation shrinkage mass ``delta``
+(Liberty's analysis bounds ``sum_t delta_t <= ||A||_F^2 / ell``), the
+rank-adaptation residual estimate, and the priority sampler's retention
+rate.  :class:`SketchHealth` is the observer that captures them: it
+attaches to an :class:`~repro.core.arams.ARAMS` (or any
+:class:`~repro.core.frequent_directions.FrequentDirections` variant)
+through the core's duck-typed ``observer`` hook, translating sketcher
+events into registry instruments.  The core modules never import this
+package — the hook is a plain attribute checked for ``None`` — so the
+sketching hot path stays dependency-free and pays one attribute test
+per event when monitoring is off.
+
+Exported instruments (all prefixed as named, plus any extra labels
+given at construction):
+
+================================  =======  =====================================
+``arams_rank``                    gauge    current sketch size ``ell``
+``arams_rank_increases_total``    counter  rank-adaptation growth events
+``arams_rotations_total``         counter  shrink SVDs performed
+``arams_shrinkage_mass_total``    counter  accumulated ``delta_t`` (Gram mass)
+``arams_residual_error_estimate`` gauge    last Algorithm-1 residual estimate
+``arams_rows_seen``               gauge    rows consumed by the sketcher
+``arams_energy_total``            counter  ``||A||_F^2`` consumed
+``sampler_rows_offered_total``    counter  rows offered to priority sampling
+``sampler_rows_kept_total``       counter  rows surviving priority sampling
+``sampler_retention_ratio``       gauge    kept / offered (lifetime)
+``forgetting_gamma``              gauge    decay factor (1.0 = no forgetting)
+``forgetting_memory_rows``        gauge    effective memory of the decayed sketch
+================================  =======  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["SketchHealth"]
+
+
+class SketchHealth:
+    """Observer wiring sketcher events into a metric registry.
+
+    Parameters
+    ----------
+    registry:
+        Destination :class:`~repro.obs.registry.Registry` (a
+        :class:`~repro.obs.registry.NullRegistry` makes every hook a
+        no-op on shared null instruments).
+    labels:
+        Extra labels stamped on every instrument (e.g. ``{"variant":
+        "arams"}`` or a rank id), keeping multiple sketchers apart in
+        one registry.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.arams import ARAMS, ARAMSConfig
+    >>> from repro.obs import Registry, SketchHealth
+    >>> reg = Registry()
+    >>> sk = ARAMS(d=32, config=ARAMSConfig(ell=8, beta=0.5, seed=0))
+    >>> health = SketchHealth(reg).attach(sk)
+    >>> _ = sk.partial_fit(np.random.default_rng(0).standard_normal((200, 32)))
+    >>> reg.get_sample("arams_rank", health.labels).value
+    8.0
+    """
+
+    def __init__(self, registry, labels: Mapping[str, str] | None = None):
+        self.registry = registry
+        self.labels = dict(labels or {})
+        g = lambda name, help: registry.gauge(name, labels=self.labels, help=help)
+        c = lambda name, help: registry.counter(name, labels=self.labels, help=help)
+        self.rank = g("arams_rank", "Current sketch size (ell)")
+        self.rank_increases = c(
+            "arams_rank_increases_total", "Rank-adaptation growth events"
+        )
+        self.rotations = c("arams_rotations_total", "Shrink SVDs performed")
+        self.shrinkage_mass = c(
+            "arams_shrinkage_mass_total",
+            "Accumulated per-rotation shrinkage mass delta_t",
+        )
+        self.residual_error = g(
+            "arams_residual_error_estimate",
+            "Latest rank-adaptation residual error estimate",
+        )
+        self.rows_seen = g("arams_rows_seen", "Rows consumed by the sketcher")
+        self.energy = c(
+            "arams_energy_total", "Squared Frobenius mass consumed (||A||_F^2)"
+        )
+        self.rows_offered = c(
+            "sampler_rows_offered_total", "Rows offered to the priority sampler"
+        )
+        self.rows_kept = c(
+            "sampler_rows_kept_total", "Rows surviving priority sampling"
+        )
+        self.retention = g(
+            "sampler_retention_ratio", "Lifetime kept/offered sampling ratio"
+        )
+        self.gamma = g("forgetting_gamma", "Forgetting decay factor (1 = off)")
+        self.memory_rows = g(
+            "forgetting_memory_rows", "Effective memory of the decayed sketch"
+        )
+        # Trajectories for operator reports: (rows_seen, value) pairs.
+        self.rank_trajectory: list[tuple[int, int]] = []
+        self.error_trajectory: list[tuple[int, float]] = []
+        self._last_energy = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, sketcher) -> "SketchHealth":
+        """Install this observer on ``sketcher`` and seed static gauges.
+
+        ``sketcher`` may be an :class:`~repro.core.arams.ARAMS` front
+        end or a bare FD sketcher; both expose the ``observer``
+        attribute and fire the same event vocabulary.
+        """
+        sketcher.observer = self
+        fd = getattr(sketcher, "sketcher", sketcher)
+        self.rank.set(fd.ell)
+        self.rank_trajectory.append((fd.n_seen, fd.ell))
+        gamma = getattr(fd, "gamma", 1.0)
+        self.gamma.set(gamma)
+        if hasattr(fd, "effective_memory_rows"):
+            mem = fd.effective_memory_rows()
+            self.memory_rows.set(mem if mem != float("inf") else 0.0)
+        return self
+
+    # ------------------------------------------------------------------
+    # Observer hooks (called by the core sketchers; see core modules)
+    # ------------------------------------------------------------------
+    def on_batch(self, sketcher, offered: int, kept: int) -> None:
+        """A batch passed the sampling front end (before sketching)."""
+        self.rows_offered.inc(offered)
+        self.rows_kept.inc(kept)
+        if self.rows_offered.value > 0:
+            self.retention.set(self.rows_kept.value / self.rows_offered.value)
+
+    def on_rotation(self, fd, delta: float) -> None:
+        """A shrink SVD completed; ``delta`` is its shrinkage mass."""
+        self.rotations.inc()
+        self.shrinkage_mass.inc(delta)
+        self.rank.set(fd.ell)
+        self.rows_seen.set(fd.n_seen)
+        energy = fd.squared_frobenius
+        if energy > self._last_energy:
+            self.energy.inc(energy - self._last_energy)
+            self._last_energy = energy
+        traj = self.rank_trajectory
+        if not traj or traj[-1][1] != fd.ell or fd.n_seen - traj[-1][0] >= fd.ell:
+            traj.append((fd.n_seen, fd.ell))
+
+    def on_rank_increase(self, fd) -> None:
+        """Rank adaptation grew the sketch."""
+        self.rank_increases.inc()
+        self.rank.set(fd.ell)
+        self.rank_trajectory.append((fd.n_seen, fd.ell))
+
+    def on_error_estimate(self, fd, estimate: float, flagged: bool) -> None:
+        """Algorithm 1 produced a fresh residual-error estimate."""
+        self.residual_error.set(estimate)
+        self.error_trajectory.append((fd.n_seen, float(estimate)))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Plain-data health snapshot (feeds the HTML operator report)."""
+        return {
+            "rank": self.rank.value,
+            "rank_increases": self.rank_increases.value,
+            "rotations": self.rotations.value,
+            "shrinkage_mass": self.shrinkage_mass.value,
+            "residual_error": self.residual_error.value,
+            "rows_seen": self.rows_seen.value,
+            "retention_ratio": self.retention.value,
+            "rank_trajectory": list(self.rank_trajectory),
+            "error_trajectory": list(self.error_trajectory),
+        }

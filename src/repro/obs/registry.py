@@ -1,0 +1,473 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds cover everything the sketching system needs to
+export:
+
+- :class:`Counter` — monotonically increasing totals (rows consumed,
+  rotations performed, shrinkage mass);
+- :class:`Gauge` — last-written values (current sketch rank, residual
+  error estimate, retention ratio);
+- :class:`Histogram` — streaming distributions (stage latencies) with
+  constant memory: count/sum/min/max plus P² quantile estimators
+  (Jain & Chlamtac 1985) for p50/p90/p99, never retaining samples.
+
+Instruments are owned by a :class:`Registry` and keyed by
+``(name, labels)``, so ``registry.counter("x_total", labels={"rank":
+"0"})`` called twice returns the same object.  A process-global default
+registry exists for code that is not handed one explicitly; it starts as
+a :class:`NullRegistry`, whose instruments are shared do-nothing
+singletons — the null-object fast path that keeps instrumented hot
+loops within noise of uninstrumented throughput when observability is
+off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping
+
+from repro.obs.clock import now
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "Registry",
+    "NullRegistry",
+    "get_default_registry",
+    "set_default_registry",
+]
+
+LabelMap = Mapping[str, str]
+_EMPTY_LABELS: tuple[tuple[str, str], ...] = ()
+
+
+def _label_key(labels: LabelMap | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return _EMPTY_LABELS
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class Counter:
+    """Monotonically increasing total.
+
+    Examples
+    --------
+    >>> c = Counter("rows_total")
+    >>> c.inc(); c.inc(2.5)
+    >>> c.value
+    3.5
+    """
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "_value")
+
+    def __init__(self, name: str, labels: LabelMap | None = None, help: str = ""):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be nonnegative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (may go up or down)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "_value")
+
+    def __init__(self, name: str, labels: LabelMap | None = None, help: str = ""):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class P2Quantile:
+    """Streaming quantile estimator (the P² algorithm, no sample storage).
+
+    Maintains five markers whose heights converge to the ``p`` quantile
+    of the observed stream using O(1) memory and O(1) work per
+    observation — the classical Jain & Chlamtac (1985) scheme, which is
+    what lets latency histograms run inside a 120 Hz ingest loop without
+    ever holding the samples.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> est = P2Quantile(0.5)
+    >>> for x in np.random.default_rng(0).uniform(size=2000):
+    ...     est.observe(x)
+    >>> abs(est.value - 0.5) < 0.05
+    True
+    """
+
+    __slots__ = ("p", "_q", "_n", "_np", "_dn", "_count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = float(p)
+        self._q: list[float] = []  # marker heights (first 5 raw samples)
+        self._n = [1.0, 2.0, 3.0, 4.0, 5.0]  # marker positions
+        self._np = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]  # desired
+        self._dn = [0.0, p / 2, p, (1 + p) / 2, 1.0]  # desired increments
+        self._count = 0
+
+    def observe(self, x: float) -> None:
+        self._count += 1
+        q = self._q
+        if len(q) < 5:
+            q.append(float(x))
+            q.sort()
+            return
+        n = self._n
+        # Locate the cell and update the extreme markers.
+        if x < q[0]:
+            q[0] = float(x)
+            k = 0
+        elif x >= q[4]:
+            q[4] = float(x)
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        np_ = self._np
+        dn = self._dn
+        for i in range(5):
+            np_[i] += dn[i]
+        # Adjust interior markers toward their desired positions.
+        for i in range(1, 4):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d > 0 else -1.0
+                qp = self._parabolic(i, d)
+                if not q[i - 1] < qp < q[i + 1]:
+                    qp = self._linear(i, d)
+                q[i] = qp
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact while fewer than 5 samples)."""
+        q = self._q
+        if not q:
+            return float("nan")
+        if self._count < 5:
+            # Exact small-sample quantile by nearest-rank interpolation.
+            idx = self.p * (len(q) - 1)
+            lo = int(idx)
+            hi = min(lo + 1, len(q) - 1)
+            frac = idx - lo
+            return q[lo] * (1 - frac) + q[hi] * frac
+        return q[2]
+
+
+class Histogram:
+    """Streaming value distribution: count/sum/min/max + P² quantiles.
+
+    Parameters
+    ----------
+    name, labels, help:
+        Identity within a registry.
+    quantiles:
+        Quantile points estimated online (default p50/p90/p99).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "count", "sum", "min", "max", "_q")
+
+    DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelMap | None = None,
+        help: str = "",
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._q = {p: P2Quantile(p) for p in quantiles}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for est in self._q.values():
+            est.observe(value)
+
+    def quantile(self, p: float) -> float:
+        """Estimated ``p`` quantile (``p`` must be a configured point)."""
+        return self._q[p].value
+
+    @property
+    def quantile_points(self) -> tuple[float, ...]:
+        return tuple(self._q)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+# ----------------------------------------------------------------------
+# Null instruments (shared, allocation-free no-ops)
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", quantiles=())
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    """Do-nothing span: no clock reads, no allocation, reusable."""
+
+    __slots__ = ()
+    name = ""
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def __call__(self, fn):
+        return fn
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_SPAN = _NullSpan()
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+class Registry:
+    """Owner of metric instruments and recorded span events.
+
+    Thread-safe at the get-or-create layer (instrument lookup); the
+    instruments themselves are plain Python mutations, which is adequate
+    for the GIL-protected increments the library performs.
+    """
+
+    enabled = True
+    #: Upper bound on retained span events (oldest dropped beyond it).
+    max_spans = 100_000
+
+    def __init__(self) -> None:
+        self._instruments: dict[
+            tuple[str, tuple[tuple[str, str], ...]], Counter | Gauge | Histogram
+        ] = {}
+        self._lock = threading.Lock()
+        self.spans: list = []  # SpanEvent list (see repro.obs.spans)
+
+    # -- instrument access ---------------------------------------------
+    def _get(self, cls, name: str, labels: LabelMap | None, help: str, **kw):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(key)
+                if inst is None:
+                    inst = cls(name, labels=labels, help=help, **kw)
+                    self._instruments[key] = inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, labels: LabelMap | None = None, help: str = "") -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get(Counter, name, labels, help)
+
+    def gauge(self, name: str, labels: LabelMap | None = None, help: str = "") -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: LabelMap | None = None,
+        help: str = "",
+        quantiles: tuple[float, ...] = Histogram.DEFAULT_QUANTILES,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get(Histogram, name, labels, help, quantiles=quantiles)
+
+    def span(self, name: str, tags: LabelMap | None = None):
+        """Open a timing span recorded into this registry.
+
+        Returns a context manager usable as a decorator; see
+        :mod:`repro.obs.spans` for the event/naming model.
+        """
+        from repro.obs.spans import Span
+
+        return Span(self, name, tags=tags)
+
+    def record_span(self, event) -> None:
+        """Append a completed span event (bounded; oldest dropped)."""
+        self.spans.append(event)
+        if len(self.spans) > self.max_spans:
+            del self.spans[: len(self.spans) - self.max_spans]
+
+    # -- inspection -----------------------------------------------------
+    def instruments(self) -> Iterator[Counter | Gauge | Histogram]:
+        """All instruments, sorted by (name, labels) for stable export."""
+        return iter(sorted(self._instruments.values(), key=lambda m: (m.name, sorted(m.labels.items()))))
+
+    def get_sample(self, name: str, labels: LabelMap | None = None):
+        """Instrument by exact identity, or ``None`` if absent."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict:
+        """Plain-data snapshot of every instrument (JSON-serializable)."""
+        out: list[dict] = []
+        for m in self.instruments():
+            entry: dict = {"name": m.name, "kind": m.kind, "labels": m.labels}
+            if isinstance(m, Histogram):
+                entry.update(
+                    count=m.count,
+                    sum=m.sum,
+                    min=m.min if m.count else None,
+                    max=m.max if m.count else None,
+                    quantiles={str(p): m.quantile(p) for p in m.quantile_points},
+                )
+            else:
+                entry["value"] = m.value
+            out.append(entry)
+        return {"at": now(), "metrics": out}
+
+
+class NullRegistry(Registry):
+    """Disabled registry: every instrument is a shared no-op singleton.
+
+    The fast path for production hot loops when metrics are off — no
+    dictionary lookups, no clock reads, no allocations.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, labels: LabelMap | None = None, help: str = "") -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, labels: LabelMap | None = None, help: str = "") -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        labels: LabelMap | None = None,
+        help: str = "",
+        quantiles: tuple[float, ...] = Histogram.DEFAULT_QUANTILES,
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, tags: LabelMap | None = None):
+        return _NULL_SPAN
+
+    def record_span(self, event) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Process-global default
+# ----------------------------------------------------------------------
+_default_registry: Registry = NullRegistry()
+
+
+def get_default_registry() -> Registry:
+    """The process-global registry (a :class:`NullRegistry` until set)."""
+    return _default_registry
+
+
+def set_default_registry(registry: Registry) -> Registry:
+    """Install ``registry`` as the global default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -7,8 +7,9 @@ mpi4py subset the sketching system needs (``send``/``recv``, ``bcast``,
 (arbitrary Python payloads, ndarrays passed by reference).
 
 Time is *virtual*: every rank owns a clock (seconds).  Numerical work is
-charged by wrapping it in :meth:`SimComm.timed` (measured with
-``perf_counter``) or via :meth:`SimComm.advance` for modelled costs.  A
+charged by wrapping it in :meth:`SimComm.timed` (measured on the
+monotonic wall clock via :mod:`repro.obs.clock`) or via
+:meth:`SimComm.advance` for modelled costs.  A
 message stamps the sender's clock at send; the receiver's clock becomes
 ``max(receiver_clock, sender_clock + alpha + beta * nbytes)``.  The
 makespan of a run — ``max`` of final clocks — is therefore the
@@ -25,10 +26,10 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
+from repro.obs.clock import now
 from repro.parallel.cost_model import CommCostModel
 
 __all__ = ["SimComm", "SimCommWorld", "DeadlockError"]
@@ -107,11 +108,11 @@ class SimComm:
         """
         with self._world._compute_lock:
             self._in_timed = True
-            start = time.perf_counter()
+            start = now()
             try:
                 yield
             finally:
-                self.clock += time.perf_counter() - start
+                self.clock += now() - start
                 self._in_timed = False
 
     def advance(self, seconds: float) -> None:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.merge import shrink_stack
+from repro.obs.registry import Registry, get_default_registry
 from repro.parallel.comm import SimComm, SimCommWorld
 from repro.parallel.cost_model import CommCostModel
 
@@ -88,6 +89,10 @@ class DistributedSketchRunner:
         :class:`FrequentDirections` of size ``ell``.  The factory allows
         plugging :class:`~repro.core.rank_adaptive.RankAdaptiveFD` or
         :class:`~repro.core.arams.ARAMS`-style front ends per rank.
+    registry:
+        Metric registry for per-run instruments (merge rotations, bytes
+        on the wire, virtual makespan).  Defaults to the process-global
+        registry, which is a no-op unless one has been installed.
 
     Examples
     --------
@@ -107,6 +112,7 @@ class DistributedSketchRunner:
         arity: int = 2,
         cost_model: CommCostModel | None = None,
         sketcher_factory: SketcherFactory | None = None,
+        registry: Registry | None = None,
     ):
         if strategy not in ("serial", "tree"):
             raise ValueError(f"unknown merge strategy {strategy!r}")
@@ -117,6 +123,7 @@ class DistributedSketchRunner:
         self.arity = int(arity)
         self.cost_model = cost_model if cost_model is not None else CommCostModel()
         self._factory = sketcher_factory
+        self.registry = registry if registry is not None else get_default_registry()
 
     def _make_sketcher(self, d: int) -> FrequentDirections:
         if self._factory is not None:
@@ -172,6 +179,7 @@ class DistributedSketchRunner:
         makespan = max(clocks)
         local_max = max(local_times)
         crit, total = self._rotation_stats(size, rotation_counts)
+        self._record_metrics(size, makespan, local_max, crit, total, world.total_bytes)
         return ParallelRunResult(
             sketch=sketch,
             makespan=makespan,
@@ -182,6 +190,47 @@ class DistributedSketchRunner:
             merge_rotations_total=total,
             bytes_communicated=world.total_bytes,
         )
+
+    # ------------------------------------------------------------------
+    def _record_metrics(
+        self,
+        ranks: int,
+        makespan: float,
+        local_max: float,
+        crit: int,
+        total: int,
+        nbytes: int,
+    ) -> None:
+        reg = self.registry
+        labels = {"strategy": self.strategy}
+        reg.counter(
+            "parallel_runs_total", labels=labels,
+            help="Distributed sketching runs executed",
+        ).inc()
+        reg.counter(
+            "parallel_merge_rotations_total", labels=labels,
+            help="Shrink SVDs performed during merge phases",
+        ).inc(total)
+        reg.counter(
+            "parallel_bytes_total", labels=labels,
+            help="Message bytes moved during merges",
+        ).inc(nbytes)
+        reg.histogram(
+            "parallel_makespan_seconds", labels=labels,
+            help="Virtual wall-clock per distributed run",
+        ).observe(makespan)
+        reg.histogram(
+            "parallel_merge_seconds", labels=labels,
+            help="Merge-phase seconds per distributed run (makespan - local)",
+        ).observe(max(makespan - local_max, 0.0))
+        reg.gauge(
+            "parallel_ranks", labels=labels,
+            help="Rank count of the most recent distributed run",
+        ).set(ranks)
+        reg.gauge(
+            "parallel_merge_critical_path", labels=labels,
+            help="Shrink SVDs on the merge critical path (last run)",
+        ).set(crit)
 
     # ------------------------------------------------------------------
     def _serial_phase(

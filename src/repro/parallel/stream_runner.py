@@ -27,13 +27,14 @@ This is the object the throughput study drives at LCLS-II-like rates.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.merge import shrink_stack
+from repro.obs.clock import StopWatch
+from repro.obs.registry import Registry, get_default_registry
 from repro.parallel.cost_model import CommCostModel
 
 __all__ = ["GlobalSnapshot", "StreamingDistributedSketcher"]
@@ -79,6 +80,10 @@ class StreamingDistributedSketcher:
         Tree-merge fan-in.
     cost_model:
         Virtual-network model.
+    registry:
+        Metric registry (rows ingested, snapshot latencies, merge
+        depth); defaults to the process-global registry, a no-op unless
+        one has been installed.
 
     Examples
     --------
@@ -101,6 +106,7 @@ class StreamingDistributedSketcher:
         merge_every: int | None = None,
         arity: int = 2,
         cost_model: CommCostModel | None = None,
+        registry: Registry | None = None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -119,6 +125,20 @@ class StreamingDistributedSketcher:
         self.n_batches = 0
         self.n_rows = 0
         self.snapshots: list[GlobalSnapshot] = []
+        self.registry = registry if registry is not None else get_default_registry()
+        self._rows_counter = self.registry.counter(
+            "stream_rows_total", help="Rows ingested by the streaming sketcher"
+        )
+        self._batches_counter = self.registry.counter(
+            "stream_batches_total", help="Batches ingested by the streaming sketcher"
+        )
+        self._snapshot_hist = self.registry.histogram(
+            "stream_snapshot_seconds",
+            help="Virtual completion latency of global snapshots",
+        )
+        self._merge_levels_gauge = self.registry.gauge(
+            "stream_merge_levels", help="Tree depth of the last global snapshot"
+        )
 
     # ------------------------------------------------------------------
     def ingest(self, batch: np.ndarray) -> "StreamingDistributedSketcher":
@@ -137,11 +157,13 @@ class StreamingDistributedSketcher:
         for rank, shard in enumerate(shards):
             if shard.shape[0] == 0:
                 continue
-            t0 = time.perf_counter()
-            self._sketchers[rank].partial_fit(shard)
-            self._clocks[rank] += time.perf_counter() - t0
+            with StopWatch() as sw:
+                self._sketchers[rank].partial_fit(shard)
+            self._clocks[rank] += sw.elapsed
         self.n_batches += 1
         self.n_rows += batch.shape[0]
+        self._rows_counter.inc(batch.shape[0])
+        self._batches_counter.inc()
         if self.merge_every is not None and self.n_batches % self.merge_every == 0:
             self._snapshot()
         return self
@@ -167,10 +189,9 @@ class StreamingDistributedSketcher:
                 comm = sum(
                     self.cost_model.cost(s.nbytes) for s, _ in group[1:]
                 )
-                t0 = time.perf_counter()
-                combined = shrink_stack([s for s, _ in group], self.ell)
-                svd_time = time.perf_counter() - t0
-                merged.append((combined, ready + comm + svd_time))
+                with StopWatch() as sw:
+                    combined = shrink_stack([s for s, _ in group], self.ell)
+                merged.append((combined, ready + comm + sw.elapsed))
             entries = merged
             levels += 1
         sketch, done = entries[0]
@@ -183,6 +204,11 @@ class StreamingDistributedSketcher:
             merge_levels=levels,
         )
         self.snapshots.append(snap)
+        self._snapshot_hist.observe(float(done))
+        self._merge_levels_gauge.set(levels)
+        self.registry.counter(
+            "stream_snapshots_total", help="Global snapshots taken"
+        ).inc()
         return snap
 
     def global_sketch(self) -> np.ndarray:

@@ -119,8 +119,32 @@ class TraceRecorder:
 
     # ------------------------------------------------------------------
     def export_chrome(self, path: str | Path) -> Path:
-        """Write the events as Chrome/Perfetto trace JSON."""
-        entries = []
+        """Write the events as Chrome/Perfetto trace JSON.
+
+        Emits ``"ph": "M"`` metadata events naming the process and one
+        thread lane per rank, so Perfetto shows ``rank 0`` .. ``rank
+        n-1`` instead of bare thread ids.
+        """
+        ranks = sorted({e.rank for e in self.events})
+        entries: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "simulated ranks"},
+            }
+        ]
+        for rank in ranks:
+            entries.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
         for ev in sorted(self.events, key=lambda e: (e.rank, e.start)):
             entries.append(
                 {
@@ -143,8 +167,9 @@ class TraceRecorder:
         if not self.events:
             return "(no events)"
         t_end = max(e.end for e in self.events)
-        if t_end <= 0:
-            return "(empty timeline)"
+        # Events can all sit at t=0 (e.g. a single instantaneous send);
+        # keep a positive scale so every event still gets a visible mark.
+        scale = t_end if t_end > 0 else 1.0
         ranks = sorted({e.rank for e in self.events})
         lines = []
         for rank in ranks:
@@ -152,8 +177,8 @@ class TraceRecorder:
             for ev in self.events:
                 if ev.rank != rank:
                     continue
-                a = int(ev.start / t_end * (width - 1))
-                b = max(int(ev.end / t_end * (width - 1)), a)
+                a = int(ev.start / scale * (width - 1))
+                b = max(int(ev.end / scale * (width - 1)), a)
                 ch = {"compute": "#", "recv": "~", "send": "|"}[ev.kind]
                 for i in range(a, b + 1):
                     if row[i] == " " or ch == "#":

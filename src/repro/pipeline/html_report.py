@@ -39,6 +39,7 @@ def write_embedding_report(
     outliers: np.ndarray | None = None,
     tooltips: dict[str, np.ndarray] | None = None,
     title: str = "ARAMS embedding",
+    health: dict | None = None,
 ) -> Path:
     """Write a standalone interactive scatter report.
 
@@ -57,6 +58,11 @@ def write_embedding_report(
         (name → length-``n`` array; values are stringified).
     title:
         Page title.
+    health:
+        Optional sketch-health snapshot
+        (:meth:`repro.pipeline.monitor.MonitoringPipeline.health_summary`);
+        when given, a panel below the scatter shows the rank and
+        residual-error trajectories plus the key health figures.
 
     Returns
     -------
@@ -106,10 +112,85 @@ def write_embedding_report(
     )
     html = _TEMPLATE.replace("__TITLE__", _escape(title)).replace(
         "__PAYLOAD__", payload
-    ).replace("__OUTLIER_COLOR__", _OUTLIER_COLOR)
+    ).replace("__OUTLIER_COLOR__", _OUTLIER_COLOR).replace(
+        "__HEALTH__", _health_html(health)
+    )
     path = Path(path)
     path.write_text(html)
     return path
+
+
+def _sparkline(
+    points: list[tuple[float, float]],
+    width: int = 360,
+    height: int = 70,
+    color: str = "#0072B2",
+    step: bool = False,
+) -> str:
+    """Inline SVG polyline for a (x, y) trajectory (no dependencies)."""
+    if not points:
+        return "<em>no data</em>"
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    m = 4  # margin px
+    def px(x: float) -> float:
+        return m + (x - x0) / xr * (width - 2 * m)
+    def py(y: float) -> float:
+        return height - m - (y - y0) / yr * (height - 2 * m)
+    coords: list[str] = []
+    prev_y: float | None = None
+    for x, y in zip(xs, ys):
+        if step and prev_y is not None and y != prev_y:
+            coords.append(f"{px(x):.1f},{py(prev_y):.1f}")
+        coords.append(f"{px(x):.1f},{py(y):.1f}")
+        prev_y = y
+    if step:
+        # Extend the last level to the right edge so the plateau reads.
+        coords.append(f"{width - m:.1f},{py(ys[-1]):.1f}")
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polyline points="{" ".join(coords)}" fill="none" '
+        f'stroke="{color}" stroke-width="1.6"/>'
+        f"</svg>"
+        f'<div class="range">{ys[0]:.4g} &rarr; {ys[-1]:.4g} '
+        f"(rows {xs[0]:.0f}&ndash;{xs[-1]:.0f})</div>"
+    )
+
+
+def _health_html(health: dict | None) -> str:
+    """Render the sketch-health panel (empty string when absent)."""
+    if not health:
+        return ""
+    rows = [
+        ("sketch rank (ell)", f"{health.get('rank', 0):.0f}"),
+        ("rank increases", f"{health.get('rank_increases', 0):.0f}"),
+        ("rotations (shrink SVDs)", f"{health.get('rotations', 0):.0f}"),
+        ("shrinkage mass &Sigma;&delta;", f"{health.get('shrinkage_mass', 0.0):.4g}"),
+        ("residual error estimate", f"{health.get('residual_error', float('nan')):.4g}"),
+        ("sampler retention", f"{health.get('retention_ratio', 0.0):.1%}"),
+        ("images processed", f"{health.get('n_images', 0)}"),
+    ]
+    stage = health.get("stage_seconds") or {}
+    for name, secs in stage.items():
+        rows.append((f"{_escape(str(name))} time", f"{float(secs):.3f}s"))
+    table = "".join(
+        f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in rows
+    )
+    rank_traj = health.get("rank_trajectory") or []
+    err_traj = health.get("error_trajectory") or []
+    return (
+        '<div id="health"><h2>sketch health</h2><div id="healthwrap">'
+        f'<table class="health">{table}</table>'
+        '<div><b>rank trajectory</b><br>'
+        f"{_sparkline(rank_traj, step=True)}"
+        '<b>residual error estimate</b><br>'
+        f'{_sparkline(err_traj, color="#D55E00")}</div>'
+        "</div></div>"
+    )
 
 
 def _stringify(v: object) -> str:
@@ -143,6 +224,12 @@ _TEMPLATE = """<!DOCTYPE html>
         margin-right: 6px; vertical-align: -1px; }
   h1 { font-size: 16px; padding: 10px 12px 0; margin: 0; }
   p.hint { font-size: 11px; color: #777; padding: 0 12px; }
+  #health { padding: 8px 12px; font-size: 13px; }
+  #health h2 { font-size: 14px; margin: 6px 0; }
+  #healthwrap { display: flex; gap: 28px; align-items: flex-start; }
+  table.health td { padding: 1px 10px 1px 0; }
+  table.health td:last-child { font-variant-numeric: tabular-nums; }
+  #health .range { font-size: 11px; color: #777; margin-bottom: 8px; }
 </style>
 </head>
 <body>
@@ -152,6 +239,7 @@ _TEMPLATE = """<!DOCTYPE html>
   <canvas id="plot" width="860" height="620"></canvas>
   <div id="side"><b>clusters</b><div id="legend"></div></div>
 </div>
+__HEALTH__
 <div id="tip"></div>
 <script>
 const DATA = __PAYLOAD__;

@@ -24,7 +24,6 @@ the *current* basis as it arrives.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +34,9 @@ from repro.cluster.optics import OPTICS
 from repro.core.arams import ARAMS, ARAMSConfig
 from repro.embed.pca import SketchPCA
 from repro.embed.umap import UMAP
+from repro.obs.health import SketchHealth
+from repro.obs.registry import Registry
+from repro.obs.spans import SPAN_HISTOGRAM
 from repro.parallel.cost_model import CommCostModel
 from repro.parallel.runner import DistributedSketchRunner
 from repro.pipeline.preprocess import Preprocessor
@@ -121,6 +123,13 @@ class MonitoringPipeline:
         projection; ``"latent"`` keeps only per-batch latent coordinates
         (bounded memory, projection through the basis current at batch
         time).
+    registry:
+        Metric registry receiving stage-latency spans and sketch-health
+        instruments (see :mod:`repro.obs`).  Defaults to a fresh
+        :class:`~repro.obs.registry.Registry` owned by the pipeline;
+        pass a shared instance to aggregate several pipelines, or a
+        :class:`~repro.obs.registry.NullRegistry` to disable metrics
+        (timing views then read as zero).
     seed:
         Master seed for every stochastic stage.
 
@@ -148,6 +157,7 @@ class MonitoringPipeline:
         outlier_contamination: float | None = 0.03,
         outlier_neighbors: int = 20,
         retain: str = "rows",
+        registry: Registry | None = None,
         seed: int | None = None,
     ):
         if retain not in ("rows", "latent"):
@@ -194,8 +204,14 @@ class MonitoringPipeline:
         # flip sign and reorder as the sketch evolves).
         self._latent_basis: np.ndarray | None = None
         self.n_images = 0
-        self.sketch_time = 0.0
-        self.preprocess_time = 0.0
+        self.registry = registry if registry is not None else Registry()
+        self.health = SketchHealth(self.registry)
+        self._images_counter = self.registry.counter(
+            "pipeline_images_total", help="Images consumed by the pipeline"
+        )
+        self._batches_counter = self.registry.counter(
+            "pipeline_batches_total", help="Batches consumed by the pipeline"
+        )
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -203,6 +219,7 @@ class MonitoringPipeline:
     def _ensure_sketcher(self, d: int) -> ARAMS:
         if self._sketcher is None:
             self._sketcher = ARAMS(d=d, config=self.sketch_config)
+            self.health.attach(self._sketcher)
         elif self._sketcher.d != d:
             raise ValueError(
                 f"batch dimension {d} differs from pipeline dimension {self._sketcher.d}"
@@ -211,14 +228,14 @@ class MonitoringPipeline:
 
     def consume(self, images: np.ndarray) -> "MonitoringPipeline":
         """Preprocess one image batch and feed it to the online sketch."""
-        t0 = time.perf_counter()
-        rows = self.preprocessor.apply_flat(images)
-        self.preprocess_time += time.perf_counter() - t0
+        with self.registry.span("consume.preprocess"):
+            rows = self.preprocessor.apply_flat(images)
         sk = self._ensure_sketcher(rows.shape[1])
-        t0 = time.perf_counter()
-        sk.partial_fit(rows)
-        self.sketch_time += time.perf_counter() - t0
+        with self.registry.span("consume.sketch"):
+            sk.partial_fit(rows)
         self.n_images += rows.shape[0]
+        self._images_counter.inc(rows.shape[0])
+        self._batches_counter.inc()
         self._retain_batch(rows, sk)
         return self
 
@@ -252,25 +269,53 @@ class MonitoringPipeline:
         sketcher, so sharded and streaming ingestion can be mixed.  The
         virtual makespan is charged to ``sketch_time``.
         """
-        t0 = time.perf_counter()
-        rows = self.preprocessor.apply_flat(images)
-        self.preprocess_time += time.perf_counter() - t0
+        with self.registry.span("consume.preprocess"):
+            rows = self.preprocessor.apply_flat(images)
         sk = self._ensure_sketcher(rows.shape[1])
         runner = DistributedSketchRunner(
             ell=max(sk.ell, self.sketch_config.ell),
             strategy="tree",
             cost_model=cost_model,
+            registry=self.registry,
         )
         shards = np.array_split(rows, n_ranks, axis=0)
         result = runner.run(shards)
-        self.sketch_time += result.makespan
+        # The virtual makespan is observed into the sketch-stage
+        # histogram so sketch_time keeps its historical meaning.
+        self._stage_histogram("consume.sketch").observe(result.makespan)
         # Fold the merged global sketch into the running sketcher.
-        t0 = time.perf_counter()
-        sk.sketcher.partial_fit(result.sketch[np.any(result.sketch != 0, axis=1)])
-        self.sketch_time += time.perf_counter() - t0
+        with self.registry.span("consume.sketch"):
+            sk.sketcher.partial_fit(result.sketch[np.any(result.sketch != 0, axis=1)])
         self.n_images += rows.shape[0]
+        self._images_counter.inc(rows.shape[0])
+        self._batches_counter.inc()
         self._retain_batch(rows, sk)
         return self
+
+    # ------------------------------------------------------------------
+    # Timing views (spans are the source of truth; these attributes are
+    # kept as thin reads over the registry for backward compatibility)
+    # ------------------------------------------------------------------
+    def _stage_histogram(self, span_name: str):
+        return self.registry.histogram(
+            SPAN_HISTOGRAM,
+            labels={"span": span_name},
+            help="Wall-clock seconds per instrumented span",
+        )
+
+    def _stage_seconds(self, span_name: str) -> float:
+        hist = self.registry.get_sample(SPAN_HISTOGRAM, {"span": span_name})
+        return float(hist.sum) if hist is not None else 0.0
+
+    @property
+    def preprocess_time(self) -> float:
+        """Cumulative seconds in the preprocessing stage."""
+        return self._stage_seconds("consume.preprocess")
+
+    @property
+    def sketch_time(self) -> float:
+        """Cumulative seconds (real + virtual) in the sketching stage."""
+        return self._stage_seconds("consume.sketch")
 
     # ------------------------------------------------------------------
     # Analysis
@@ -287,41 +332,41 @@ class MonitoringPipeline:
         if self._sketcher is None or self.n_images == 0:
             raise RuntimeError("no data consumed yet")
         timings: dict[str, float] = {}
-        t0 = time.perf_counter()
-        pca = SketchPCA(self._sketcher.compact_sketch(), n_components=self.n_latent)
-        if self.retain == "rows":
-            rows = np.vstack(self._rows)
-            latent = pca.transform(rows)
-        else:
-            parts = self._latents
-            width = max(p.shape[1] for p in parts)
-            latent = np.zeros((self.n_images, width))
-            at = 0
-            for p in parts:
-                latent[at : at + p.shape[0], : p.shape[1]] = p
-                at += p.shape[0]
-        timings["project"] = time.perf_counter() - t0
+        with self.registry.span("analyze.project") as sp:
+            pca = SketchPCA(self._sketcher.compact_sketch(), n_components=self.n_latent)
+            if self.retain == "rows":
+                rows = np.vstack(self._rows)
+                latent = pca.transform(rows)
+            else:
+                parts = self._latents
+                width = max(p.shape[1] for p in parts)
+                latent = np.zeros((self.n_images, width))
+                at = 0
+                for p in parts:
+                    latent[at : at + p.shape[0], : p.shape[1]] = p
+                    at += p.shape[0]
+        timings["project"] = sp.elapsed
 
-        t0 = time.perf_counter()
-        umap = UMAP(**self.umap_params)
-        embedding = umap.fit_transform(latent)
-        timings["umap"] = time.perf_counter() - t0
+        with self.registry.span("analyze.umap") as sp:
+            umap = UMAP(**self.umap_params)
+            embedding = umap.fit_transform(latent)
+        timings["umap"] = sp.elapsed
 
-        t0 = time.perf_counter()
-        if self.cluster_method == "hdbscan":
-            labels = HDBSCAN(**self.hdbscan_params).fit_predict(embedding)
-        else:
-            labels = OPTICS(**self.optics_params).fit_predict(embedding)
-        timings[self.cluster_method] = time.perf_counter() - t0
+        with self.registry.span(f"analyze.{self.cluster_method}") as sp:
+            if self.cluster_method == "hdbscan":
+                labels = HDBSCAN(**self.hdbscan_params).fit_predict(embedding)
+            else:
+                labels = OPTICS(**self.optics_params).fit_predict(embedding)
+        timings[self.cluster_method] = sp.elapsed
 
         if self.outlier_contamination is not None:
-            t0 = time.perf_counter()
-            outliers, scores = abod_outliers(
-                latent,
-                contamination=self.outlier_contamination,
-                n_neighbors=min(self.outlier_neighbors, latent.shape[0] - 1),
-            )
-            timings["abod"] = time.perf_counter() - t0
+            with self.registry.span("analyze.abod") as sp:
+                outliers, scores = abod_outliers(
+                    latent,
+                    contamination=self.outlier_contamination,
+                    n_neighbors=min(self.outlier_neighbors, latent.shape[0] - 1),
+                )
+            timings["abod"] = sp.elapsed
         else:
             outliers = np.zeros(self.n_images, dtype=bool)
             scores = np.zeros(self.n_images)
@@ -370,37 +415,37 @@ class MonitoringPipeline:
             raise RuntimeError("call analyze() before score_new()")
         assert self._analysis_umap is not None
         timings: dict[str, float] = {}
-        t0 = time.perf_counter()
-        rows = self.preprocessor.apply_flat(images)
-        latent = self._analysis_pca.transform(rows)
-        timings["project"] = time.perf_counter() - t0
+        with self.registry.span("score.project") as sp:
+            rows = self.preprocessor.apply_flat(images)
+            latent = self._analysis_pca.transform(rows)
+        timings["project"] = sp.elapsed
 
-        t0 = time.perf_counter()
-        embedding = self._analysis_umap.transform(latent)
-        timings["umap"] = time.perf_counter() - t0
+        with self.registry.span("score.umap") as sp:
+            embedding = self._analysis_umap.transform(latent)
+        timings["umap"] = sp.elapsed
 
         # Nearest-reference-neighbour label transfer.
-        t0 = time.perf_counter()
-        ref = self._analysis.embedding
-        d2 = (
-            np.einsum("ij,ij->i", embedding, embedding)[:, None]
-            + np.einsum("ij,ij->i", ref, ref)[None, :]
-            - 2.0 * embedding @ ref.T
-        )
-        labels = self._analysis.labels[np.argmin(d2, axis=1)]
-        timings["label_transfer"] = time.perf_counter() - t0
+        with self.registry.span("score.label_transfer") as sp:
+            ref = self._analysis.embedding
+            d2 = (
+                np.einsum("ij,ij->i", embedding, embedding)[:, None]
+                + np.einsum("ij,ij->i", ref, ref)[None, :]
+                - 2.0 * embedding @ ref.T
+            )
+            labels = self._analysis.labels[np.argmin(d2, axis=1)]
+        timings["label_transfer"] = sp.elapsed
 
         if self.outlier_contamination is not None:
-            t0 = time.perf_counter()
-            combined = np.vstack([self._analysis.latent, latent])
-            mask, scores = abod_outliers(
-                combined,
-                contamination=self.outlier_contamination,
-                n_neighbors=min(self.outlier_neighbors, combined.shape[0] - 1),
-            )
-            outliers = mask[-latent.shape[0]:]
-            out_scores = scores[-latent.shape[0]:]
-            timings["abod"] = time.perf_counter() - t0
+            with self.registry.span("score.abod") as sp:
+                combined = np.vstack([self._analysis.latent, latent])
+                mask, scores = abod_outliers(
+                    combined,
+                    contamination=self.outlier_contamination,
+                    n_neighbors=min(self.outlier_neighbors, combined.shape[0] - 1),
+                )
+                outliers = mask[-latent.shape[0]:]
+                out_scores = scores[-latent.shape[0]:]
+            timings["abod"] = sp.elapsed
         else:
             outliers = np.zeros(latent.shape[0], dtype=bool)
             out_scores = np.zeros(latent.shape[0])
@@ -421,3 +466,18 @@ class MonitoringPipeline:
         if busy == 0:
             return float("inf")
         return self.n_images / busy
+
+    def health_summary(self) -> dict:
+        """Sketch-health snapshot plus stage timing totals.
+
+        Feeds the HTML operator report and the CLI metrics dump; see
+        :meth:`repro.obs.health.SketchHealth.summary` for the sketch
+        fields.
+        """
+        summary = self.health.summary()
+        summary["stage_seconds"] = {
+            "preprocess": self.preprocess_time,
+            "sketch": self.sketch_time,
+        }
+        summary["n_images"] = self.n_images
+        return summary

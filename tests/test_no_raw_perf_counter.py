@@ -1,0 +1,38 @@
+"""Lint: wall-clock reads must go through repro.obs.clock.
+
+Raw ``time.perf_counter()`` pairs scattered through the code are
+exactly what the span API replaced; this test keeps them from creeping
+back.  The only places allowed to touch the clock are the ``repro.obs``
+package itself (``clock.py`` is the single wrapper) and the benchmark
+suite, which measures the observability layer from outside.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ALLOWED = (REPO / "src" / "repro" / "obs",)
+
+
+def _allowed(path: Path) -> bool:
+    return any(path.is_relative_to(root) for root in ALLOWED)
+
+
+def test_no_raw_perf_counter_outside_obs():
+    offenders: list[str] = []
+    for path in sorted((REPO / "src").rglob("*.py")):
+        if _allowed(path):
+            continue
+        text = path.read_text()
+        if "perf_counter" in text:
+            lines = [
+                f"{path.relative_to(REPO)}:{i}"
+                for i, line in enumerate(text.splitlines(), 1)
+                if "perf_counter" in line
+            ]
+            offenders.extend(lines)
+    assert not offenders, (
+        "raw perf_counter usage outside repro.obs (use repro.obs.clock.now "
+        "or a registry span instead):\n  " + "\n  ".join(offenders)
+    )

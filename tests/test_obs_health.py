@@ -1,0 +1,170 @@
+"""Tests for sketch-health observers and pipeline-level metric wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.rank_adaptive import RankAdaptiveFD
+from repro.obs.health import SketchHealth
+from repro.obs.registry import NullRegistry, Registry
+from repro.obs.spans import SPAN_HISTOGRAM
+
+
+def _stream(n=300, d=32, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+class TestAttach:
+    def test_attach_seeds_rank_gauge(self):
+        reg = Registry()
+        fd = FrequentDirections(d=16, ell=6)
+        health = SketchHealth(reg).attach(fd)
+        assert reg.get_sample("arams_rank").value == 6.0
+        assert health.rank_trajectory == [(0, 6)]
+
+    def test_attach_returns_self_for_chaining(self):
+        health = SketchHealth(Registry())
+        assert health.attach(FrequentDirections(d=8, ell=4)) is health
+
+    def test_labels_stamped_on_instruments(self):
+        reg = Registry()
+        SketchHealth(reg, labels={"variant": "a"}).attach(
+            FrequentDirections(d=8, ell=4)
+        )
+        assert reg.get_sample("arams_rank", {"variant": "a"}).value == 4.0
+        assert reg.get_sample("arams_rank") is None
+
+
+class TestFrequentDirectionsHooks:
+    def test_rotations_and_shrinkage_counted(self):
+        reg = Registry()
+        fd = FrequentDirections(d=32, ell=8)
+        SketchHealth(reg).attach(fd)
+        fd.partial_fit(_stream(200, 32))
+        assert reg.get_sample("arams_rotations_total").value > 0
+        assert reg.get_sample("arams_shrinkage_mass_total").value > 0
+        assert reg.get_sample("arams_rows_seen").value > 0
+
+    def test_shrinkage_mass_obeys_liberty_bound(self):
+        """sum_t delta_t <= ||A||_F^2 / ell (Liberty's FD analysis)."""
+        reg = Registry()
+        fd = FrequentDirections(d=32, ell=8)
+        SketchHealth(reg).attach(fd)
+        data = _stream(400, 32)
+        fd.partial_fit(data)
+        mass = reg.get_sample("arams_shrinkage_mass_total").value
+        assert mass <= float((data**2).sum()) / fd.ell + 1e-9
+
+    def test_unobserved_sketcher_unaffected(self):
+        data = _stream(200, 32)
+        plain = FrequentDirections(d=32, ell=8).partial_fit(data)
+        observed = FrequentDirections(d=32, ell=8)
+        SketchHealth(Registry()).attach(observed)
+        observed.partial_fit(data)
+        np.testing.assert_allclose(plain.sketch, observed.sketch)
+
+
+class TestRankAdaptiveHooks:
+    def test_rank_increase_and_error_estimate(self):
+        reg = Registry()
+        fd = RankAdaptiveFD(
+            d=64, ell=6, epsilon=0.01, nu=4, rng=np.random.default_rng(0)
+        )
+        health = SketchHealth(reg).attach(fd)
+        # Full-rank noise forces residual error -> rank growth.
+        fd.partial_fit(_stream(600, 64))
+        assert reg.get_sample("arams_rank_increases_total").value > 0
+        assert reg.get_sample("arams_rank").value > 6
+        assert np.isfinite(reg.get_sample("arams_residual_error_estimate").value)
+        # Trajectories move through increasing row counts.
+        rows = [r for r, _ in health.rank_trajectory]
+        assert rows == sorted(rows)
+        ranks = [k for _, k in health.rank_trajectory]
+        assert ranks[-1] > ranks[0]
+        assert len(health.error_trajectory) > 0
+
+
+class TestARAMSHooks:
+    def test_sampler_counters(self):
+        reg = Registry()
+        sk = ARAMS(d=32, config=ARAMSConfig(ell=8, beta=0.5, seed=0))
+        SketchHealth(reg).attach(sk)
+        sk.partial_fit(_stream(400, 32))
+        offered = reg.get_sample("sampler_rows_offered_total").value
+        kept = reg.get_sample("sampler_rows_kept_total").value
+        assert offered == 400
+        assert 0 < kept <= offered
+        ratio = reg.get_sample("sampler_retention_ratio").value
+        assert ratio == pytest.approx(kept / offered)
+
+    def test_observer_propagates_to_inner_fd(self):
+        sk = ARAMS(d=16, config=ARAMSConfig(ell=4, beta=1.0, seed=0))
+        health = SketchHealth(Registry()).attach(sk)
+        assert sk.sketcher.observer is health
+
+    def test_null_registry_hooks_are_noops(self):
+        sk = ARAMS(d=32, config=ARAMSConfig(ell=8, beta=0.5, seed=0))
+        SketchHealth(NullRegistry()).attach(sk)
+        sk.partial_fit(_stream(200, 32))  # must not raise
+
+    def test_summary_round_trip(self):
+        reg = Registry()
+        sk = ARAMS(d=32, config=ARAMSConfig(ell=8, beta=0.8, epsilon=0.05, seed=0))
+        health = SketchHealth(reg).attach(sk)
+        sk.partial_fit(_stream(300, 32))
+        s = health.summary()
+        assert s["rank"] == sk.ell
+        assert s["rotations"] > 0
+        assert s["rank_trajectory"][0] == (0, 8)
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def consumed(self):
+        from repro.pipeline.monitor import MonitoringPipeline
+
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((90, 12, 12)) + 2.0
+        reg = Registry()
+        pipe = MonitoringPipeline(
+            image_shape=(12, 12),
+            seed=0,
+            sketch=ARAMSConfig(ell=6, beta=0.8, epsilon=0.05, seed=0),
+            registry=reg,
+        )
+        pipe.consume(images[:45]).consume(images[45:])
+        return pipe, reg
+
+    def test_rank_trajectory_after_consume(self, consumed):
+        pipe, reg = consumed
+        summary = pipe.health_summary()
+        traj = summary["rank_trajectory"]
+        assert traj[0] == (0, 6)
+        assert traj[-1][0] > 0  # advanced through the stream
+        assert reg.get_sample("arams_rank").value == pipe.sketcher.ell
+
+    def test_stage_latency_metrics_after_consume(self, consumed):
+        pipe, reg = consumed
+        for stage in ("consume.preprocess", "consume.sketch"):
+            hist = reg.get_sample(SPAN_HISTOGRAM, {"span": stage})
+            assert hist is not None, stage
+            assert hist.count == 2  # two consume() calls
+            assert hist.sum > 0
+        assert pipe.preprocess_time == pytest.approx(
+            reg.get_sample(SPAN_HISTOGRAM, {"span": "consume.preprocess"}).sum
+        )
+
+    def test_pipeline_counters(self, consumed):
+        _, reg = consumed
+        assert reg.get_sample("pipeline_images_total").value == 90
+        assert reg.get_sample("pipeline_batches_total").value == 2
+
+    def test_health_summary_stage_seconds(self, consumed):
+        pipe, _ = consumed
+        s = pipe.health_summary()
+        assert s["n_images"] == 90
+        assert s["stage_seconds"]["preprocess"] > 0
+        assert s["stage_seconds"]["sketch"] > 0

@@ -1,0 +1,229 @@
+"""Unit tests for metric instruments and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    P2Quantile,
+    Registry,
+    get_default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("rows_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("rows_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1.0)
+
+    def test_zero_increment_allowed(self):
+        c = Counter("rows_total")
+        c.inc(0.0)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("rank")
+        g.set(8)
+        g.inc(4)
+        g.dec(2)
+        assert g.value == 10.0
+
+    def test_may_go_negative(self):
+        g = Gauge("delta")
+        g.dec(3)
+        assert g.value == -3.0
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    def test_small_sample_exact_median(self):
+        est = P2Quantile(0.5)
+        for x in [3.0, 1.0, 2.0]:
+            est.observe(x)
+        assert est.value == 2.0
+
+    def test_converges_on_uniform(self):
+        est = P2Quantile(0.9)
+        for x in np.random.default_rng(1).uniform(size=5000):
+            est.observe(x)
+        assert abs(est.value - 0.9) < 0.03
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.integers(200, 2000),
+        p=st.sampled_from([0.5, 0.9, 0.99]),
+        dist=st.sampled_from(["normal", "uniform", "lognormal"]),
+    )
+    def test_tracks_numpy_percentile(self, seed, size, p, dist):
+        """P² stays close to the exact percentile on iid streams."""
+        rng = np.random.default_rng(seed)
+        data = getattr(rng, dist)(size=size)
+        est = P2Quantile(p)
+        for x in data:
+            est.observe(float(x))
+        exact = float(np.percentile(data, p * 100))
+        # Tolerance = the spread of +/-3 percentile ranks around the
+        # target, so it widens exactly where the distribution is sparse
+        # (e.g. the p99 tail of a lognormal) and stays tight elsewhere.
+        lo, hi = max(p * 100 - 3, 0), min(p * 100 + 3, 100)
+        tol = float(np.percentile(data, hi) - np.percentile(data, lo)) + 1e-9
+        assert abs(est.value - exact) <= tol
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("lat")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("lat").mean)
+
+    def test_quantile_points_default(self):
+        assert Histogram("lat").quantile_points == (0.5, 0.9, 0.99)
+
+    def test_quantiles_reasonable(self):
+        h = Histogram("lat")
+        for x in np.random.default_rng(0).normal(size=4000):
+            h.observe(x)
+        assert abs(h.quantile(0.5)) < 0.1
+        assert abs(h.quantile(0.9) - 1.2816) < 0.2
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = Registry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.counter("a_total", labels={"k": "1"}) is not reg.counter("a_total")
+
+    def test_label_order_irrelevant(self):
+        reg = Registry()
+        a = reg.gauge("g", labels={"x": "1", "y": "2"})
+        b = reg.gauge("g", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = Registry()
+        reg.counter("m")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("m")
+
+    def test_instruments_sorted(self):
+        reg = Registry()
+        reg.counter("b_total")
+        reg.gauge("a_gauge")
+        names = [m.name for m in reg.instruments()]
+        assert names == sorted(names)
+
+    def test_get_sample(self):
+        reg = Registry()
+        reg.counter("c_total", labels={"r": "0"}).inc(5)
+        assert reg.get_sample("c_total", {"r": "0"}).value == 5.0
+        assert reg.get_sample("c_total") is None
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = Registry()
+        reg.counter("c_total").inc()
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must be serializable
+        kinds = {m["name"]: m["kind"] for m in snap["metrics"]}
+        assert kinds == {"c_total": "counter", "h": "histogram"}
+
+    def test_span_log_bounded(self):
+        reg = Registry()
+        reg.max_spans = 10
+        for i in range(25):
+            reg.record_span(i)
+        assert reg.spans == list(range(15, 25))
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert Registry().enabled is True
+
+    def test_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.gauge("a") is reg.gauge("b")
+        assert reg.histogram("a") is reg.histogram("b")
+
+    def test_instruments_are_noops(self):
+        reg = NullRegistry()
+        c = reg.counter("x")
+        c.inc(100)
+        assert c.value == 0.0
+        g = reg.gauge("x")
+        g.set(5)
+        assert g.value == 0.0
+        h = reg.histogram("x")
+        h.observe(1.0)
+        assert h.count == 0
+
+    def test_null_span_is_reusable_noop(self):
+        reg = NullRegistry()
+        sp = reg.span("anything")
+        with sp as inner:
+            pass
+        assert inner is sp
+        assert sp.elapsed == 0.0
+        assert reg.spans == []
+
+    def test_null_span_decorator_returns_function(self):
+        reg = NullRegistry()
+
+        def f():
+            return 42
+
+        assert reg.span("x")(f) is f
+
+
+class TestDefaultRegistry:
+    def test_default_is_null(self):
+        assert isinstance(get_default_registry(), NullRegistry)
+
+    def test_set_and_restore(self):
+        reg = Registry()
+        prev = set_default_registry(reg)
+        try:
+            assert get_default_registry() is reg
+        finally:
+            set_default_registry(prev)
+        assert get_default_registry() is prev

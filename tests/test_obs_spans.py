@@ -1,0 +1,168 @@
+"""Unit tests for the span API (nesting, exception safety, decorator)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.registry import NullRegistry, Registry, set_default_registry
+from repro.obs.spans import SPAN_HISTOGRAM, SpanEvent, span
+
+
+class TestBasicSpans:
+    def test_records_histogram_and_event(self):
+        reg = Registry()
+        with reg.span("stage.one"):
+            pass
+        hist = reg.get_sample(SPAN_HISTOGRAM, {"span": "stage.one"})
+        assert hist.count == 1
+        assert hist.sum >= 0
+        assert len(reg.spans) == 1
+        ev = reg.spans[0]
+        assert ev.name == "stage.one"
+        assert ev.end >= ev.start
+        assert ev.duration == ev.end - ev.start
+
+    def test_elapsed_exposed_after_exit(self):
+        reg = Registry()
+        with reg.span("stage") as sp:
+            pass
+        assert sp.elapsed >= 0
+        assert sp.elapsed == reg.spans[0].duration
+
+    def test_tags_propagate(self):
+        reg = Registry()
+        with reg.span("stage", tags={"variant": "arams"}):
+            pass
+        assert reg.spans[0].tags == {"variant": "arams"}
+
+    def test_repeated_spans_accumulate(self):
+        reg = Registry()
+        for _ in range(3):
+            with reg.span("stage"):
+                pass
+        assert reg.get_sample(SPAN_HISTOGRAM, {"span": "stage"}).count == 3
+
+
+class TestNesting:
+    def test_depth_and_parent(self):
+        reg = Registry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        inner, outer = reg.spans  # inner closes first
+        assert inner.name == "inner"
+        assert inner.depth == 1
+        assert inner.parent == "outer"
+        assert outer.depth == 0
+        assert outer.parent == ""
+
+    def test_sibling_spans_share_parent(self):
+        reg = Registry()
+        with reg.span("outer"):
+            with reg.span("a"):
+                pass
+            with reg.span("b"):
+                pass
+        by_name = {e.name: e for e in reg.spans}
+        assert by_name["a"].parent == "outer"
+        assert by_name["b"].parent == "outer"
+        assert by_name["a"].depth == by_name["b"].depth == 1
+
+    def test_threads_have_independent_stacks(self):
+        reg = Registry()
+        done = threading.Event()
+
+        def worker():
+            with reg.span("thread.child"):
+                pass
+            done.set()
+
+        with reg.span("main.outer"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        child = next(e for e in reg.spans if e.name == "thread.child")
+        # The other thread must not inherit this thread's open span.
+        assert child.parent == ""
+        assert child.depth == 0
+
+
+class TestExceptionSafety:
+    def test_duration_recorded_when_body_raises(self):
+        reg = Registry()
+        with pytest.raises(RuntimeError):
+            with reg.span("failing"):
+                raise RuntimeError("boom")
+        assert reg.get_sample(SPAN_HISTOGRAM, {"span": "failing"}).count == 1
+        assert len(reg.spans) == 1
+
+    def test_exception_does_not_corrupt_stack(self):
+        reg = Registry()
+        with pytest.raises(ValueError):
+            with reg.span("outer"):
+                with reg.span("inner"):
+                    raise ValueError
+        with reg.span("after"):
+            pass
+        after = next(e for e in reg.spans if e.name == "after")
+        assert after.depth == 0
+        assert after.parent == ""
+
+
+class TestDecorator:
+    def test_decorated_function_is_timed_per_call(self):
+        reg = Registry()
+
+        @reg.span("fn.work")
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6
+        assert work(4) == 8
+        assert reg.get_sample(SPAN_HISTOGRAM, {"span": "fn.work"}).count == 2
+
+    def test_decorator_preserves_metadata(self):
+        reg = Registry()
+
+        @reg.span("fn")
+        def documented():
+            """Docstring."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring."
+
+
+class TestModuleLevelSpan:
+    def test_uses_explicit_registry(self):
+        reg = Registry()
+        with span("demo", registry=reg):
+            pass
+        assert len(reg.spans) == 1
+
+    def test_defaults_to_global_registry(self):
+        reg = Registry()
+        prev = set_default_registry(reg)
+        try:
+            with span("global.demo"):
+                pass
+        finally:
+            set_default_registry(prev)
+        assert reg.spans[0].name == "global.demo"
+
+    def test_null_default_records_nothing(self):
+        prev = set_default_registry(NullRegistry())
+        try:
+            with span("ignored"):
+                pass
+        finally:
+            set_default_registry(prev)
+
+
+class TestSpanEvent:
+    def test_frozen(self):
+        ev = SpanEvent(name="x", start=0.0, end=1.0, thread=1)
+        with pytest.raises(AttributeError):
+            ev.name = "y"  # type: ignore[misc]

@@ -73,10 +73,21 @@ class TestExport:
         path = rec.export_chrome(tmp_path / "trace.json")
         doc = json.loads(path.read_text())
         assert "traceEvents" in doc
-        assert len(doc["traceEvents"]) == len(rec.events)
-        first = doc["traceEvents"][0]
+        durations = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(durations) == len(rec.events)
+        first = durations[0]
         assert set(first) >= {"name", "ph", "ts", "dur", "pid", "tid"}
-        assert first["ph"] == "X"
+
+    def test_chrome_trace_metadata_names(self, tmp_path):
+        rec = _pingpong_world()
+        doc = json.loads(rec.export_chrome(tmp_path / "trace.json").read_text())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        thread_meta = {
+            e["tid"]: e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_meta == {0: "rank 0", 1: "rank 1"}
 
     def test_ascii_timeline_rows(self):
         rec = _pingpong_world()
@@ -87,6 +98,16 @@ class TestExport:
 
     def test_empty_recorder(self):
         assert TraceRecorder().ascii_timeline() == "(no events)"
+
+    def test_single_instant_event_timeline(self):
+        """A lone zero-duration event at t=0 still renders a mark."""
+        from repro.parallel.trace import TraceEvent
+
+        rec = TraceRecorder()
+        rec.events.append(TraceEvent(0, "send", 0.0, 0.0, detail="to 1 tag 0"))
+        chart = rec.ascii_timeline(width=30)
+        assert "rank   0" in chart
+        assert "|" in chart.split("\n")[0].split("|", 1)[1]  # the send mark
 
 
 class TestWithRunner:
