@@ -31,7 +31,14 @@ import numpy as np
 
 from repro.linalg.svd import fd_shrink, thin_svd
 
-__all__ = ["MergeStats", "merge_pair", "serial_merge", "tree_merge", "shrink_stack"]
+__all__ = [
+    "MergeStats",
+    "merge_pair",
+    "serial_merge",
+    "tree_merge",
+    "degraded_tree_merge",
+    "shrink_stack",
+]
 
 
 @dataclass
@@ -171,3 +178,43 @@ def tree_merge(
     if out.shape[0] != ell:
         out = shrink_stack([out], ell)
     return out, stats
+
+
+def degraded_tree_merge(
+    sketches: Sequence[np.ndarray | None],
+    ell: int,
+    arity: int = 2,
+) -> tuple[np.ndarray, MergeStats, list[int]]:
+    """Tree-merge the *surviving* subset of a partially failed fan-in.
+
+    Entries that are ``None`` (a dead rank's sketch, or one lost in
+    transit) are skipped; the survivors are merged with
+    :func:`tree_merge`.  Because FD sketches are mergeable summaries,
+    the result still satisfies the covariance-error bound — but only
+    with respect to the rows the *surviving* sketches summarize:
+
+        ``||A_s^T A_s - B^T B||_2 <= ||A_s||_F^2 / ell``
+
+    where ``A_s`` stacks the surviving shards.  Dropping a subtree
+    weakens *coverage* (the lost rows are simply absent), never
+    correctness; it also breaks the appendix's equal-magnitude
+    invariant, so the constant degrades gracefully rather than holding
+    exactly — which is why chaos tests check the bound against the
+    surviving rows only.
+
+    Returns
+    -------
+    (sketch, stats, survivors)
+        ``survivors`` lists the indices that contributed.
+
+    Raises
+    ------
+    ValueError
+        If every sketch is missing — there is nothing left to merge,
+        and returning a zero sketch would silently masquerade as data.
+    """
+    survivors = [i for i, s in enumerate(sketches) if s is not None]
+    if not survivors:
+        raise ValueError("all sketches lost; nothing survives to merge")
+    merged, stats = tree_merge([sketches[i] for i in survivors], ell, arity=arity)
+    return merged, stats, survivors

@@ -23,16 +23,21 @@ from pathlib import Path
 
 import numpy as np
 
+from typing import Mapping
+
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.rank_adaptive import RankAdaptiveFD
 
-__all__ = ["save_sketcher", "load_sketcher"]
+__all__ = ["save_sketcher", "load_sketcher", "load_sketcher_with_extras"]
 
 _FORMAT_VERSION = 1
+_EXTRA_PREFIX = "extra_"
 
 
 def save_sketcher(
-    sketcher: FrequentDirections, path: str | Path
+    sketcher: FrequentDirections,
+    path: str | Path,
+    extras: Mapping[str, int | float] | None = None,
 ) -> Path:
     """Checkpoint a sketcher to ``path`` (``.npz``).
 
@@ -43,6 +48,11 @@ def save_sketcher(
         instance (ARAMS users checkpoint ``arams.sketcher``).
     path:
         Output file; ``.npz`` is appended by numpy if missing.
+    extras:
+        Optional scalar metadata stored alongside the sketcher state —
+        e.g. the shard row offset a distributed rank had reached, so a
+        restarted rank knows where to resume its stream.  Read back
+        with :func:`load_sketcher_with_extras`.
 
     Returns
     -------
@@ -77,6 +87,10 @@ def save_sketcher(
             n_rank_increases=np.array(sketcher.n_rank_increases),
             rank_history=np.array(sketcher.rank_history, dtype=np.int64),
         )
+    for key, value in (extras or {}).items():
+        if key in payload or not key.isidentifier():
+            raise ValueError(f"invalid extras key {key!r}")
+        payload[_EXTRA_PREFIX + key] = np.array(value)
     path = Path(path)
     with path.open("wb") as fh:
         np.savez(fh, **payload)
@@ -100,6 +114,18 @@ def load_sketcher(
     -------
     FrequentDirections | RankAdaptiveFD
         Ready to continue ``partial_fit`` exactly where it stopped.
+    """
+    sketcher, _ = load_sketcher_with_extras(path, seed=seed)
+    return sketcher
+
+
+def load_sketcher_with_extras(
+    path: str | Path, seed: int | None = None
+) -> tuple[FrequentDirections, dict[str, float]]:
+    """Like :func:`load_sketcher`, also returning the ``extras`` metadata.
+
+    Extras come back as a plain ``{name: float}`` dict (empty when the
+    checkpoint was written without any).
     """
     with np.load(Path(path), allow_pickle=False) as data:
         version = int(data["format_version"])
@@ -141,4 +167,9 @@ def load_sketcher(
         sk.n_seen = int(data["n_seen"])
         sk.n_rotations = int(data["n_rotations"])
         sk.squared_frobenius = float(data["squared_frobenius"])
-    return sk
+        extras = {
+            key[len(_EXTRA_PREFIX):]: float(data[key])
+            for key in data.files
+            if key.startswith(_EXTRA_PREFIX)
+        }
+    return sk, extras

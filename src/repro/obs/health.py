@@ -36,7 +36,63 @@ from __future__ import annotations
 
 from typing import Mapping
 
-__all__ = ["SketchHealth"]
+__all__ = ["SketchHealth", "record_degradation"]
+
+
+def record_degradation(registry, report, labels: Mapping[str, str] | None = None) -> None:
+    """Export a :class:`~repro.parallel.faults.DegradationReport` as metrics.
+
+    Called by the distributed runners after every run (clean or faulty)
+    so dashboards see fault pressure alongside throughput.  Counters
+    accumulate across runs; gauges reflect the most recent run.
+
+    ==================================  =======  ===============================
+    ``fault_runs_degraded_total``       counter  runs that lost or retried work
+    ``fault_ranks_lost_total``          counter  ranks dead with no recovery
+    ``fault_ranks_recovered_total``     counter  ranks restarted from checkpoint
+    ``fault_rows_dropped_total``        counter  rows absent from the sketch
+    ``fault_rows_recovered_total``      counter  rows replayed after restart
+    ``fault_retries_total``             counter  send/recv retry attempts
+    ``fault_messages_dropped_total``    counter  messages the injector dropped
+    ``fault_corruptions_detected_total`` counter checksum rejections at receivers
+    ``fault_checkpoints_written_total`` counter  per-rank checkpoints written
+    ``fault_rows_dropped``              gauge    rows dropped in the last run
+    ``fault_contributing_ranks``        gauge    ranks in the last merged sketch
+    ==================================  =======  ===============================
+    """
+    lbl = dict(labels or {})
+    c = lambda name, help: registry.counter(name, labels=lbl, help=help)
+    g = lambda name, help: registry.gauge(name, labels=lbl, help=help)
+    if report.degraded:
+        c("fault_runs_degraded_total", "Runs that lost or retried work").inc()
+    c("fault_ranks_lost_total", "Ranks dead with no recovery").inc(len(report.ranks_lost))
+    c(
+        "fault_ranks_recovered_total", "Ranks restarted from checkpoint"
+    ).inc(len(report.ranks_recovered))
+    c("fault_rows_dropped_total", "Rows absent from the merged sketch").inc(
+        report.rows_dropped
+    )
+    c("fault_rows_recovered_total", "Rows replayed after checkpoint restart").inc(
+        report.rows_recovered
+    )
+    c("fault_retries_total", "Send/recv retry attempts").inc(report.retries)
+    c("fault_messages_dropped_total", "Messages dropped by fault injection").inc(
+        report.messages_dropped
+    )
+    c(
+        "fault_corruptions_detected_total",
+        "Corrupted payloads rejected by checksum",
+    ).inc(report.corruptions_detected)
+    c("fault_checkpoints_written_total", "Per-rank sketch checkpoints written").inc(
+        report.checkpoints_written
+    )
+    g("fault_rows_dropped", "Rows dropped in the most recent run").set(
+        report.rows_dropped
+    )
+    g(
+        "fault_contributing_ranks",
+        "Ranks contributing to the most recent merged sketch",
+    ).set(len(report.contributing_ranks))
 
 
 class SketchHealth:

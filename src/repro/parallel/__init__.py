@@ -25,10 +25,26 @@ the tree-vs-serial critical-path asymmetry the paper demonstrates.
 - :mod:`repro.parallel.runner` — shard → local sketch → merge driver
   for both merge topologies.
 - :mod:`repro.parallel.scaling` — the strong-scaling study harness.
+- :mod:`repro.parallel.faults` — deterministic chaos: seeded fault
+  plans, the runtime injector and the degradation report.
 """
 
-from repro.parallel.cost_model import CommCostModel
-from repro.parallel.comm import SimComm, SimCommWorld
+from repro.parallel.cost_model import CommCostModel, ComputeCostModel
+from repro.parallel.comm import (
+    DeadlockError,
+    RankFailedError,
+    SendReceipt,
+    SimComm,
+    SimCommWorld,
+)
+from repro.parallel.faults import (
+    DegradationReport,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RankKilledError,
+    payload_checksum,
+)
 from repro.parallel.runner import DistributedSketchRunner, ParallelRunResult
 from repro.parallel.scaling import ScalingRecord, strong_scaling_study
 from repro.parallel.stream_runner import GlobalSnapshot, StreamingDistributedSketcher
@@ -36,8 +52,18 @@ from repro.parallel.trace import TraceEvent, TraceRecorder
 
 __all__ = [
     "CommCostModel",
+    "ComputeCostModel",
     "SimComm",
     "SimCommWorld",
+    "SendReceipt",
+    "DeadlockError",
+    "RankFailedError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "DegradationReport",
+    "RankKilledError",
+    "payload_checksum",
     "DistributedSketchRunner",
     "ParallelRunResult",
     "ScalingRecord",

@@ -20,6 +20,31 @@ Threads never run numerics concurrently in a way that corrupts the
 virtual clocks: each rank only mutates its own clock, and queue handoff
 pairs a single writer with a single reader per (source, dest, tag)
 channel.
+
+Fault tolerance
+---------------
+A world constructed with a :class:`~repro.parallel.faults.FaultInjector`
+consults it on every message: sends may be dropped, delayed (virtual
+seconds added to the arrival stamp) or corrupted, and ranks may be
+stalled at chosen operation indices.  Recovery primitives are built in:
+
+- :meth:`SimComm.recv` accepts a per-call ``timeout`` and fails *fast*
+  — a receive from a rank that already exited without sending raises
+  :class:`DeadlockError` immediately (naming the ``(source, dest,
+  tag)`` channel) instead of hanging until the wall timeout, and a
+  receive from a rank killed by fault injection raises
+  :class:`RankFailedError`;
+- :meth:`SimComm.send_reliable` retransmits attempts the injector
+  dropped or corrupted, charging an exponential-backoff cost from the
+  :class:`~repro.parallel.cost_model.CommCostModel` to the sender's
+  virtual clock per retry;
+- :meth:`SimComm.recv_with_retry` retries a failed receive with the
+  same modelled backoff on the receiver side.
+
+Retransmission is resolved at the send site — the injector is the
+oracle for whether each attempt is dropped — so recovery behaviour and
+every virtual-clock charge are bit-reproducible from the fault plan's
+seed, independent of thread scheduling.
 """
 
 from __future__ import annotations
@@ -27,16 +52,49 @@ from __future__ import annotations
 import queue
 import threading
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.obs.clock import now
 from repro.parallel.cost_model import CommCostModel
+from repro.parallel.faults import FaultInjector, RankKilledError
 
-__all__ = ["SimComm", "SimCommWorld", "DeadlockError"]
+__all__ = [
+    "SimComm",
+    "SimCommWorld",
+    "DeadlockError",
+    "RankFailedError",
+    "SendReceipt",
+]
+
+# How often a blocking receive re-checks the sender's liveness (wall
+# seconds).  Purely a responsiveness knob: virtual clocks never depend
+# on it.
+_POLL_INTERVAL = 0.002
 
 
 class DeadlockError(RuntimeError):
     """A rank blocked on a message that can no longer arrive."""
+
+
+class RankFailedError(RuntimeError):
+    """A communication peer died (fault-injected kill or crash)."""
+
+
+@dataclass
+class SendReceipt:
+    """Outcome of a (possibly faulty) send.
+
+    ``delivered`` is False only when the injector dropped the message
+    (every attempt, for :meth:`SimComm.send_reliable`); ``corrupted``
+    marks a payload that was delivered damaged.  ``attempts`` counts
+    transmissions including retries.
+    """
+
+    delivered: bool = True
+    corrupted: bool = False
+    delay: float = 0.0
+    attempts: int = 1
 
 
 class Request:
@@ -89,7 +147,11 @@ class SimComm:
         self.clock = 0.0
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.retries = 0
         self._in_timed = False
+        # Per-rank communication-op index (send/recv), consulted by
+        # stall rules; deterministic because each rank is sequential.
+        self._op_index = 0
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -124,36 +186,154 @@ class SimComm:
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking-buffered send (always completes immediately)."""
+    def _charge_stall(self) -> None:
+        """Apply any stall fault scheduled for this rank's next comm op."""
+        inj = self._world.injector
+        if inj is not None:
+            stall = inj.stall_seconds(self.rank, self._op_index)
+            if stall > 0.0:
+                self.clock += stall
+        self._op_index += 1
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> SendReceipt:
+        """Blocking-buffered send (always completes immediately).
+
+        Returns a :class:`SendReceipt`; without fault injection the
+        message is always delivered intact and callers may ignore it.
+        """
         if self._in_timed:
             raise RuntimeError("communication inside a timed() region would deadlock the world")
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
         if dest == self.rank:
             raise ValueError("send to self is not supported; restructure the program")
+        self._charge_stall()
+        inj = self._world.injector
+        delay = 0.0
+        corrupted = False
+        if inj is not None:
+            verdict = inj.on_send(self.rank, dest, tag)
+            if verdict.drop:
+                return SendReceipt(delivered=False)
+            delay = verdict.delay
+            if verdict.corrupt:
+                obj = inj.corrupt_payload(obj)
+                corrupted = True
         nbytes = CommCostModel.payload_bytes(obj)
         self.bytes_sent += nbytes
         self.messages_sent += 1
-        self._world._channel(self.rank, dest, tag).put((obj, self.clock, nbytes))
+        self._world._channel(self.rank, dest, tag).put((obj, self.clock + delay, nbytes))
+        return SendReceipt(delivered=True, corrupted=corrupted, delay=delay)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive; advances the clock past the message arrival."""
+    def send_reliable(
+        self, obj: Any, dest: int, tag: int = 0, max_attempts: int = 4
+    ) -> SendReceipt:
+        """Send with bounded retransmission of dropped/corrupted attempts.
+
+        Each retry charges ``cost_model.backoff_cost(attempt)`` —
+        exponential backoff in *virtual* seconds — to this rank's clock,
+        so retransmission shows up in the makespan exactly like a real
+        retry loop would.  After ``max_attempts`` transmissions the last
+        receipt is returned (``delivered=False`` if every attempt was
+        dropped); the caller decides whether a lost message is fatal.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        receipt = SendReceipt(delivered=False)
+        for attempt in range(max_attempts):
+            receipt = self.send(obj, dest, tag)
+            receipt.attempts = attempt + 1
+            if receipt.delivered and not receipt.corrupted:
+                return receipt
+            self.retries += 1
+            self.advance(self._world.cost_model.backoff_cost(attempt))
+        return receipt
+
+    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+        """Blocking receive; advances the clock past the message arrival.
+
+        Fails fast instead of hanging: if the sending rank has already
+        finished without sending on this channel a :class:`DeadlockError`
+        naming the ``(source, dest, tag)`` channel is raised
+        immediately; if it was killed by fault injection,
+        :class:`RankFailedError`.  ``timeout`` (wall seconds) overrides
+        the world default for this call.
+        """
         if self._in_timed:
             raise RuntimeError("communication inside a timed() region would deadlock the world")
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range for size {self.size}")
+        self._charge_stall()
         chan = self._world._channel(source, self.rank, tag)
-        try:
-            obj, send_clock, nbytes = chan.get(timeout=self._world.timeout)
-        except queue.Empty:
-            raise DeadlockError(
-                f"rank {self.rank} timed out waiting for a message from rank "
-                f"{source} (tag {tag}) after {self._world.timeout}s"
-            ) from None
+        limit = self._world.timeout if timeout is None else float(timeout)
+        deadline = now() + limit
+        while True:
+            try:
+                obj, send_clock, nbytes = chan.get(timeout=_POLL_INTERVAL)
+                break
+            except queue.Empty:
+                status = self._world.rank_status(source)
+                if status != "running":
+                    # The sender can never send again — but it may have
+                    # sent just before exiting, so drain once more
+                    # before declaring the channel dead.
+                    try:
+                        obj, send_clock, nbytes = chan.get_nowait()
+                        break
+                    except queue.Empty:
+                        pass
+                    channel = f"channel ({source} -> {self.rank}, tag {tag})"
+                    if status == "killed":
+                        raise RankFailedError(
+                            f"rank {self.rank} cannot receive on {channel}: "
+                            f"rank {source} was killed"
+                        ) from None
+                    raise DeadlockError(
+                        f"rank {self.rank} blocked on {channel}: rank {source} "
+                        f"exited without sending"
+                    ) from None
+                if now() > deadline:
+                    raise DeadlockError(
+                        f"rank {self.rank} timed out on channel ({source} -> "
+                        f"{self.rank}, tag {tag}) after {limit}s"
+                    ) from None
         arrival = send_clock + self._world.cost_model.cost(nbytes)
         self.clock = max(self.clock, arrival)
         return obj
+
+    def recv_with_retry(
+        self,
+        source: int,
+        tag: int = 0,
+        max_attempts: int = 3,
+        timeout: float | None = None,
+    ) -> Any:
+        """Receive with bounded retry and exponential virtual backoff.
+
+        Each failed attempt charges ``cost_model.retry_cost(attempt)``
+        (a modelled receive-timeout cost plus exponential backoff) to
+        this rank's virtual clock; the final failure re-raises the
+        underlying :class:`DeadlockError` / :class:`RankFailedError`.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        for attempt in range(max_attempts):
+            try:
+                return self.recv(source, tag, timeout=timeout)
+            except (DeadlockError, RankFailedError):
+                self.retries += 1
+                self.advance(self._world.cost_model.retry_cost(attempt))
+                if attempt == max_attempts - 1:
+                    raise
+
+    def is_alive(self, rank: int) -> bool:
+        """Heartbeat check: whether ``rank`` is still running.
+
+        In the simulation the scheduler's thread state *is* the
+        heartbeat — a rank is alive until its program returns, raises,
+        or is killed by fault injection.
+        """
+        return self._world.rank_status(rank) == "running"
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
         """Non-blocking send (buffered sends complete immediately)."""
@@ -271,6 +451,11 @@ class SimCommWorld:
         Communication cost model (defaults to a commodity interconnect).
     timeout:
         Seconds a blocking receive waits before declaring deadlock.
+    injector:
+        Optional :class:`~repro.parallel.faults.FaultInjector`; when
+        given, every message and rank is subject to the injector's
+        fault plan and :class:`~repro.parallel.faults.RankKilledError`
+        raised by a rank marks it dead instead of failing the run.
 
     Examples
     --------
@@ -291,17 +476,20 @@ class SimCommWorld:
         size: int,
         cost_model: CommCostModel | None = None,
         timeout: float = 120.0,
+        injector: FaultInjector | None = None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
         self.size = int(size)
         self.cost_model = cost_model if cost_model is not None else CommCostModel()
         self.timeout = float(timeout)
+        self.injector = injector
         self._channels: dict[tuple[int, int, int], queue.Queue] = {}
         self._channels_lock = threading.Lock()
         # Serializes timed compute regions across ranks; see SimComm.timed.
         self._compute_lock = threading.Lock()
         self.comms: list[SimComm] = []
+        self._status: list[str] = ["running"] * self.size
 
     def _channel(self, source: int, dest: int, tag: int) -> queue.Queue:
         key = (source, dest, tag)
@@ -312,22 +500,46 @@ class SimCommWorld:
                 self._channels[key] = chan
             return chan
 
+    def rank_status(self, rank: int) -> str:
+        """Liveness of ``rank``: ``running``, ``done``, ``killed`` or ``failed``."""
+        return self._status[rank]
+
+    @property
+    def killed_ranks(self) -> list[int]:
+        """Ranks that died to injected kill faults in the last run."""
+        return [r for r, s in enumerate(self._status) if s == "killed"]
+
     def run(self, program: Callable[..., Any], *args: Any) -> list[Any]:
         """Execute ``program(comm, *args)`` once per rank; return results.
 
         Raises the first per-rank exception after all threads finish, so
         a failure in any rank surfaces instead of hanging the caller.
+        :class:`~repro.parallel.faults.RankKilledError` is the one
+        exception treated as *expected*: the rank is marked ``killed``
+        (its result stays ``None``) and the run continues — survivors
+        observe the death through fail-fast receives and
+        :meth:`SimComm.is_alive`.
         """
         self._channels.clear()
         self.comms = [SimComm(self, r) for r in range(self.size)]
+        self._status = ["running"] * self.size
+        if self.injector is not None:
+            self.injector.reset()
         results: list[Any] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
 
         def worker(rank: int) -> None:
             try:
                 results[rank] = program(self.comms[rank], *args)
+            except RankKilledError:
+                if self.injector is not None:
+                    self.injector.record_kill(rank)
+                self._status[rank] = "killed"
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 errors[rank] = exc
+                self._status[rank] = "failed"
+            else:
+                self._status[rank] = "done"
 
         threads = [
             threading.Thread(target=worker, args=(r,), daemon=True)

@@ -7,6 +7,18 @@ HPC interconnect (1 microsecond latency, ~12.5 GB/s effective
 bandwidth); the scaling benches also run with a zero-cost model to show
 the tree-vs-serial gap is a *computation* critical-path effect, not a
 communication artifact.
+
+Fault-tolerance costs ride on the same model: a failed receive charges
+a modelled detection timeout, each retransmission or retried receive
+charges exponential backoff, and restarting a rank from a checkpoint
+charges a restart penalty — all in *virtual* seconds, so recovery
+overhead appears in the makespan deterministically.
+
+:class:`ComputeCostModel` is the analogous model for the *numerical*
+work (sketch updates and merge SVDs), priced by flop counts instead of
+measured wall time.  Runs driven by a compute model are bit-reproducible
+in their virtual clocks — the property the chaos determinism oracle
+(same fault seed ⇒ identical makespan) relies on.
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CommCostModel"]
+__all__ = ["CommCostModel", "ComputeCostModel"]
 
 
 @dataclass(frozen=True)
@@ -28,20 +40,47 @@ class CommCostModel:
         Per-message latency in seconds.
     beta:
         Seconds per byte (inverse bandwidth).
+    recv_timeout:
+        Virtual seconds charged when a receive attempt gives up on a
+        dead or silent channel (models the detection timeout).
+    backoff_base:
+        Base of the exponential retry backoff: attempt ``i`` (0-based)
+        charges ``backoff_base * 2**i`` virtual seconds.
+    restart_penalty:
+        Virtual seconds to restart a rank from a checkpoint (process
+        respawn + checkpoint load), excluding the recomputation itself.
     """
 
     alpha: float = 1e-6
     beta: float = 8e-11  # ~12.5 GB/s
+    recv_timeout: float = 1e-3
+    backoff_base: float = 1e-4
+    restart_penalty: float = 5e-3
 
     def __post_init__(self) -> None:
         if self.alpha < 0 or self.beta < 0:
             raise ValueError("alpha and beta must be nonnegative")
+        if min(self.recv_timeout, self.backoff_base, self.restart_penalty) < 0:
+            raise ValueError(
+                "recv_timeout, backoff_base and restart_penalty must be nonnegative"
+            )
 
     def cost(self, nbytes: int) -> float:
         """Transfer time in seconds for an ``nbytes`` message."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be nonnegative, got {nbytes}")
         return self.alpha + self.beta * nbytes
+
+    def backoff_cost(self, attempt: int) -> float:
+        """Exponential backoff charged before retry ``attempt + 1``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be nonnegative, got {attempt}")
+        return self.backoff_base * (2.0 ** attempt)
+
+    def retry_cost(self, attempt: int) -> float:
+        """Full virtual cost of one failed receive attempt: the
+        detection timeout plus the backoff before retrying."""
+        return self.recv_timeout + self.backoff_cost(attempt)
 
     @staticmethod
     def payload_bytes(obj: object) -> int:
@@ -67,4 +106,61 @@ class CommCostModel:
     @classmethod
     def free(cls) -> "CommCostModel":
         """A zero-cost network (isolates computation critical path)."""
-        return cls(alpha=0.0, beta=0.0)
+        return cls(alpha=0.0, beta=0.0, recv_timeout=0.0,
+                   backoff_base=0.0, restart_penalty=0.0)
+
+
+@dataclass(frozen=True)
+class ComputeCostModel:
+    """Flop-count pricing of the sketching numerics on virtual clocks.
+
+    When a runner is given a compute model it *charges* modelled costs
+    via :meth:`~repro.parallel.comm.SimComm.advance` instead of
+    measuring wall time — the numerics still execute for real, but the
+    virtual clocks become a pure function of the workload.  That is
+    what makes a chaos run a determinism oracle: identical fault-plan
+    seeds must yield bit-identical makespans, which measured wall time
+    can never provide.
+
+    Attributes
+    ----------
+    gflops:
+        Effective throughput of one rank in GFLOP/s.
+    svd_factor:
+        Constant in the thin-SVD flop estimate
+        ``svd_factor * m * n * min(m, n)``.
+    insert_factor:
+        Flops charged per matrix element on buffer insertion (copy +
+        Frobenius accumulation).
+    """
+
+    gflops: float = 20.0
+    svd_factor: float = 6.0
+    insert_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.gflops <= 0:
+            raise ValueError(f"gflops must be positive, got {self.gflops}")
+        if self.svd_factor <= 0 or self.insert_factor < 0:
+            raise ValueError("svd_factor must be positive, insert_factor nonnegative")
+
+    def _seconds(self, flops: float) -> float:
+        return flops / (self.gflops * 1e9)
+
+    def svd_cost(self, m: int, n: int) -> float:
+        """Seconds for one thin SVD of an ``m x n`` matrix."""
+        return self._seconds(self.svd_factor * m * n * min(m, n))
+
+    def sketch_cost(self, rows: int, d: int, ell: int) -> float:
+        """Seconds to stream ``rows`` rows through an FD(ell) sketcher:
+        insertion plus one ``2*ell x d`` shrink SVD every ``ell`` rows."""
+        if rows <= 0:
+            return 0.0
+        rotations = max(rows // max(ell, 1), 1)
+        return self._seconds(self.insert_factor * rows * d) + rotations * self.svd_cost(
+            2 * ell, d
+        )
+
+    def merge_cost(self, stacked_rows: int, d: int) -> float:
+        """Seconds for one stacked shrink of ``stacked_rows x d`` rows."""
+        return self.svd_cost(stacked_rows, d)

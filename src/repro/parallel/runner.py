@@ -17,24 +17,67 @@ with one of two merge topologies:
 Merging equal-size subsets at every level preserves the paper appendix's
 equal-magnitude invariant, so the merged sketch keeps the per-shard
 space/error guarantee.
+
+Fault tolerance
+---------------
+A runner given a :class:`~repro.parallel.faults.FaultPlan` survives the
+failures a real beamtime produces.  Kills fire at a chosen shrink
+rotation; sketches travel in checksummed envelopes delivered with
+bounded retransmission (:meth:`SimComm.send_reliable`) and retried
+receives; the merge re-routes around dead subtrees — each sender ships
+to its nearest *surviving* ancestor leader, so the root always folds in
+every sketch that can still reach it; and with a ``checkpoint_dir``,
+ranks periodically checkpoint their sketcher via
+:mod:`repro.core.persistence` so a killed rank is restarted from its
+last checkpoint and its remaining rows re-sketched instead of lost.
+Everything that went wrong is accounted for in the
+:class:`~repro.parallel.faults.DegradationReport` attached to the
+result and exported to the metric registry.
+
+Because mergeable FD summaries degrade gracefully, a partially failed
+run still satisfies the covariance-error bound — computed against the
+rows that actually contributed (see
+:func:`repro.core.merge.degraded_tree_merge`).  With a
+:class:`~repro.parallel.cost_model.ComputeCostModel`, the whole faulty
+run — sketch, makespan, report — is bit-reproducible from the fault
+plan's seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.merge import shrink_stack
+from repro.core.persistence import load_sketcher_with_extras, save_sketcher
+from repro.obs.clock import StopWatch
+from repro.obs.health import record_degradation
 from repro.obs.registry import Registry, get_default_registry
-from repro.parallel.comm import SimComm, SimCommWorld
-from repro.parallel.cost_model import CommCostModel
+from repro.parallel.comm import (
+    DeadlockError,
+    RankFailedError,
+    SimComm,
+    SimCommWorld,
+)
+from repro.parallel.cost_model import CommCostModel, ComputeCostModel
+from repro.parallel.faults import (
+    DegradationReport,
+    FaultInjector,
+    FaultPlan,
+    RankKilledError,
+    payload_checksum,
+)
 
 __all__ = ["ParallelRunResult", "DistributedSketchRunner"]
 
 SketcherFactory = Callable[[], FrequentDirections]
+
+_MERGE_TAG = 20
+_SERIAL_TAG = 10
 
 
 @dataclass
@@ -46,7 +89,8 @@ class ParallelRunResult:
     sketch:
         The merged global sketch (held by rank 0).
     makespan:
-        Virtual wall-clock of the run in seconds (max over rank clocks).
+        Virtual wall-clock of the run in seconds (max over rank clocks,
+        plus checkpoint-recovery time when a rank was restarted).
     local_sketch_time:
         Max per-rank local sketching time (the perfectly parallel part).
     merge_time:
@@ -59,6 +103,9 @@ class ParallelRunResult:
         Shrink SVDs performed anywhere during the merge phase.
     bytes_communicated:
         Total message bytes.
+    degradation:
+        Fault/recovery accounting for this run (``degradation.degraded``
+        is False for a clean run).
     """
 
     sketch: np.ndarray
@@ -69,6 +116,19 @@ class ParallelRunResult:
     merge_rotations_critical_path: int = 0
     merge_rotations_total: int = 0
     bytes_communicated: int = 0
+    degradation: DegradationReport | None = None
+
+
+class _FTState:
+    """Per-run fault-tolerance bookkeeping (one writer slot per rank)."""
+
+    def __init__(self, size: int):
+        self.lost_children: list[list[int]] = [[] for _ in range(size)]
+        self.corruptions_detected = [0] * size
+        self.checkpoints_written = [0] * size
+        # Rank 0 fills these from the envelopes it folds in.
+        self.rows_merged = 0
+        self.contributing: list[int] = []
 
 
 class DistributedSketchRunner:
@@ -83,7 +143,8 @@ class DistributedSketchRunner:
     arity:
         Fan-in of the tree merge (ignored for serial).
     cost_model:
-        Communication cost model for the virtual network.
+        Communication cost model for the virtual network (also prices
+        retries, failed-receive timeouts and checkpoint restarts).
     sketcher_factory:
         Callable producing a fresh sketcher per rank; defaults to plain
         :class:`FrequentDirections` of size ``ell``.  The factory allows
@@ -91,8 +152,30 @@ class DistributedSketchRunner:
         :class:`~repro.core.arams.ARAMS`-style front ends per rank.
     registry:
         Metric registry for per-run instruments (merge rotations, bytes
-        on the wire, virtual makespan).  Defaults to the process-global
-        registry, which is a no-op unless one has been installed.
+        on the wire, virtual makespan, degradation counters).  Defaults
+        to the process-global registry, which is a no-op unless one has
+        been installed.
+    fault_plan:
+        Optional seeded chaos scenario
+        (:class:`~repro.parallel.faults.FaultPlan`).  Enables the
+        fault-tolerant merge protocol: checksummed envelopes, reliable
+        sends, retried receives and re-routing around dead subtrees.
+    checkpoint_dir:
+        Directory for periodic per-rank sketch checkpoints.  When set,
+        a rank killed mid-run is restarted from its latest checkpoint
+        after the survivors finish: its remaining shard rows are
+        re-sketched and folded into the global sketch, with the restart
+        charged to the virtual makespan.
+    checkpoint_every:
+        Shrink rotations between checkpoints (per rank).
+    compute_model:
+        Optional :class:`~repro.parallel.cost_model.ComputeCostModel`.
+        When given, numerical work is charged by flop count instead of
+        measured wall time, making virtual clocks — and therefore an
+        entire chaos run — bit-reproducible from the fault seed.
+    max_retries:
+        Bounded retry/retransmission attempts for both sides of a
+        fault-tolerant transfer.
 
     Examples
     --------
@@ -113,22 +196,53 @@ class DistributedSketchRunner:
         cost_model: CommCostModel | None = None,
         sketcher_factory: SketcherFactory | None = None,
         registry: Registry | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 2,
+        compute_model: ComputeCostModel | None = None,
+        max_retries: int = 3,
     ):
         if strategy not in ("serial", "tree"):
             raise ValueError(f"unknown merge strategy {strategy!r}")
         if arity < 2:
             raise ValueError(f"arity must be >= 2, got {arity}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
         self.ell = int(ell)
         self.strategy = strategy
         self.arity = int(arity)
         self.cost_model = cost_model if cost_model is not None else CommCostModel()
         self._factory = sketcher_factory
         self.registry = registry if registry is not None else get_default_registry()
+        self.fault_plan = fault_plan
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = int(checkpoint_every)
+        self.compute_model = compute_model
+        self.max_retries = int(max_retries)
+        # Wall seconds one receive attempt waits for a *running* sender;
+        # dead senders are detected immediately regardless.
+        self.recv_wall_timeout = 10.0
 
     def _make_sketcher(self, d: int) -> FrequentDirections:
         if self._factory is not None:
             return self._factory()
         return FrequentDirections(d=d, ell=self.ell)
+
+    # ------------------------------------------------------------------
+    # Virtual-time charging
+    # ------------------------------------------------------------------
+    def _charge(self, comm: SimComm, cost: Callable[[], float], work: Callable[[], Any]) -> Any:
+        """Run ``work``, charging measured or modelled time to the clock."""
+        if self.compute_model is not None:
+            out = work()
+            comm.advance(cost())
+            return out
+        with comm.timed():
+            return work()
 
     # ------------------------------------------------------------------
     def run(self, shards: Sequence[np.ndarray]) -> ParallelRunResult:
@@ -150,20 +264,45 @@ class DistributedSketchRunner:
             if s.ndim != 2 or s.shape[1] != d:
                 raise ValueError(f"shard {i} has incompatible shape {s.shape}")
         size = len(shards)
-        world = SimCommWorld(size, cost_model=self.cost_model)
+        injector = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        if injector is not None:
+            bad = [r for r in self.fault_plan.doomed_ranks() if r >= size]
+            if bad:
+                raise ValueError(
+                    f"fault plan kills ranks {bad} but the world has only {size} ranks"
+                )
+        world = SimCommWorld(size, cost_model=self.cost_model, injector=injector)
         rotation_counts: list[int] = [0] * size
+        state = _FTState(size)
+        doomed = (
+            frozenset(self.fault_plan.doomed_ranks()) if injector is not None else frozenset()
+        )
+        routes = self._ft_routes(size, doomed) if injector is not None else {}
 
         def program(comm: SimComm) -> np.ndarray | None:
             rank = comm.rank
-            with comm.timed():
-                sk = self._make_sketcher(d)
-                sk.partial_fit(shards[rank])
-                local = sk.compact_sketch()
+            local = self._local_phase(comm, shards[rank], d, injector, state)
             local_time = comm.clock
-            if self.strategy == "serial":
-                merged = self._serial_phase(comm, local, rotation_counts)
+            if injector is not None and injector.doomed(rank):
+                # A doomed rank that never reached its kill rotation
+                # dies at merge entry, keeping the set of dead ranks —
+                # and therefore recovery routing — deterministic.
+                raise RankKilledError(f"rank {rank} killed at merge entry")
+            if injector is None:
+                if self.strategy == "serial":
+                    merged = self._serial_phase(comm, local, rotation_counts)
+                else:
+                    merged = self._tree_phase(comm, local, rotation_counts)
             else:
-                merged = self._tree_phase(comm, local, rotation_counts)
+                rows = int(shards[rank].shape[0])
+                if self.strategy == "serial":
+                    merged = self._serial_phase_ft(
+                        comm, local, rows, rotation_counts, doomed, state
+                    )
+                else:
+                    merged = self._tree_phase_ft(
+                        comm, local, rows, rotation_counts, routes, state
+                    )
             comm.local_time = local_time  # type: ignore[attr-defined]
             return merged
 
@@ -178,8 +317,15 @@ class DistributedSketchRunner:
         local_times = [getattr(c, "local_time", 0.0) for c in world.comms]
         makespan = max(clocks)
         local_max = max(local_times)
+
+        report = self._build_report(world, injector, state, shards)
+        sketch, makespan = self._recover_from_checkpoints(
+            sketch, makespan, shards, world, rotation_counts, report
+        )
         crit, total = self._rotation_stats(size, rotation_counts)
-        self._record_metrics(size, makespan, local_max, crit, total, world.total_bytes)
+        self._record_metrics(
+            size, makespan, local_max, crit, total, world.total_bytes, report
+        )
         return ParallelRunResult(
             sketch=sketch,
             makespan=makespan,
@@ -189,9 +335,109 @@ class DistributedSketchRunner:
             merge_rotations_critical_path=crit,
             merge_rotations_total=total,
             bytes_communicated=world.total_bytes,
+            degradation=report,
         )
 
     # ------------------------------------------------------------------
+    # Local phase (shared by both modes)
+    # ------------------------------------------------------------------
+    def _local_phase(
+        self,
+        comm: SimComm,
+        shard: np.ndarray,
+        d: int,
+        injector: FaultInjector | None,
+        state: _FTState,
+    ) -> np.ndarray:
+        """Sketch this rank's shard; inject kills and write checkpoints.
+
+        In fault-tolerant mode the shard streams through in ``ell``-row
+        blocks so a kill lands at its scheduled rotation and checkpoints
+        capture a consistent mid-stream state.  The numerics are
+        identical to the one-shot path (same rows, same rotation
+        points).
+        """
+        rank = comm.rank
+        model = self.compute_model
+        sk = self._make_sketcher(d)
+        if injector is None and self.checkpoint_dir is None:
+
+            def one_shot() -> np.ndarray:
+                sk.partial_fit(shard)
+                return sk.compact_sketch()
+
+            return self._charge(
+                comm,
+                lambda: model.sketch_cost(shard.shape[0], d, self.ell)
+                + model.svd_cost(2 * self.ell, d),
+                one_shot,
+            )
+
+        kill_at = injector.kill_rotation(rank) if injector is not None else None
+        block = max(self.ell, 1)
+        last_ckpt_rotation = 0
+        rows_done = 0
+        for start in range(0, shard.shape[0], block):
+            rows = shard[start : start + block]
+            self._charge(
+                comm,
+                lambda rows=rows: model.sketch_cost(rows.shape[0], d, self.ell),
+                lambda rows=rows: sk.partial_fit(rows),
+            )
+            rows_done += rows.shape[0]
+            if (
+                self.checkpoint_dir is not None
+                and sk.n_rotations - last_ckpt_rotation >= self.checkpoint_every
+            ):
+                save_sketcher(
+                    sk,
+                    self.checkpoint_dir / f"rank{rank}.npz",
+                    extras={"rows_done": rows_done},
+                )
+                state.checkpoints_written[rank] += 1
+                last_ckpt_rotation = sk.n_rotations
+            if kill_at is not None and sk.n_rotations >= kill_at:
+                raise RankKilledError(
+                    f"rank {rank} killed at rotation {sk.n_rotations} "
+                    f"(scheduled at {kill_at})"
+                )
+        return self._charge(
+            comm,
+            lambda: model.svd_cost(2 * self.ell, d),
+            sk.compact_sketch,
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics / report
+    # ------------------------------------------------------------------
+    def _build_report(
+        self,
+        world: SimCommWorld,
+        injector: FaultInjector | None,
+        state: _FTState,
+        shards: Sequence[np.ndarray],
+    ) -> DegradationReport:
+        size = len(shards)
+        report = DegradationReport.from_injector(injector, ranks=size)
+        rows_total = int(sum(s.shape[0] for s in shards))
+        report.rows_total = rows_total
+        report.retries = sum(c.retries for c in world.comms)
+        report.corruptions_detected = sum(state.corruptions_detected)
+        report.checkpoints_written = sum(state.checkpoints_written)
+        lost = set(world.killed_ranks)
+        for per_rank in state.lost_children:
+            lost.update(per_rank)
+        if injector is None:
+            report.rows_merged = rows_total
+            report.contributing_ranks = list(range(size))
+        else:
+            report.rows_merged = state.rows_merged
+            report.contributing_ranks = sorted(set(state.contributing))
+            lost.update(set(range(size)) - set(report.contributing_ranks))
+        report.ranks_lost = sorted(lost)
+        report.rows_dropped = rows_total - report.rows_merged
+        return report
+
     def _record_metrics(
         self,
         ranks: int,
@@ -200,6 +446,7 @@ class DistributedSketchRunner:
         crit: int,
         total: int,
         nbytes: int,
+        report: DegradationReport,
     ) -> None:
         reg = self.registry
         labels = {"strategy": self.strategy}
@@ -231,20 +478,34 @@ class DistributedSketchRunner:
             "parallel_merge_critical_path", labels=labels,
             help="Shrink SVDs on the merge critical path (last run)",
         ).set(crit)
+        record_degradation(reg, report, labels=labels)
 
     # ------------------------------------------------------------------
+    # Fault-free merge phases (identical numerics to the seed version)
+    # ------------------------------------------------------------------
+    def _merge_charge(
+        self, comm: SimComm, pieces: list[np.ndarray]
+    ) -> np.ndarray:
+        """One stacked shrink, charged to the rank's virtual clock."""
+        model = self.compute_model
+        stacked_rows = sum(p.shape[0] for p in pieces)
+        return self._charge(
+            comm,
+            lambda: model.merge_cost(stacked_rows, pieces[0].shape[1]),
+            lambda: shrink_stack(pieces, self.ell),
+        )
+
     def _serial_phase(
         self, comm: SimComm, local: np.ndarray, rotations: list[int]
     ) -> np.ndarray | None:
         """All ranks ship to rank 0; rank 0 folds sequentially."""
         if comm.rank != 0:
-            comm.send(local, dest=0, tag=10)
+            comm.send(local, dest=0, tag=_SERIAL_TAG)
             return None
         acc = local
         for src in range(1, comm.size):
-            incoming = comm.recv(source=src, tag=10)
-            with comm.timed():
-                acc = shrink_stack([acc, incoming], self.ell)
+            incoming = comm.recv(source=src, tag=_SERIAL_TAG)
+            acc = self._merge_charge(comm, [acc, incoming])
             rotations[0] += 1
         return acc
 
@@ -268,17 +529,244 @@ class DistributedSketchRunner:
                 for j in range(1, self.arity):
                     src = rank + j * stride
                     if src < size:
-                        incoming.append(comm.recv(source=src, tag=20))
+                        incoming.append(comm.recv(source=src, tag=_MERGE_TAG))
                 if len(incoming) > 1:
-                    with comm.timed():
-                        acc = shrink_stack(incoming, self.ell)
+                    acc = self._merge_charge(comm, incoming)
                     rotations[rank] += 1
             else:
                 dest = (rank // group) * group
-                comm.send(acc, dest=dest, tag=20)
+                comm.send(acc, dest=dest, tag=_MERGE_TAG)
                 return None
             stride = group
         return acc if rank == 0 else None
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant merge phases
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _envelope(sketch: np.ndarray, rows: int, origins: list[int]) -> dict:
+        return {
+            "sketch": sketch,
+            "rows": rows,
+            "origins": list(origins),
+            "crc": payload_checksum(sketch),
+        }
+
+    def _recv_envelope(self, comm: SimComm, src: int, tag: int, state: _FTState) -> dict:
+        """Receive one checksummed envelope, discarding corrupted copies.
+
+        Corrupted copies arrive (FIFO) before the sender's retransmitted
+        good copy; each is detected by its CRC mismatch and discarded —
+        a damaged payload is *never* folded into the sketch.  Raises
+        :class:`DeadlockError`/:class:`RankFailedError` when the channel
+        is dead or only garbage arrived.
+        """
+        for _ in range(self.max_retries + 1):
+            env = comm.recv_with_retry(
+                src, tag, max_attempts=self.max_retries, timeout=self.recv_wall_timeout
+            )
+            if (
+                isinstance(env, dict)
+                and "sketch" in env
+                and env.get("crc") == payload_checksum(env["sketch"])
+            ):
+                return env
+            state.corruptions_detected[comm.rank] += 1
+        raise RankFailedError(
+            f"rank {comm.rank} received only corrupted payloads from rank {src} "
+            f"(tag {tag})"
+        )
+
+    def _ft_routes(
+        self, size: int, doomed: frozenset[int]
+    ) -> dict[int, tuple[int, int]]:
+        """Deterministic re-routing table for the fault-tolerant tree.
+
+        Maps each surviving sender ``q`` to ``(dest, level_group)``: the
+        nearest non-doomed ancestor leader it ships its sketch to, and
+        the tree level (group size) at which that leader folds it in.
+        Rank 0 is never doomed, so every walk terminates.
+        """
+        routes: dict[int, tuple[int, int]] = {}
+        for q in range(1, size):
+            if q in doomed:
+                continue
+            group = self.arity
+            while q % group == 0:
+                group *= self.arity
+            dest = (q // group) * group
+            while dest in doomed:
+                group *= self.arity
+                dest = (q // group) * group
+            routes[q] = (dest, group)
+        return routes
+
+    def _serial_phase_ft(
+        self,
+        comm: SimComm,
+        local: np.ndarray,
+        rows: int,
+        rotations: list[int],
+        doomed: frozenset[int],
+        state: _FTState,
+    ) -> np.ndarray | None:
+        """Serial fold with reliable delivery and dead-rank skipping."""
+        if comm.rank != 0:
+            comm.send_reliable(
+                self._envelope(local, rows, [comm.rank]),
+                dest=0,
+                tag=_SERIAL_TAG,
+                max_attempts=self.max_retries,
+            )
+            return None
+        acc = local
+        merged_rows = rows
+        origins = [0]
+        for src in range(1, comm.size):
+            if src in doomed:
+                # Known-dead sender: charge the detection timeout and
+                # move on without blocking.
+                comm.advance(self._world_cost(comm).recv_timeout)
+                state.lost_children[0].append(src)
+                continue
+            try:
+                env = self._recv_envelope(comm, src, _SERIAL_TAG, state)
+            except (DeadlockError, RankFailedError):
+                state.lost_children[0].append(src)
+                continue
+            acc = self._merge_charge(comm, [acc, env["sketch"]])
+            rotations[0] += 1
+            merged_rows += env["rows"]
+            origins.extend(env["origins"])
+        state.rows_merged = merged_rows
+        state.contributing = origins
+        return acc
+
+    def _tree_phase_ft(
+        self,
+        comm: SimComm,
+        local: np.ndarray,
+        rows: int,
+        rotations: list[int],
+        routes: dict[int, tuple[int, int]],
+        state: _FTState,
+    ) -> np.ndarray | None:
+        """Tree reduction that re-routes around failed subtrees.
+
+        Senders ship to their nearest surviving ancestor leader (from
+        the precomputed ``routes`` table); leaders fold in, at each
+        level, every envelope routed to them for that level — the
+        natural children plus any orphans of dead siblings.  A child
+        whose envelope never arrives (dropped beyond retry, or killed
+        after the routing decision) costs its whole subtree: the merge
+        continues from the surviving siblings' sketches.
+        """
+        rank, size = comm.rank, comm.size
+        acc = local
+        merged_rows = rows
+        origins = [rank]
+        stride = 1
+        while stride < size:
+            group = stride * self.arity
+            if rank % group != 0:
+                dest, _ = routes[rank]
+                comm.send_reliable(
+                    self._envelope(acc, merged_rows, origins),
+                    dest=dest,
+                    tag=_MERGE_TAG,
+                    max_attempts=self.max_retries,
+                )
+                return None
+            pieces = [acc]
+            for src in sorted(
+                q for q, (dst, lvl) in routes.items() if dst == rank and lvl == group
+            ):
+                try:
+                    env = self._recv_envelope(comm, src, _MERGE_TAG, state)
+                except (DeadlockError, RankFailedError):
+                    state.lost_children[rank].append(src)
+                    continue
+                pieces.append(env["sketch"])
+                merged_rows += env["rows"]
+                origins.extend(env["origins"])
+            if len(pieces) > 1:
+                acc = self._merge_charge(comm, pieces)
+                rotations[rank] += 1
+            stride = group
+        if rank == 0:
+            state.rows_merged = merged_rows
+            state.contributing = origins
+            return acc
+        return None
+
+    @staticmethod
+    def _world_cost(comm: SimComm) -> CommCostModel:
+        return comm._world.cost_model
+
+    # ------------------------------------------------------------------
+    # Checkpoint recovery
+    # ------------------------------------------------------------------
+    def _recover_from_checkpoints(
+        self,
+        sketch: np.ndarray,
+        makespan: float,
+        shards: Sequence[np.ndarray],
+        world: SimCommWorld,
+        rotations: list[int],
+        report: DegradationReport,
+    ) -> tuple[np.ndarray, float]:
+        """Restart killed ranks from their checkpoints and fold them in.
+
+        For every killed rank with a checkpoint on disk: reload the
+        sketcher, re-sketch the shard rows it had not yet covered, and
+        merge the recovered sketch into the global one.  The restart
+        penalty, the checkpoint transfer, the recomputation and the
+        extra merge are all charged to the virtual makespan (modelled
+        when a compute model is present, measured otherwise), so
+        recovery is visible in the timing exactly like the paper's
+        restarted cores would be.
+        """
+        if self.checkpoint_dir is None or not world.killed_ranks:
+            return sketch, makespan
+        d = shards[0].shape[1]
+        model = self.compute_model
+        for rank in world.killed_ranks:
+            path = self.checkpoint_dir / f"rank{rank}.npz"
+            if not path.exists():
+                continue
+            sk, extras = load_sketcher_with_extras(path)
+            rows_done = int(extras.get("rows_done", sk.n_seen))
+            remaining = shards[rank][rows_done:]
+            cost = world.cost_model.restart_penalty
+            if model is not None:
+                if remaining.shape[0]:
+                    cost += model.sketch_cost(remaining.shape[0], d, self.ell)
+                cost += model.merge_cost(sketch.shape[0] + sk.ell, d)
+                if remaining.shape[0]:
+                    sk.partial_fit(remaining)
+                recovered = sk.compact_sketch()
+                sketch = shrink_stack([sketch, recovered], self.ell)
+            else:
+                with StopWatch() as sw:
+                    if remaining.shape[0]:
+                        sk.partial_fit(remaining)
+                    recovered = sk.compact_sketch()
+                    sketch = shrink_stack([sketch, recovered], self.ell)
+                cost += sw.elapsed
+            cost += world.cost_model.cost(int(recovered.nbytes))
+            makespan += cost
+            rotations[0] += 1
+            report.ranks_recovered.append(rank)
+            report.rows_recovered += int(shards[rank].shape[0])
+            report.rows_merged += int(shards[rank].shape[0])
+            report.contributing_ranks = sorted(
+                set(report.contributing_ranks) | {rank}
+            )
+        report.rows_dropped = report.rows_total - report.rows_merged
+        report.ranks_lost = sorted(
+            set(report.ranks_lost) - set(report.ranks_recovered)
+        )
+        return sketch, makespan
 
     # ------------------------------------------------------------------
     def _rotation_stats(self, size: int, rotations: list[int]) -> tuple[int, int]:

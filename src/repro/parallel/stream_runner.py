@@ -23,19 +23,40 @@ clocks:
   wall-clock an equivalently-sharded MPI deployment would observe.
 
 This is the object the throughput study drives at LCLS-II-like rates.
+
+Fault tolerance
+---------------
+A sketcher constructed with a :class:`~repro.parallel.faults.FaultPlan`
+models mid-stream failures: kill rules fire when a rank's sketcher
+reaches the scheduled rotation, stall rules add virtual seconds at
+chosen ingest steps, and — with a ``checkpoint_dir`` — a killed rank is
+restarted from its latest checkpoint immediately (losing only the rows
+ingested since that checkpoint) instead of dropping out of the stream.
+A rank with no checkpoint stays dead: its slice of every later batch is
+dropped and its sketch is excluded from snapshots, which then cover the
+surviving rows only.  Message-level faults (drop/corrupt/delay) are
+transport concerns exercised through
+:class:`~repro.parallel.runner.DistributedSketchRunner`; the streaming
+model has no per-message transport to subject to them.  The
+:attr:`~StreamingDistributedSketcher.degradation` report accounts for
+everything lost and recovered.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.merge import shrink_stack
+from repro.core.persistence import load_sketcher_with_extras, save_sketcher
 from repro.obs.clock import StopWatch
+from repro.obs.health import record_degradation
 from repro.obs.registry import Registry, get_default_registry
-from repro.parallel.cost_model import CommCostModel
+from repro.parallel.cost_model import CommCostModel, ComputeCostModel
+from repro.parallel.faults import DegradationReport, FaultInjector, FaultPlan
 
 __all__ = ["GlobalSnapshot", "StreamingDistributedSketcher"]
 
@@ -84,6 +105,18 @@ class StreamingDistributedSketcher:
         Metric registry (rows ingested, snapshot latencies, merge
         depth); defaults to the process-global registry, a no-op unless
         one has been installed.
+    fault_plan:
+        Optional seeded chaos scenario; kill and stall rules apply (see
+        the module docstring for why message faults do not).
+    checkpoint_dir:
+        Directory for periodic per-rank checkpoints; enables immediate
+        restart of killed ranks from their latest checkpoint.
+    checkpoint_every:
+        Shrink rotations between checkpoints (per rank).
+    compute_model:
+        Optional flop-based clock model; when given, ingest and merge
+        work is charged by modelled cost instead of measured wall time,
+        making the stream's virtual clocks reproducible.
 
     Examples
     --------
@@ -107,6 +140,10 @@ class StreamingDistributedSketcher:
         arity: int = 2,
         cost_model: CommCostModel | None = None,
         registry: Registry | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 2,
+        compute_model: ComputeCostModel | None = None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -114,6 +151,15 @@ class StreamingDistributedSketcher:
             raise ValueError(f"merge_every must be >= 1, got {merge_every}")
         if arity < 2:
             raise ValueError(f"arity must be >= 2, got {arity}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if fault_plan is not None:
+            bad = [r for r in fault_plan.doomed_ranks() if r >= n_ranks]
+            if bad:
+                raise ValueError(
+                    f"fault plan kills ranks {bad} but the stream has only "
+                    f"{n_ranks} ranks"
+                )
         self.d = int(d)
         self.ell = int(ell)
         self.n_ranks = int(n_ranks)
@@ -139,6 +185,76 @@ class StreamingDistributedSketcher:
         self._merge_levels_gauge = self.registry.gauge(
             "stream_merge_levels", help="Tree depth of the last global snapshot"
         )
+        self.fault_plan = fault_plan
+        self._injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = int(checkpoint_every)
+        self.compute_model = compute_model
+        self._alive = [True] * n_ranks
+        self._kill_fired = [False] * n_ranks
+        self._rows_per_rank = [0] * n_ranks
+        self._rows_since_ckpt = [0] * n_ranks
+        self._last_ckpt_rotation = [0] * n_ranks
+        self._ranks_recovered: list[int] = []
+        self._rows_dropped = 0
+        self._rows_recovered = 0
+        self._checkpoints_written = 0
+
+    # ------------------------------------------------------------------
+    def _charge(self, rank: int, cost: float, sw: StopWatch | None) -> None:
+        """Advance a rank's clock by modelled or measured work time."""
+        if self.compute_model is not None:
+            self._clocks[rank] += cost
+        elif sw is not None:
+            self._clocks[rank] += sw.elapsed
+
+    def _checkpoint_path(self, rank: int) -> Path:
+        assert self.checkpoint_dir is not None
+        return self.checkpoint_dir / f"stream_rank{rank}.npz"
+
+    def _maybe_checkpoint(self, rank: int) -> None:
+        if self.checkpoint_dir is None:
+            return
+        sk = self._sketchers[rank]
+        if sk.n_rotations - self._last_ckpt_rotation[rank] >= self.checkpoint_every:
+            save_sketcher(
+                sk,
+                self._checkpoint_path(rank),
+                extras={"rows_done": self._rows_per_rank[rank]},
+            )
+            self._last_ckpt_rotation[rank] = sk.n_rotations
+            self._rows_since_ckpt[rank] = 0
+            self._checkpoints_written += 1
+
+    def _kill_and_maybe_restart(self, rank: int) -> None:
+        """A kill rule fired: restart from checkpoint or lose the rank.
+
+        With a checkpoint on disk the rank restarts immediately — the
+        restored sketcher covers everything up to the checkpoint, so
+        only the rows ingested since then are lost — and the restart
+        penalty lands on the rank's virtual clock.  Without one, the
+        rank (and every row it ever sketched) leaves the stream.
+        """
+        self._kill_fired[rank] = True
+        if self._injector is not None:
+            self._injector.record_kill(rank)
+        if self.checkpoint_dir is not None and self._checkpoint_path(rank).exists():
+            sk, extras = load_sketcher_with_extras(self._checkpoint_path(rank))
+            self._sketchers[rank] = sk
+            self._rows_dropped += self._rows_since_ckpt[rank]
+            self._rows_recovered += int(extras.get("rows_done", sk.n_seen))
+            self._rows_per_rank[rank] = int(extras.get("rows_done", sk.n_seen))
+            self._rows_since_ckpt[rank] = 0
+            self._last_ckpt_rotation[rank] = sk.n_rotations
+            self._clocks[rank] += self.cost_model.restart_penalty
+            self._ranks_recovered.append(rank)
+        else:
+            self._alive[rank] = False
+            self._rows_dropped += self._rows_per_rank[rank]
 
     # ------------------------------------------------------------------
     def ingest(self, batch: np.ndarray) -> "StreamingDistributedSketcher":
@@ -157,9 +273,35 @@ class StreamingDistributedSketcher:
         for rank, shard in enumerate(shards):
             if shard.shape[0] == 0:
                 continue
-            with StopWatch() as sw:
-                self._sketchers[rank].partial_fit(shard)
-            self._clocks[rank] += sw.elapsed
+            if not self._alive[rank]:
+                # A dead, unrecoverable rank's slice of the stream is
+                # simply lost — exactly the coverage hole the
+                # degradation report accounts for.
+                self._rows_dropped += shard.shape[0]
+                continue
+            if self._injector is not None:
+                stall = self._injector.stall_seconds(rank, self.n_batches)
+                if stall > 0.0:
+                    self._clocks[rank] += stall
+            sk = self._sketchers[rank]
+            if self.compute_model is not None:
+                sk.partial_fit(shard)
+                self._charge(
+                    rank,
+                    self.compute_model.sketch_cost(shard.shape[0], self.d, self.ell),
+                    None,
+                )
+            else:
+                with StopWatch() as sw:
+                    sk.partial_fit(shard)
+                self._charge(rank, 0.0, sw)
+            self._rows_per_rank[rank] += shard.shape[0]
+            self._rows_since_ckpt[rank] += shard.shape[0]
+            self._maybe_checkpoint(rank)
+            if self._injector is not None and not self._kill_fired[rank]:
+                kill_at = self._injector.kill_rotation(rank)
+                if kill_at is not None and sk.n_rotations >= kill_at:
+                    self._kill_and_maybe_restart(rank)
         self.n_batches += 1
         self.n_rows += batch.shape[0]
         self._rows_counter.inc(batch.shape[0])
@@ -170,9 +312,16 @@ class StreamingDistributedSketcher:
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> GlobalSnapshot:
-        """Tree-merge copies of the per-rank sketches; record timing."""
-        sketches = [sk.peek_compact_sketch() for sk in self._sketchers]
-        clocks = self._clocks.copy()
+        """Tree-merge copies of the *surviving* per-rank sketches.
+
+        Dead ranks are excluded, so a degraded snapshot covers the
+        surviving rows only (the weakened FD bound of
+        :func:`repro.core.merge.degraded_tree_merge`); at least rank 0
+        always survives because kill rules may not target it.
+        """
+        alive = [r for r in range(self.n_ranks) if self._alive[r]]
+        sketches = [self._sketchers[r].peek_compact_sketch() for r in alive]
+        clocks = [float(self._clocks[r]) for r in alive]
         levels = 0
         # Level-synchronous arity-way reduction over (sketch, clock) pairs.
         entries = list(zip(sketches, clocks))
@@ -189,9 +338,16 @@ class StreamingDistributedSketcher:
                 comm = sum(
                     self.cost_model.cost(s.nbytes) for s, _ in group[1:]
                 )
-                with StopWatch() as sw:
+                if self.compute_model is not None:
                     combined = shrink_stack([s for s, _ in group], self.ell)
-                merged.append((combined, ready + comm + sw.elapsed))
+                    work = self.compute_model.merge_cost(
+                        sum(s.shape[0] for s, _ in group), self.d
+                    )
+                else:
+                    with StopWatch() as sw:
+                        combined = shrink_stack([s for s, _ in group], self.ell)
+                    work = sw.elapsed
+                merged.append((combined, ready + comm + work))
             entries = merged
             levels += 1
         sketch, done = entries[0]
@@ -223,6 +379,37 @@ class StreamingDistributedSketcher:
         if self.snapshots:
             return max(base, self.snapshots[-1].completed_at)
         return base
+
+    @property
+    def degradation(self) -> DegradationReport:
+        """Fault/recovery accounting for the stream so far.
+
+        Recomputed on access (the stream is live) and free of side
+        effects; call :meth:`export_degradation` to push a point-in-time
+        copy to the metric registry.
+        """
+        report = DegradationReport.from_injector(self._injector, ranks=self.n_ranks)
+        report.rows_total = self.n_rows
+        report.rows_dropped = self._rows_dropped
+        report.rows_merged = self.n_rows - self._rows_dropped
+        report.rows_recovered = self._rows_recovered
+        report.ranks_lost = [r for r in range(self.n_ranks) if not self._alive[r]]
+        report.ranks_recovered = sorted(set(self._ranks_recovered))
+        report.contributing_ranks = [
+            r for r in range(self.n_ranks) if self._alive[r]
+        ]
+        report.checkpoints_written = self._checkpoints_written
+        return report
+
+    def export_degradation(self) -> DegradationReport:
+        """Record the current degradation report in the metric registry.
+
+        Counters accumulate per call, so export once per run (or per
+        reporting interval), not per batch.
+        """
+        report = self.degradation
+        record_degradation(self.registry, report, labels={"strategy": "stream"})
+        return report
 
     def throughput_hz(self) -> float:
         """Ingested rows per virtual second."""

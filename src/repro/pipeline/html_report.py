@@ -40,6 +40,7 @@ def write_embedding_report(
     tooltips: dict[str, np.ndarray] | None = None,
     title: str = "ARAMS embedding",
     health: dict | None = None,
+    degradation: dict | None = None,
 ) -> Path:
     """Write a standalone interactive scatter report.
 
@@ -63,6 +64,12 @@ def write_embedding_report(
         (:meth:`repro.pipeline.monitor.MonitoringPipeline.health_summary`);
         when given, a panel below the scatter shows the rank and
         residual-error trajectories plus the key health figures.
+    degradation:
+        Optional fault/recovery report
+        (:meth:`repro.parallel.faults.DegradationReport.to_dict`); when
+        given, a panel shows what a faulty distributed run lost,
+        retried and recovered — green-bannered for a clean run, amber
+        for a degraded one.
 
     Returns
     -------
@@ -114,7 +121,7 @@ def write_embedding_report(
         "__PAYLOAD__", payload
     ).replace("__OUTLIER_COLOR__", _OUTLIER_COLOR).replace(
         "__HEALTH__", _health_html(health)
-    )
+    ).replace("__DEGRADATION__", _degradation_html(degradation))
     path = Path(path)
     path.write_text(html)
     return path
@@ -193,6 +200,41 @@ def _health_html(health: dict | None) -> str:
     )
 
 
+def _degradation_html(report: dict | None) -> str:
+    """Render the fault/degradation panel (empty string when absent)."""
+    if not report:
+        return ""
+    degraded = bool(report.get("degraded"))
+    banner = (
+        '<span class="deg bad">DEGRADED RUN</span>'
+        if degraded
+        else '<span class="deg ok">clean run</span>'
+    )
+
+    def ranks(key: str) -> str:
+        vals = report.get(key) or []
+        return ", ".join(str(v) for v in vals) if vals else "&mdash;"
+
+    rows = [
+        ("ranks", f"{report.get('ranks', 0)}"),
+        ("ranks lost", ranks("ranks_lost")),
+        ("ranks recovered", ranks("ranks_recovered")),
+        ("rows merged / total",
+         f"{report.get('rows_merged', 0)} / {report.get('rows_total', 0)}"),
+        ("rows dropped", f"{report.get('rows_dropped', 0)}"),
+        ("rows recovered", f"{report.get('rows_recovered', 0)}"),
+        ("retries", f"{report.get('retries', 0)}"),
+        ("messages dropped", f"{report.get('messages_dropped', 0)}"),
+        ("corruptions detected", f"{report.get('corruptions_detected', 0)}"),
+        ("checkpoints written", f"{report.get('checkpoints_written', 0)}"),
+    ]
+    table = "".join(f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in rows)
+    return (
+        f'<div id="degradation"><h2>fault tolerance {banner}</h2>'
+        f'<table class="health">{table}</table></div>'
+    )
+
+
 def _stringify(v: object) -> str:
     if isinstance(v, (float, np.floating)):
         return f"{float(v):.4g}"
@@ -230,6 +272,12 @@ _TEMPLATE = """<!DOCTYPE html>
   table.health td { padding: 1px 10px 1px 0; }
   table.health td:last-child { font-variant-numeric: tabular-nums; }
   #health .range { font-size: 11px; color: #777; margin-bottom: 8px; }
+  #degradation { padding: 8px 12px; font-size: 13px; }
+  #degradation h2 { font-size: 14px; margin: 6px 0; }
+  .deg { font-size: 11px; padding: 2px 8px; border-radius: 9px; margin-left: 8px;
+         vertical-align: 1px; }
+  .deg.ok { background: #d9efe3; color: #00633c; }
+  .deg.bad { background: #fcebcc; color: #8a5a00; }
 </style>
 </head>
 <body>
@@ -240,6 +288,7 @@ _TEMPLATE = """<!DOCTYPE html>
   <div id="side"><b>clusters</b><div id="legend"></div></div>
 </div>
 __HEALTH__
+__DEGRADATION__
 <div id="tip"></div>
 <script>
 const DATA = __PAYLOAD__;

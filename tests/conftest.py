@@ -1,11 +1,49 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and the hang watchdog for the repro test suite."""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.data.synthetic import synthetic_dataset
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` via SIGALRM.
+
+    pytest-timeout is not available in this environment, so chaos tests
+    (which must *never hang*) get a portable-enough watchdog: on the
+    main thread of a POSIX system, SIGALRM interrupts the test with a
+    loud failure naming the limit.  Elsewhere the marker is a no-op —
+    the simulated world's own wall timeouts remain the backstop.
+    """
+    marker = item.get_closest_marker("timeout")
+    use_alarm = (
+        marker is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds}s watchdog (hung test?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

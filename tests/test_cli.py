@@ -81,3 +81,51 @@ class TestXPCSCommand:
         ])
         assert rc == 0
         assert "clusters" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.strategy == "tree"
+        assert "kill rank=3" in args.fault_plan
+
+    def test_chaos_run_prints_degradation(self, capsys):
+        rc = main([
+            "chaos", "--fault-plan", "seed=7; kill rank=3 rotation=2",
+            "--ranks", "8", "--rows-per-rank", "60", "--dim", "40",
+            "--ell", "16",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "ranks lost     : [3]" in out
+        assert "covariance err" in out
+
+    def test_chaos_json_matches_schema(self, capsys):
+        import json as _json
+
+        rc = main([
+            "chaos", "--json",
+            "--fault-plan", "seed=7; kill rank=3 rotation=2",
+            "--ranks", "4", "--rows-per-rank", "60", "--dim", "40",
+            "--ell", "16",
+        ])
+        assert rc == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        assert report["ranks_lost"] == [3]
+
+    def test_chaos_with_checkpoints_recovers(self, capsys, tmp_path):
+        rc = main([
+            "chaos", "--fault-plan", "seed=7; kill rank=3 rotation=2",
+            "--ranks", "8", "--rows-per-rank", "60", "--dim", "40",
+            "--ell", "16", "--checkpoint-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ranks recovered: [3]" in out
+        assert "(0 dropped" in out
+
+    def test_bad_fault_plan_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            main(["chaos", "--fault-plan", "explode rank=1"])

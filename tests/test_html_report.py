@@ -89,3 +89,38 @@ class TestContent:
         # Hover tooltip, pan, zoom and legend toggles must all ship.
         for needle in ("mousemove", "wheel", "mousedown", "legend", "tip"):
             assert needle in html
+
+
+class TestDegradationPanel:
+    def test_absent_by_default(self, embedding, tmp_path):
+        html = write_embedding_report(tmp_path / "r.html", embedding).read_text()
+        assert 'id="degradation"' not in html
+
+    def test_degraded_run_renders_amber_banner(self, embedding, tmp_path):
+        from repro.parallel.faults import DegradationReport
+
+        report = DegradationReport(
+            ranks=8, ranks_lost=[3], rows_total=960, rows_merged=840,
+            rows_dropped=120, retries=2, corruptions_detected=1,
+            contributing_ranks=[0, 1, 2, 4, 5, 6, 7],
+        )
+        html = write_embedding_report(
+            tmp_path / "r.html", embedding, degradation=report.to_dict()
+        ).read_text()
+        assert 'id="degradation"' in html
+        assert "DEGRADED RUN" in html
+        assert "840 / 960" in html
+        assert ">3<" in html or ">3</td>" in html  # the lost rank is listed
+
+    def test_clean_run_renders_green_banner(self, embedding, tmp_path):
+        from repro.parallel.faults import DegradationReport
+
+        report = DegradationReport(
+            ranks=4, rows_total=400, rows_merged=400,
+            contributing_ranks=[0, 1, 2, 3],
+        )
+        html = write_embedding_report(
+            tmp_path / "r.html", embedding, degradation=report.to_dict()
+        ).read_text()
+        assert "clean run" in html
+        assert "DEGRADED RUN" not in html
