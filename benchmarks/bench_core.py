@@ -1,0 +1,225 @@
+"""Core sketching throughput: the repo's perf trajectory (BENCH_core.json).
+
+Times the rotation kernels and the end-to-end sketchers at
+representative ``(d, l)`` shapes and writes the numbers to
+``benchmarks/BENCH_core.json`` so later PRs can be gated on them:
+
+- ``rotation_*_d16384_l64`` — one shrink rotation of a ``128 x 16384``
+  buffer (the LCLS detector regime), SVD kernel vs Gram kernel.  The
+  tentpole claim is the Gram kernel's >= 1.5x rotation throughput here.
+- ``fd_stream_*`` / ``rank_adaptive_*`` / ``arams_*`` — streaming
+  rows/sec (and seconds per rotation where the sketcher counts them)
+  with the automatic kernel choice.
+- ``tree_merge_*`` — latency of a 16-way binary tree merge.
+
+``test_regression_vs_baseline`` compares a fresh run against the
+committed JSON and fails on a >25% per-case slowdown; it skips cleanly
+when no baseline exists (first run on a new machine).  The baseline is
+captured at import time, before ``test_write_baseline`` overwrites the
+file, so one ``pytest benchmarks/bench_core.py`` run both checks and
+refreshes it.
+
+Absolute numbers are machine-dependent; the committed baseline tracks
+*relative* movement on whatever machine regenerates it, which is why the
+gate is a generous 25%.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.merge import tree_merge
+from repro.core.rank_adaptive import RankAdaptiveFD
+from repro.linalg.svd import RotationWorkspace, fd_rotate
+from repro.obs.clock import StopWatch
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_core.json"
+
+# Read the committed baseline BEFORE any test can rewrite it.
+_BASELINE: dict | None = None
+if BASELINE_PATH.exists():
+    _BASELINE = json.loads(BASELINE_PATH.read_text())
+
+#: metric name -> True when larger is better (throughput), False when
+#: smaller is better (latency).
+_HIGHER_IS_BETTER = {
+    "rows_per_sec": True,
+    "speedup": True,
+    "seconds_per_rotation": False,
+    "seconds": False,
+}
+
+#: Allowed per-case relative slowdown before the regression gate fails.
+SLOWDOWN_TOLERANCE = 0.25
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall seconds (best-of filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        with StopWatch() as sw:
+            fn()
+        best = min(best, sw.elapsed)
+    return best
+
+
+def _measure_rotation(kernel: str, d: int = 16384, ell: int = 64) -> float:
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((2 * ell, d))
+    ws = RotationWorkspace(2 * ell, d)
+    out = np.zeros((ell, d))
+    fd_rotate(b, ell, kernel=kernel, workspace=ws, out=out)  # warm up
+    return _best_of(lambda: fd_rotate(b, ell, kernel=kernel, workspace=ws, out=out))
+
+
+def _measure_stream(make_sketcher, rows: int, d: int) -> dict:
+    x = np.random.default_rng(1).standard_normal((rows, d))
+    make_sketcher().partial_fit(x[: rows // 4])  # warm up
+    holder = {}
+
+    def run():
+        sk = make_sketcher()
+        sk.partial_fit(x)
+        holder["sk"] = sk
+
+    seconds = _best_of(run)
+    sk = holder["sk"]
+    out = {"rows_per_sec": rows / seconds}
+    n_rot = getattr(sk, "n_rotations", None)
+    if n_rot:
+        out["seconds_per_rotation"] = seconds / n_rot
+    return out
+
+
+@pytest.fixture(scope="module")
+def core_numbers() -> dict:
+    """Measure every case once per session (shapes are the expensive part)."""
+    cases: dict[str, dict[str, float]] = {}
+
+    svd_s = _measure_rotation("svd")
+    gram_s = _measure_rotation("gram")
+    cases["rotation_svd_d16384_l64"] = {"seconds_per_rotation": svd_s}
+    cases["rotation_gram_d16384_l64"] = {"seconds_per_rotation": gram_s}
+    cases["rotation_speedup_d16384_l64"] = {"speedup": svd_s / gram_s}
+
+    cases["fd_stream_d4096_l32"] = _measure_stream(
+        lambda: FrequentDirections(d=4096, ell=32), rows=2048, d=4096
+    )
+    cases["fd_stream_d16384_l64"] = _measure_stream(
+        lambda: FrequentDirections(d=16384, ell=64), rows=1024, d=16384
+    )
+    cases["rank_adaptive_d4096_l32"] = _measure_stream(
+        lambda: RankAdaptiveFD(
+            d=4096, ell=32, epsilon=0.1, nu=8, rng=np.random.default_rng(2)
+        ),
+        rows=2048,
+        d=4096,
+    )
+    cases["arams_d4096_l32"] = _measure_stream(
+        lambda: ARAMS(
+            d=4096, config=ARAMSConfig(ell=32, beta=0.8, epsilon=0.1, nu=8, seed=0)
+        ),
+        rows=2048,
+        d=4096,
+    )
+
+    rng = np.random.default_rng(3)
+    sketches = [
+        FrequentDirections(d=4096, ell=32).fit(rng.standard_normal((128, 4096))).sketch
+        for _ in range(16)
+    ]
+    tree_merge(sketches, 32)  # warm up
+    cases["tree_merge_p16_d4096_l32"] = {
+        "seconds": _best_of(lambda: tree_merge(sketches, 32))
+    }
+    return cases
+
+
+def test_gram_rotation_speedup(core_numbers, table):
+    """Acceptance bar: >= 1.5x rotation throughput at (d=16384, l=64)."""
+    svd_s = core_numbers["rotation_svd_d16384_l64"]["seconds_per_rotation"]
+    gram_s = core_numbers["rotation_gram_d16384_l64"]["seconds_per_rotation"]
+    speedup = core_numbers["rotation_speedup_d16384_l64"]["speedup"]
+    table(
+        "rotation kernels, 128 x 16384 buffer, ell=64",
+        ["kernel", "sec/rotation", "rotations/sec"],
+        [["svd", svd_s, 1.0 / svd_s], ["gram", gram_s, 1.0 / gram_s]],
+    )
+    print(f"speedup: {speedup:.2f}x")
+    assert speedup >= 1.5
+
+
+def test_streaming_rates_positive(core_numbers, table):
+    rows = [
+        [name, m.get("rows_per_sec", ""), m.get("seconds_per_rotation", "")]
+        for name, m in core_numbers.items()
+        if "rows_per_sec" in m
+    ]
+    table("streaming throughput", ["case", "rows/sec", "sec/rotation"], rows)
+    assert all(r[1] > 0 for r in rows)
+
+
+def test_write_baseline(core_numbers):
+    """Refresh benchmarks/BENCH_core.json with this run's numbers."""
+    payload = {
+        "schema": 1,
+        "command": "PYTHONPATH=src python -m pytest benchmarks/bench_core.py -s",
+        "cases": core_numbers,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert json.loads(BASELINE_PATH.read_text())["cases"]
+
+
+def test_regression_vs_baseline(core_numbers, table):
+    """Fail when any case regressed >25% against the committed baseline."""
+    if _BASELINE is None:
+        pytest.skip("no committed BENCH_core.json baseline; run once and commit it")
+    rows, failures = [], []
+    for name, metrics in sorted(core_numbers.items()):
+        base_metrics = _BASELINE.get("cases", {}).get(name)
+        if base_metrics is None:
+            continue  # new case: no baseline to regress against
+        for metric, fresh in metrics.items():
+            base = base_metrics.get(metric)
+            if base is None or base <= 0:
+                continue
+            if _HIGHER_IS_BETTER[metric]:
+                ratio = base / fresh  # >1 means slower
+            else:
+                ratio = fresh / base
+            rows.append([name, metric, base, fresh, ratio])
+            if ratio > 1.0 + SLOWDOWN_TOLERANCE:
+                failures.append(f"{name}/{metric}: {ratio:.2f}x slower")
+    table(
+        "regression vs committed baseline (ratio > 1 = slower)",
+        ["case", "metric", "baseline", "fresh", "ratio"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+# pytest-benchmark variants of the headline cases, for --benchmark-* tooling.
+def test_bench_rotation_gram(benchmark):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((128, 16384))
+    ws = RotationWorkspace(128, 16384)
+    out = np.zeros((64, 16384))
+    benchmark(lambda: fd_rotate(b, 64, kernel="gram", workspace=ws, out=out))
+
+
+def test_bench_rotation_svd(benchmark):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((128, 16384))
+    out = np.zeros((64, 16384))
+    benchmark(lambda: fd_rotate(b, 64, kernel="svd", out=out))
+
+
+def test_bench_fd_stream(benchmark):
+    x = np.random.default_rng(1).standard_normal((2048, 4096))
+    benchmark(lambda: FrequentDirections(d=4096, ell=32).partial_fit(x))

@@ -55,6 +55,22 @@ def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _command_registry():
+    """Fresh per-command registry, installed as the process default.
+
+    Module-level instrumentation (e.g. the rotation-kernel counter in
+    ``repro.linalg.svd``) reports to the default registry, so installing
+    the command's registry there makes those samples land in the same
+    ``--metrics-out`` snapshot as the observer-driven ones.  ``main``
+    restores the previous default after the command returns.
+    """
+    from repro.obs.registry import Registry, set_default_registry
+
+    registry = Registry()
+    set_default_registry(registry)
+    return registry
+
+
 def _write_metrics(registry, args: argparse.Namespace) -> None:
     if getattr(args, "metrics_out", None):
         from repro.obs.export import write_metrics
@@ -143,11 +159,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.arams import ARAMSConfig
     from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
     from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
-    from repro.obs.registry import Registry
     from repro.pipeline.monitor import MonitoringPipeline
     from repro.pipeline.results import ascii_density_map, export_embedding_csv
 
-    registry = Registry()
+    registry = _command_registry()
     shape = (args.size, args.size)
     if args.scenario == "beam":
         gen = BeamProfileGenerator(BeamProfileConfig(shape=shape), seed=args.seed)
@@ -243,9 +258,8 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
     from repro.core.errors import relative_covariance_error
     from repro.data.synthetic import synthetic_dataset
     from repro.obs.health import SketchHealth
-    from repro.obs.registry import Registry
 
-    registry = Registry()
+    registry = _command_registry()
     data = synthetic_dataset(
         n=args.rows, d=args.dim, rank=min(args.rows, args.dim) // 2,
         profile=args.profile, rate=0.05, seed=args.seed,
@@ -323,11 +337,10 @@ def _cmd_xpcs(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core.errors import relative_covariance_error
     from repro.data.synthetic import sharded_synthetic_dataset
-    from repro.obs.registry import Registry
     from repro.parallel import ComputeCostModel, DistributedSketchRunner, FaultPlan
 
     plan = FaultPlan.parse(args.fault_plan)
-    registry = Registry()
+    registry = _command_registry()
     shards = sharded_synthetic_dataset(
         n_shards=args.ranks, rows_per_shard=args.rows_per_rank, d=args.dim,
         rank=min(args.dim, args.rows_per_rank) // 2, profile="cubic",
@@ -376,7 +389,13 @@ def main(argv: list[str] | None = None) -> int:
         "xpcs": _cmd_xpcs,
         "chaos": _cmd_chaos,
     }
-    return handlers[args.command](args)
+    from repro.obs.registry import get_default_registry, set_default_registry
+
+    previous = get_default_registry()
+    try:
+        return handlers[args.command](args)
+    finally:
+        set_default_registry(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.priority_sampling import PrioritySampler, priority_sample
 from repro.core.rank_adaptive import RankAdaptiveFD
+from repro.linalg.svd import ROTATION_KERNELS
 
 __all__ = ["ARAMSConfig", "ARAMS"]
 
@@ -64,6 +65,10 @@ class ARAMSConfig:
         moving one.
     seed:
         Seed for all internal randomness (sampling + probes).
+    rotation_kernel:
+        Rotation kernel for the underlying sketcher: ``"auto"``
+        (default), ``"svd"``, or ``"gram"`` (see
+        :func:`repro.linalg.svd.fd_rotate`).
     """
 
     ell: int = 50
@@ -76,10 +81,16 @@ class ARAMSConfig:
     scale_sampled_rows: bool = True
     gamma: float = 1.0
     seed: int | None = None
+    rotation_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.beta <= 1.0:
             raise ValueError(f"beta must be in (0, 1], got {self.beta}")
+        if self.rotation_kernel not in ROTATION_KERNELS:
+            raise ValueError(
+                f"unknown rotation kernel {self.rotation_kernel!r}; "
+                f"expected one of {ROTATION_KERNELS}"
+            )
         if self.ell < 1:
             raise ValueError(f"ell must be >= 1, got {self.ell}")
         if self.epsilon is not None and self.epsilon < 0:
@@ -135,13 +146,18 @@ class ARAMS:
                 rng=probe_rng,
                 relative_error=cfg.relative_error,
                 estimator=cfg.estimator,
+                rotation_kernel=cfg.rotation_kernel,
             )
         elif cfg.gamma < 1.0:
             from repro.core.forgetting import ForgettingFD
 
-            self._fd = ForgettingFD(d=d, ell=cfg.ell, gamma=cfg.gamma)
+            self._fd = ForgettingFD(
+                d=d, ell=cfg.ell, gamma=cfg.gamma, rotation_kernel=cfg.rotation_kernel
+            )
         else:
-            self._fd = FrequentDirections(d=d, ell=cfg.ell)
+            self._fd = FrequentDirections(
+                d=d, ell=cfg.ell, rotation_kernel=cfg.rotation_kernel
+            )
         self._observer = None
 
     # ------------------------------------------------------------------

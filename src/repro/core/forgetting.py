@@ -39,6 +39,8 @@ class ForgettingFD(FrequentDirections):
         1.0 disables forgetting (plain FD).  Rows' *Gram* weight decays
         as ``gamma^2`` per rotation since the rows themselves scale by
         ``gamma``.
+    rotation_kernel:
+        Rotation kernel (see :class:`FrequentDirections`).
 
     Examples
     --------
@@ -49,8 +51,10 @@ class ForgettingFD(FrequentDirections):
     (4, 16)
     """
 
-    def __init__(self, d: int, ell: int, gamma: float = 0.95):
-        super().__init__(d=d, ell=ell)
+    def __init__(
+        self, d: int, ell: int, gamma: float = 0.95, rotation_kernel: str = "auto"
+    ):
+        super().__init__(d=d, ell=ell, rotation_kernel=rotation_kernel)
         if not 0.0 < gamma <= 1.0:
             raise ValueError(f"gamma must be in (0, 1], got {gamma}")
         self.gamma = float(gamma)
@@ -61,6 +65,16 @@ class ForgettingFD(FrequentDirections):
             # rows; the raw rows of this cycle enter at full weight.
             self._buffer[: self._sketch_rows] *= self.gamma
         super()._rotate()
+
+    def _pending_matrix(self) -> np.ndarray:
+        # Finalization must apply the same decay a real rotation would,
+        # but on a copy: the live buffer keeps its undecayed rows.
+        pending = self._buffer[: self._next_zero]
+        if self.gamma >= 1.0 or self._sketch_rows == 0:
+            return pending
+        pending = pending.copy()
+        pending[: self._sketch_rows] *= self.gamma
+        return pending
 
     def effective_memory_rows(self) -> float:
         """Approximate number of recent rows dominating the sketch.

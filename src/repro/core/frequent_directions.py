@@ -23,7 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.linalg.svd import fd_shrink, thin_svd
+from repro.linalg.svd import (
+    ROTATION_KERNELS,
+    RotationWorkspace,
+    fd_rotate,
+    select_rotation_kernel,
+    thin_svd,
+)
 
 __all__ = ["FrequentDirections"]
 
@@ -38,6 +44,10 @@ class FrequentDirections:
     ell:
         Sketch size (number of sketch rows retained).  Memory is
         ``2 * ell * d`` floats.
+    rotation_kernel:
+        Rotation kernel: ``"auto"`` (default; Gram fast path for
+        short-and-wide buffers, thin SVD otherwise), ``"svd"``, or
+        ``"gram"``.  See :func:`repro.linalg.svd.fd_rotate`.
 
     Attributes
     ----------
@@ -49,8 +59,18 @@ class FrequentDirections:
     n_seen : int
         Total number of rows consumed.
     n_rotations : int
-        Number of shrinkage SVDs performed — the dominant cost, exposed
-        for the scaling studies.
+        Number of shrinkage rotations performed on the live buffer — the
+        dominant cost, exposed for the scaling studies.  Diagnostic
+        reads never inflate it (see ``n_forced_rotations``).
+    n_forced_rotations : int
+        Finalization rotations triggered by reading :attr:`sketch` while
+        raw rows were pending.  These run on a cached copy, leave the
+        live buffer (and therefore the rotation schedule, shrinkage
+        totals and observer events) untouched, and are counted here so
+        cost accounting can separate real work from diagnostics.
+    last_kernel : str or None
+        Kernel used by the most recent live rotation (``"svd"``,
+        ``"gram"``, or ``"gram_fallback"``).
     squared_frobenius : float
         Running ``||A||_F^2`` of the consumed stream, used for
         normalized error reporting.
@@ -73,7 +93,11 @@ class FrequentDirections:
     (4, 8)
     """
 
-    def __init__(self, d: int, ell: int):
+    #: Subclasses that need the right-singular basis from every rotation
+    #: (rank adaptation) flip this so ``fd_rotate`` materializes it.
+    _needs_rotation_basis = False
+
+    def __init__(self, d: int, ell: int, rotation_kernel: str = "auto"):
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         if ell < 1:
@@ -83,8 +107,14 @@ class FrequentDirections:
                 f"sketch size ell={ell} larger than dimension d={d} is wasteful; "
                 "store the exact Gram matrix instead"
             )
+        if rotation_kernel not in ROTATION_KERNELS:
+            raise ValueError(
+                f"unknown rotation kernel {rotation_kernel!r}; "
+                f"expected one of {ROTATION_KERNELS}"
+            )
         self.d = int(d)
         self.ell = int(ell)
+        self.rotation_kernel = str(rotation_kernel)
         self._buffer = np.zeros((2 * self.ell, self.d), dtype=np.float64)
         # Index of the first zero (writable) row in the buffer.
         self._next_zero = 0
@@ -93,6 +123,8 @@ class FrequentDirections:
         self._sketch_rows = 0
         self.n_seen = 0
         self.n_rotations = 0
+        self.n_forced_rotations = 0
+        self.last_kernel = None
         self.squared_frobenius = 0.0
         self.observer = None
         # Shrinkage mass removed by the latest / all rotations (the
@@ -100,6 +132,12 @@ class FrequentDirections:
         # is O(1) and feeds error diagnostics.
         self.last_shrinkage = 0.0
         self.total_shrinkage = 0.0
+        # Gram-kernel scratch, allocated on the first rotation that
+        # wants it (zero d-scale allocations steady-state afterwards).
+        self._workspace = None
+        # Finalized sketch with pending rows folded in, filled by the
+        # sketch property and invalidated on the next mutation.
+        self._final_cache = None
 
     # ------------------------------------------------------------------
     # Streaming interface
@@ -129,6 +167,7 @@ class FrequentDirections:
                 "(see repro.pipeline.preprocess.repair_dead_pixels)"
             )
         self.squared_frobenius += float(np.sum(rows * rows))
+        self._final_cache = None
         i = 0
         k = rows.shape[0]
         while i < k:
@@ -158,19 +197,41 @@ class FrequentDirections:
         """Hook called when the buffer is full; base class just rotates."""
         self._rotate()
 
+    def _rotation_workspace(self, m: int) -> "RotationWorkspace | None":
+        """Scratch for an ``m``-row rotation, or ``None`` when the SVD
+        kernel will run anyway (so pure-SVD sketchers never allocate it)."""
+        kernel = self.rotation_kernel
+        if kernel == "auto":
+            kernel = select_rotation_kernel(m, self.d)
+        if kernel != "gram":
+            return None
+        ws = self._workspace
+        if ws is None or not ws.fits(m, self.d):
+            ws = RotationWorkspace(max(m, 2 * self.ell), self.d)
+            self._workspace = ws
+        return ws
+
     def _rotate(self) -> None:
-        """Shrink the buffer back to ``ell`` rows via one thin SVD."""
+        """Shrink the buffer back to ``ell`` rows with one rotation kernel."""
         if self._next_zero == 0:
             return
-        filled = self._buffer[: self._next_zero]
-        _, s, vt = thin_svd(filled)
-        self._buffer[: self.ell] = fd_shrink(s, vt, self.ell)
+        m = self._next_zero
+        res = fd_rotate(
+            self._buffer[:m],
+            self.ell,
+            kernel=self.rotation_kernel,
+            workspace=self._rotation_workspace(m),
+            out=self._buffer[: self.ell],
+            need_basis=self._needs_rotation_basis,
+        )
         self._buffer[self.ell :] = 0.0
         self._next_zero = self.ell
         self._sketch_rows = self.ell
         self.n_rotations += 1
-        self._record_shrinkage(s)
-        self._post_rotate(s, vt)
+        self.last_kernel = res.kernel
+        self._final_cache = None
+        self._record_shrinkage(res.s)
+        self._post_rotate(res.s, res.vt_top)
         obs = self.observer
         if obs is not None:
             obs.on_rotation(self, self.last_shrinkage)
@@ -181,24 +242,63 @@ class FrequentDirections:
         self.last_shrinkage = delta
         self.total_shrinkage += delta
 
-    def _post_rotate(self, s: np.ndarray, vt: np.ndarray) -> None:
-        """Hook for subclasses (rank adaptation); no-op here."""
+    def _post_rotate(self, s: np.ndarray, vt: np.ndarray | None) -> None:
+        """Hook for subclasses (rank adaptation); no-op here.
+
+        ``vt`` is the top ``min(m, ell)`` right-singular rows of the
+        rotated buffer when :attr:`_needs_rotation_basis` is set, else
+        ``None``.
+        """
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def _pending_matrix(self) -> np.ndarray:
+        """The filled buffer as a finalization kernel would consume it.
+
+        Subclasses that transform the buffer before rotating (e.g. decay)
+        override this to return a transformed *copy*; the base class
+        returns a read-only view.
+        """
+        return self._buffer[: self._next_zero]
+
+    def _finalize_pending(self) -> np.ndarray:
+        """``ell x d`` sketch with pending raw rows folded in, cached.
+
+        Runs the rotation on a *copy* so the live buffer — and with it
+        the rotation schedule, ``n_rotations``, shrinkage totals and
+        observer events — is untouched.  The result is cached until the
+        next mutation; each cache fill counts one forced finalization
+        rotation in :attr:`n_forced_rotations`.
+        """
+        cached = self._final_cache
+        if cached is not None:
+            return cached
+        pending = self._pending_matrix()
+        res = fd_rotate(
+            pending,
+            self.ell,
+            kernel=self.rotation_kernel,
+            workspace=self._rotation_workspace(pending.shape[0]),
+        )
+        self.n_forced_rotations += 1
+        self._final_cache = res.sketch
+        return res.sketch
+
     @property
     def sketch(self) -> np.ndarray:
-        """The ``ell x d`` sketch ``B`` (forces a final rotation if needed).
+        """The ``ell x d`` sketch ``B`` with any pending rows folded in.
 
-        If raw rows are still sitting in the buffer they are folded in
-        with one extra rotation so the returned matrix carries the full
-        FD guarantee for everything consumed so far.  The returned array
-        is a copy; mutating it does not affect the sketcher.
+        Pending raw rows are finalized into a cached copy (one forced
+        rotation, counted in :attr:`n_forced_rotations` and invalidated
+        by the next :meth:`partial_fit`); the live buffer, the rotation
+        schedule and :attr:`n_rotations` are never perturbed by reading
+        this property.  The returned array is a copy; mutating it does
+        not affect the sketcher.
         """
-        if self._next_zero > self.ell or self._sketch_rows < self._next_zero:
-            self._rotate()
-        return self._buffer[: self.ell].copy()
+        if self._next_zero <= self.ell and self._sketch_rows >= self._next_zero:
+            return self._buffer[: self.ell].copy()
+        return self._finalize_pending().copy()
 
     def compact_sketch(self) -> np.ndarray:
         """Sketch with exact zero rows removed.
@@ -211,19 +311,18 @@ class FrequentDirections:
         return b[nonzero]
 
     def peek_sketch(self) -> np.ndarray:
-        """Current sketch including pending rows, WITHOUT mutating state.
+        """Current sketch including pending rows, WITHOUT mutating the buffer.
 
-        Unlike :attr:`sketch`, this never triggers a rotation of the
-        live buffer: pending raw rows are folded into a *copy*.  Use it
-        for periodic global snapshots in streaming deployments, where an
-        observation must not perturb the ongoing rotation schedule.
+        Like :attr:`sketch`, pending raw rows are folded into a cached
+        *copy* and the live rotation schedule is never perturbed; kept
+        as a separate method for callers that want to be explicit about
+        snapshot semantics.
         """
         if self._next_zero == 0:
             return np.zeros((self.ell, self.d), dtype=np.float64)
         if self._next_zero == self._sketch_rows <= self.ell:
             return self._buffer[: self.ell].copy()
-        _, s, vt = thin_svd(self._buffer[: self._next_zero])
-        return fd_shrink(s, vt, self.ell)
+        return self._finalize_pending().copy()
 
     def peek_compact_sketch(self) -> np.ndarray:
         """Non-mutating :meth:`compact_sketch` (see :meth:`peek_sketch`)."""
@@ -288,15 +387,22 @@ class FrequentDirections:
         mine = self.compact_sketch()
         theirs = other.compact_sketch()
         stacked = np.vstack([mine, theirs]) if mine.size or theirs.size else mine
-        _, s, vt = thin_svd(stacked)
-        self._buffer[: self.ell] = fd_shrink(s, vt, self.ell)
+        res = fd_rotate(
+            stacked,
+            self.ell,
+            kernel=self.rotation_kernel,
+            workspace=self._rotation_workspace(stacked.shape[0]),
+            out=self._buffer[: self.ell],
+        )
         self._buffer[self.ell :] = 0.0
         self._next_zero = self.ell
         self._sketch_rows = self.ell
         self.n_rotations += 1
         self.n_seen += other.n_seen
         self.squared_frobenius += other.squared_frobenius
-        self._record_shrinkage(s)
+        self.last_kernel = res.kernel
+        self._final_cache = None
+        self._record_shrinkage(res.s)
         obs = self.observer
         if obs is not None:
             obs.on_rotation(self, self.last_shrinkage)

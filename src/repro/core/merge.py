@@ -29,7 +29,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.linalg.svd import fd_shrink, thin_svd
+from repro.linalg.svd import fd_rotate
 
 __all__ = [
     "MergeStats",
@@ -61,8 +61,15 @@ class MergeStats:
     levels: list[int] = field(default_factory=list)
 
 
-def shrink_stack(sketches: Sequence[np.ndarray], ell: int) -> np.ndarray:
-    """Stack sketches, drop exact zero rows, and FD-shrink back to ``ell``."""
+def shrink_stack(
+    sketches: Sequence[np.ndarray], ell: int, kernel: str = "auto"
+) -> np.ndarray:
+    """Stack sketches, drop exact zero rows, and FD-shrink back to ``ell``.
+
+    ``kernel`` selects the rotation kernel (see
+    :func:`repro.linalg.svd.fd_rotate`); ``"auto"`` picks the Gram fast
+    path when the stack is short and wide.
+    """
     stacked = np.vstack(sketches)
     nonzero = np.any(stacked != 0.0, axis=1)
     stacked = stacked[nonzero]
@@ -72,11 +79,12 @@ def shrink_stack(sketches: Sequence[np.ndarray], ell: int) -> np.ndarray:
         out = np.zeros((ell, stacked.shape[1]), dtype=np.float64)
         out[: stacked.shape[0]] = stacked
         return out
-    _, s, vt = thin_svd(stacked)
-    return fd_shrink(s, vt, ell)
+    return fd_rotate(stacked, ell, kernel=kernel).sketch
 
 
-def merge_pair(b1: np.ndarray, b2: np.ndarray, ell: int) -> np.ndarray:
+def merge_pair(
+    b1: np.ndarray, b2: np.ndarray, ell: int, kernel: str = "auto"
+) -> np.ndarray:
     """Merge two FD sketches into one of size ``ell``.
 
     Parameters
@@ -86,6 +94,8 @@ def merge_pair(b1: np.ndarray, b2: np.ndarray, ell: int) -> np.ndarray:
         differ; zero rows are ignored).
     ell:
         Output sketch size.
+    kernel:
+        Rotation kernel passed through to :func:`shrink_stack`.
 
     Returns
     -------
@@ -99,11 +109,11 @@ def merge_pair(b1: np.ndarray, b2: np.ndarray, ell: int) -> np.ndarray:
         raise ValueError(
             f"feature dimensions differ: {b1.shape[1]} vs {b2.shape[1]}"
         )
-    return shrink_stack([b1, b2], ell)
+    return shrink_stack([b1, b2], ell, kernel=kernel)
 
 
 def serial_merge(
-    sketches: Sequence[np.ndarray], ell: int
+    sketches: Sequence[np.ndarray], ell: int, kernel: str = "auto"
 ) -> tuple[np.ndarray, MergeStats]:
     """Fold sketches into an accumulator one at a time (the baseline).
 
@@ -120,9 +130,9 @@ def serial_merge(
     stats = MergeStats()
     acc = sketches[0]
     if acc.shape[0] != ell:
-        acc = shrink_stack([acc], ell)
+        acc = shrink_stack([acc], ell, kernel=kernel)
     for b in sketches[1:]:
-        acc = merge_pair(acc, b, ell)
+        acc = merge_pair(acc, b, ell, kernel=kernel)
         stats.total_rotations += 1
         stats.critical_path_rotations += 1
     stats.levels = [stats.total_rotations]
@@ -130,7 +140,7 @@ def serial_merge(
 
 
 def tree_merge(
-    sketches: Sequence[np.ndarray], ell: int, arity: int = 2
+    sketches: Sequence[np.ndarray], ell: int, arity: int = 2, kernel: str = "auto"
 ) -> tuple[np.ndarray, MergeStats]:
     """Merge sketches level by level in an ``arity``-ary reduction tree.
 
@@ -149,6 +159,8 @@ def tree_merge(
     arity:
         Fan-in per merge node; 2 reproduces the paper, higher arities
         trade fewer levels for larger per-node SVDs (ablation bench).
+    kernel:
+        Rotation kernel passed through to :func:`shrink_stack`.
 
     Returns
     -------
@@ -168,7 +180,7 @@ def tree_merge(
             if len(group) == 1:
                 merged.append(group[0])
                 continue
-            merged.append(shrink_stack(group, ell))
+            merged.append(shrink_stack(group, ell, kernel=kernel))
             rotations_this_level += 1
         stats.total_rotations += rotations_this_level
         stats.critical_path_rotations += 1 if rotations_this_level else 0
@@ -176,7 +188,7 @@ def tree_merge(
         level = merged
     out = level[0]
     if out.shape[0] != ell:
-        out = shrink_stack([out], ell)
+        out = shrink_stack([out], ell, kernel=kernel)
     return out, stats
 
 
@@ -184,6 +196,7 @@ def degraded_tree_merge(
     sketches: Sequence[np.ndarray | None],
     ell: int,
     arity: int = 2,
+    kernel: str = "auto",
 ) -> tuple[np.ndarray, MergeStats, list[int]]:
     """Tree-merge the *surviving* subset of a partially failed fan-in.
 
@@ -216,5 +229,7 @@ def degraded_tree_merge(
     survivors = [i for i, s in enumerate(sketches) if s is not None]
     if not survivors:
         raise ValueError("all sketches lost; nothing survives to merge")
-    merged, stats = tree_merge([sketches[i] for i in survivors], ell, arity=arity)
+    merged, stats = tree_merge(
+        [sketches[i] for i in survivors], ell, arity=arity, kernel=kernel
+    )
     return merged, stats, survivors

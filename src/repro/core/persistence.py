@@ -71,6 +71,8 @@ def save_sketcher(
         "sketch_rows": np.array(sketcher._sketch_rows),
         "n_seen": np.array(sketcher.n_seen),
         "n_rotations": np.array(sketcher.n_rotations),
+        "n_forced_rotations": np.array(sketcher.n_forced_rotations),
+        "rotation_kernel": np.array(sketcher.rotation_kernel),
         "squared_frobenius": np.array(sketcher.squared_frobenius),
     }
     if isinstance(sketcher, RankAdaptiveFD):
@@ -137,6 +139,11 @@ def load_sketcher_with_extras(
         kind = str(data["kind"])
         d = int(data["d"])
         ell = int(data["ell"])
+        # Older checkpoints predate kernel selection; "auto" preserves
+        # their behaviour (the heuristic picks per shape, as always).
+        rotation_kernel = (
+            str(data["rotation_kernel"]) if "rotation_kernel" in data.files else "auto"
+        )
         if kind == "rank_adaptive":
             sk: FrequentDirections = RankAdaptiveFD(
                 d=d,
@@ -151,6 +158,7 @@ def load_sketcher_with_extras(
                 rng=np.random.default_rng(seed),
                 relative_error=bool(data["relative_error"]),
                 estimator=str(data["estimator"]),
+                rotation_kernel=rotation_kernel,
             )
             sk._increase_pending = bool(data["increase_pending"])
             sk.n_rank_increases = int(data["n_rank_increases"])
@@ -158,7 +166,7 @@ def load_sketcher_with_extras(
                 (int(a), int(b)) for a, b in data["rank_history"]
             ]
         elif kind == "plain":
-            sk = FrequentDirections(d=d, ell=ell)
+            sk = FrequentDirections(d=d, ell=ell, rotation_kernel=rotation_kernel)
         else:
             raise ValueError(f"unknown sketcher kind {kind!r} in checkpoint")
         sk._buffer = data["buffer"].copy()
@@ -166,6 +174,8 @@ def load_sketcher_with_extras(
         sk._sketch_rows = int(data["sketch_rows"])
         sk.n_seen = int(data["n_seen"])
         sk.n_rotations = int(data["n_rotations"])
+        if "n_forced_rotations" in data.files:
+            sk.n_forced_rotations = int(data["n_forced_rotations"])
         sk.squared_frobenius = float(data["squared_frobenius"])
         extras = {
             key[len(_EXTRA_PREFIX):]: float(data[key])

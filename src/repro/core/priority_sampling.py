@@ -49,7 +49,10 @@ class PrioritySampler:
 
     Notes
     -----
-    Zero-norm rows carry no Gram information and are dropped on entry.
+    Zero-norm rows carry no Gram information and are dropped on entry;
+    their uniform draw is still consumed so the RNG stream position
+    depends only on how many rows were offered, never on their content
+    or batching.
     """
 
     def __init__(
@@ -72,29 +75,53 @@ class PrioritySampler:
         self._evicted_priority = 0.0
         self.n_seen = 0
 
+    def _offer(self, rows: np.ndarray) -> None:
+        """Shared scalar/vector path: draw, prioritize and heap-insert.
+
+        One uniform is drawn *per offered row* — including zero-norm
+        rows, whose draw is consumed and discarded — so a stream pushed
+        row by row and the same stream passed to :meth:`extend` in any
+        batch split consume the RNG identically and build identical
+        reservoirs.
+
+        The generator yields the grid ``{0, 2^-53, ..., 1 - 2^-53}``
+        uniformly; remapping its (probability ``2^-53``) zero to ``1.0``
+        — the one grid value it cannot produce — is a bijection onto the
+        same grid shifted into ``(0, 1]``, so the result is *exactly*
+        the discretized ``Uniform(0, 1]`` priority sampling requires
+        (``u = 0`` would make every priority infinite) while every
+        nonzero draw stays bit-identical to the raw stream and existing
+        seeded reservoirs are preserved.
+        """
+        n = rows.shape[0]
+        self.n_seen += n
+        q = np.einsum("ij,ij->i", rows, rows)
+        u = self._rng.uniform(0.0, 1.0, size=n)
+        u[u == 0.0] = 1.0
+        p = q / u
+        for i in np.nonzero(q > 0.0)[0]:
+            item = (float(p[i]), self._seq, float(q[i]), rows[i].copy())
+            self._seq += 1
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+            else:
+                evicted = heapq.heappushpop(self._heap, item)
+                self._evicted_priority = max(self._evicted_priority, evicted[0])
+
     def push(self, row: np.ndarray) -> None:
-        """Offer one row to the reservoir."""
+        """Offer one row to the reservoir.
+
+        The priority is ``q / u`` with ``u ~ Uniform(0, 1]``; the draw
+        order matches :meth:`extend`, so interleaving the two (or
+        changing batch sizes) never changes the reservoir for a given
+        RNG state.
+        """
         row = np.asarray(row, dtype=np.float64)
         if row.ndim != 1:
             raise ValueError("push() takes a single 1-D row; use extend() for batches")
         if not np.all(np.isfinite(row)):
             raise ValueError("row contains NaN/Inf; repair detector frames first")
-        self.n_seen += 1
-        q = float(row @ row)
-        if q == 0.0:
-            return
-        u = float(self._rng.uniform(0.0, 1.0))
-        # Guard the measure-zero u == 0 case.
-        while u == 0.0:  # pragma: no cover - probability zero
-            u = float(self._rng.uniform(0.0, 1.0))
-        p = q / u
-        item = (p, self._seq, q, row.copy())
-        self._seq += 1
-        if len(self._heap) < self.capacity:
-            heapq.heappush(self._heap, item)
-        else:
-            evicted = heapq.heappushpop(self._heap, item)
-            self._evicted_priority = max(self._evicted_priority, evicted[0])
+        self._offer(row[np.newaxis])
 
     def extend(self, rows: np.ndarray | Iterable[np.ndarray]) -> "PrioritySampler":
         """Offer a batch of rows (vectorized priority computation)."""
@@ -107,20 +134,7 @@ class PrioritySampler:
             # priority compares False against everything) — reject
             # loudly so corrupt frames can't vanish from the stream.
             raise ValueError("rows contain NaN/Inf; repair detector frames first")
-        self.n_seen += n
-        q = np.einsum("ij,ij->i", rows, rows)
-        u = self._rng.uniform(0.0, 1.0, size=n)
-        u[u == 0.0] = np.finfo(np.float64).tiny
-        p = np.divide(q, u, out=np.zeros_like(q), where=u > 0)
-        keep = q > 0.0
-        for i in np.nonzero(keep)[0]:
-            item = (float(p[i]), self._seq, float(q[i]), rows[i].copy())
-            self._seq += 1
-            if len(self._heap) < self.capacity:
-                heapq.heappush(self._heap, item)
-            else:
-                evicted = heapq.heappushpop(self._heap, item)
-                self._evicted_priority = max(self._evicted_priority, evicted[0])
+        self._offer(rows)
         return self
 
     @property

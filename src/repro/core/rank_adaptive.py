@@ -156,6 +156,8 @@ class RankAdaptiveFD(FrequentDirections):
     estimator:
         Residual norm estimator: ``"gaussian"`` (paper), ``"hutchinson"``,
         ``"hutchpp"``, ``"gkl"``, or ``"exact"``.
+    rotation_kernel:
+        Rotation kernel (see :class:`FrequentDirections`).
 
     Attributes
     ----------
@@ -169,6 +171,10 @@ class RankAdaptiveFD(FrequentDirections):
         ``arams_residual_error_estimate``.
     """
 
+    # The adaptation heuristic needs the right-singular basis of every
+    # rotated buffer, so ask fd_rotate to materialize it.
+    _needs_rotation_basis = True
+
     def __init__(
         self,
         d: int,
@@ -180,8 +186,9 @@ class RankAdaptiveFD(FrequentDirections):
         rng: np.random.Generator | None = None,
         relative_error: bool = True,
         estimator: str = "gaussian",
+        rotation_kernel: str = "auto",
     ):
-        super().__init__(d=d, ell=ell)
+        super().__init__(d=d, ell=ell, rotation_kernel=rotation_kernel)
         if nu < 1:
             raise ValueError(f"nu must be >= 1, got {nu}")
         if epsilon < 0:
@@ -248,9 +255,9 @@ class RankAdaptiveFD(FrequentDirections):
         self._recent_rows = recent.copy() if recent.shape[0] else None
         super()._rotate()
 
-    def _post_rotate(self, s: np.ndarray, vt: np.ndarray) -> None:
+    def _post_rotate(self, s: np.ndarray, vt: np.ndarray | None) -> None:
         """Estimate the residual of the recent rows; maybe flag an increase."""
-        if self._recent_rows is None or not self._can_rank_adapt():
+        if vt is None or self._recent_rows is None or not self._can_rank_adapt():
             return
         if self.ell + self.nu > self.max_ell:
             return

@@ -10,9 +10,10 @@ relies on:
   reconstruction-error estimators: the random-matrix-multiplication
   estimator the paper uses (Bujanovic & Kressner 2021), plus the
   Hutchinson, Hutch++ and GKL estimators the paper cites as future work.
-- :mod:`repro.linalg.svd` — thin/truncated SVD wrappers and the
-  Frequent-Directions shrinkage step, implemented once so every sketcher
-  shares the same numerically careful code path.
+- :mod:`repro.linalg.svd` — thin/truncated SVD wrappers, the
+  Frequent-Directions shrinkage step, and the FD rotation kernels
+  (thin-SVD and Gram-domain fast path), implemented once so every
+  sketcher shares the same numerically careful code path.
 """
 
 from repro.linalg.random_matrices import (
@@ -27,7 +28,16 @@ from repro.linalg.norms import (
     gkl_norm_estimate,
     residual_fro_norm_estimate,
 )
-from repro.linalg.svd import thin_svd, truncated_svd, fd_shrink
+from repro.linalg.svd import (
+    ROTATION_KERNELS,
+    RotationResult,
+    RotationWorkspace,
+    fd_rotate,
+    fd_shrink,
+    select_rotation_kernel,
+    thin_svd,
+    truncated_svd,
+)
 
 __all__ = [
     "haar_orthogonal",
@@ -41,4 +51,9 @@ __all__ = [
     "thin_svd",
     "truncated_svd",
     "fd_shrink",
+    "fd_rotate",
+    "select_rotation_kernel",
+    "RotationResult",
+    "RotationWorkspace",
+    "ROTATION_KERNELS",
 ]

@@ -132,17 +132,28 @@ class ComputeCostModel:
     insert_factor:
         Flops charged per matrix element on buffer insertion (copy +
         Frobenius accumulation).
+    gram_factor:
+        Constant in the Gram-kernel BLAS-3 flop estimate
+        ``gram_factor * m^2 * n`` (the ``B B^T`` product plus the
+        ``W^T B`` rebuild, each ``~m^2 n`` flops with small constants).
+    eig_factor:
+        Constant in the ``m x m`` symmetric eigendecomposition estimate
+        ``eig_factor * m^3``.
     """
 
     gflops: float = 20.0
     svd_factor: float = 6.0
     insert_factor: float = 4.0
+    gram_factor: float = 2.0
+    eig_factor: float = 9.0
 
     def __post_init__(self) -> None:
         if self.gflops <= 0:
             raise ValueError(f"gflops must be positive, got {self.gflops}")
         if self.svd_factor <= 0 or self.insert_factor < 0:
             raise ValueError("svd_factor must be positive, insert_factor nonnegative")
+        if self.gram_factor <= 0 or self.eig_factor <= 0:
+            raise ValueError("gram_factor and eig_factor must be positive")
 
     def _seconds(self, flops: float) -> float:
         return flops / (self.gflops * 1e9)
@@ -151,16 +162,38 @@ class ComputeCostModel:
         """Seconds for one thin SVD of an ``m x n`` matrix."""
         return self._seconds(self.svd_factor * m * n * min(m, n))
 
+    def gram_rotation_cost(self, m: int, n: int) -> float:
+        """Seconds for one Gram-domain rotation of an ``m x n`` buffer:
+        two ``m^2 n`` BLAS-3 products plus an ``m x m`` eigensolve."""
+        return self._seconds(self.gram_factor * m * m * n + self.eig_factor * m**3)
+
+    def rotation_cost(self, m: int, n: int, kernel: str = "auto") -> float:
+        """Seconds for one FD rotation of an ``m x n`` buffer.
+
+        Dispatches on the same pure-shape heuristic the numerics use
+        (:func:`repro.linalg.svd.select_rotation_kernel`), so virtual
+        clocks price exactly the kernel that runs and chaos replays stay
+        bit-identical.  The data-dependent conditioning fallback is
+        deliberately NOT modelled — pricing must depend on shape only.
+        """
+        from repro.linalg.svd import select_rotation_kernel
+
+        if kernel == "auto":
+            kernel = select_rotation_kernel(m, n)
+        if kernel == "gram":
+            return self.gram_rotation_cost(m, n)
+        return self.svd_cost(m, n)
+
     def sketch_cost(self, rows: int, d: int, ell: int) -> float:
         """Seconds to stream ``rows`` rows through an FD(ell) sketcher:
-        insertion plus one ``2*ell x d`` shrink SVD every ``ell`` rows."""
+        insertion plus one ``2*ell x d`` shrink rotation every ``ell`` rows."""
         if rows <= 0:
             return 0.0
         rotations = max(rows // max(ell, 1), 1)
-        return self._seconds(self.insert_factor * rows * d) + rotations * self.svd_cost(
-            2 * ell, d
-        )
+        return self._seconds(
+            self.insert_factor * rows * d
+        ) + rotations * self.rotation_cost(2 * ell, d)
 
     def merge_cost(self, stacked_rows: int, d: int) -> float:
         """Seconds for one stacked shrink of ``stacked_rows x d`` rows."""
-        return self.svd_cost(stacked_rows, d)
+        return self.rotation_cost(stacked_rows, d)

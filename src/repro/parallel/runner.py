@@ -369,7 +369,7 @@ class DistributedSketchRunner:
             return self._charge(
                 comm,
                 lambda: model.sketch_cost(shard.shape[0], d, self.ell)
-                + model.svd_cost(2 * self.ell, d),
+                + model.rotation_cost(2 * self.ell, d),
                 one_shot,
             )
 
@@ -403,7 +403,7 @@ class DistributedSketchRunner:
                 )
         return self._charge(
             comm,
-            lambda: model.svd_cost(2 * self.ell, d),
+            lambda: model.rotation_cost(2 * self.ell, d),
             sk.compact_sketch,
         )
 

@@ -199,3 +199,111 @@ class TestMerge:
         f1.merge(f2)
         # Energy must be preserved up to the shrink of re-merging.
         assert np.linalg.norm(f1.sketch) <= np.linalg.norm(before) + 1e-9
+
+
+class TestForcedFinalization:
+    """Reading the sketch mid-stream must not perturb the live buffer,
+    the rotation schedule, or the shrinkage accounting (the cost numbers
+    the scaling studies report)."""
+
+    def test_midstream_read_leaves_rotation_count(self, rng):
+        fd = FrequentDirections(d=12, ell=4)
+        fd.partial_fit(rng.standard_normal((10, 12)))  # 2 pending raw rows
+        before = (fd.n_rotations, fd.total_shrinkage, fd.last_shrinkage)
+        _ = fd.sketch
+        assert (fd.n_rotations, fd.total_shrinkage, fd.last_shrinkage) == before
+        assert fd.n_forced_rotations == 1
+
+    def test_forced_rotation_cached_until_next_fit(self, rng):
+        fd = FrequentDirections(d=12, ell=4)
+        fd.partial_fit(rng.standard_normal((10, 12)))
+        s1 = fd.sketch
+        s2 = fd.sketch
+        np.testing.assert_array_equal(s1, s2)
+        assert fd.n_forced_rotations == 1  # second read hit the cache
+        fd.partial_fit(rng.standard_normal((1, 12)))
+        _ = fd.sketch
+        assert fd.n_forced_rotations == 2  # invalidated by partial_fit
+
+    def test_no_forced_rotation_when_clean(self, rng):
+        fd = FrequentDirections(d=12, ell=4)
+        fd.partial_fit(rng.standard_normal((8, 12)))
+        fd._rotate()  # buffer now holds exactly the rotated sketch
+        _ = fd.sketch
+        assert fd.n_forced_rotations == 0
+
+    def test_stream_evolution_unchanged_by_reads(self, rng):
+        """Interleaving sketch reads must yield the same final state as
+        never reading — the bug this guards against inflated rotations."""
+        x = rng.standard_normal((100, 12))
+        quiet = FrequentDirections(d=12, ell=4)
+        nosy = FrequentDirections(d=12, ell=4)
+        for i in range(0, 100, 7):
+            quiet.partial_fit(x[i : i + 7])
+            nosy.partial_fit(x[i : i + 7])
+            _ = nosy.sketch  # diagnostic read every batch
+        assert nosy.n_rotations == quiet.n_rotations
+        assert nosy.total_shrinkage == quiet.total_shrinkage
+        np.testing.assert_array_equal(nosy.sketch, quiet.sketch)
+        np.testing.assert_array_equal(nosy._buffer, quiet._buffer)
+
+    def test_observer_not_fired_by_reads(self, rng):
+        events = []
+
+        class Probe:
+            def on_rotation(self, sk, delta):
+                events.append(delta)
+
+        fd = FrequentDirections(d=12, ell=4)
+        fd.observer = Probe()
+        fd.partial_fit(rng.standard_normal((10, 12)))
+        n_before = len(events)
+        _ = fd.sketch
+        assert len(events) == n_before
+
+    def test_peek_sketch_matches_sketch(self, rng):
+        fd = FrequentDirections(d=12, ell=4)
+        fd.partial_fit(rng.standard_normal((10, 12)))
+        np.testing.assert_array_equal(fd.peek_sketch(), fd.sketch)
+
+    def test_forced_count_round_trips(self, rng, tmp_path):
+        from repro.core.persistence import load_sketcher, save_sketcher
+
+        fd = FrequentDirections(d=12, ell=4)
+        fd.partial_fit(rng.standard_normal((10, 12)))
+        _ = fd.sketch
+        save_sketcher(fd, tmp_path / "ck.npz")
+        back = load_sketcher(tmp_path / "ck.npz")
+        assert back.n_forced_rotations == fd.n_forced_rotations
+        assert back.rotation_kernel == fd.rotation_kernel
+
+
+class TestRotationKernelParam:
+    def test_kernel_validated(self):
+        with pytest.raises(ValueError, match="kernel"):
+            FrequentDirections(d=8, ell=4, rotation_kernel="magic")
+
+    def test_kernels_agree_end_to_end(self, rng):
+        x = rng.standard_normal((200, 64))
+        svd = FrequentDirections(d=64, ell=8, rotation_kernel="svd").fit(x)
+        gram = FrequentDirections(d=64, ell=8, rotation_kernel="gram").fit(x)
+        scale = np.linalg.norm(svd.sketch)
+        assert np.linalg.norm(gram.sketch - svd.sketch) / scale < 1e-8
+        assert gram.last_kernel == "gram"
+        assert svd.last_kernel == "svd"
+
+    def test_auto_uses_gram_when_wide(self, rng):
+        fd = FrequentDirections(d=256, ell=8)
+        fd.partial_fit(rng.standard_normal((40, 256)))
+        assert fd.last_kernel == "gram"
+
+    def test_auto_uses_svd_when_narrow(self, rng):
+        fd = FrequentDirections(d=10, ell=5)
+        fd.partial_fit(rng.standard_normal((40, 10)))
+        assert fd.last_kernel == "svd"
+
+    def test_merge_reports_kernel(self, rng):
+        a = FrequentDirections(d=256, ell=8).fit(rng.standard_normal((50, 256)))
+        b = FrequentDirections(d=256, ell=8).fit(rng.standard_normal((50, 256)))
+        a.merge(b)
+        assert a.last_kernel in ("gram", "svd", "gram_fallback")

@@ -5,7 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.linalg.svd import fd_shrink, thin_svd, truncated_svd
+from repro.linalg.svd import (
+    KERNEL_COUNTER,
+    RotationWorkspace,
+    fd_rotate,
+    fd_shrink,
+    select_rotation_kernel,
+    thin_svd,
+    truncated_svd,
+)
 
 
 class TestThinSVD:
@@ -87,3 +95,163 @@ class TestFDShrink:
         out = fd_shrink(s, vt, 3)
         assert np.all(np.isfinite(out))
         np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+
+class TestRotationKernelSelection:
+    def test_short_and_wide_picks_gram(self):
+        assert select_rotation_kernel(128, 16384) == "gram"
+        assert select_rotation_kernel(32, 128) == "gram"
+
+    def test_square_ish_picks_svd(self):
+        assert select_rotation_kernel(16, 24) == "svd"
+        assert select_rotation_kernel(100, 100) == "svd"
+
+    def test_single_row_picks_svd(self):
+        # The Gram trick needs at least a 2x2 eigenproblem to pay off.
+        assert select_rotation_kernel(1, 10_000) == "svd"
+
+    def test_pure_function_of_shape(self):
+        # The chaos determinism oracle prices rotations by shape alone;
+        # the selector must be deterministic and data-free.
+        assert select_rotation_kernel(64, 4096) == select_rotation_kernel(64, 4096)
+
+
+class TestGramRotation:
+    def test_matches_svd_kernel(self, rng):
+        """Both kernels produce the same sketch entry-wise (not just up
+        to rotation) thanks to the shared sign canonicalization."""
+        for m, d, ell in [(16, 256, 8), (32, 1024, 16), (3, 64, 8), (2, 8, 4)]:
+            b = rng.standard_normal((m, d))
+            ref = fd_rotate(b, ell, kernel="svd")
+            got = fd_rotate(b, ell, kernel="gram")
+            assert got.kernel == "gram"
+            scale = max(np.linalg.norm(ref.sketch), 1.0)
+            assert np.linalg.norm(got.sketch - ref.sketch) / scale < 1e-8
+            np.testing.assert_allclose(got.s, ref.s, atol=1e-8 * max(ref.s[0], 1.0))
+
+    def test_auto_selects_gram_when_wide(self, rng):
+        b = rng.standard_normal((16, 256))
+        res = fd_rotate(b, 8, kernel="auto")
+        assert res.kernel == "gram"
+
+    def test_auto_selects_svd_when_narrow(self, rng):
+        b = rng.standard_normal((16, 20))
+        res = fd_rotate(b, 8, kernel="auto")
+        assert res.kernel == "svd"
+
+    def test_rank_deficient_falls_back(self, rng):
+        """A buffer whose kept block is numerically rank-deficient in
+        the Gram domain must be handed to the exact SVD."""
+        b = np.zeros((16, 256))
+        b[:2] = rng.standard_normal((2, 256))  # rank 2, keep = 8
+        res = fd_rotate(b, 8, kernel="gram")
+        assert res.kernel == "gram_fallback"
+        ref = fd_rotate(b, 8, kernel="svd")
+        np.testing.assert_allclose(res.sketch, ref.sketch, atol=1e-10)
+
+    def test_empty_buffer(self):
+        res = fd_rotate(np.zeros((0, 32)), 4)
+        assert res.kernel == "empty"
+        assert res.sketch.shape == (4, 32)
+        assert np.all(res.sketch == 0.0)
+
+    def test_all_zero_buffer(self):
+        res = fd_rotate(np.zeros((16, 256)), 4, kernel="gram")
+        assert res.kernel == "gram"
+        assert np.all(res.sketch == 0.0)
+
+    def test_workspace_reuse_and_alias(self, rng):
+        """A preallocated workspace and an out array aliasing the input
+        buffer (the sketcher's steady state) must not change results."""
+        m, d, ell = 16, 256, 8
+        ws = RotationWorkspace(m, d)
+        buf = np.zeros((m, d))
+        b = rng.standard_normal((m, d))
+        buf[:] = b
+        ref = fd_rotate(b, ell, kernel="gram")
+        res = fd_rotate(buf, ell, kernel="gram", workspace=ws, out=buf[:ell])
+        np.testing.assert_allclose(res.sketch, ref.sketch, atol=1e-12)
+        # Same workspace serves a smaller rotation afterwards.
+        b2 = rng.standard_normal((m // 2, d))
+        r2 = fd_rotate(b2, ell, kernel="gram", workspace=ws)
+        np.testing.assert_allclose(
+            r2.sketch, fd_rotate(b2, ell, kernel="gram").sketch, atol=1e-12
+        )
+
+    def test_workspace_too_small_ignored(self, rng):
+        ws = RotationWorkspace(4, 64)
+        b = rng.standard_normal((16, 256))
+        res = fd_rotate(b, 8, kernel="gram", workspace=ws)
+        assert res.kernel == "gram"
+
+    def test_need_basis_returns_orthonormal_rows(self, rng):
+        b = rng.standard_normal((16, 256))
+        for kernel in ("svd", "gram"):
+            res = fd_rotate(b, 8, kernel=kernel, need_basis=True)
+            assert res.vt_top.shape == (8, 256)
+            np.testing.assert_allclose(
+                res.vt_top @ res.vt_top.T, np.eye(8), atol=1e-8
+            )
+
+    def test_basis_agrees_between_kernels(self, rng):
+        b = rng.standard_normal((16, 256))
+        ref = fd_rotate(b, 8, kernel="svd", need_basis=True)
+        got = fd_rotate(b, 8, kernel="gram", need_basis=True)
+        np.testing.assert_allclose(got.vt_top, ref.vt_top, atol=1e-8)
+
+    def test_singular_values_are_full_spectrum(self, rng):
+        b = rng.standard_normal((16, 256))
+        res = fd_rotate(b, 8, kernel="gram")
+        exact = np.linalg.svd(b, compute_uv=False)
+        np.testing.assert_allclose(res.s, exact, atol=1e-8 * exact[0])
+
+    def test_unknown_kernel_rejected(self, rng):
+        with pytest.raises(ValueError, match="kernel"):
+            fd_rotate(rng.standard_normal((4, 8)), 2, kernel="magic")
+
+    def test_bad_out_shape_rejected(self, rng):
+        with pytest.raises(ValueError, match="out"):
+            fd_rotate(rng.standard_normal((4, 8)), 2, out=np.zeros((3, 8)))
+
+    def test_kernel_decisions_counted(self, rng):
+        from repro.obs.registry import (
+            Registry,
+            get_default_registry,
+            set_default_registry,
+        )
+
+        previous = get_default_registry()
+        reg = Registry()
+        set_default_registry(reg)
+        try:
+            fd_rotate(rng.standard_normal((16, 256)), 8, kernel="gram")
+            fd_rotate(rng.standard_normal((16, 20)), 8, kernel="svd")
+            gram = reg.get_sample(KERNEL_COUNTER, labels={"kernel": "gram"})
+            svd = reg.get_sample(KERNEL_COUNTER, labels={"kernel": "svd"})
+            assert gram is not None and gram.value == 1.0
+            assert svd is not None and svd.value == 1.0
+        finally:
+            set_default_registry(previous)
+
+
+class TestFDShrinkOutParam:
+    def test_out_matches_allocating_path(self, rng):
+        a = rng.standard_normal((10, 16))
+        _, s, vt = thin_svd(a)
+        out = np.full((5, 16), np.nan)
+        got = fd_shrink(s, vt, 5, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, fd_shrink(s, vt, 5))
+
+    def test_out_tail_zeroed(self, rng):
+        a = rng.standard_normal((3, 16))
+        _, s, vt = thin_svd(a)
+        out = np.full((6, 16), np.nan)
+        fd_shrink(s, vt, 6, out=out)
+        assert np.all(out[3:] == 0.0)
+
+    def test_out_shape_validated(self, rng):
+        a = rng.standard_normal((6, 8))
+        _, s, vt = thin_svd(a)
+        with pytest.raises(ValueError, match="out"):
+            fd_shrink(s, vt, 4, out=np.zeros((4, 9)))

@@ -122,3 +122,79 @@ class TestOneShot:
     def test_output_size(self, rng):
         out = priority_sample(rng.standard_normal((100, 3)), 0.25, rng=rng)
         assert out.shape == (25, 3)
+
+
+class TestDrawOrder:
+    """push and extend must consume the RNG identically, so the same
+    seed yields the same reservoir regardless of batching."""
+
+    def test_push_equals_extend(self, rng):
+        x = rng.standard_normal((40, 6))
+        a = PrioritySampler(capacity=10, rng=np.random.default_rng(7))
+        for row in x:
+            a.push(row)
+        b = PrioritySampler(capacity=10, rng=np.random.default_rng(7))
+        b.extend(x)
+        np.testing.assert_array_equal(a.sample(), b.sample())
+        assert a.threshold == b.threshold
+
+    def test_chunking_invariance(self, rng):
+        x = rng.standard_normal((50, 4))
+        whole = PrioritySampler(capacity=12, rng=np.random.default_rng(3))
+        whole.extend(x)
+        chunked = PrioritySampler(capacity=12, rng=np.random.default_rng(3))
+        for i in range(0, 50, 7):
+            chunked.extend(x[i : i + 7])
+        np.testing.assert_array_equal(whole.sample(), chunked.sample())
+
+    def test_interleaved_push_and_extend(self, rng):
+        x = rng.standard_normal((30, 4))
+        mixed = PrioritySampler(capacity=8, rng=np.random.default_rng(11))
+        mixed.extend(x[:10])
+        for row in x[10:20]:
+            mixed.push(row)
+        mixed.extend(x[20:])
+        pure = PrioritySampler(capacity=8, rng=np.random.default_rng(11))
+        pure.extend(x)
+        np.testing.assert_array_equal(mixed.sample(), pure.sample())
+
+    def test_zero_rows_consume_draws(self, rng):
+        """A zero-norm row is dropped but its uniform is consumed, so
+        the stream position depends only on the offered row count."""
+        x = rng.standard_normal((20, 4))
+        x_with_zero = x.copy()
+        x_with_zero[5] = 0.0
+        a = PrioritySampler(capacity=6, rng=np.random.default_rng(5))
+        a.extend(x_with_zero)
+        b = PrioritySampler(capacity=6, rng=np.random.default_rng(5))
+        for row in x_with_zero:
+            b.push(row)
+        np.testing.assert_array_equal(a.sample(), b.sample())
+
+
+class TestDrawInterval:
+    def test_u_in_half_open_interval(self):
+        """Priorities are q/u with u ~ Uniform(0, 1]: u = 1 must be
+        reachable (a zero raw draw maps to it) and never overflow."""
+
+        class ZeroRNG:
+            def uniform(self, low, high, size=None):
+                return np.zeros(size if size is not None else ())
+
+        s = PrioritySampler(capacity=4, rng=ZeroRNG())
+        s.extend(np.ones((3, 2)))
+        # u == 1 for every row -> priority equals the row energy q = 2.
+        assert all(np.isfinite(item[0]) for item in s._heap)
+        assert all(item[0] == 2.0 for item in s._heap)
+
+    def test_nonzero_draws_pass_through(self):
+        """Nonzero draws are used as-is, so existing seeded reservoirs
+        are unchanged by the interval fix."""
+
+        class FixedRNG:
+            def uniform(self, low, high, size=None):
+                return np.full(size if size is not None else (), 0.25)
+
+        s = PrioritySampler(capacity=4, rng=FixedRNG())
+        s.extend(np.ones((2, 2)))
+        assert all(item[0] == pytest.approx(8.0) for item in s._heap)  # 2 / 0.25

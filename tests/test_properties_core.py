@@ -154,3 +154,70 @@ class TestPrioritySamplingInvariants:
         assert np.all(
             np.linalg.norm(scaled, axis=1) >= np.linalg.norm(raw, axis=1) - 1e-12
         )
+
+
+@st.composite
+def boundary_stream(draw, max_d_factor=20):
+    """A stream whose batch sizes straddle the 2l buffer boundary."""
+    ell = draw(st.integers(2, 10))
+    # d large enough that auto would pick the Gram kernel, so forcing
+    # either kernel exercises a realistic shape.
+    d = draw(st.integers(16 * ell, max_d_factor * ell))
+    seed = draw(st.integers(0, 2**31 - 1))
+    sizes = draw(
+        st.lists(
+            st.sampled_from([1, ell - 1, ell, 2 * ell, 2 * ell + 1, 13]),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    gen = np.random.default_rng(seed)
+    scale = draw(st.floats(0.5, 50.0))
+    batches = [scale * gen.standard_normal((k, d)) for k in sizes]
+    return ell, d, batches
+
+
+class TestRotationKernelInvariants:
+    @COMMON
+    @given(boundary_stream())
+    def test_fd_bound_holds_for_both_kernels(self, stream):
+        """The FD spectral bound and the squared_frobenius bookkeeping
+        hold for every kernel and every boundary-straddling batching."""
+        ell, d, batches = stream
+        a = np.vstack(batches)
+        for kernel in ("svd", "gram"):
+            fd = FrequentDirections(d=d, ell=ell, rotation_kernel=kernel)
+            for b in batches:
+                fd.partial_fit(b)
+            assert fd.squared_frobenius == pytest.approx(np.sum(a * a), rel=1e-12)
+            err = covariance_error(a, fd.sketch)
+            assert err <= np.sum(a * a) / ell * (1 + 1e-9)
+
+    @COMMON
+    @given(boundary_stream())
+    def test_kernels_agree_on_well_conditioned_streams(self, stream):
+        """Gaussian streams are well conditioned: the Gram and SVD
+        kernels must produce the same sketch to ~1e-8."""
+        ell, d, batches = stream
+        svd_fd = FrequentDirections(d=d, ell=ell, rotation_kernel="svd")
+        gram_fd = FrequentDirections(d=d, ell=ell, rotation_kernel="gram")
+        for b in batches:
+            svd_fd.partial_fit(b)
+            gram_fd.partial_fit(b)
+        scale = max(np.linalg.norm(svd_fd.sketch), 1.0)
+        assert np.linalg.norm(gram_fd.sketch - svd_fd.sketch) / scale < 1e-8
+
+    @COMMON
+    @given(boundary_stream())
+    def test_midstream_reads_never_change_evolution(self, stream):
+        """Reading the sketch between any batches must not perturb the
+        final state (forced finalization is side-effect free)."""
+        ell, d, batches = stream
+        quiet = FrequentDirections(d=d, ell=ell)
+        nosy = FrequentDirections(d=d, ell=ell)
+        for b in batches:
+            quiet.partial_fit(b)
+            nosy.partial_fit(b)
+            _ = nosy.sketch
+        assert nosy.n_rotations == quiet.n_rotations
+        np.testing.assert_array_equal(nosy.sketch, quiet.sketch)
