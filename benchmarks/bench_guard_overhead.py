@@ -1,0 +1,145 @@
+"""FrameGuard overhead: guarded vs bare ingest on a clean stream.
+
+The guard sits on the hot path — every frame of a live stream crosses
+it — so its budget on *clean* data (the overwhelmingly common case) is
+tight: under 5% of the end-to-end ``MonitoringPipeline.consume`` cost.
+This bench times the same clean stream through an identical pipeline
+with and without the guard, reports the standalone screening rate, and
+persists the numbers to ``benchmarks/BENCH_guard.json`` so later PRs
+can be gated on them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMSConfig
+from repro.obs.clock import StopWatch
+from repro.obs.registry import Registry
+from repro.pipeline.guard import FrameGuard, GuardConfig
+from repro.pipeline.monitor import MonitoringPipeline
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_guard.json"
+try:
+    _BASELINE = json.loads(BASELINE_PATH.read_text())
+except (OSError, ValueError):
+    _BASELINE = None
+
+SHOTS, SIDE, BATCH = 1200, 64, 200
+OVERHEAD_BUDGET = 0.05
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(23)
+    return np.abs(rng.normal(1.0, 0.25, (SHOTS, SIDE, SIDE)))
+
+
+def _make_pipe(guard: bool) -> MonitoringPipeline:
+    return MonitoringPipeline(
+        image_shape=(SIDE, SIDE),
+        seed=0,
+        sketch=ARAMSConfig(ell=24, beta=0.8, epsilon=0.05, seed=0),
+        registry=Registry(),
+        guard=guard,
+    )
+
+
+def _consume_seconds(stream: np.ndarray, guard: bool, repeats: int = 5) -> float:
+    """Best-of-N full-stream ingest time (best-of filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        pipe = _make_pipe(guard)
+        with StopWatch() as sw:
+            for start in range(0, SHOTS, BATCH):
+                pipe.consume(stream[start : start + BATCH])
+        best = min(best, sw.elapsed)
+    return best
+
+
+@pytest.fixture(scope="module")
+def guard_numbers(stream):
+    bare = _consume_seconds(stream, guard=False)
+    guarded = _consume_seconds(stream, guard=True)
+
+    screen_best = float("inf")
+    for _ in range(5):
+        guard = FrameGuard(
+            GuardConfig(expected_shape=(SIDE, SIDE)), registry=Registry()
+        )
+        with StopWatch() as sw:
+            for start in range(0, SHOTS, BATCH):
+                guard.screen(stream[start : start + BATCH],
+                             shot_ids=range(start, start + BATCH))
+        screen_best = min(screen_best, sw.elapsed)
+
+    return {
+        "consume_clean_stream": {
+            "bare_seconds": bare,
+            "guarded_seconds": guarded,
+            "overhead_fraction": guarded / bare - 1.0,
+        },
+        "guard_screen": {
+            "frames_per_sec": SHOTS / screen_best,
+        },
+    }
+
+
+def test_guard_overhead_under_budget(guard_numbers, table):
+    case = guard_numbers["consume_clean_stream"]
+    table(
+        f"FrameGuard overhead ({SHOTS} clean {SIDE}x{SIDE} shots, best of 5)",
+        ["mode", "seconds", "vs bare"],
+        [
+            ["bare", case["bare_seconds"], "1.00x"],
+            ["guarded", case["guarded_seconds"],
+             f"{case['guarded_seconds'] / case['bare_seconds']:.3f}x"],
+        ],
+    )
+    assert case["overhead_fraction"] <= OVERHEAD_BUDGET, (
+        f"guard costs {case['overhead_fraction']:.1%} on a clean stream "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_screen_rate_positive(guard_numbers, table):
+    rate = guard_numbers["guard_screen"]["frames_per_sec"]
+    table("standalone screening rate", ["case", "frames/sec"],
+          [["guard.screen", rate]])
+    assert rate > 0
+
+
+def test_write_baseline(guard_numbers):
+    """Refresh benchmarks/BENCH_guard.json with this run's numbers."""
+    payload = {
+        "schema": 1,
+        "command": "PYTHONPATH=src python -m pytest benchmarks/bench_guard_overhead.py -s",
+        "cases": guard_numbers,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert json.loads(BASELINE_PATH.read_text())["cases"]
+
+
+def test_baseline_committed():
+    """The baseline file ships with the repo (regenerate via the bench)."""
+    if _BASELINE is None:
+        pytest.skip("no committed BENCH_guard.json baseline; run once and commit it")
+    assert _BASELINE["schema"] == 1
+    assert "consume_clean_stream" in _BASELINE["cases"]
+
+
+# pytest-benchmark variant for --benchmark-* tooling.
+def test_bench_screen_batch(benchmark, stream):
+    guard = FrameGuard(GuardConfig(expected_shape=(SIDE, SIDE)),
+                       registry=Registry())
+    ids = iter(range(10**9))
+
+    def run():
+        batch = stream[:BATCH]
+        guard.screen(batch, shot_ids=[next(ids) for _ in range(BATCH)])
+
+    benchmark(run)

@@ -5,9 +5,12 @@ be driven without writing Python:
 
 ``repro-monitor monitor``
     Generate a synthetic run (beam or diffraction), stream it through
-    the full monitoring pipeline, and print the operator summary
-    (clusters, anomalies, axis correlations, ASCII map); optionally
-    export the embedding to CSV.
+    the full monitoring pipeline — behind a :class:`FrameGuard` screen
+    by default — and print the operator summary (clusters, anomalies,
+    axis correlations, ASCII map); optionally export the embedding to
+    CSV.  ``--corruption`` injects seeded detector faults upstream of
+    the guard, and ``--checkpoint-dir``/``--resume`` exercise the
+    crash-consistent pipeline checkpoints (docs/data_robustness.md).
 
 ``repro-monitor scaling``
     Run the tree-vs-serial strong-scaling study on simulated ranks.
@@ -100,6 +103,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write an interactive HTML report (Bokeh-style)")
     mon.add_argument("--cluster", choices=["optics", "hdbscan"], default="optics",
                      help="clustering backend")
+    mon.add_argument(
+        "--corruption", type=str, default=None, metavar="SPEC",
+        help="inject seeded detector corruption upstream of the guard: "
+             "'seed=N; kind key=value ...' clauses (kinds: nan, shape, "
+             "dup, drop, zero, hot); see docs/data_robustness.md",
+    )
+    mon.add_argument(
+        "--no-guard", action="store_true",
+        help="disable the FrameGuard screen in front of the sketch "
+             "(ignored when --corruption is given)",
+    )
+    mon.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="write crash-consistent pipeline checkpoints to DIR after "
+             "each consumed batch group",
+    )
+    mon.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint after every N consumed batches (default 1)",
+    )
+    mon.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest intact checkpoint in --checkpoint-dir "
+             "and skip the shots it already covers",
+    )
     _add_metrics_args(mon)
 
     sca = sub.add_parser("scaling", help="tree vs serial strong-scaling study")
@@ -159,6 +187,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.arams import ARAMSConfig
     from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
     from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
+    from repro.data.stream import CorruptionPlan, StreamCorruptor
+    from repro.pipeline.checkpoint import (
+        load_pipeline_checkpoint,
+        save_pipeline_checkpoint,
+    )
     from repro.pipeline.monitor import MonitoringPipeline
     from repro.pipeline.results import ascii_density_map, export_embedding_csv
 
@@ -170,21 +203,53 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         gen = DiffractionGenerator(DiffractionConfig(shape=shape), seed=args.seed)
     images, truth = gen.sample(args.shots)
 
-    pipe = MonitoringPipeline(
-        image_shape=shape,
-        seed=args.seed,
-        sketch=ARAMSConfig(
-            ell=args.ell, beta=args.beta, epsilon=args.epsilon, seed=args.seed
-        ),
-        umap={"n_epochs": 200, "n_neighbors": 15},
-        optics={"min_samples": max(10, args.shots // 50)},
-        cluster_method=args.cluster,
-        hdbscan={"min_cluster_size": max(15, args.shots // 40)},
-        registry=registry,
-    )
+    corruptor = None
+    if args.corruption:
+        corruptor = StreamCorruptor(CorruptionPlan.parse(args.corruption))
+        if args.no_guard:
+            print("note: --corruption requires the frame guard; ignoring --no-guard")
+
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        pipe = load_pipeline_checkpoint(args.checkpoint_dir, registry=registry)
+        print(f"resumed        : {pipe.n_offered} shots already offered, "
+              f"ell={pipe.sketcher.ell}")
+    else:
+        pipe = MonitoringPipeline(
+            image_shape=shape,
+            seed=args.seed,
+            sketch=ARAMSConfig(
+                ell=args.ell, beta=args.beta, epsilon=args.epsilon, seed=args.seed
+            ),
+            umap={"n_epochs": 200, "n_neighbors": 15},
+            optics={"min_samples": max(10, args.shots // 50)},
+            cluster_method=args.cluster,
+            hdbscan={"min_cluster_size": max(15, args.shots // 40)},
+            registry=registry,
+            guard=(corruptor is not None) or not args.no_guard,
+        )
+    already_offered = pipe.n_offered
+    skipped = 0
+    consumed_batches = 0
+    checkpoint_every = max(args.checkpoint_every, 1)
     with registry.span("cli.monitor") as run_span:
         for start in range(0, args.shots, 250):
-            pipe.consume(images[start : start + 250])
+            stop = min(start + 250, args.shots)
+            ids = np.arange(start, stop, dtype=np.int64)
+            frames = images[start:stop]
+            if corruptor is not None:
+                frames, ids, _ = corruptor.apply(frames, ids)
+            if skipped + len(frames) <= already_offered:
+                skipped += len(frames)  # batch already inside the checkpoint
+                continue
+            pipe.consume(frames, shot_ids=ids)
+            consumed_batches += 1
+            if args.checkpoint_dir and consumed_batches % checkpoint_every == 0:
+                save_pipeline_checkpoint(pipe, args.checkpoint_dir)
+        if args.checkpoint_dir and consumed_batches % checkpoint_every != 0:
+            save_pipeline_checkpoint(pipe, args.checkpoint_dir)
         result = pipe.analyze()
     total = run_span.elapsed
 
@@ -194,6 +259,20 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     print(f"ingest rate    : {pipe.throughput_hz():.1f} Hz")
     print(f"total wall time: {total:.1f}s "
           f"({', '.join(f'{k}={v:.2f}s' for k, v in result.timings.items())})")
+    if corruptor is not None:
+        inj = ", ".join(f"{k}={v}" for k, v in sorted(corruptor.stats.items()))
+        print(f"corruption     : {corruptor.n_injected} injected ({inj or 'none'})")
+    if pipe.guard is not None:
+        g = pipe.guard.summary()
+        rej = ", ".join(f"{k}={v}" for k, v in sorted(g["by_reason"].items()))
+        print(f"frame guard    : {g['accepted']}/{g['offered']} accepted, "
+              f"{g['rejected']} rejected ({rej or 'none'}), "
+              f"{g['missing_shots']} shot ids missing")
+    stage_bits = ", ".join(
+        f"{name}={'ok' if s.ok else 'DEGRADED -> ' + (s.fallback or '?')}"
+        for name, s in result.stages.items()
+    )
+    print(f"stages         : {stage_bits}")
     print(f"clusters       : {result.n_clusters} "
           f"({int((result.labels == -1).sum())} noise points)")
     print(f"anomalies      : {int(result.outliers.sum())} flagged")
@@ -201,13 +280,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         from repro.data.beam import measured_asymmetry, measured_circularity
         from repro.pipeline.results import embedding_axis_correlations
 
+        sel = (result.shot_ids if result.shot_ids is not None
+               else np.arange(args.shots))
         corr = embedding_axis_correlations(
             result.embedding,
             {
-                "asymmetry": measured_asymmetry(images),
-                "circularity": measured_circularity(images),
+                "asymmetry": measured_asymmetry(images)[sel],
+                "circularity": measured_circularity(images)[sel],
             },
-            mask=~truth["exotic"],
+            mask=~truth["exotic"][sel],
         )
         for name, (best, other) in corr.items():
             print(f"  axis corr {name:12s}: best |r|={best:.2f} other |r|={other:.2f}")
@@ -228,6 +309,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             outliers=result.outliers,
             title=f"ARAMS {args.scenario} run ({args.shots} shots)",
             health=pipe.health_summary(),
+            guard=pipe.guard.summary() if pipe.guard is not None else None,
+            stages=result.stage_summary(),
         )
         print(f"interactive report written to {path}")
     _write_metrics(registry, args)

@@ -11,7 +11,10 @@
   per-quadrant intensity classes standing in for the xpplx9221
   large-area-detector data behind paper Fig. 6.
 - :mod:`repro.data.stream` — a psana-like shot event stream (timestamps,
-  batching) used by the throughput benchmarks.
+  batching, source-contract validation) used by the throughput
+  benchmarks, plus seeded detector-corruption injection
+  (:class:`CorruptionPlan`, :class:`CorruptedEventStream`) for the
+  data-plane hardening tests (see ``docs/data_robustness.md``).
 """
 
 from repro.data.synthetic import (
@@ -22,7 +25,16 @@ from repro.data.synthetic import (
 )
 from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
 from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
-from repro.data.stream import ShotEvent, EventStream
+from repro.data.stream import (
+    ShotEvent,
+    EventStream,
+    ArraySource,
+    StreamContractError,
+    CorruptionRule,
+    CorruptionPlan,
+    StreamCorruptor,
+    CorruptedEventStream,
+)
 from repro.data.xpcs import (
     XPCSConfig,
     XPCSGenerator,
@@ -42,6 +54,12 @@ __all__ = [
     "DiffractionGenerator",
     "ShotEvent",
     "EventStream",
+    "ArraySource",
+    "StreamContractError",
+    "CorruptionRule",
+    "CorruptionPlan",
+    "StreamCorruptor",
+    "CorruptedEventStream",
     "XPCSConfig",
     "XPCSGenerator",
     "speckle_contrast",

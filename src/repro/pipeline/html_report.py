@@ -41,6 +41,8 @@ def write_embedding_report(
     title: str = "ARAMS embedding",
     health: dict | None = None,
     degradation: dict | None = None,
+    guard: dict | None = None,
+    stages: dict | None = None,
 ) -> Path:
     """Write a standalone interactive scatter report.
 
@@ -70,6 +72,18 @@ def write_embedding_report(
         given, a panel shows what a faulty distributed run lost,
         retried and recovered — green-bannered for a clean run, amber
         for a degraded one.
+    guard:
+        Optional frame-guard account
+        (:meth:`repro.pipeline.guard.FrameGuard.summary`); when given,
+        a panel shows offered/accepted/rejected frame counts by reason,
+        shot-id gaps and the quarantine ring state — green-bannered
+        when every frame was accepted, amber otherwise.
+    stages:
+        Optional per-stage analysis outcomes
+        (:meth:`repro.pipeline.monitor.MonitoringResult.stage_summary`);
+        when given, a panel lists each stage's status and, for degraded
+        stages, the substituted fallback and the primary's error —
+        amber-bannered when any stage degraded.
 
     Returns
     -------
@@ -121,7 +135,9 @@ def write_embedding_report(
         "__PAYLOAD__", payload
     ).replace("__OUTLIER_COLOR__", _OUTLIER_COLOR).replace(
         "__HEALTH__", _health_html(health)
-    ).replace("__DEGRADATION__", _degradation_html(degradation))
+    ).replace("__DEGRADATION__", _degradation_html(degradation)).replace(
+        "__GUARD__", _guard_html(guard)
+    ).replace("__STAGES__", _stages_html(stages))
     path = Path(path)
     path.write_text(html)
     return path
@@ -235,6 +251,75 @@ def _degradation_html(report: dict | None) -> str:
     )
 
 
+def _guard_html(guard: dict | None) -> str:
+    """Render the frame-guard panel (empty string when absent)."""
+    if not guard:
+        return ""
+    rejected = int(guard.get("rejected", 0))
+    banner = (
+        f'<span class="deg bad">{rejected} REJECTED</span>'
+        if rejected
+        else '<span class="deg ok">all frames accepted</span>'
+    )
+    rows = [
+        ("frames offered", f"{guard.get('offered', 0)}"),
+        ("frames accepted", f"{guard.get('accepted', 0)}"),
+        ("frames rejected", f"{rejected}"),
+        ("shot-id gaps (missing)", f"{guard.get('missing_shots', 0)}"),
+    ]
+    for reason, count in (guard.get("by_reason") or {}).items():
+        rows.append((f"&nbsp;&nbsp;{_escape(str(reason))}", f"{count}"))
+    quarantine = guard.get("quarantine") or {}
+    rows.append(
+        (
+            "quarantine ring",
+            f"{quarantine.get('held', 0)} held / "
+            f"{quarantine.get('total', 0)} total "
+            f"(capacity {quarantine.get('capacity', 0)})",
+        )
+    )
+    med = guard.get("norm_median")
+    if med is not None and np.isfinite(med):
+        rows.append(
+            ("accepted norm median / MAD",
+             f"{med:.4g} / {guard.get('norm_mad', float('nan')):.4g}")
+        )
+    table = "".join(f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in rows)
+    return (
+        f'<div id="guard"><h2>frame guard {banner}</h2>'
+        f'<table class="health">{table}</table></div>'
+    )
+
+
+def _stages_html(stages: dict | None) -> str:
+    """Render the analysis-stage panel (empty string when absent)."""
+    if not stages:
+        return ""
+    any_degraded = any(s.get("status") != "ok" for s in stages.values())
+    banner = (
+        '<span class="deg bad">DEGRADED ANALYSIS</span>'
+        if any_degraded
+        else '<span class="deg ok">all stages ok</span>'
+    )
+    rows = []
+    for name, s in stages.items():
+        status = _escape(str(s.get("status", "?")))
+        detail = ""
+        if s.get("status") != "ok":
+            detail = (
+                f' &mdash; fallback: {_escape(str(s.get("fallback") or "?"))}'
+                f' ({_escape(str(s.get("error") or "?"))})'
+            )
+        rows.append(
+            f"<tr><td>{_escape(str(name))}</td>"
+            f"<td>{status}{detail}</td></tr>"
+        )
+    return (
+        f'<div id="stages"><h2>analysis stages {banner}</h2>'
+        f'<table class="health">{"".join(rows)}</table></div>'
+    )
+
+
 def _stringify(v: object) -> str:
     if isinstance(v, (float, np.floating)):
         return f"{float(v):.4g}"
@@ -272,8 +357,8 @@ _TEMPLATE = """<!DOCTYPE html>
   table.health td { padding: 1px 10px 1px 0; }
   table.health td:last-child { font-variant-numeric: tabular-nums; }
   #health .range { font-size: 11px; color: #777; margin-bottom: 8px; }
-  #degradation { padding: 8px 12px; font-size: 13px; }
-  #degradation h2 { font-size: 14px; margin: 6px 0; }
+  #degradation, #guard, #stages { padding: 8px 12px; font-size: 13px; }
+  #degradation h2, #guard h2, #stages h2 { font-size: 14px; margin: 6px 0; }
   .deg { font-size: 11px; padding: 2px 8px; border-radius: 9px; margin-left: 8px;
          vertical-align: 1px; }
   .deg.ok { background: #d9efe3; color: #00633c; }
@@ -288,6 +373,8 @@ _TEMPLATE = """<!DOCTYPE html>
   <div id="side"><b>clusters</b><div id="legend"></div></div>
 </div>
 __HEALTH__
+__GUARD__
+__STAGES__
 __DEGRADATION__
 <div id="tip"></div>
 <script>

@@ -20,11 +20,20 @@ sketch supplies only the basis), so consumed rows are retained by
 default.  For unbounded streams pass ``retain="latent"`` to keep only
 the small latent coordinates per image, projecting each batch through
 the *current* basis as it arrives.
+
+Data-plane hardening (see ``docs/data_robustness.md``): pass
+``guard=True`` (or a :class:`~repro.pipeline.guard.GuardConfig`) to
+screen every incoming frame through a
+:class:`~repro.pipeline.guard.FrameGuard` before it reaches the sketch,
+and note that :meth:`analyze` is *fail-soft* — each downstream stage
+runs under a :class:`~repro.pipeline.supervisor.StageSupervisor` that
+substitutes a documented fallback and records a
+:class:`~repro.pipeline.supervisor.DegradedResult` instead of raising.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -39,7 +48,9 @@ from repro.obs.registry import Registry
 from repro.obs.spans import SPAN_HISTOGRAM
 from repro.parallel.cost_model import CommCostModel
 from repro.parallel.runner import DistributedSketchRunner
+from repro.pipeline.guard import FrameGuard, GuardConfig
 from repro.pipeline.preprocess import Preprocessor
+from repro.pipeline.supervisor import DegradedResult, StageSupervisor
 
 __all__ = ["MonitoringPipeline", "MonitoringResult"]
 
@@ -64,6 +75,14 @@ class MonitoringResult:
         Sketch-PCA energy fractions of the latent axes.
     timings:
         Seconds per stage: ``project``, ``umap``, ``optics``, ``abod``.
+    shot_ids:
+        Shot id of each analysed row (``None`` for results predating
+        id tracking, e.g. :meth:`MonitoringPipeline.score_new`).  When
+        a guard quarantined frames, these are the *accepted* ids, so
+        rows stay aligned with the stream's bookkeeping.
+    stages:
+        Per-stage :class:`~repro.pipeline.supervisor.DegradedResult`
+        outcomes from the fail-soft analysis (empty for score_new).
     """
 
     latent: np.ndarray
@@ -73,11 +92,22 @@ class MonitoringResult:
     outlier_scores: np.ndarray
     explained_variance_ratio: np.ndarray
     timings: dict[str, float] = field(default_factory=dict)
+    shot_ids: np.ndarray | None = None
+    stages: dict[str, DegradedResult] = field(default_factory=dict)
 
     @property
     def n_clusters(self) -> int:
         """Number of clusters found (noise excluded)."""
         return len(set(self.labels.tolist()) - {-1})
+
+    @property
+    def degraded(self) -> bool:
+        """True when any analysis stage substituted its fallback."""
+        return any(s.status != "ok" for s in self.stages.values())
+
+    def stage_summary(self) -> dict:
+        """Plain-data per-stage outcomes (feeds CLI and HTML report)."""
+        return {name: s.to_dict() for name, s in self.stages.items()}
 
 
 class MonitoringPipeline:
@@ -123,6 +153,15 @@ class MonitoringPipeline:
         projection; ``"latent"`` keeps only per-batch latent coordinates
         (bounded memory, projection through the basis current at batch
         time).
+    guard:
+        Frame screening in front of the sketch.  ``None``/``False``
+        (default) disables it; ``True`` installs a
+        :class:`~repro.pipeline.guard.FrameGuard` with default
+        thresholds (expected shape locked to ``image_shape``); a
+        :class:`~repro.pipeline.guard.GuardConfig` customizes the
+        thresholds; a ready-made :class:`FrameGuard` is used as-is.
+        With a guard installed, :meth:`consume` accepts ragged frame
+        lists and rejected frames never touch the sketch.
     registry:
         Metric registry receiving stage-latency spans and sketch-health
         instruments (see :mod:`repro.obs`).  Defaults to a fresh
@@ -159,6 +198,7 @@ class MonitoringPipeline:
         retain: str = "rows",
         registry: Registry | None = None,
         seed: int | None = None,
+        guard: FrameGuard | GuardConfig | bool | None = None,
     ):
         if retain not in ("rows", "latent"):
             raise ValueError(f"unknown retain mode {retain!r}")
@@ -204,7 +244,11 @@ class MonitoringPipeline:
         # flip sign and reorder as the sketch evolves).
         self._latent_basis: np.ndarray | None = None
         self.n_images = 0
+        self.n_offered = 0
+        self.shot_ids: list[int] = []
+        self._next_shot_id = 0
         self.registry = registry if registry is not None else Registry()
+        self.guard = self._build_guard(guard)
         self.health = SketchHealth(self.registry)
         self._images_counter = self.registry.counter(
             "pipeline_images_total", help="Images consumed by the pipeline"
@@ -212,6 +256,17 @@ class MonitoringPipeline:
         self._batches_counter = self.registry.counter(
             "pipeline_batches_total", help="Batches consumed by the pipeline"
         )
+
+    def _build_guard(self, guard) -> FrameGuard | None:
+        if guard is None or guard is False:
+            return None
+        if guard is True:
+            guard = GuardConfig(expected_shape=self.image_shape)
+        if isinstance(guard, GuardConfig):
+            if guard.expected_shape is None:
+                guard = replace(guard, expected_shape=self.image_shape)
+            return FrameGuard(guard, registry=self.registry)
+        return guard  # a ready-made FrameGuard
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -226,16 +281,60 @@ class MonitoringPipeline:
             )
         return self._sketcher
 
-    def consume(self, images: np.ndarray) -> "MonitoringPipeline":
-        """Preprocess one image batch and feed it to the online sketch."""
+    def _admit(self, images, shot_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Screen (or pass through) one batch; returns ``(images, ids)``.
+
+        With a guard installed the batch may be a ragged frame list and
+        comes back as the accepted ``(m, h, w)`` stack; without one, it
+        must already be a clean stack.  Either way the pipeline's
+        offered count and shot-id cursor advance.
+        """
+        if self.guard is not None:
+            with self.registry.span("consume.guard"):
+                batch = self.guard.screen(images, shot_ids=shot_ids)
+            self.n_offered += batch.offered
+            ids = batch.accepted_ids
+            images = batch.accepted
+        else:
+            images = np.asarray(images)
+            n = images.shape[0]
+            if shot_ids is None:
+                ids = np.arange(self._next_shot_id, self._next_shot_id + n, dtype=np.int64)
+            else:
+                ids = np.asarray(shot_ids, dtype=np.int64)
+                if ids.shape[0] != n:
+                    raise ValueError(
+                        f"shot_ids length {ids.shape[0]} does not match {n} frames"
+                    )
+            self.n_offered += n
+        if ids.shape[0]:
+            self._next_shot_id = max(self._next_shot_id, int(ids.max()) + 1)
+        return images, ids
+
+    def consume(self, images, shot_ids=None) -> "MonitoringPipeline":
+        """Preprocess one image batch and feed it to the online sketch.
+
+        Parameters
+        ----------
+        images:
+            ``(n, h, w)`` frame stack; with a guard installed, a ragged
+            list of 2-D frames is also accepted (mis-shaped frames are
+            quarantined, not raised).
+        shot_ids:
+            Per-frame shot ids; ``None`` auto-numbers sequentially.
+        """
+        images, ids = self._admit(images, shot_ids)
+        self._batches_counter.inc()
+        if images.shape[0] == 0:
+            return self  # whole batch quarantined; the sketch sees nothing
         with self.registry.span("consume.preprocess"):
             rows = self.preprocessor.apply_flat(images)
         sk = self._ensure_sketcher(rows.shape[1])
         with self.registry.span("consume.sketch"):
             sk.partial_fit(rows)
         self.n_images += rows.shape[0]
+        self.shot_ids.extend(int(s) for s in ids)
         self._images_counter.inc(rows.shape[0])
-        self._batches_counter.inc()
         self._retain_batch(rows, sk)
         return self
 
@@ -262,6 +361,7 @@ class MonitoringPipeline:
         images: np.ndarray,
         n_ranks: int,
         cost_model: CommCostModel | None = None,
+        shot_ids=None,
     ) -> "MonitoringPipeline":
         """Sketch one batch across ``n_ranks`` simulated ranks (tree merge).
 
@@ -269,6 +369,10 @@ class MonitoringPipeline:
         sketcher, so sharded and streaming ingestion can be mixed.  The
         virtual makespan is charged to ``sketch_time``.
         """
+        images, ids = self._admit(images, shot_ids)
+        self._batches_counter.inc()
+        if images.shape[0] == 0:
+            return self
         with self.registry.span("consume.preprocess"):
             rows = self.preprocessor.apply_flat(images)
         sk = self._ensure_sketcher(rows.shape[1])
@@ -287,8 +391,8 @@ class MonitoringPipeline:
         with self.registry.span("consume.sketch"):
             sk.sketcher.partial_fit(result.sketch[np.any(result.sketch != 0, axis=1)])
         self.n_images += rows.shape[0]
+        self.shot_ids.extend(int(s) for s in ids)
         self._images_counter.inc(rows.shape[0])
-        self._batches_counter.inc()
         self._retain_batch(rows, sk)
         return self
 
@@ -328,15 +432,26 @@ class MonitoringPipeline:
         return self._sketcher
 
     def analyze(self) -> MonitoringResult:
-        """Run projection, UMAP, OPTICS and ABOD on everything consumed."""
+        """Run projection, UMAP, OPTICS and ABOD on everything consumed.
+
+        Fail-soft: each stage runs under a
+        :class:`~repro.pipeline.supervisor.StageSupervisor`.  A stage
+        failure (non-convergence, degenerate spectra, layout NaNs)
+        substitutes the documented fallback — all-zero latent, the
+        first two PCA axes as the embedding, all-noise labels, or
+        no-outliers — and is recorded in ``result.stages`` instead of
+        raising; the sketch and everything consumed stay intact.  Only
+        calling before any data has arrived still raises.
+        """
         if self._sketcher is None or self.n_images == 0:
             raise RuntimeError("no data consumed yet")
         timings: dict[str, float] = {}
-        with self.registry.span("analyze.project") as sp:
+        sup = StageSupervisor(self.registry)
+
+        def project_primary():
             pca = SketchPCA(self._sketcher.compact_sketch(), n_components=self.n_latent)
             if self.retain == "rows":
-                rows = np.vstack(self._rows)
-                latent = pca.transform(rows)
+                latent = pca.transform(np.vstack(self._rows))
             else:
                 parts = self._latents
                 width = max(p.shape[1] for p in parts)
@@ -345,40 +460,126 @@ class MonitoringPipeline:
                 for p in parts:
                     latent[at : at + p.shape[0], : p.shape[1]] = p
                     at += p.shape[0]
+            return pca, latent
+
+        def project_validate(value):
+            _, latent = value
+            if not np.all(np.isfinite(latent)):
+                return "non-finite latent coordinates"
+            return None
+
+        with self.registry.span("analyze.project") as sp:
+            pca, latent = sup.run(
+                "project",
+                project_primary,
+                lambda: (None, np.zeros((self.n_images, self.n_latent))),
+                "all-zero latent coordinates",
+                validate=project_validate,
+            )
         timings["project"] = sp.elapsed
+        sup.set_seconds("project", sp.elapsed)
+
+        n_emb = int(self.umap_params.get("n_components", 2))
+
+        def umap_primary():
+            um = UMAP(**self.umap_params)
+            return um, um.fit_transform(latent)
+
+        def umap_fallback():
+            emb = np.zeros((latent.shape[0], n_emb))
+            take = min(n_emb, latent.shape[1])
+            emb[:, :take] = latent[:, :take]
+            return None, emb
+
+        def umap_validate(value):
+            _, emb = value
+            if emb.shape[0] != latent.shape[0]:
+                return f"embedding has {emb.shape[0]} rows for {latent.shape[0]} frames"
+            if not np.all(np.isfinite(emb)):
+                return "non-finite embedding coordinates (layout diverged)"
+            return None
 
         with self.registry.span("analyze.umap") as sp:
-            umap = UMAP(**self.umap_params)
-            embedding = umap.fit_transform(latent)
+            umap, embedding = sup.run(
+                "umap",
+                umap_primary,
+                umap_fallback,
+                f"first {n_emb} PCA axes as embedding",
+                validate=umap_validate,
+            )
         timings["umap"] = sp.elapsed
+        sup.set_seconds("umap", sp.elapsed)
+
+        def cluster_primary():
+            if self.cluster_method == "hdbscan":
+                return HDBSCAN(**self.hdbscan_params).fit_predict(embedding)
+            return OPTICS(**self.optics_params).fit_predict(embedding)
+
+        def cluster_validate(labels):
+            if np.asarray(labels).shape[0] != embedding.shape[0]:
+                return "label count does not match embedding rows"
+            return None
 
         with self.registry.span(f"analyze.{self.cluster_method}") as sp:
-            if self.cluster_method == "hdbscan":
-                labels = HDBSCAN(**self.hdbscan_params).fit_predict(embedding)
-            else:
-                labels = OPTICS(**self.optics_params).fit_predict(embedding)
+            labels = sup.run(
+                self.cluster_method,
+                cluster_primary,
+                lambda: np.full(embedding.shape[0], -1, dtype=int),
+                "all-noise labels",
+                validate=cluster_validate,
+            )
         timings[self.cluster_method] = sp.elapsed
+        sup.set_seconds(self.cluster_method, sp.elapsed)
 
         if self.outlier_contamination is not None:
-            with self.registry.span("analyze.abod") as sp:
-                outliers, scores = abod_outliers(
+
+            def abod_primary():
+                return abod_outliers(
                     latent,
                     contamination=self.outlier_contamination,
                     n_neighbors=min(self.outlier_neighbors, latent.shape[0] - 1),
                 )
+
+            def abod_validate(value):
+                mask, sc = value
+                if mask.shape[0] != latent.shape[0] or sc.shape[0] != latent.shape[0]:
+                    return "outlier arrays do not match frame count"
+                if not np.all(np.isfinite(sc)):
+                    return "non-finite ABOF scores"
+                return None
+
+            with self.registry.span("analyze.abod") as sp:
+                outliers, scores = sup.run(
+                    "abod",
+                    abod_primary,
+                    lambda: (
+                        np.zeros(self.n_images, dtype=bool),
+                        np.zeros(self.n_images),
+                    ),
+                    "no outliers flagged",
+                    validate=abod_validate,
+                )
             timings["abod"] = sp.elapsed
+            sup.set_seconds("abod", sp.elapsed)
         else:
             outliers = np.zeros(self.n_images, dtype=bool)
             scores = np.zeros(self.n_images)
 
+        evr = (
+            pca.explained_variance_ratio_
+            if pca is not None
+            else np.zeros(latent.shape[1])
+        )
         result = MonitoringResult(
             latent=latent,
             embedding=embedding,
             labels=labels,
             outliers=outliers,
             outlier_scores=scores,
-            explained_variance_ratio=pca.explained_variance_ratio_,
+            explained_variance_ratio=evr,
             timings=timings,
+            shot_ids=np.asarray(self.shot_ids, dtype=np.int64),
+            stages=dict(sup.results),
         )
         # Keep the fitted stages so fresh shots can be scored online
         # (see score_new) without re-running the full analysis.
@@ -411,9 +612,13 @@ class MonitoringPipeline:
         MonitoringResult
             Result for the new shots only (timings cover this call).
         """
-        if self._analysis is None or self._analysis_pca is None:
+        if self._analysis is None:
             raise RuntimeError("call analyze() before score_new()")
-        assert self._analysis_umap is not None
+        if self._analysis_pca is None:
+            raise RuntimeError(
+                "the last analyze() degraded at the projection stage; "
+                "no PCA basis is available to score new shots against"
+            )
         timings: dict[str, float] = {}
         with self.registry.span("score.project") as sp:
             rows = self.preprocessor.apply_flat(images)
@@ -421,7 +626,15 @@ class MonitoringPipeline:
         timings["project"] = sp.elapsed
 
         with self.registry.span("score.umap") as sp:
-            embedding = self._analysis_umap.transform(latent)
+            if self._analysis_umap is not None:
+                embedding = self._analysis_umap.transform(latent)
+            else:
+                # The reference analysis fell back to PCA axes as its
+                # embedding; place new shots the same way.
+                n_emb = self._analysis.embedding.shape[1]
+                embedding = np.zeros((latent.shape[0], n_emb))
+                take = min(n_emb, latent.shape[1])
+                embedding[:, :take] = latent[:, :take]
         timings["umap"] = sp.elapsed
 
         # Nearest-reference-neighbour label transfer.
@@ -480,4 +693,9 @@ class MonitoringPipeline:
             "sketch": self.sketch_time,
         }
         summary["n_images"] = self.n_images
+        summary["n_offered"] = self.n_offered
+        if self.guard is not None:
+            summary["guard"] = self.guard.summary()
+        if self._analysis is not None and self._analysis.stages:
+            summary["stages"] = self._analysis.stage_summary()
         return summary

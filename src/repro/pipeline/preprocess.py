@@ -86,7 +86,10 @@ def normalize_intensity(images: np.ndarray, mode: str = "sum") -> np.ndarray:
     Returns
     -------
     numpy.ndarray
-        New normalized stack; all-zero frames are left untouched.
+        New normalized stack; frames whose scale is zero or non-finite
+        (all-zero frames, unrepaired Inf pixels, a constant frame whose
+        sum cancels) are left untouched rather than divided into NaNs —
+        a silent NaN row would poison the Gram sketch irrecoverably.
     """
     images = _check_stack(images)
     flat = images.reshape(images.shape[0], -1)
@@ -98,7 +101,7 @@ def normalize_intensity(images: np.ndarray, mode: str = "sum") -> np.ndarray:
         scale = np.sqrt(np.einsum("ij,ij->i", flat, flat))
     else:
         raise ValueError(f"unknown mode {mode!r}")
-    scale = np.where(scale == 0, 1.0, scale)
+    scale = np.where((scale == 0) | ~np.isfinite(scale), 1.0, scale)
     return images / scale[:, None, None]
 
 
@@ -120,11 +123,17 @@ def center_images(images: np.ndarray) -> np.ndarray:
     for i in range(n):
         img = np.clip(images[i], 0.0, None)
         total = img.sum()
-        if total == 0:
+        if total == 0 or not np.isfinite(total):
+            # Zero-mass frames have no center; non-finite mass (an
+            # unrepaired Inf pixel) would turn the centroid into
+            # NaN and crash int(round(...)).  Pass both through.
             out[i] = images[i]
             continue
         cy = float((img.sum(axis=1) @ ys) / total)
         cx = float((img.sum(axis=0) @ xs) / total)
+        if not (np.isfinite(cy) and np.isfinite(cx)):
+            out[i] = images[i]
+            continue
         out[i] = np.roll(
             images[i],
             (int(round(cy_target - cy)), int(round(cx_target - cx))),

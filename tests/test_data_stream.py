@@ -63,3 +63,81 @@ class TestEvents:
         assert events[1].timestamp == pytest.approx(0.1)
         assert events[0].image.shape == (64, 64)
         assert "mode" in events[0].truth
+
+
+class TestSourceContract:
+    """Satellite: every batch is validated against the declared contract."""
+
+    class ShiftyShape:
+        """Source whose frame shape changes mid-run."""
+
+        def __init__(self, flip_at=2):
+            self.calls = 0
+            self.flip_at = flip_at
+
+        def sample(self, n):
+            self.calls += 1
+            shape = (8, 8) if self.calls < self.flip_at else (8, 7)
+            return np.ones((n, *shape)), {}
+
+    class ShiftyDtype:
+        def __init__(self):
+            self.calls = 0
+
+        def sample(self, n):
+            self.calls += 1
+            dtype = np.float64 if self.calls == 1 else np.float32
+            return np.ones((n, 8, 8), dtype=dtype), {}
+
+    class WrongRank:
+        def sample(self, n):
+            return np.ones((n, 64)), {}
+
+    class WrongCount:
+        def sample(self, n):
+            return np.ones((n + 1, 8, 8)), {}
+
+    def test_shape_change_raises_typed_error(self):
+        from repro.data.stream import StreamContractError
+
+        stream = EventStream(self.ShiftyShape(), n_shots=12, batch_size=4)
+        with pytest.raises(StreamContractError, match="shape"):
+            list(stream.batches())
+
+    def test_dtype_change_raises_typed_error(self):
+        from repro.data.stream import StreamContractError
+
+        stream = EventStream(self.ShiftyDtype(), n_shots=8, batch_size=4)
+        with pytest.raises(StreamContractError, match="dtype"):
+            list(stream.batches())
+
+    def test_wrong_rank_raises(self):
+        from repro.data.stream import StreamContractError
+
+        stream = EventStream(self.WrongRank(), n_shots=4, batch_size=4)
+        with pytest.raises(StreamContractError, match=r"\(n, h, w\)"):
+            list(stream.batches())
+
+    def test_wrong_count_raises(self):
+        from repro.data.stream import StreamContractError
+
+        stream = EventStream(self.WrongCount(), n_shots=4, batch_size=4)
+        with pytest.raises(StreamContractError, match="frames"):
+            list(stream.batches())
+
+    def test_error_names_shot_coordinates(self):
+        from repro.data.stream import StreamContractError
+
+        stream = EventStream(self.ShiftyShape(), n_shots=12, batch_size=4)
+        with pytest.raises(StreamContractError, match="shot"):
+            list(stream.batches())
+
+    def test_contract_error_is_value_error(self):
+        from repro.data.stream import StreamContractError
+
+        assert issubclass(StreamContractError, ValueError)
+
+    def test_healthy_stream_unaffected(self, source):
+        stream = EventStream(source, n_shots=8, batch_size=4)
+        batches = list(stream.batches())
+        assert sum(b[0].shape[0] for b in batches) == 8

@@ -1,0 +1,105 @@
+"""Lint: no silent exception swallowing outside the stage supervisor.
+
+A guard layer only works if failures stay loud.  Bare ``except:`` and
+``except Exception: pass`` handlers silently eat the very corruption
+signals the data plane is built to surface, so both are banned across
+``src/``.  The single sanctioned broad handler is the
+:class:`repro.pipeline.supervisor.StageSupervisor` catch-and-substitute
+boundary, which never swallows (every catch is counted, recorded and
+reported).  Handlers that *re-raise* or otherwise act are fine — the ban
+targets silence, not breadth.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ALLOWED_BROAD = (REPO / "src" / "repro" / "pipeline" / "supervisor.py",)
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _exception_names(node: ast.ExceptHandler) -> set[str]:
+    """Names caught by this handler (empty set for a bare ``except:``)."""
+    t = node.type
+    if t is None:
+        return set()
+    elts = t.elts if isinstance(t, ast.Tuple) else [t]
+    names = set()
+    for e in elts:
+        if isinstance(e, ast.Name):
+            names.add(e.id)
+        elif isinstance(e, ast.Attribute):
+            names.add(e.attr)
+    return names
+
+
+def _is_silent(node: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing but pass/``...``."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in node.body
+    )
+
+
+def _offences(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    rel = path.relative_to(REPO)
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        names = _exception_names(node)
+        if node.type is None:
+            out.append(f"{rel}:{node.lineno} bare 'except:'")
+        elif names & _BROAD_NAMES and _is_silent(node):
+            out.append(
+                f"{rel}:{node.lineno} silent 'except {'/'.join(sorted(names))}: pass'"
+            )
+    return out
+
+
+def test_no_silent_broad_except_outside_supervisor():
+    offenders: list[str] = []
+    for path in sorted((REPO / "src").rglob("*.py")):
+        if path in ALLOWED_BROAD:
+            continue
+        offenders.extend(_offences(path))
+    assert not offenders, (
+        "silent broad exception handlers found (route failures through "
+        "repro.pipeline.supervisor.StageSupervisor, or catch the specific "
+        "exception and handle it):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_supervisor_is_the_only_broad_swallower():
+    """The allowlist entry actually contains the sanctioned handler."""
+    text = ALLOWED_BROAD[0].read_text()
+    assert "except Exception" in text
+    # ... and it is loud: every catch is counted and recorded.
+    assert "pipeline_stage_failures_total" in text
+
+
+def test_lint_catches_its_targets(tmp_path):
+    """Self-test of the AST rules on synthetic offenders."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "try:\n    x = 1\nexcept:\n    pass\n"
+        "try:\n    y = 2\nexcept Exception:\n    pass\n"
+        "try:\n    z = 3\nexcept (ValueError, BaseException):\n    ...\n"
+        "try:\n    w = 4\nexcept Exception as exc:\n    raise\n"
+        "try:\n    v = 5\nexcept ValueError:\n    pass\n"
+    )
+    # Temporarily relocate under REPO semantics by parsing directly.
+    tree = ast.parse(bad.read_text())
+    handlers = [n for n in ast.walk(tree) if isinstance(n, ast.ExceptHandler)]
+    verdicts = [
+        (n.type is None)
+        or bool(_exception_names(n) & _BROAD_NAMES and _is_silent(n))
+        for n in handlers
+    ]
+    assert verdicts == [True, True, True, False, False]

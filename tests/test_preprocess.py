@@ -141,3 +141,59 @@ class TestChain:
         pre = Preprocessor()
         with pytest.raises(AttributeError):
             pre.center = False  # type: ignore[misc]
+
+
+class TestDegenerateFrames:
+    """Satellite: zero-variance/all-zero/non-finite frames never become NaN.
+
+    The preprocessor sits behind the guard, but its steps must still be
+    total functions — a silent NaN row would poison the one-pass sketch.
+    """
+
+    def degenerate_stack(self):
+        stack = np.zeros((4, 8, 8))
+        stack[1] = 1.0           # constant frame (zero variance)
+        stack[2, 3, 3] = np.inf  # unrepaired Inf pixel
+        stack[3] = np.random.default_rng(0).random((8, 8))
+        return stack
+
+    @pytest.mark.parametrize("mode", ["sum", "max", "l2"])
+    def test_normalize_zero_scale_passthrough(self, mode):
+        stack = np.zeros((2, 8, 8))
+        stack[1] = np.random.default_rng(1).random((8, 8))
+        out = normalize_intensity(stack, mode)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_array_equal(out[0], 0.0)  # untouched, not NaN
+
+    def test_normalize_nonfinite_scale_passthrough(self):
+        stack = np.ones((1, 8, 8))
+        stack[0, 0, 0] = np.inf
+        out = normalize_intensity(stack, "sum")
+        np.testing.assert_array_equal(out, stack)  # not divided into NaN
+
+    def test_center_zero_mass_passthrough(self):
+        stack = np.zeros((1, 8, 8))
+        out = center_images(stack)
+        np.testing.assert_array_equal(out, stack)
+
+    def test_center_negative_only_frame(self):
+        # Clipped mass is zero even though the frame is not.
+        stack = -np.ones((1, 8, 8))
+        out = center_images(stack)
+        np.testing.assert_array_equal(out, stack)
+
+    def test_center_nonfinite_mass_no_crash(self):
+        stack = np.ones((1, 8, 8))
+        stack[0, 2, 2] = np.inf
+        out = center_images(stack)  # must not crash on int(round(nan))
+        np.testing.assert_array_equal(out, stack)
+
+    def test_default_chain_stays_finite_without_repair(self):
+        pre = Preprocessor(repair=False)
+        rows = pre.apply_flat(np.zeros((3, 8, 8)))
+        assert np.all(np.isfinite(rows))
+
+    def test_default_chain_on_degenerate_stack(self):
+        pre = Preprocessor()  # repair=True: Inf pixels zeroed first
+        rows = pre.apply_flat(self.degenerate_stack())
+        assert np.all(np.isfinite(rows))

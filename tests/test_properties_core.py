@@ -197,7 +197,10 @@ class TestRotationKernelInvariants:
     @given(boundary_stream())
     def test_kernels_agree_on_well_conditioned_streams(self, stream):
         """Gaussian streams are well conditioned: the Gram and SVD
-        kernels must produce the same sketch to ~1e-8."""
+        kernels must produce the same sketch to ~1e-7.  (The Gram
+        kernel works on B Bᵀ, squaring the condition number, so
+        ~sqrt(machine eps) ≈ 1.5e-8 relative error is its theoretical
+        floor — near-degenerate shrunk spectra sit right at it.)"""
         ell, d, batches = stream
         svd_fd = FrequentDirections(d=d, ell=ell, rotation_kernel="svd")
         gram_fd = FrequentDirections(d=d, ell=ell, rotation_kernel="gram")
@@ -205,7 +208,7 @@ class TestRotationKernelInvariants:
             svd_fd.partial_fit(b)
             gram_fd.partial_fit(b)
         scale = max(np.linalg.norm(svd_fd.sketch), 1.0)
-        assert np.linalg.norm(gram_fd.sketch - svd_fd.sketch) / scale < 1e-8
+        assert np.linalg.norm(gram_fd.sketch - svd_fd.sketch) / scale < 1e-7
 
     @COMMON
     @given(boundary_stream())
