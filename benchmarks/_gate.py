@@ -1,0 +1,143 @@
+"""Shared bench-baseline gate: one schema, one comparator, one flag.
+
+Every bench that persists numbers (``bench_core``, ``bench_guard_overhead``,
+``bench_serve``) speaks the same JSON schema::
+
+    {
+      "schema": 2,
+      "command": "PYTHONPATH=src python -m pytest benchmarks/bench_X.py -s",
+      "cases": {"case_name": {"metric_name": value, ...}, ...}
+    }
+
+and gates through the same comparator: for each (case, metric) present in
+both the fresh run and the committed baseline, compute a slowdown ratio
+(orientation from :data:`HIGHER_IS_BETTER`) and fail when it exceeds the
+case's tolerance.  Tolerances default to :data:`DEFAULT_TOLERANCE` and can
+be tightened or loosened per case by the calling bench — the committed
+file stays plain data.
+
+Baselines are rewritten only under ``pytest --update-baseline`` (option
+registered in ``benchmarks/conftest.py``), so a gating run — tier 3 of
+``tools/ci.py`` — never dirties the working tree.  Schema-1 files (the
+pre-unification format, same layout minus the version bump) load fine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "HIGHER_IS_BETTER",
+    "SCHEMA_VERSION",
+    "compare_cases",
+    "load_baseline",
+    "write_baseline",
+]
+
+SCHEMA_VERSION = 2
+
+#: Gate tolerance: allowed relative slowdown per (case, metric) before the
+#: regression test fails.  Generous because committed numbers track
+#: *relative* movement on whatever machine regenerated them, and shared
+#: hardware shows 30-40% throughput swings between identical runs; the
+#: gate is after structural regressions (an accidental O(n) -> O(n^2),
+#: a lost fast path — typically 2x+), not micro-drift.
+DEFAULT_TOLERANCE = 0.50
+
+#: metric name -> orientation.  ``True`` = larger is better (throughput),
+#: ``False`` = smaller is better (latency).  Metrics absent here are NOT
+#: gated by the ratio comparator — that covers fractions a bench asserts
+#: against an absolute budget (``overhead_fraction``), raw A/B wall
+#: clocks that only exist to feed such a fraction (``bare_seconds``,
+#: ``guarded_seconds``), and latency quantiles of small samples
+#: (``p50_ms``/``p99_ms``: the p99 of 64 one-shot sub-ms queries is
+#: effectively a max, which swings several-fold with scheduler noise;
+#: ``queries_per_sec`` gates the same path robustly).
+HIGHER_IS_BETTER = {
+    "rows_per_sec": True,
+    "frames_per_sec": True,
+    "queries_per_sec": True,
+    "speedup": True,
+    "cache_hit_speedup": True,
+    "seconds": False,
+    "seconds_per_rotation": False,
+}
+
+
+def load_baseline(path: str | Path) -> dict | None:
+    """The committed baseline dict, or ``None`` when absent/corrupt.
+
+    Call at import time, before any test can rewrite the file, so one
+    ``pytest benchmarks/bench_X.py --update-baseline`` run both checks
+    the old numbers and refreshes them.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "cases" not in payload:
+        return None
+    return payload
+
+
+def write_baseline(path: str | Path, cases: dict, command: str) -> Path:
+    """Persist ``cases`` in the shared schema (sorted, newline-terminated)."""
+    payload = {"schema": SCHEMA_VERSION, "command": command, "cases": cases}
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_cases(
+    fresh: dict,
+    baseline: dict | None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    tolerances: dict[str, float] | None = None,
+) -> tuple[list[list], list[str]]:
+    """Gate ``fresh`` cases against a loaded ``baseline`` payload.
+
+    Parameters
+    ----------
+    fresh:
+        ``{case: {metric: value}}`` from this run.
+    baseline:
+        Payload from :func:`load_baseline` (``None`` -> nothing to gate).
+    tolerance:
+        Default allowed relative slowdown (0.25 = 25%).
+    tolerances:
+        Optional per-case overrides, ``{case: tolerance}``.
+
+    Returns
+    -------
+    (rows, failures)
+        ``rows`` — ``[case, metric, baseline, fresh, ratio]`` table rows
+        (ratio > 1 means slower) for every gated metric; ``failures`` —
+        human-readable strings for metrics beyond tolerance (empty list
+        means the gate passes).
+    """
+    rows: list[list] = []
+    failures: list[str] = []
+    if baseline is None:
+        return rows, failures
+    base_cases = baseline.get("cases", {})
+    tolerances = tolerances or {}
+    for name, metrics in sorted(fresh.items()):
+        base_metrics = base_cases.get(name)
+        if base_metrics is None:
+            continue  # new case: no baseline to regress against
+        allowed = 1.0 + tolerances.get(name, tolerance)
+        for metric, value in metrics.items():
+            orientation = HIGHER_IS_BETTER.get(metric)
+            base = base_metrics.get(metric)
+            if orientation is None or base is None or base <= 0 or value <= 0:
+                continue
+            ratio = base / value if orientation else value / base
+            rows.append([name, metric, base, value, ratio])
+            if ratio > allowed:
+                failures.append(
+                    f"{name}/{metric}: {ratio:.2f}x slower "
+                    f"(tolerance {allowed - 1.0:.0%})"
+                )
+    return rows, failures

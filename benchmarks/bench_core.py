@@ -12,12 +12,11 @@ representative ``(d, l)`` shapes and writes the numbers to
   with the automatic kernel choice.
 - ``tree_merge_*`` — latency of a 16-way binary tree merge.
 
-``test_regression_vs_baseline`` compares a fresh run against the
-committed JSON and fails on a >25% per-case slowdown; it skips cleanly
-when no baseline exists (first run on a new machine).  The baseline is
-captured at import time, before ``test_write_baseline`` overwrites the
-file, so one ``pytest benchmarks/bench_core.py`` run both checks and
-refreshes it.
+``test_regression_vs_baseline`` gates a fresh run against the committed
+JSON through the shared comparator (``benchmarks/_gate.py``: >25%
+per-case slowdown fails; skips cleanly when no baseline exists).  The
+baseline is captured at import time and rewritten only under
+``pytest --update-baseline``, so a gating run never dirties the tree.
 
 Absolute numbers are machine-dependent; the committed baseline tracks
 *relative* movement on whatever machine regenerates it, which is why the
@@ -26,11 +25,11 @@ gate is a generous 25%.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 import pytest
+from _gate import compare_cases, load_baseline, write_baseline
 
 from repro.core.arams import ARAMS, ARAMSConfig
 from repro.core.frequent_directions import FrequentDirections
@@ -42,21 +41,7 @@ from repro.obs.clock import StopWatch
 BASELINE_PATH = Path(__file__).parent / "BENCH_core.json"
 
 # Read the committed baseline BEFORE any test can rewrite it.
-_BASELINE: dict | None = None
-if BASELINE_PATH.exists():
-    _BASELINE = json.loads(BASELINE_PATH.read_text())
-
-#: metric name -> True when larger is better (throughput), False when
-#: smaller is better (latency).
-_HIGHER_IS_BETTER = {
-    "rows_per_sec": True,
-    "speedup": True,
-    "seconds_per_rotation": False,
-    "seconds": False,
-}
-
-#: Allowed per-case relative slowdown before the regression gate fails.
-SLOWDOWN_TOLERANCE = 0.25
+_BASELINE = load_baseline(BASELINE_PATH)
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -165,37 +150,25 @@ def test_streaming_rates_positive(core_numbers, table):
     assert all(r[1] > 0 for r in rows)
 
 
-def test_write_baseline(core_numbers):
-    """Refresh benchmarks/BENCH_core.json with this run's numbers."""
-    payload = {
-        "schema": 1,
-        "command": "PYTHONPATH=src python -m pytest benchmarks/bench_core.py -s",
-        "cases": core_numbers,
-    }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    assert json.loads(BASELINE_PATH.read_text())["cases"]
+def test_write_baseline(core_numbers, update_baseline):
+    """Refresh benchmarks/BENCH_core.json (only under --update-baseline)."""
+    if not update_baseline:
+        pytest.skip("baseline unchanged; rerun with --update-baseline to refresh")
+    write_baseline(
+        BASELINE_PATH,
+        core_numbers,
+        command="PYTHONPATH=src python -m pytest benchmarks/bench_core.py -s "
+                "--update-baseline",
+    )
+    assert load_baseline(BASELINE_PATH)["cases"]
 
 
 def test_regression_vs_baseline(core_numbers, table):
     """Fail when any case regressed >25% against the committed baseline."""
     if _BASELINE is None:
-        pytest.skip("no committed BENCH_core.json baseline; run once and commit it")
-    rows, failures = [], []
-    for name, metrics in sorted(core_numbers.items()):
-        base_metrics = _BASELINE.get("cases", {}).get(name)
-        if base_metrics is None:
-            continue  # new case: no baseline to regress against
-        for metric, fresh in metrics.items():
-            base = base_metrics.get(metric)
-            if base is None or base <= 0:
-                continue
-            if _HIGHER_IS_BETTER[metric]:
-                ratio = base / fresh  # >1 means slower
-            else:
-                ratio = fresh / base
-            rows.append([name, metric, base, fresh, ratio])
-            if ratio > 1.0 + SLOWDOWN_TOLERANCE:
-                failures.append(f"{name}/{metric}: {ratio:.2f}x slower")
+        pytest.skip("no committed BENCH_core.json baseline; run once with "
+                    "--update-baseline and commit it")
+    rows, failures = compare_cases(core_numbers, _BASELINE)
     table(
         "regression vs committed baseline (ratio > 1 = slower)",
         ["case", "metric", "baseline", "fresh", "ratio"],

@@ -14,6 +14,22 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-baseline",
+        action="store_true",
+        default=False,
+        help="rewrite the committed BENCH_*.json baselines with this "
+             "run's numbers (the gate itself never writes)",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_baseline(request: pytest.FixtureRequest) -> bool:
+    """True when this run should refresh the committed baselines."""
+    return bool(request.config.getoption("--update-baseline"))
+
+
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
     """Render an aligned ASCII table to stdout (visible with -s / in CI logs)."""
     cells = [[_fmt(c) for c in row] for row in rows]

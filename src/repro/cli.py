@@ -24,6 +24,15 @@ be driven without writing Python:
     report speckle contrast pooled vs grouped by unsupervised beam
     cluster — the paper's motivating measurement.
 
+``repro-monitor serve``
+    Replay a seeded synthetic stream through the monitoring pipeline
+    while a deterministic load generator issues typed queries
+    (``project`` / ``residual`` / ``outlier_score`` / ``basis`` /
+    ``stats``) against epoch-numbered sketch snapshots, through the
+    admission-controlled serving layer (``repro.serve``).  Virtual-clock
+    driven, so the served/shed/cache numbers are reproducible; prints a
+    serving summary and can embed it in the HTML report.
+
 ``repro-monitor chaos``
     Run a distributed sketching job under a seeded fault plan
     (``--fault-plan "seed=7; kill rank=3 rotation=2"``) and print the
@@ -154,6 +163,57 @@ def build_parser() -> argparse.ArgumentParser:
     xp = sub.add_parser("xpcs", help="beam-grouped speckle-contrast demo")
     xp.add_argument("--shots", type=int, default=450, help="total shots")
     xp.add_argument("--seed", type=int, default=0)
+
+    ser = sub.add_parser(
+        "serve", help="replay a stream while serving snapshot queries"
+    )
+    ser.add_argument(
+        "--replay", action="store_true",
+        help="replay a seeded synthetic stream with a deterministic "
+             "virtual-clock load generator (the only serving mode "
+             "available offline; required)",
+    )
+    ser.add_argument("--scenario", choices=["beam", "diffraction"], default="beam")
+    ser.add_argument("--shots", type=int, default=600)
+    ser.add_argument("--size", type=int, default=48, help="frame side length")
+    ser.add_argument("--batch", type=int, default=100, help="frames per ingest batch")
+    ser.add_argument("--ell", type=int, default=24, help="initial sketch size")
+    ser.add_argument("--beta", type=float, default=0.8, help="sampling fraction")
+    ser.add_argument("--epsilon", type=float, default=0.05, help="error tolerance")
+    ser.add_argument("--seed", type=int, default=0)
+    ser.add_argument(
+        "--publish-every", type=int, default=2, metavar="N",
+        help="publish a sketch snapshot every N consumed batches",
+    )
+    ser.add_argument(
+        "--keep", type=int, default=8, help="snapshots retained in the store"
+    )
+    ser.add_argument(
+        "--queries-per-batch", type=int, default=10, metavar="Q",
+        help="queries the load generator issues per ingest batch",
+    )
+    ser.add_argument(
+        "--rate", type=float, default=20.0,
+        help="token-bucket refill rate (queries per virtual second)",
+    )
+    ser.add_argument(
+        "--burst", type=float, default=10.0, help="token-bucket capacity"
+    )
+    ser.add_argument(
+        "--queue-depth", type=int, default=32, help="admission queue capacity"
+    )
+    ser.add_argument(
+        "--deadline", type=float, default=0.5,
+        help="per-query deadline in virtual seconds",
+    )
+    ser.add_argument(
+        "--cache-size", type=int, default=256, help="query-cache entries (0 disables)"
+    )
+    ser.add_argument(
+        "--html", type=str, default=None,
+        help="write an interactive HTML report with the serving panel",
+    )
+    _add_metrics_args(ser)
 
     cha = sub.add_parser("chaos", help="distributed run under a seeded fault plan")
     cha.add_argument(
@@ -417,6 +477,179 @@ def _cmd_xpcs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.arams import ARAMSConfig
+    from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+    from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
+    from repro.pipeline.monitor import MonitoringPipeline
+    from repro.serve import (
+        QUERY_KINDS,
+        AdmissionController,
+        QueryEngine,
+        ServeRejected,
+        SketchServer,
+        SnapshotStore,
+        TokenBucket,
+        VirtualClock,
+    )
+
+    if not args.replay:
+        print(
+            "error: live serving needs an external data source; "
+            "use --replay for the deterministic replay mode",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = _command_registry()
+    shape = (args.size, args.size)
+    if args.scenario == "beam":
+        gen = BeamProfileGenerator(BeamProfileConfig(shape=shape), seed=args.seed)
+    else:
+        gen = DiffractionGenerator(DiffractionConfig(shape=shape), seed=args.seed)
+    images, _ = gen.sample(args.shots)
+
+    pipe = MonitoringPipeline(
+        image_shape=shape,
+        seed=args.seed,
+        sketch=ARAMSConfig(
+            ell=args.ell, beta=args.beta, epsilon=args.epsilon, seed=args.seed
+        ),
+        umap={"n_epochs": 150, "n_neighbors": 15},
+        optics={"min_samples": max(10, args.shots // 50)},
+        registry=registry,
+    )
+    store = pipe.attach_snapshot_store(
+        SnapshotStore(keep=args.keep, registry=registry),
+        every_batches=args.publish_every,
+    )
+    clock = VirtualClock()
+    bucket = TokenBucket(rate=args.rate, burst=args.burst, clock=clock)
+    admission = AdmissionController(
+        clock,
+        max_queue=args.queue_depth,
+        default_deadline=args.deadline,
+        bucket=bucket,
+        registry=registry,
+    )
+    engine = QueryEngine(store, registry=registry, cache_size=args.cache_size)
+    server = SketchServer(engine, admission)
+
+    # Deterministic load generator: a seeded RNG of its own (never the
+    # pipeline's), issuing a weighted mix of query kinds against mostly
+    # the latest epoch, sometimes a pinned past epoch, and occasionally
+    # a doomed pin — so every typed shed path is exercised on replay.
+    rng = np.random.default_rng(args.seed + 9001)
+    kind_weights = dict(zip(
+        QUERY_KINDS, (0.30, 0.20, 0.15, 0.10, 0.25)
+    ))
+    payload_pool: list[np.ndarray] = []
+    n_issued = 0
+    n_served = 0
+    batch = max(args.batch, 1)
+    ingest_hz = 120.0  # nominal LCLS-I repetition rate for the virtual clock
+    with registry.span("cli.serve") as run_span:
+        for start in range(0, args.shots, batch):
+            frames = images[start : min(start + batch, args.shots)]
+            pipe.consume(frames)
+            clock.advance(frames.shape[0] / ingest_hz)
+            if len(store) == 0:
+                continue  # nothing published yet; clients have no epochs
+            for _ in range(args.queries_per_batch):
+                kind = str(rng.choice(list(kind_weights), p=list(kind_weights.values())))
+                payload = None
+                if kind in ("project", "residual", "outlier_score"):
+                    if payload_pool and rng.random() < 0.5:
+                        # Re-issue a recent payload: cache-hit traffic.
+                        payload = payload_pool[int(rng.integers(len(payload_pool)))]
+                    else:
+                        m = int(rng.integers(1, 9))
+                        idx = rng.integers(0, frames.shape[0], size=m)
+                        payload = pipe.preprocessor.apply_flat(frames[idx])
+                        payload_pool.append(payload)
+                        if len(payload_pool) > 32:
+                            payload_pool.pop(0)
+                epoch = None
+                roll = rng.random()
+                if roll < 0.25:
+                    epoch = int(rng.choice(store.epochs()))
+                elif roll < 0.30:
+                    epoch = 10_000 + n_issued  # never published: typed shed
+                n_issued += 1
+                try:
+                    server.submit(kind, payload=payload, epoch=epoch)
+                except ServeRejected:
+                    pass  # counted by reason in the admission summary
+            n_served += len(server.process())
+        n_served += len(server.process())
+    total = run_span.elapsed
+
+    n_batches = (args.shots + batch - 1) // batch
+    adm = admission.summary()
+    by_kind = {}
+    for kind in QUERY_KINDS:
+        c = registry.get_sample("serve_queries_total", labels={"kind": kind})
+        if c is not None and c.value:
+            by_kind[kind] = int(c.value)
+    shed = {reason: n for reason, n in adm["shed"].items() if n}
+    hits, misses = engine.n_hits, engine.n_misses
+    ratio = engine.cache_hit_ratio()
+    latency_ms = {}
+    for kind in QUERY_KINDS:
+        h = registry.get_sample("serve_query_seconds", labels={"kind": kind})
+        if h is not None and h.count:
+            latency_ms[kind] = {
+                "p50": h.quantile(0.5) * 1e3,
+                "p99": h.quantile(0.99) * 1e3,
+            }
+
+    print(f"serve replay   : {args.scenario}, {args.shots} shots of "
+          f"{shape[0]}x{shape[1]} in {n_batches} batches, "
+          f"publish every {args.publish_every}")
+    print(f"epochs         : {store.published} published, {len(store)} retained "
+          f"(latest {store.latest().epoch if len(store) else '-'})")
+    print(f"queries        : {n_issued} issued, {adm['admitted']} admitted, "
+          f"{n_served} served")
+    if by_kind:
+        print("  by kind      : "
+              + ", ".join(f"{k}={v}" for k, v in by_kind.items()))
+    print("shed           : "
+          + (", ".join(f"{k}={v}" for k, v in sorted(shed.items())) or "none"))
+    ratio_s = f"{ratio:.1%}" if np.isfinite(ratio) else "n/a"
+    print(f"cache          : {hits} hits / {misses} misses ({ratio_s} hit ratio)")
+    for kind, q in latency_ms.items():
+        print(f"  latency {kind:12s}: p50={q['p50']:.3f}ms p99={q['p99']:.3f}ms")
+    print(f"wall time      : {total:.1f}s "
+          f"(virtual serving time {clock.now():.2f}s)")
+
+    if args.html:
+        from repro.pipeline.html_report import write_embedding_report
+
+        result = pipe.analyze()
+        serving = {
+            "epochs_published": store.published,
+            "latest_epoch": store.latest().epoch if len(store) else None,
+            "served": n_served,
+            "queries": by_kind,
+            "shed": shed,
+            "cache": {"hits": hits, "misses": misses, "ratio": ratio},
+            "latency_ms": latency_ms,
+        }
+        path = write_embedding_report(
+            args.html,
+            result.embedding,
+            labels=result.labels,
+            outliers=result.outliers,
+            title=f"ARAMS {args.scenario} serve replay ({args.shots} shots)",
+            health=pipe.health_summary(),
+            stages=result.stage_summary(),
+            serving=serving,
+        )
+        print(f"interactive report written to {path}")
+    _write_metrics(registry, args)
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core.errors import relative_covariance_error
     from repro.data.synthetic import sharded_synthetic_dataset
@@ -470,6 +703,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": _cmd_scaling,
         "sketch": _cmd_sketch,
         "xpcs": _cmd_xpcs,
+        "serve": _cmd_serve,
         "chaos": _cmd_chaos,
     }
     from repro.obs.registry import get_default_registry, set_default_registry

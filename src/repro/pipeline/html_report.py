@@ -43,6 +43,7 @@ def write_embedding_report(
     degradation: dict | None = None,
     guard: dict | None = None,
     stages: dict | None = None,
+    serving: dict | None = None,
 ) -> Path:
     """Write a standalone interactive scatter report.
 
@@ -84,6 +85,12 @@ def write_embedding_report(
         when given, a panel lists each stage's status and, for degraded
         stages, the substituted fallback and the primary's error —
         amber-bannered when any stage degraded.
+    serving:
+        Optional sketch-serving account (built by the ``serve`` CLI
+        command from :class:`repro.serve` state); when given, a panel
+        shows published epochs, queries served by kind, typed shed
+        counts, cache hit ratio and per-kind latency quantiles —
+        green-bannered when nothing was shed, amber otherwise.
 
     Returns
     -------
@@ -137,7 +144,9 @@ def write_embedding_report(
         "__HEALTH__", _health_html(health)
     ).replace("__DEGRADATION__", _degradation_html(degradation)).replace(
         "__GUARD__", _guard_html(guard)
-    ).replace("__STAGES__", _stages_html(stages))
+    ).replace("__STAGES__", _stages_html(stages)).replace(
+        "__SERVING__", _serving_html(serving)
+    )
     path = Path(path)
     path.write_text(html)
     return path
@@ -320,6 +329,48 @@ def _stages_html(stages: dict | None) -> str:
     )
 
 
+def _serving_html(serving: dict | None) -> str:
+    """Render the sketch-serving panel (empty string when absent)."""
+    if not serving:
+        return ""
+    shed = {k: int(v) for k, v in (serving.get("shed") or {}).items() if v}
+    shed_total = sum(shed.values())
+    banner = (
+        f'<span class="deg bad">{shed_total} SHED</span>'
+        if shed_total
+        else '<span class="deg ok">no load shed</span>'
+    )
+    rows = [
+        ("epochs published", f"{serving.get('epochs_published', 0)}"),
+        ("latest epoch", f"{serving.get('latest_epoch', '&mdash;')}"),
+        ("queries served", f"{serving.get('served', 0)}"),
+    ]
+    for kind, count in (serving.get("queries") or {}).items():
+        if count:
+            rows.append((f"&nbsp;&nbsp;{_escape(str(kind))}", f"{count}"))
+    rows.append(("queries shed", f"{shed_total}"))
+    for reason, count in shed.items():
+        rows.append((f"&nbsp;&nbsp;{_escape(str(reason))}", f"{count}"))
+    cache = serving.get("cache") or {}
+    if cache:
+        ratio = cache.get("ratio")
+        ratio_s = f"{ratio:.1%}" if ratio is not None and np.isfinite(ratio) else "n/a"
+        rows.append(
+            ("cache hits / misses",
+             f"{cache.get('hits', 0)} / {cache.get('misses', 0)} ({ratio_s} hit)")
+        )
+    for kind, q in (serving.get("latency_ms") or {}).items():
+        rows.append(
+            (f"latency {_escape(str(kind))} p50 / p99",
+             f"{q.get('p50', float('nan')):.3f} / {q.get('p99', float('nan')):.3f} ms")
+        )
+    table = "".join(f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in rows)
+    return (
+        f'<div id="serving"><h2>sketch serving {banner}</h2>'
+        f'<table class="health">{table}</table></div>'
+    )
+
+
 def _stringify(v: object) -> str:
     if isinstance(v, (float, np.floating)):
         return f"{float(v):.4g}"
@@ -357,8 +408,8 @@ _TEMPLATE = """<!DOCTYPE html>
   table.health td { padding: 1px 10px 1px 0; }
   table.health td:last-child { font-variant-numeric: tabular-nums; }
   #health .range { font-size: 11px; color: #777; margin-bottom: 8px; }
-  #degradation, #guard, #stages { padding: 8px 12px; font-size: 13px; }
-  #degradation h2, #guard h2, #stages h2 { font-size: 14px; margin: 6px 0; }
+  #degradation, #guard, #stages, #serving { padding: 8px 12px; font-size: 13px; }
+  #degradation h2, #guard h2, #stages h2, #serving h2 { font-size: 14px; margin: 6px 0; }
   .deg { font-size: 11px; padding: 2px 8px; border-radius: 9px; margin-left: 8px;
          vertical-align: 1px; }
   .deg.ok { background: #d9efe3; color: #00633c; }
@@ -375,6 +426,7 @@ _TEMPLATE = """<!DOCTYPE html>
 __HEALTH__
 __GUARD__
 __STAGES__
+__SERVING__
 __DEGRADATION__
 <div id="tip"></div>
 <script>

@@ -55,6 +55,40 @@ from repro.pipeline.supervisor import DegradedResult, StageSupervisor
 __all__ = ["MonitoringPipeline", "MonitoringResult"]
 
 
+def _stride_sample(parts: list[np.ndarray], total: int, max_rows: int) -> np.ndarray:
+    """Evenly strided sample of ``max_rows`` rows from a list of 2-D blocks.
+
+    Deterministic (no RNG) and width-tolerant: blocks of different
+    column counts (the latent-mode case, where the latent width grows
+    with the sketch rank) are right-padded with zeros to the widest.
+    """
+    if total <= 0 or not parts:
+        width = max((p.shape[1] for p in parts), default=0)
+        return np.zeros((0, width))
+    take = min(max_rows, total)
+    wanted = np.unique(np.linspace(0, total - 1, take).astype(np.int64))
+    width = max(p.shape[1] for p in parts)
+    out = np.zeros((wanted.shape[0], width))
+    offset = 0
+    cursor = 0
+    for p in parts:
+        hi = offset + p.shape[0]
+        stop = int(np.searchsorted(wanted, hi, side="left"))
+        if stop > cursor:
+            idx = wanted[cursor:stop] - offset
+            if p.shape[1] == width:
+                # Equal-width blocks (rows mode): gather straight into the
+                # output, skipping the intermediate fancy-index copy.
+                np.take(p, idx, axis=0, out=out[cursor:stop])
+            else:
+                out[cursor:stop, : p.shape[1]] = p[idx]
+            cursor = stop
+        offset = hi
+        if cursor >= wanted.shape[0]:
+            break
+    return out
+
+
 @dataclass
 class MonitoringResult:
     """Full output of one analysis pass.
@@ -247,6 +281,12 @@ class MonitoringPipeline:
         self.n_offered = 0
         self.shot_ids: list[int] = []
         self._next_shot_id = 0
+        # Snapshot publication (see repro.serve.snapshot): a store
+        # attached via attach_snapshot_store receives an immutable
+        # sketch snapshot every `_publish_every` consumed batches.
+        self._snapshot_store = None
+        self._publish_every = 1
+        self._batches_since_publish = 0
         self.registry = registry if registry is not None else Registry()
         self.guard = self._build_guard(guard)
         self.health = SketchHealth(self.registry)
@@ -336,6 +376,7 @@ class MonitoringPipeline:
         self.shot_ids.extend(int(s) for s in ids)
         self._images_counter.inc(rows.shape[0])
         self._retain_batch(rows, sk)
+        self._maybe_publish()
         return self
 
     def _retain_batch(self, rows: np.ndarray, sk: ARAMS) -> None:
@@ -394,7 +435,73 @@ class MonitoringPipeline:
         self.shot_ids.extend(int(s) for s in ids)
         self._images_counter.inc(rows.shape[0])
         self._retain_batch(rows, sk)
+        self._maybe_publish()
         return self
+
+    # ------------------------------------------------------------------
+    # Snapshot publication (the serving read path; see repro.serve)
+    # ------------------------------------------------------------------
+    def attach_snapshot_store(self, store, every_batches: int = 1):
+        """Publish an immutable sketch snapshot every ``every_batches`` batches.
+
+        ``store`` is a :class:`~repro.serve.snapshot.SnapshotStore`.
+        Publication reads the sketch through the non-mutating ``peek``
+        path and samples retained data deterministically (no RNG), so
+        the ingested sketch stream stays bit-identical with publishing
+        on or off — the regression-tested serving contract
+        (``docs/serving.md``).  Returns ``store`` for chaining.
+        """
+        if every_batches < 1:
+            raise ValueError(f"every_batches must be >= 1, got {every_batches}")
+        self._snapshot_store = store
+        self._publish_every = int(every_batches)
+        self._batches_since_publish = 0
+        return store
+
+    def publish_snapshot(self):
+        """Publish one snapshot now (requires an attached store)."""
+        if self._snapshot_store is None:
+            raise RuntimeError("no snapshot store attached; call attach_snapshot_store")
+        self._batches_since_publish = 0
+        return self._snapshot_store.publish(self)
+
+    def _maybe_publish(self) -> None:
+        if self._snapshot_store is None:
+            return
+        self._batches_since_publish += 1
+        if self._batches_since_publish >= self._publish_every:
+            self._batches_since_publish = 0
+            self._snapshot_store.publish(self)
+
+    def retained_latent_sample(
+        self, basis: np.ndarray, max_rows: int = 256
+    ) -> np.ndarray:
+        """Deterministic latent sample of the retained stream.
+
+        Used by snapshot publication as the ABOD reference reservoir:
+        up to ``max_rows`` retained frames, chosen by an even stride
+        over the stream (no RNG draws — publication must not perturb
+        seeded ingest), projected into the ``(d, k)`` ``basis`` frame.
+
+        In ``retain="latent"`` mode the stored coordinates live in the
+        pipeline's Procrustes-aligned reference frame; they are rotated
+        into the requested basis frame (exact when the two bases span
+        the same subspace, least-squares otherwise).
+        """
+        k = basis.shape[1]
+        if max_rows <= 0 or self.n_images == 0:
+            return np.zeros((0, k))
+        if self.retain == "rows":
+            rows = _stride_sample(self._rows, self.n_images, max_rows)
+            return rows @ basis
+        lat = _stride_sample(self._latents, self.n_images, max_rows)
+        ref = self._latent_basis
+        if ref is None or lat.shape[1] == 0:
+            return np.zeros((0, k))
+        m = min(lat.shape[1], ref.shape[1])
+        kk = min(m, k)
+        u, _, vt = np.linalg.svd(ref[:, :m].T @ basis[:, :kk])
+        return lat[:, :m] @ (u @ vt)
 
     # ------------------------------------------------------------------
     # Timing views (spans are the source of truth; these attributes are

@@ -1,0 +1,56 @@
+"""``repro.serve`` — the online read path over the sketching system.
+
+After four PRs the repo *produced* sketches; this package serves them.
+Three layers, one per module:
+
+- :mod:`repro.serve.snapshot` — :class:`SnapshotStore` publishes
+  immutable, epoch-numbered :class:`SketchSnapshot` views of a running
+  :class:`~repro.pipeline.monitor.MonitoringPipeline` without perturbing
+  ingest (the sketch stream is bit-identical with publishing on or off);
+- :mod:`repro.serve.query` — :class:`QueryEngine` answers typed queries
+  (``project``, ``residual``, ``outlier_score``, ``basis``, ``stats``)
+  against a pinned epoch, with an LRU result cache and micro-batching of
+  compatible queued queries into single BLAS calls;
+- :mod:`repro.serve.admission` — :class:`AdmissionController` bounds the
+  request queue, enforces per-query deadlines and a token-bucket rate
+  limit, and sheds overload with typed :class:`ServeRejected` reasons —
+  all on a :class:`VirtualClock`, so overload behavior is deterministic.
+
+Everything reports into ``repro.obs`` (queries served/shed, cache hit
+ratio, queue depth, per-kind latency).  See ``docs/serving.md`` and the
+``repro-monitor serve --replay`` CLI command.
+"""
+
+from repro.serve.admission import (
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+    SHED_REASONS,
+    SHED_UNKNOWN_EPOCH,
+    AdmissionController,
+    ServeRejected,
+    ServeRequest,
+    TokenBucket,
+    VirtualClock,
+)
+from repro.serve.query import QUERY_KINDS, QueryEngine, QueryResult, SketchServer
+from repro.serve.snapshot import SketchSnapshot, SnapshotStore
+
+__all__ = [
+    "AdmissionController",
+    "QueryEngine",
+    "QueryResult",
+    "QUERY_KINDS",
+    "ServeRejected",
+    "ServeRequest",
+    "SketchServer",
+    "SketchSnapshot",
+    "SnapshotStore",
+    "TokenBucket",
+    "VirtualClock",
+    "SHED_REASONS",
+    "SHED_QUEUE_FULL",
+    "SHED_RATE_LIMITED",
+    "SHED_DEADLINE",
+    "SHED_UNKNOWN_EPOCH",
+]

@@ -1,0 +1,332 @@
+"""Admission control for the sketch-serving layer.
+
+A serving layer in front of a live ingest loop must *never* let query
+pressure stall the stream — the paper's deployment target is an ingest
+rate pinned to the accelerator, with analysis consumers strictly
+best-effort.  This module provides the three pieces that make overload
+behavior explicit and, crucially, *deterministic*:
+
+- :class:`VirtualClock` — serving time is virtual, advanced explicitly
+  by the driver (the replay CLI, the benches, the tests).  Deadlines and
+  token refills are pure arithmetic on that clock, so an over-rate load
+  pattern sheds exactly the same requests on every run;
+- :class:`TokenBucket` — a classic rate limiter (capacity ``burst``,
+  refill ``rate`` tokens per virtual second);
+- :class:`AdmissionController` — a bounded FIFO request queue with
+  per-request deadlines.  Requests that cannot be admitted (queue full,
+  rate limited) or that expire before being drained are *shed* with a
+  typed :class:`ServeRejected` reason, counted exactly in ``repro.obs``.
+
+Shedding is loud by design: callers receive (or can inspect) the reason,
+dashboards see ``serve_queries_shed_total{reason=...}``, and the ingest
+loop never blocks — there is no waiting primitive anywhere in this
+module.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "VirtualClock",
+    "TokenBucket",
+    "ServeRejected",
+    "ServeRequest",
+    "AdmissionController",
+    "SHED_QUEUE_FULL",
+    "SHED_RATE_LIMITED",
+    "SHED_DEADLINE",
+    "SHED_UNKNOWN_EPOCH",
+    "SHED_REASONS",
+]
+
+#: Typed load-shed reasons (the only values ``ServeRejected.reason`` takes).
+SHED_QUEUE_FULL = "queue_full"
+SHED_RATE_LIMITED = "rate_limited"
+SHED_DEADLINE = "deadline_exceeded"
+SHED_UNKNOWN_EPOCH = "unknown_epoch"
+SHED_REASONS = (
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+    SHED_DEADLINE,
+    SHED_UNKNOWN_EPOCH,
+)
+
+
+class ServeRejected(RuntimeError):
+    """A request was shed instead of served.
+
+    Attributes
+    ----------
+    reason:
+        One of :data:`SHED_REASONS` — machine-readable, stable, and
+        mirrored in the ``serve_queries_shed_total{reason=...}`` counter.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        if reason not in SHED_REASONS:
+            raise ValueError(f"unknown shed reason {reason!r}")
+        self.reason = reason
+        super().__init__(f"request shed ({reason})" + (f": {detail}" if detail else ""))
+
+
+class VirtualClock:
+    """Deterministic serving clock, advanced explicitly by the driver.
+
+    Examples
+    --------
+    >>> clock = VirtualClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5); clock.now()
+    1.5
+    """
+
+    __slots__ = ("_t",)
+
+    def __init__(self, start: float = 0.0):
+        self._t = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._t
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (never backward)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance the clock by {dt} (< 0)")
+        self._t += float(dt)
+        return self._t
+
+
+class TokenBucket:
+    """Token-bucket rate limiter over a :class:`VirtualClock`.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens per virtual second.
+    burst:
+        Bucket capacity (maximum tokens accumulated while idle).
+    clock:
+        The virtual clock refills are computed against.
+
+    Examples
+    --------
+    >>> clock = VirtualClock()
+    >>> bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    >>> bucket.allow(), bucket.allow(), bucket.allow()
+    (True, True, False)
+    >>> clock.advance(0.5); bucket.allow()
+    True
+    """
+
+    __slots__ = ("rate", "burst", "clock", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: float, clock: VirtualClock):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._last = clock.now()
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def allow(self, n: float = 1.0) -> bool:
+        """Consume ``n`` tokens if available; ``False`` means rate-limited."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (after a refill at the clock's now)."""
+        self._refill()
+        return self._tokens
+
+
+@dataclass
+class ServeRequest:
+    """One admitted query waiting in the serving queue.
+
+    ``deadline`` is absolute virtual time; a request still queued when
+    the clock passes it is shed with reason ``deadline_exceeded`` at the
+    next drain, never answered late.
+    """
+
+    kind: str
+    payload: Any = None
+    epoch: int | None = None
+    k: int | None = None
+    deadline: float = float("inf")
+    enqueued_at: float = 0.0
+    seq: int = 0
+    #: Filled by the server when the request is answered (or left None
+    #: when the request was shed after admission).
+    result: Any = field(default=None, repr=False)
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+
+class AdmissionController:
+    """Bounded request queue with deadlines, shedding, and rate limiting.
+
+    Parameters
+    ----------
+    clock:
+        Virtual clock driving deadlines and token refills.
+    max_queue:
+        Queue capacity; a submit beyond it sheds with ``queue_full``.
+    default_deadline:
+        Per-request deadline in virtual seconds from admission, used
+        when the submitter gives none (``None`` disables deadlines).
+    bucket:
+        Optional :class:`TokenBucket`; when given, each submit consumes
+        one token or sheds with ``rate_limited``.
+    registry:
+        ``repro.obs`` registry receiving the queue-depth gauge and the
+        exact shed counters.
+
+    Examples
+    --------
+    >>> clock = VirtualClock()
+    >>> adm = AdmissionController(clock, max_queue=2, default_deadline=1.0)
+    >>> _ = adm.submit("stats"); _ = adm.submit("stats")
+    >>> adm.submit("stats")
+    Traceback (most recent call last):
+        ...
+    repro.serve.admission.ServeRejected: request shed (queue_full)
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        max_queue: int = 64,
+        default_deadline: float | None = 1.0,
+        bucket: TokenBucket | None = None,
+        registry=None,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0 or None, got {default_deadline}"
+            )
+        self.clock = clock
+        self.max_queue = int(max_queue)
+        self.default_deadline = default_deadline
+        self.bucket = bucket
+        if registry is None:
+            from repro.obs.registry import get_default_registry
+
+            registry = get_default_registry()
+        self.registry = registry
+        self._queue: deque[ServeRequest] = deque()
+        self._seq = 0
+        self.n_admitted = 0
+        self.n_shed: dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        self._depth_gauge = registry.gauge(
+            "serve_queue_depth", help="Requests currently queued in the serving layer"
+        )
+        self._shed_counters = {
+            reason: registry.counter(
+                "serve_queries_shed_total",
+                labels={"reason": reason},
+                help="Requests shed by the admission layer, by typed reason",
+            )
+            for reason in SHED_REASONS
+        }
+
+    # ------------------------------------------------------------------
+    def shed(self, reason: str) -> None:
+        """Count one shed request under ``reason`` (exact, typed)."""
+        self.n_shed[reason] += 1
+        self._shed_counters[reason].inc()
+
+    def submit(
+        self,
+        kind: str,
+        payload=None,
+        epoch: int | None = None,
+        k: int | None = None,
+        deadline: float | None = None,
+    ) -> ServeRequest:
+        """Admit one request or raise :class:`ServeRejected`.
+
+        Admission order: rate limit first (an over-rate client is shed
+        even when the queue has room — the limiter protects the engine,
+        not the queue), then queue capacity.
+        """
+        if self.bucket is not None and not self.bucket.allow():
+            self.shed(SHED_RATE_LIMITED)
+            raise ServeRejected(SHED_RATE_LIMITED)
+        if len(self._queue) >= self.max_queue:
+            self.shed(SHED_QUEUE_FULL)
+            raise ServeRejected(SHED_QUEUE_FULL, f"queue at capacity {self.max_queue}")
+        now = self.clock.now()
+        if deadline is None:
+            deadline = (
+                float("inf")
+                if self.default_deadline is None
+                else now + self.default_deadline
+            )
+        self._seq += 1
+        req = ServeRequest(
+            kind=kind,
+            payload=payload,
+            epoch=epoch,
+            k=k,
+            deadline=float(deadline),
+            enqueued_at=now,
+            seq=self._seq,
+        )
+        self._queue.append(req)
+        self.n_admitted += 1
+        self._depth_gauge.set(len(self._queue))
+        return req
+
+    def drain(self, max_n: int | None = None) -> list[ServeRequest]:
+        """Pop up to ``max_n`` live requests in FIFO order.
+
+        Requests whose deadline has passed are shed (reason
+        ``deadline_exceeded``) and do not count against ``max_n``; the
+        caller only ever sees requests it is still allowed to answer.
+        """
+        now = self.clock.now()
+        out: list[ServeRequest] = []
+        while self._queue and (max_n is None or len(out) < max_n):
+            req = self._queue.popleft()
+            if req.expired(now):
+                self.shed(SHED_DEADLINE)
+                continue
+            out.append(req)
+        self._depth_gauge.set(len(self._queue))
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued."""
+        return len(self._queue)
+
+    def summary(self) -> dict:
+        """Plain-data account: admitted, queued, shed-by-reason (exact)."""
+        return {
+            "admitted": self.n_admitted,
+            "queued": len(self._queue),
+            "shed": dict(self.n_shed),
+            "shed_total": sum(self.n_shed.values()),
+        }

@@ -1,0 +1,400 @@
+"""Typed queries against pinned sketch snapshots, with caching + batching.
+
+The :class:`QueryEngine` answers five query kinds against a
+:class:`~repro.serve.snapshot.SketchSnapshot` pinned by epoch:
+
+``project``
+    ``(m, d)`` preprocessed rows -> ``(m, k)`` PCA coordinates
+    (``payload @ basis[:, :k]``, one GEMM).
+``residual``
+    Per-row relative reconstruction error
+    ``||x - x V V^T|| / ||x||`` — how much of each frame the snapshot's
+    latent space fails to explain.
+``outlier_score``
+    ABOD scores (lower = more anomalous) of the payload rows scored
+    against the snapshot's projected reservoir — the serving-path
+    equivalent of the pipeline's ABOD stage.
+``basis``
+    The ``(d, k)`` projection basis itself.
+``stats``
+    Plain-data snapshot bookkeeping (epoch, counts, spectrum, health).
+
+Results are cached in an LRU keyed on ``(epoch, kind, k, payload
+digest)``.  Snapshots are immutable, so a cache entry never goes stale;
+a hit returns the *same frozen arrays* as the original computation —
+byte-identical by construction, which is the serving layer's
+determinism contract (see ``docs/serving.md``; co-batching distinct
+payloads into one GEMM may differ from a solo call in the last ulp, so
+the canonical bytes for a payload are fixed by its first computation and
+replayed from cache thereafter).
+
+:meth:`QueryEngine.query_batch` micro-batches compatible queries — same
+``(epoch, kind, k)``, kinds ``project``/``residual`` — by stacking their
+payload rows into a single BLAS call, deduplicating identical payloads
+first.  :class:`SketchServer` glues the engine to the admission queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.abod import abod_scores
+from repro.obs.clock import StopWatch
+from repro.serve.admission import (
+    SHED_UNKNOWN_EPOCH,
+    AdmissionController,
+    ServeRejected,
+    ServeRequest,
+)
+from repro.serve.snapshot import SketchSnapshot, SnapshotStore
+
+__all__ = ["QUERY_KINDS", "QueryResult", "QueryEngine", "SketchServer"]
+
+QUERY_KINDS = ("project", "residual", "outlier_score", "basis", "stats")
+
+#: Query kinds whose payloads can be stacked into one BLAS call.
+_BATCHABLE = ("project", "residual")
+
+
+def _payload_digest(payload) -> str:
+    """Stable content digest of a query payload (or ``-`` for none)."""
+    if payload is None:
+        return "-"
+    a = np.ascontiguousarray(payload)
+    h = hashlib.sha256()
+    h.update(str(a.dtype.str).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    out = np.asarray(a)
+    out.flags.writeable = False
+    return out
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query.
+
+    ``value`` is a read-only array (or a plain dict for ``stats``);
+    ``cached`` tells whether it came from the LRU, ``seconds`` is the
+    engine-side service time of this call (near zero for hits).
+    """
+
+    epoch: int
+    kind: str
+    value: object
+    cached: bool
+    seconds: float
+    k: int
+
+
+class QueryEngine:
+    """Answers typed queries against pinned epochs of a snapshot store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serve.snapshot.SnapshotStore` queries read.
+    registry:
+        ``repro.obs`` registry for query counters and latency
+        histograms (``serve_query_seconds{kind=...}``).
+    cache_size:
+        LRU capacity in entries (0 disables caching).
+    abod_neighbors:
+        FastABOD neighbourhood size for ``outlier_score``.
+
+    Examples
+    --------
+    See ``docs/serving.md`` for an end-to-end example.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        registry=None,
+        cache_size: int = 256,
+        abod_neighbors: int = 10,
+    ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.store = store
+        if registry is None:
+            from repro.obs.registry import get_default_registry
+
+            registry = get_default_registry()
+        self.registry = registry
+        self.cache_size = int(cache_size)
+        self.abod_neighbors = int(abod_neighbors)
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self.n_hits = 0
+        self.n_misses = 0
+        self._hit_counter = registry.counter(
+            "serve_cache_hits_total", help="Query-cache hits"
+        )
+        self._miss_counter = registry.counter(
+            "serve_cache_misses_total", help="Query-cache misses"
+        )
+        self._query_counters = {
+            kind: registry.counter(
+                "serve_queries_total",
+                labels={"kind": kind},
+                help="Queries served, by kind",
+            )
+            for kind in QUERY_KINDS
+        }
+        self._latency = {
+            kind: registry.histogram(
+                "serve_query_seconds",
+                labels={"kind": kind},
+                help="Engine-side service seconds per query, by kind",
+            )
+            for kind in QUERY_KINDS
+        }
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple):
+        if self.cache_size == 0:
+            return None
+        value = self._cache.get(key)
+        if value is not None:
+            self._cache.move_to_end(key)
+        return value
+
+    def _cache_put(self, key: tuple, value) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (hit/miss totals are kept)."""
+        self._cache.clear()
+
+    def cache_hit_ratio(self) -> float:
+        """Lifetime hits / (hits + misses); NaN before any query."""
+        total = self.n_hits + self.n_misses
+        return self.n_hits / total if total else float("nan")
+
+    # ------------------------------------------------------------------
+    # Single-query path
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        kind: str,
+        payload=None,
+        epoch: int | None = None,
+        k: int | None = None,
+    ) -> QueryResult:
+        """Answer one query against the pinned (or latest) epoch.
+
+        Raises ``KeyError`` for an unknown/evicted epoch and
+        ``ValueError`` for a malformed query; the admission-side wrapper
+        (:class:`SketchServer`) converts the former into a typed
+        ``unknown_epoch`` shed.
+        """
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected {QUERY_KINDS}")
+        snap = self.store.get(epoch)
+        k_eff = self._effective_k(snap, k)
+        with StopWatch() as sw:
+            key = (snap.epoch, kind, k_eff, _payload_digest(payload))
+            value = self._cache_get(key)
+            cached = value is not None
+            if cached:
+                self.n_hits += 1
+                self._hit_counter.inc()
+            else:
+                self.n_misses += 1
+                self._miss_counter.inc()
+                value = self._compute(snap, kind, payload, k_eff)
+                self._cache_put(key, value)
+        self._query_counters[kind].inc()
+        self._latency[kind].observe(sw.elapsed)
+        return QueryResult(
+            epoch=snap.epoch,
+            kind=kind,
+            value=value,
+            cached=cached,
+            seconds=sw.elapsed,
+            k=k_eff,
+        )
+
+    # ------------------------------------------------------------------
+    # Micro-batched path
+    # ------------------------------------------------------------------
+    def query_batch(self, requests: list[ServeRequest]) -> list[QueryResult]:
+        """Answer admitted requests, fusing compatible misses.
+
+        Requests with the same ``(epoch, kind, k)`` and kind in
+        ``project``/``residual`` whose payloads are cache misses are
+        stacked (after digest deduplication) into one payload matrix and
+        answered by a single BLAS call, then split and cached
+        per-payload.  Everything else goes through :meth:`query`.
+        Results come back in submission order and are also written onto
+        each request's ``result`` field.
+        """
+        # Group batchable cache misses; answer everything else directly.
+        results: list[QueryResult | None] = [None] * len(requests)
+        groups: dict[tuple, list[int]] = {}
+        for i, req in enumerate(requests):
+            if req.kind in _BATCHABLE and req.payload is not None:
+                snap = self.store.get(req.epoch)
+                k_eff = self._effective_k(snap, req.k)
+                digest = _payload_digest(req.payload)
+                key = (snap.epoch, req.kind, k_eff, digest)
+                if self._cache_get(key) is None:
+                    groups.setdefault((snap.epoch, req.kind, k_eff), []).append(i)
+        for (epoch, kind, k_eff), idxs in groups.items():
+            self._compute_fused(epoch, kind, k_eff, [requests[i] for i in idxs])
+        for i, req in enumerate(requests):
+            res = self.query(req.kind, req.payload, epoch=req.epoch, k=req.k)
+            results[i] = res
+            req.result = res
+        return results  # type: ignore[return-value]
+
+    def _compute_fused(
+        self, epoch: int, kind: str, k_eff: int, reqs: list[ServeRequest]
+    ) -> None:
+        """One stacked BLAS call for a group of miss payloads; fills the cache."""
+        snap = self.store.get(epoch)
+        distinct: OrderedDict[str, np.ndarray] = OrderedDict()
+        for req in reqs:
+            rows = self._as_rows(snap, req.payload)
+            distinct.setdefault(_payload_digest(req.payload), rows)
+        if not distinct:
+            return
+        stacked = np.vstack(list(distinct.values()))
+        with self.registry.span("serve.fused_batch", tags={"kind": kind}):
+            if kind == "project":
+                fused = stacked @ snap.basis[:, :k_eff]
+            else:  # residual
+                fused = self._residual_of(stacked, snap, k_eff)
+        at = 0
+        for digest, rows in distinct.items():
+            m = rows.shape[0]
+            value = _freeze(np.array(fused[at : at + m], copy=True))
+            self._cache_put((snap.epoch, kind, k_eff, digest), value)
+            at += m
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _effective_k(snap: SketchSnapshot, k: int | None) -> int:
+        if k is None:
+            return snap.k
+        k = int(k)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return min(k, snap.k)
+
+    @staticmethod
+    def _as_rows(snap: SketchSnapshot, payload) -> np.ndarray:
+        rows = np.atleast_2d(np.asarray(payload, dtype=np.float64))
+        if rows.ndim != 2 or rows.shape[1] != snap.d:
+            raise ValueError(
+                f"payload must be (m, {snap.d}) preprocessed rows, "
+                f"got shape {np.asarray(payload).shape}"
+            )
+        return rows
+
+    @staticmethod
+    def _residual_of(rows: np.ndarray, snap: SketchSnapshot, k: int) -> np.ndarray:
+        v = snap.basis[:, :k]
+        recon = (rows @ v) @ v.T
+        num = np.linalg.norm(rows - recon, axis=1)
+        den = np.linalg.norm(rows, axis=1)
+        den[den == 0] = 1.0
+        return num / den
+
+    def _compute(self, snap: SketchSnapshot, kind: str, payload, k: int):
+        if kind == "basis":
+            return _freeze(np.array(snap.basis[:, :k], copy=True))
+        if kind == "stats":
+            return snap.stats()
+        rows = self._as_rows(snap, payload)
+        if kind == "project":
+            return _freeze(rows @ snap.basis[:, :k])
+        if kind == "residual":
+            return _freeze(self._residual_of(rows, snap, k))
+        # outlier_score: ABOD against the snapshot's projected reservoir.
+        latent = rows @ snap.basis[:, :k]
+        reservoir = snap.reservoir[:, : min(k, snap.reservoir.shape[1])]
+        if reservoir.shape[0] and reservoir.shape[1] < latent.shape[1]:
+            latent = latent[:, : reservoir.shape[1]]
+        combined = np.vstack([reservoir, latent]) if reservoir.size else latent
+        n = combined.shape[0]
+        n_neighbors = min(self.abod_neighbors, n - 1)
+        if n_neighbors < 2:
+            # Too few reference points for angle variance; neutral scores.
+            return _freeze(np.zeros(latent.shape[0]))
+        scores = abod_scores(combined, n_neighbors=n_neighbors)
+        return _freeze(scores[-latent.shape[0] :])
+
+
+class SketchServer:
+    """Admission-controlled front end over a :class:`QueryEngine`.
+
+    The server owns nothing heavy: it validates the epoch pin, lets the
+    :class:`~repro.serve.admission.AdmissionController` decide admission
+    (queue bound, rate limit), and on :meth:`process` drains live
+    requests into the engine's micro-batched path.  Ingest never waits
+    on it; it never waits on ingest.
+    """
+
+    def __init__(self, engine: QueryEngine, admission: AdmissionController):
+        self.engine = engine
+        self.admission = admission
+
+    def submit(
+        self,
+        kind: str,
+        payload=None,
+        epoch: int | None = None,
+        k: int | None = None,
+        deadline: float | None = None,
+    ) -> ServeRequest:
+        """Admit one query or raise :class:`ServeRejected` (typed).
+
+        An explicit epoch pin is validated at admission so a doomed
+        request never occupies queue space; an epoch evicted *after*
+        admission is shed at processing time instead.
+        """
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected {QUERY_KINDS}")
+        if epoch is not None and epoch not in self.engine.store:
+            self.admission.shed(SHED_UNKNOWN_EPOCH)
+            raise ServeRejected(SHED_UNKNOWN_EPOCH, f"epoch {epoch} not retained")
+        return self.admission.submit(
+            kind, payload=payload, epoch=epoch, k=k, deadline=deadline
+        )
+
+    def process(self, max_n: int | None = None) -> list[QueryResult]:
+        """Drain live requests and answer them (micro-batched).
+
+        Expired requests are shed inside the drain; requests whose
+        pinned epoch was evicted between admission and processing are
+        shed here with reason ``unknown_epoch``.  Returns the results in
+        admission order.
+        """
+        drained = self.admission.drain(max_n=max_n)
+        live: list[ServeRequest] = []
+        for req in drained:
+            if req.epoch is not None and req.epoch not in self.engine.store:
+                self.admission.shed(SHED_UNKNOWN_EPOCH)
+                continue
+            live.append(req)
+        if not live:
+            return []
+        return self.engine.query_batch(live)

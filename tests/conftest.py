@@ -11,26 +11,39 @@ import pytest
 from repro.data.synthetic import synthetic_dataset
 
 
+# Default per-test wall-clock budget.  Generous on purpose: the suite's
+# slowest tests finish in ~1s on a quiet machine, so two minutes only
+# trips on genuine hangs (deadlock, runaway loop), never on a loaded CI
+# box.  Tighten (or loosen) per test with ``@pytest.mark.timeout(N)``.
+DEFAULT_TEST_BUDGET = 120
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    """Enforce ``@pytest.mark.timeout(seconds)`` via SIGALRM.
+    """Enforce a per-test time budget via SIGALRM.
 
-    pytest-timeout is not available in this environment, so chaos tests
-    (which must *never hang*) get a portable-enough watchdog: on the
-    main thread of a POSIX system, SIGALRM interrupts the test with a
-    loud failure naming the limit.  Elsewhere the marker is a no-op —
-    the simulated world's own wall timeouts remain the backstop.
+    pytest-timeout is not available in this environment, so every test
+    gets a portable-enough watchdog: on the main thread of a POSIX
+    system, SIGALRM interrupts the test with a loud failure naming the
+    limit.  The budget defaults to :data:`DEFAULT_TEST_BUDGET` seconds;
+    ``@pytest.mark.timeout(seconds)`` overrides it per test or class
+    (chaos tests, which must *never hang*, pin tighter limits this
+    way).  Elsewhere (non-POSIX, plugin-spawned threads) the watchdog
+    is a no-op — the simulated world's own wall timeouts remain the
+    backstop.
     """
     marker = item.get_closest_marker("timeout")
     use_alarm = (
-        marker is not None
-        and hasattr(signal, "SIGALRM")
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not use_alarm:
         yield
         return
-    seconds = int(marker.args[0]) if marker.args else 60
+    if marker is not None and marker.args:
+        seconds = int(marker.args[0])
+    else:
+        seconds = DEFAULT_TEST_BUDGET
 
     def on_alarm(signum, frame):
         raise TimeoutError(

@@ -1,0 +1,79 @@
+"""CLI tests for ``repro-monitor serve --replay``.
+
+The replay is the serving layer's deterministic demonstration: a seeded
+load generator drives queries against a live ingest loop on a virtual
+clock, so the output — epochs published, queries served and shed by
+typed reason, cache hit ratio — is a pure function of the flags.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.serve
+
+FAST = ["serve", "--replay", "--shots", "300", "--size", "32", "--batch", "100"]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--replay"])
+        assert args.shots == 600
+        assert args.publish_every == 2
+        assert args.rate == 20.0
+
+    def test_scenario_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--replay", "--scenario", "bogus"])
+
+
+class TestExecution:
+    def test_replay_required(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_replay_runs_and_reports(self, capsys):
+        rc = main(FAST)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serve replay" in out
+        assert "epochs" in out
+        assert "queries" in out
+        assert "shed" in out
+        assert "cache" in out
+
+    def test_replay_is_deterministic(self, capsys):
+        main(FAST)
+        first = capsys.readouterr().out
+
+        main(FAST)
+        second = capsys.readouterr().out
+
+        def stable(text: str) -> list[str]:
+            # Drop wall-clock lines; everything else must replay exactly.
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("wall time") and "latency" not in line
+            ]
+
+        assert stable(first) == stable(second)
+        assert len(stable(first)) > 5
+
+    def test_over_rate_load_sheds_typed(self, capsys):
+        rc = main(FAST + ["--rate", "2", "--burst", "2",
+                          "--queries-per-batch", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rate_limited" in out
+
+    def test_html_report_includes_serving_panel(self, tmp_path, capsys):
+        report = tmp_path / "serve.html"
+        rc = main(FAST + ["--html", str(report)])
+        capsys.readouterr()
+        assert rc == 0
+        html = report.read_text()
+        assert "sketch serving" in html
+        assert "epochs published" in html

@@ -54,6 +54,7 @@ class TestDistributedPipeline:
 
 
 class TestBeamScenario:
+    @pytest.mark.slow
     def test_exotic_profiles_separate_in_embedding(self):
         """Fig. 5: exotic modes deviate from the zero-order manifold."""
         cfg = BeamProfileConfig(shape=(48, 48), exotic_fraction=0.06)
@@ -75,6 +76,7 @@ class TestBeamScenario:
 
 
 class TestDiffractionScenario:
+    @pytest.mark.slow
     def test_quadrant_classes_recovered(self):
         """Fig. 6: diffraction shots cluster by quadrant weights."""
         cfg = DiffractionConfig(shape=(48, 48), n_classes=4, speckle=0.15)
@@ -159,6 +161,7 @@ class TestOperationalScenarios:
         second.partial_fit(rows[140:])
         np.testing.assert_allclose(continuous.sketch, second.sketch, atol=1e-10)
 
+    @pytest.mark.slow
     def test_hdbscan_backend_recovers_diffraction_classes(self):
         """Fig. 6 scenario through the alternative clustering backend."""
         from repro.cluster.metrics import cluster_purity

@@ -1,0 +1,170 @@
+"""Admission control: typed shedding with exact counts on a virtual clock.
+
+The acceptance contract for the serving layer's load behavior: over-rate
+load is shed with machine-readable reasons and *exact* counts — every
+offered request is either admitted or counted under exactly one typed
+shed reason — and the whole thing replays deterministically because
+deadlines and token refills are pure arithmetic on a
+:class:`~repro.serve.admission.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import Registry
+from repro.serve import (
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+    SHED_REASONS,
+    AdmissionController,
+    ServeRejected,
+    TokenBucket,
+    VirtualClock,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_rejects_backward_time(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+        clock.advance(1.0)  # 2 tokens back
+        assert [bucket.allow() for _ in range(3)] == [True, True, False]
+
+    def test_tokens_cap_at_burst(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == 5.0
+
+
+class TestSheddingCounts:
+    """Exact conservation: offered == admitted + sum(shed-by-reason)."""
+
+    def test_queue_full_sheds_exactly_beyond_capacity(self):
+        adm = AdmissionController(VirtualClock(), max_queue=4, registry=Registry())
+        offered, rejected = 10, 0
+        for _ in range(offered):
+            try:
+                adm.submit("stats")
+            except ServeRejected as err:
+                assert err.reason == SHED_QUEUE_FULL
+                rejected += 1
+        assert rejected == offered - 4
+        assert adm.summary() == {
+            "admitted": 4,
+            "queued": 4,
+            "shed": {**{r: 0 for r in SHED_REASONS}, SHED_QUEUE_FULL: 6},
+            "shed_total": 6,
+        }
+
+    def test_rate_limit_sheds_before_queue(self):
+        # Queue has room for everything; the bucket does not.
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        adm = AdmissionController(
+            clock, max_queue=100, bucket=bucket, registry=Registry()
+        )
+        outcomes = []
+        for _ in range(5):
+            try:
+                adm.submit("project")
+                outcomes.append("ok")
+            except ServeRejected as err:
+                outcomes.append(err.reason)
+        assert outcomes == ["ok", "ok"] + [SHED_RATE_LIMITED] * 3
+        assert adm.n_shed[SHED_RATE_LIMITED] == 3
+
+    def test_deadline_sheds_on_drain_not_submit(self):
+        clock = VirtualClock()
+        adm = AdmissionController(
+            clock, max_queue=8, default_deadline=1.0, registry=Registry()
+        )
+        stale = [adm.submit("stats") for _ in range(3)]
+        clock.advance(2.0)  # all three expire
+        fresh = adm.submit("stats")
+        live = adm.drain()
+        assert [r.seq for r in live] == [fresh.seq]
+        assert adm.n_shed[SHED_DEADLINE] == 3
+        assert all(r.expired(clock.now()) for r in stale)
+
+    def test_counts_flow_to_registry(self):
+        registry = Registry()
+        adm = AdmissionController(VirtualClock(), max_queue=1, registry=registry)
+        adm.submit("stats")
+        for _ in range(2):
+            with pytest.raises(ServeRejected):
+                adm.submit("stats")
+        sample = registry.get_sample(
+            "serve_queries_shed_total", labels={"reason": SHED_QUEUE_FULL}
+        )
+        assert sample.value == 2
+
+
+class TestDeterminism:
+    def test_identical_schedules_shed_identically(self):
+        """Same submissions + same clock advances -> same typed outcome list."""
+
+        def run() -> list[str]:
+            clock = VirtualClock()
+            bucket = TokenBucket(rate=3.0, burst=2.0, clock=clock)
+            adm = AdmissionController(
+                clock,
+                max_queue=3,
+                default_deadline=0.5,
+                bucket=bucket,
+                registry=Registry(),
+            )
+            outcomes: list[str] = []
+            for step in range(20):
+                try:
+                    adm.submit("residual")
+                    outcomes.append("admitted")
+                except ServeRejected as err:
+                    outcomes.append(err.reason)
+                if step % 4 == 3:
+                    clock.advance(0.4)
+                    outcomes.extend(f"served:{r.seq}" for r in adm.drain(max_n=2))
+            outcomes.append(str(sorted(adm.summary()["shed"].items())))
+            return outcomes
+
+        assert run() == run()
+
+    def test_drain_preserves_fifo_order(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=10, default_deadline=None, registry=Registry()
+        )
+        seqs = [adm.submit("basis").seq for _ in range(5)]
+        assert [r.seq for r in adm.drain()] == seqs
+
+
+class TestValidation:
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ValueError):
+            ServeRejected("power_outage")
+
+    def test_bad_parameters(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            AdmissionController(clock, max_queue=0, registry=Registry())
+        with pytest.raises(ValueError):
+            AdmissionController(clock, default_deadline=0.0, registry=Registry())
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0, clock=clock)

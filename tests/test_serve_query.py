@@ -1,0 +1,236 @@
+"""Query engine: epoch-pinned determinism, cache identity, micro-batching.
+
+The serving contracts under test:
+
+- a query pinned to an epoch returns **byte-identical** answers no
+  matter how far ingest has advanced since (snapshots are immutable);
+- a cache hit replays the exact bytes the first computation produced;
+- the micro-batched path (``query_batch``) answers exactly what the
+  one-at-a-time path answers;
+- the admission-controlled server sheds with exact typed counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMSConfig
+from repro.obs.registry import Registry
+from repro.pipeline.monitor import MonitoringPipeline
+from repro.serve import (
+    QUERY_KINDS,
+    AdmissionController,
+    QueryEngine,
+    ServeRejected,
+    SketchServer,
+    SnapshotStore,
+    TokenBucket,
+    VirtualClock,
+)
+from repro.serve.admission import SHED_RATE_LIMITED, SHED_UNKNOWN_EPOCH
+
+pytestmark = pytest.mark.serve
+
+SHOTS, SIDE, BATCH = 600, 32, 100
+
+
+def _make_pipe() -> MonitoringPipeline:
+    return MonitoringPipeline(
+        image_shape=(SIDE, SIDE),
+        seed=0,
+        sketch=ARAMSConfig(ell=16, beta=0.8, epsilon=0.05, seed=0),
+        registry=Registry(),
+    )
+
+
+@pytest.fixture(scope="module")
+def served():
+    """Pipeline + store with several epochs, plus preprocessed payloads."""
+    rng = np.random.default_rng(41)
+    stream = np.abs(rng.normal(1.0, 0.25, (SHOTS, SIDE, SIDE)))
+    pipe = _make_pipe()
+    store = pipe.attach_snapshot_store(
+        SnapshotStore(registry=pipe.registry), every_batches=1
+    )
+    for start in range(0, SHOTS, BATCH):
+        pipe.consume(stream[start : start + BATCH])
+    payloads = [
+        pipe.preprocessor.apply_flat(stream[rng.integers(0, SHOTS, size=3)])
+        for _ in range(8)
+    ]
+    return pipe, store, payloads
+
+
+def _engine(store, **kw) -> QueryEngine:
+    return QueryEngine(store, registry=Registry(), **kw)
+
+
+class TestEpochPinning:
+    def test_pinned_epoch_is_byte_identical_across_requeries(self, served):
+        _, store, payloads = served
+        engine = _engine(store, cache_size=0)  # no cache: recomputed every time
+        epoch = store.epochs()[0]
+        for kind in ("project", "residual", "outlier_score", "basis"):
+            first = engine.query(kind, payloads[0], epoch=epoch).value
+            again = engine.query(kind, payloads[0], epoch=epoch).value
+            assert np.asarray(first).tobytes() == np.asarray(again).tobytes(), kind
+
+    def test_different_epochs_answer_differently(self, served):
+        _, store, payloads = served
+        engine = _engine(store)
+        early, late = store.epochs()[0], store.epochs()[-1]
+        a = engine.query("outlier_score", payloads[0], epoch=early).value
+        b = engine.query("outlier_score", payloads[0], epoch=late).value
+        assert not np.array_equal(a, b)
+
+    def test_default_epoch_is_latest(self, served):
+        _, store, payloads = served
+        engine = _engine(store)
+        res = engine.query("project", payloads[0])
+        assert res.epoch == store.latest().epoch
+
+    def test_stats_and_basis_kinds(self, served):
+        _, store, _ = served
+        engine = _engine(store)
+        stats = engine.query("stats").value
+        assert stats["epoch"] == store.latest().epoch
+        basis = engine.query("basis", k=3).value
+        assert basis.shape == (SIDE * SIDE, 3)
+
+    def test_unknown_kind_raises(self, served):
+        _, store, payloads = served
+        engine = _engine(store)
+        with pytest.raises(ValueError):
+            engine.query("clairvoyance", payloads[0])
+
+
+class TestCache:
+    def test_hit_replays_exact_bytes(self, served):
+        _, store, payloads = served
+        engine = _engine(store)
+        cold = engine.query("outlier_score", payloads[1])
+        hot = engine.query("outlier_score", payloads[1])
+        assert not cold.cached and hot.cached
+        assert cold.value.tobytes() == hot.value.tobytes()
+        assert engine.n_hits == 1 and engine.n_misses == 1
+
+    def test_equal_bytes_different_objects_share_entry(self, served):
+        _, store, payloads = served
+        engine = _engine(store)
+        engine.query("project", payloads[2])
+        copy = np.array(payloads[2], copy=True)
+        assert engine.query("project", copy).cached
+
+    def test_lru_evicts_oldest(self, served):
+        _, store, payloads = served
+        engine = _engine(store, cache_size=2)
+        engine.query("project", payloads[0])
+        engine.query("project", payloads[1])
+        engine.query("project", payloads[2])  # evicts payloads[0]
+        assert not engine.query("project", payloads[0]).cached
+
+    def test_cache_disabled(self, served):
+        _, store, payloads = served
+        engine = _engine(store, cache_size=0)
+        engine.query("project", payloads[0])
+        assert not engine.query("project", payloads[0]).cached
+        assert engine.cache_hit_ratio() == 0.0
+
+
+class TestMicroBatching:
+    def test_batch_answers_match_single_path(self, served):
+        _, store, payloads = served
+        single = _engine(store, cache_size=0)
+        batched = _engine(store)
+        adm = AdmissionController(
+            VirtualClock(), max_queue=64, default_deadline=None, registry=Registry()
+        )
+        reqs = [
+            adm.submit(kind, payload=p)
+            for p in payloads[:4]
+            for kind in ("project", "residual")
+        ]
+        results = batched.query_batch(adm.drain())
+        assert len(results) == len(reqs)
+        for req, res in zip(reqs, results):
+            assert res.kind == req.kind
+            ref = single.query(req.kind, req.payload)
+            # Stacked vs per-payload GEMMs agree to rounding, not to the
+            # bit; bitwise stability is the *cache's* contract (below).
+            assert np.allclose(res.value, ref.value, rtol=1e-12, atol=1e-12)
+
+    def test_batch_then_single_requery_is_byte_identical(self, served):
+        """Whatever the fused GEMM produced is what the cache serves later."""
+        _, store, payloads = served
+        engine = _engine(store)
+        adm = AdmissionController(
+            VirtualClock(), max_queue=64, default_deadline=None, registry=Registry()
+        )
+        for p in payloads[:4]:
+            adm.submit("project", payload=p)
+        fused = engine.query_batch(adm.drain())
+        for p, res in zip(payloads[:4], fused):
+            again = engine.query("project", p)
+            assert again.cached
+            assert again.value.tobytes() == res.value.tobytes()
+
+
+class TestServer:
+    def test_over_rate_load_sheds_with_exact_counts(self, served):
+        _, store, payloads = served
+        clock = VirtualClock()
+        adm = AdmissionController(
+            clock,
+            max_queue=64,
+            default_deadline=1.0,
+            bucket=TokenBucket(rate=5.0, burst=5.0, clock=clock),
+            registry=Registry(),
+        )
+        server = SketchServer(_engine(store), adm)
+        offered, served_n, shed = 20, 0, 0
+        for i in range(offered):
+            try:
+                server.submit("project", payload=payloads[i % len(payloads)])
+                served_n += 1
+            except ServeRejected as err:
+                assert err.reason == SHED_RATE_LIMITED
+                shed += 1
+        assert (served_n, shed) == (5, 15)  # burst tokens, no refill (no advance)
+        assert adm.summary()["shed"][SHED_RATE_LIMITED] == 15
+        assert len(server.process()) == 5
+
+    def test_unknown_epoch_shed_at_submit(self, served):
+        _, store, payloads = served
+        adm = AdmissionController(VirtualClock(), max_queue=8, registry=Registry())
+        server = SketchServer(_engine(store), adm)
+        with pytest.raises(ServeRejected) as exc:
+            server.submit("project", payload=payloads[0], epoch=10_000)
+        assert exc.value.reason == SHED_UNKNOWN_EPOCH
+        assert adm.n_shed[SHED_UNKNOWN_EPOCH] == 1
+        assert adm.depth == 0  # the doomed request never occupied the queue
+
+    def test_epoch_evicted_between_submit_and_process_is_shed(self, served):
+        pipe, store, payloads = served
+        clock = VirtualClock()
+        adm = AdmissionController(clock, max_queue=8, registry=Registry())
+        server = SketchServer(_engine(store), adm)
+        oldest = store.epochs()[0]
+        server.submit("project", payload=payloads[0], epoch=oldest)
+        # Evict `oldest` by publishing past the retention window.
+        while oldest in store:
+            store.publish(pipe)
+        assert server.process() == []
+        assert adm.n_shed[SHED_UNKNOWN_EPOCH] == 1
+
+    def test_all_kinds_round_trip_through_server(self, served):
+        _, store, payloads = served
+        adm = AdmissionController(
+            VirtualClock(), max_queue=16, default_deadline=None, registry=Registry()
+        )
+        server = SketchServer(_engine(store), adm)
+        for kind in QUERY_KINDS:
+            payload = None if kind in ("basis", "stats") else payloads[0]
+            server.submit(kind, payload=payload)
+        results = server.process()
+        assert [r.kind for r in results] == list(QUERY_KINDS)

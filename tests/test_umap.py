@@ -46,11 +46,13 @@ class TestFit:
         emb = UMAP(n_components=3, random_state=0, n_epochs=50).fit_transform(x)
         assert emb.shape == (x.shape[0], 3)
 
+    @pytest.mark.slow
     def test_random_init(self, blobs_10d):
         x, labels = blobs_10d
         emb = UMAP(init="random", random_state=0, n_epochs=300).fit_transform(x)
         assert _cluster_separation(emb, labels) > 2.0
 
+    @pytest.mark.slow
     def test_nn_descent_backend(self, blobs_10d):
         x, labels = blobs_10d
         emb = UMAP(

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Tiered CI runner: one entry point for local runs and the workflow.
+
+Three tiers, cheapest first, documented in ``docs/ci.md``:
+
+- **Tier 1 — lint + fast tests.**  Byte-compiles every Python file
+  (syntax gate; the container ships no third-party linter) and runs the
+  default pytest selection (``tests/``, which excludes the chaos and
+  guard matrices via ``addopts``).  This is the merge gate every PR
+  must keep green.
+- **Tier 2 — exhaustive matrices.**  The fault-injection chaos grid
+  (``-m chaos``) and the stream-corruption guard grid (``-m guard``).
+  Slower, still deterministic.
+- **Tier 3 — bench gates.**  The three persisted-baseline benches
+  (``bench_core``, ``bench_guard_overhead``, ``bench_serve``) compared
+  against their committed ``BENCH_*.json`` through the shared
+  comparator in ``benchmarks/_gate.py``.  Timing-sensitive: run on a
+  quiet machine.
+
+Usage::
+
+    python tools/ci.py                # all tiers, stop at first failure
+    python tools/ci.py --tier 1      # just the merge gate
+    python tools/ci.py --tier 2 --tier 3
+    python tools/ci.py --list        # show the plan, run nothing
+
+Exit status is the first failing step's return code (tiers run in
+order; a failing tier aborts the later ones).  A per-step timing
+summary is always printed, covering the steps that ran.
+
+The runner is dependency-free (stdlib only) and never touches the
+network, so it behaves identically in CI and on a beamline console.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class Step:
+    """One subprocess in a tier."""
+
+    name: str
+    argv: tuple[str, ...]
+
+
+#: tier number -> (title, steps).  Ordering inside a tier matters: a
+#: failing step aborts the rest of the run, so cheaper steps go first.
+TIERS: dict[int, tuple[str, tuple[Step, ...]]] = {
+    1: (
+        "lint + fast tests (merge gate)",
+        (
+            Step(
+                "compileall",
+                (
+                    sys.executable,
+                    "-m",
+                    "compileall",
+                    "-q",
+                    "src",
+                    "tests",
+                    "benchmarks",
+                    "tools",
+                ),
+            ),
+            Step("pytest", (sys.executable, "-m", "pytest", "-x", "-q")),
+        ),
+    ),
+    2: (
+        "exhaustive matrices (chaos + guard)",
+        (
+            Step("chaos", (sys.executable, "-m", "pytest", "-q", "-m", "chaos")),
+            Step("guard", (sys.executable, "-m", "pytest", "-q", "-m", "guard")),
+        ),
+    ),
+    3: (
+        "bench gates vs committed baselines",
+        (
+            Step(
+                "bench",
+                (
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    "benchmarks/bench_core.py",
+                    "benchmarks/bench_guard_overhead.py",
+                    "benchmarks/bench_serve.py",
+                    "-q",
+                    "--benchmark-disable",
+                ),
+            ),
+        ),
+    ),
+}
+
+
+def _env() -> dict[str, str]:
+    """Child environment with ``src`` on ``PYTHONPATH``.
+
+    Prepending (rather than replacing) keeps any caller-provided path
+    entries working, so the runner behaves the same under tox-style
+    wrappers and bare shells.
+    """
+    env = dict(os.environ)
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = "src" if not extra else os.pathsep.join(["src", extra])
+    return env
+
+
+def _run_step(tier: int, step: Step) -> tuple[int, float]:
+    """Run one step from the repo root; returns ``(returncode, seconds)``."""
+    print(f"\n== tier {tier} :: {step.name} ==")
+    print("   $", " ".join(step.argv), flush=True)
+    t0 = time.perf_counter()
+    proc = subprocess.run(step.argv, cwd=REPO, env=_env())
+    return proc.returncode, time.perf_counter() - t0
+
+
+def _print_summary(results: list[tuple[int, str, float, int]]) -> None:
+    print("\n" + "=" * 56)
+    print(f"{'tier':<6}{'step':<14}{'seconds':>10}  status")
+    print("-" * 56)
+    for tier, name, seconds, code in results:
+        status = "ok" if code == 0 else f"FAIL (exit {code})"
+        print(f"{tier:<6}{name:<14}{seconds:>10.2f}  {status}")
+    print("=" * 56)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/ci.py",
+        description="Run the tiered CI suite (stops at the first failing tier).",
+    )
+    parser.add_argument(
+        "--tier",
+        action="append",
+        type=int,
+        choices=sorted(TIERS),
+        help="tier to run (repeatable; default: all, in order)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the selected plan without running anything",
+    )
+    args = parser.parse_args(argv)
+
+    selected = sorted(set(args.tier)) if args.tier else sorted(TIERS)
+    if args.list:
+        for tier in selected:
+            title, steps = TIERS[tier]
+            print(f"tier {tier}: {title}")
+            for step in steps:
+                print(f"  {step.name:<12} $ {' '.join(step.argv)}")
+        return 0
+
+    results: list[tuple[int, str, float, int]] = []
+    failure = 0
+    for tier in selected:
+        title, steps = TIERS[tier]
+        print(f"\n### tier {tier}: {title}")
+        for step in steps:
+            code, seconds = _run_step(tier, step)
+            results.append((tier, step.name, seconds, code))
+            if code != 0:
+                failure = code
+                break
+        if failure:
+            break
+
+    _print_summary(results)
+    if failure:
+        print(f"tier {results[-1][0]} failed at step '{results[-1][1]}'")
+    else:
+        print(f"tiers {', '.join(str(t) for t in selected)} passed")
+    return failure
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
