@@ -59,6 +59,8 @@ HIGHER_IS_BETTER = {
     "rows_per_sec": True,
     "frames_per_sec": True,
     "queries_per_sec": True,
+    "samples_per_sec": True,
+    "evals_per_sec": True,
     "speedup": True,
     "cache_hit_speedup": True,
     "seconds": False,

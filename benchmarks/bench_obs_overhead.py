@@ -11,21 +11,38 @@ three ways:
 - ``null``       — :class:`SketchHealth` wired to a ``NullRegistry``;
 - ``recording``  — :class:`SketchHealth` wired to a live ``Registry``.
 
-and asserts the null path stays within 5% of bare (the recording path
-is reported for context; its budget is intentionally loose since it
-does real work).
+and asserts the null path stays within 5% of bare.  Two further bars
+cover the PR-6 additions:
+
+- *full instrumentation* — recording registry plus per-batch timeline
+  sampling and alert evaluation — must stay within 10% of the null
+  path on a batched ingest loop (the serve replay's shape);
+- timeline-sampling and alert-evaluation throughput are persisted to
+  ``benchmarks/BENCH_obs.json`` through the shared gate
+  (``benchmarks/_gate.py``) so structural regressions (an accidental
+  O(series²) evaluation, say) fail tier 3.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core.arams import ARAMS, ARAMSConfig
+from repro.obs.alerts import AlertManager, BurnRateRule, FDBoundRule, RateRule, ThresholdRule
 from repro.obs.health import SketchHealth
 from repro.obs.registry import NullRegistry, Registry
+from repro.obs.timeline import Timeline
+
+from _gate import compare_cases, load_baseline, write_baseline
 
 ROWS, D, ELL = 4000, 256, 24
+BATCH = 250  # ingest batch for the full-instrumentation loop
+FULL_BUDGET = 0.10  # timelines + alerts within 10% of the null path
+BASELINE_PATH = Path(__file__).parent / "BENCH_obs.json"
+_BASELINE = load_baseline(BASELINE_PATH)
 
 
 @pytest.fixture(scope="module")
@@ -74,6 +91,211 @@ def test_obs_overhead_recording_registry(benchmark, stream):
         sk.fit(stream)
 
     benchmark(run)
+
+
+def _make_observed_registry(stream: np.ndarray) -> Registry:
+    """A registry populated the way a live run populates it."""
+    registry = Registry()
+    sk = _make_sketcher()
+    SketchHealth(registry).attach(sk)
+    sk.fit(stream[:1000])
+    hist = registry.histogram("serve_query_seconds", labels={"kind": "project"})
+    for v in np.random.default_rng(3).uniform(1e-4, 5e-3, size=500):
+        hist.observe(float(v))
+    return registry
+
+
+def _make_timeline(registry: Registry, clock) -> Timeline:
+    timeline = Timeline(registry, clock=clock)
+    for metric in (
+        "arams_rank",
+        "arams_rows_seen",
+        "arams_shrinkage_mass_total",
+        "arams_energy_total",
+        "sampler_retention_ratio",
+        "pipeline_images_total",
+    ):
+        timeline.track(metric)
+    timeline.track("serve_query_seconds", {"kind": "project"}, field="p99")
+    return timeline
+
+
+def _make_alerts(timeline: Timeline) -> AlertManager:
+    return AlertManager(
+        timeline,
+        rules=[
+            FDBoundRule(ell=ELL),
+            ThresholdRule("rank_cap", "arams_rank", ">", 1e9),
+            ThresholdRule(
+                "p99_slo", "serve_query_seconds", ">", 10.0,
+                labels={"kind": "project"}, field="p99", for_seconds=2.0,
+            ),
+            RateRule("ingest_stall", "arams_rows_seen", "<", -1.0,
+                     window_seconds=10.0),
+            BurnRateRule(
+                "p99_burn", "serve_query_seconds", objective=10.0,
+                budget=0.1, window_seconds=30.0,
+                labels={"kind": "project"},
+            ),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def obs_numbers(stream):
+    """Measured cases for the gate (module-scoped: computed once)."""
+    from repro.obs.clock import StopWatch
+
+    cases: dict[str, dict] = {}
+
+    # --- timeline sampling throughput --------------------------------
+    registry = _make_observed_registry(stream)
+    t = [0.0]
+    timeline = _make_timeline(registry, clock=lambda: t[0])
+    n = 20_000
+    with StopWatch() as sw:
+        for i in range(n):
+            t[0] = i * 0.01
+            timeline.sample()
+    cases["timeline"] = {
+        "samples_per_sec": n / sw.elapsed,
+        "series": float(len(timeline.all_series())),
+    }
+
+    # --- alert evaluation throughput ---------------------------------
+    registry = _make_observed_registry(stream)
+    t = [0.0]
+    timeline = _make_timeline(registry, clock=lambda: t[0])
+    alerts = _make_alerts(timeline)
+    n = 20_000
+    with StopWatch() as sw:
+        for i in range(n):
+            t[0] = i * 0.01
+            timeline.sample()
+            alerts.evaluate()
+    cases["alerts"] = {
+        "evals_per_sec": n / sw.elapsed,
+        "rules": float(len(alerts.rules)),
+    }
+
+    # --- full instrumentation vs null on a batched ingest loop -------
+    def batched_fit(registry=None, tick=None, repeats=3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            sk = _make_sketcher()
+            if registry is not None:
+                SketchHealth(registry).attach(sk)
+            with StopWatch() as sw:
+                for at in range(0, ROWS, BATCH):
+                    sk.partial_fit(stream[at : at + BATCH])
+                    if tick is not None:
+                        tick()
+            best = min(best, sw.elapsed)
+        return best
+
+    null_seconds = batched_fit(NullRegistry())
+    reg = Registry()
+    t = [0.0]
+    tl = _make_timeline(reg, clock=lambda: t[0])
+    mgr = _make_alerts(tl)
+
+    def tick():
+        t[0] += 1.0
+        tl.sample()
+        mgr.evaluate()
+
+    full_seconds = batched_fit(reg, tick=tick)
+    cases["full_instrumentation"] = {
+        "null_seconds": null_seconds,
+        "full_seconds": full_seconds,
+        "overhead_fraction": full_seconds / null_seconds - 1.0,
+    }
+    return cases
+
+
+def test_timeline_sampling_throughput(benchmark, stream):
+    registry = _make_observed_registry(stream)
+    t = [0.0]
+    timeline = _make_timeline(registry, clock=lambda: t[0])
+
+    def run():
+        t[0] += 0.01
+        timeline.sample()
+
+    benchmark(run)
+
+
+def test_alert_evaluation_throughput(benchmark, stream):
+    registry = _make_observed_registry(stream)
+    t = [0.0]
+    timeline = _make_timeline(registry, clock=lambda: t[0])
+    alerts = _make_alerts(timeline)
+
+    def run():
+        t[0] += 0.01
+        timeline.sample()
+        alerts.evaluate()
+
+    benchmark(run)
+
+
+def test_full_instrumentation_within_10_percent_of_null(obs_numbers, table):
+    case = obs_numbers["full_instrumentation"]
+    table(
+        f"full instrumentation (timelines + alerts, batched fit, best of 3)",
+        ["mode", "seconds", "vs null"],
+        [
+            ["null registry", case["null_seconds"], "1.00x"],
+            ["recording + timeline + alerts", case["full_seconds"],
+             f"{case['full_seconds'] / case['null_seconds']:.3f}x"],
+        ],
+    )
+    assert case["overhead_fraction"] <= FULL_BUDGET, (
+        f"full instrumentation costs {case['overhead_fraction']:.1%} over "
+        f"the null path (budget {FULL_BUDGET:.0%})"
+    )
+
+
+def test_observability_throughput(obs_numbers, table):
+    table(
+        "observability throughput",
+        ["case", "per-second"],
+        [
+            ["timeline.sample (7 series)",
+             obs_numbers["timeline"]["samples_per_sec"]],
+            ["alerts.evaluate (5 rules, after sample)",
+             obs_numbers["alerts"]["evals_per_sec"]],
+        ],
+    )
+    assert obs_numbers["timeline"]["samples_per_sec"] > 0
+    assert obs_numbers["alerts"]["evals_per_sec"] > 0
+
+
+def test_write_baseline(obs_numbers, update_baseline):
+    """Refresh benchmarks/BENCH_obs.json (only under --update-baseline)."""
+    if not update_baseline:
+        pytest.skip("baseline unchanged; rerun with --update-baseline to refresh")
+    write_baseline(
+        BASELINE_PATH,
+        obs_numbers,
+        command="PYTHONPATH=src python -m pytest "
+                "benchmarks/bench_obs_overhead.py -s --update-baseline",
+    )
+    assert load_baseline(BASELINE_PATH)["cases"]
+
+
+def test_regression_vs_baseline(obs_numbers, table):
+    """Fail when sampling/evaluation throughput regressed structurally."""
+    if _BASELINE is None:
+        pytest.skip("no committed BENCH_obs.json baseline; run once with "
+                    "--update-baseline and commit it")
+    rows, failures = compare_cases(obs_numbers, _BASELINE)
+    table(
+        "regression vs committed baseline (ratio > 1 = slower)",
+        ["case", "metric", "baseline", "fresh", "ratio"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
 
 
 def test_null_registry_within_5_percent(stream, table):

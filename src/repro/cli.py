@@ -33,6 +33,13 @@ be driven without writing Python:
     driven, so the served/shed/cache numbers are reproducible; prints a
     serving summary and can embed it in the HTML report.
 
+``repro-monitor top``
+    Live terminal dashboard over a deterministic serve replay: key
+    metric sparklines (sampled on the virtual clock), active alerts and
+    the alert-event tail, refreshed after every ingest batch — the
+    operator's ``top`` for the sketch-serving stack.  ``--plain``
+    disables the ANSI screen refresh for logs and tests.
+
 ``repro-monitor chaos``
     Run a distributed sketching job under a seeded fault plan
     (``--fault-plan "seed=7; kill rank=3 rotation=2"``) and print the
@@ -83,11 +90,13 @@ def _command_registry():
     return registry
 
 
-def _write_metrics(registry, args: argparse.Namespace) -> None:
+def _write_metrics(registry, args: argparse.Namespace, alerts=()) -> None:
     if getattr(args, "metrics_out", None):
         from repro.obs.export import write_metrics
 
-        path = write_metrics(registry, args.metrics_out, format=args.metrics_format)
+        path = write_metrics(
+            registry, args.metrics_out, format=args.metrics_format, alerts=alerts
+        )
         print(f"metrics snapshot written to {path}")
 
 
@@ -213,7 +222,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--html", type=str, default=None,
         help="write an interactive HTML report with the serving panel",
     )
+    ser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write a merged Chrome/Perfetto trace (spans, serve flow "
+             "arrows, alert markers) to PATH on exit",
+    )
+    ser.add_argument(
+        "--alert-rules", type=str, default=None, metavar="SPEC",
+        help="extra alert rules, one per ';'-separated clause "
+             "(syntax in docs/observability.md); the built-in FD-bound "
+             "and serve-p99 SLO rules are always installed",
+    )
+    ser.add_argument(
+        "--slo-p99", type=float, default=0.05, metavar="SECONDS",
+        help="serve-latency SLO objective: p99 of project queries "
+             "(burn-rate alert fires when >10%% of the trailing window "
+             "violates it)",
+    )
     _add_metrics_args(ser)
+
+    top = sub.add_parser(
+        "top", help="live metric/alert dashboard over a serve replay"
+    )
+    top.add_argument("--scenario", choices=["beam", "diffraction"], default="beam")
+    top.add_argument("--shots", type=int, default=400)
+    top.add_argument("--size", type=int, default=48, help="frame side length")
+    top.add_argument("--batch", type=int, default=100, help="frames per ingest batch")
+    top.add_argument("--ell", type=int, default=24, help="initial sketch size")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--publish-every", type=int, default=2, metavar="N",
+        help="publish a sketch snapshot every N consumed batches",
+    )
+    top.add_argument(
+        "--queries-per-batch", type=int, default=6, metavar="Q",
+        help="queries the load generator issues per ingest batch",
+    )
+    top.add_argument(
+        "--alert-rules", type=str, default=None, metavar="SPEC",
+        help="extra alert rules (';'-separated; see docs/observability.md)",
+    )
+    top.add_argument(
+        "--plain", action="store_true",
+        help="print frames sequentially instead of ANSI screen refresh",
+    )
 
     cha = sub.add_parser("chaos", help="distributed run under a seeded fault plan")
     cha.add_argument(
@@ -525,15 +577,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     clock = VirtualClock()
     bucket = TokenBucket(rate=args.rate, burst=args.burst, clock=clock)
+    trace_sink = trace_root = None
+    if args.trace_out:
+        from repro.obs import TraceContext, TraceSink
+
+        trace_sink = TraceSink()
+        trace_root = TraceContext.root(f"serve-replay-seed{args.seed}")
     admission = AdmissionController(
         clock,
         max_queue=args.queue_depth,
         default_deadline=args.deadline,
         bucket=bucket,
         registry=registry,
+        trace_sink=trace_sink,
+        trace_context=trace_root,
     )
     engine = QueryEngine(store, registry=registry, cache_size=args.cache_size)
     server = SketchServer(engine, admission)
+
+    # Timelines + alerting on the serving clock: the built-in FD-bound
+    # SLO, a serve-p99 burn-rate SLO, plus any --alert-rules extras.
+    from repro.obs import AlertManager, BurnRateRule, FDBoundRule, Timeline, parse_rules
+
+    timeline = Timeline(registry, clock=clock.now)
+    for metric in ("arams_rank", "serve_queue_depth", "pipeline_images_total"):
+        timeline.track(metric)
+    timeline.track("serve_query_seconds", {"kind": "project"}, field="p99")
+    alerts = AlertManager(
+        timeline,
+        rules=[
+            FDBoundRule(ell=args.ell),
+            BurnRateRule(
+                "serve_p99_slo",
+                "serve_query_seconds",
+                objective=args.slo_p99,
+                budget=0.10,
+                window_seconds=5.0,
+                labels={"kind": "project"},
+                field="p99",
+                severity="warning",
+            ),
+        ],
+        trace_sink=trace_sink,
+        trace_context=trace_root,
+    )
+    if args.alert_rules:
+        for rule in parse_rules(args.alert_rules.replace(";", "\n")):
+            alerts.add_rule(rule)
+    pipe.attach_timeline(timeline)
+    pipe.attach_alerts(alerts)
 
     # Deterministic load generator: a seeded RNG of its own (never the
     # pipeline's), issuing a weighted mix of query kinds against mostly
@@ -582,6 +674,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     pass  # counted by reason in the admission summary
             n_served += len(server.process())
         n_served += len(server.process())
+        # Final observability tick so the tail of the run is covered.
+        timeline.sample()
+        alerts.evaluate()
     total = run_span.elapsed
 
     n_batches = (args.shots + batch - 1) // batch
@@ -621,6 +716,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  latency {kind:12s}: p50={q['p50']:.3f}ms p99={q['p99']:.3f}ms")
     print(f"wall time      : {total:.1f}s "
           f"(virtual serving time {clock.now():.2f}s)")
+    fired = [e for e in alerts.events if e.state == "firing"]
+    active = alerts.active()
+    print(f"alerts         : {len(alerts.rules)} rules, {len(fired)} fired, "
+          f"{len(active)} active"
+          + (f" ({', '.join(sorted(active))})" if active else ""))
+    for ev in alerts.events[-5:]:
+        print(f"  [{ev.at:8.3f}s] {ev.state:8s} {ev.rule} ({ev.severity}): "
+              f"{ev.message}")
+
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.trace_out,
+            registry=registry,
+            sink=trace_sink,
+            serve_lanes=((0, "submit"), (1, "answer"), (2, "epochs"),
+                         (99, "alerts")),
+        )
+        print(f"merged trace written to {path} "
+              f"({len(trace_sink.points)} flow points)")
 
     if args.html:
         from repro.pipeline.html_report import write_embedding_report
@@ -635,6 +751,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "cache": {"hits": hits, "misses": misses, "ratio": ratio},
             "latency_ms": latency_ms,
         }
+        alerts_panel = {
+            "active": [
+                {"rule": name, "since": since}
+                for name, since in sorted(alerts.active().items())
+            ],
+            "events": [e.to_dict() for e in alerts.events],
+            "timelines": {
+                f"{s.name}" + (f".{s.field}" if s.field != "value" else ""):
+                    list(zip(s.times(), s.values()))
+                for s in timeline.all_series()
+                if len(s)
+            },
+        }
         path = write_embedding_report(
             args.html,
             result.embedding,
@@ -644,9 +773,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             health=pipe.health_summary(),
             stages=result.stage_summary(),
             serving=serving,
+            alerts=alerts_panel,
         )
         print(f"interactive report written to {path}")
-    _write_metrics(registry, args)
+    _write_metrics(registry, args, alerts=alerts.events)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.core.arams import ARAMSConfig
+    from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
+    from repro.data.diffraction import DiffractionConfig, DiffractionGenerator
+    from repro.obs import (
+        AlertManager,
+        FDBoundRule,
+        Timeline,
+        ascii_sparkline,
+        parse_rules,
+        render_alerts_table,
+    )
+    from repro.pipeline.monitor import MonitoringPipeline
+    from repro.serve import (
+        AdmissionController,
+        QueryEngine,
+        ServeRejected,
+        SketchServer,
+        SnapshotStore,
+        VirtualClock,
+    )
+
+    registry = _command_registry()
+    shape = (args.size, args.size)
+    if args.scenario == "beam":
+        gen = BeamProfileGenerator(BeamProfileConfig(shape=shape), seed=args.seed)
+    else:
+        gen = DiffractionGenerator(DiffractionConfig(shape=shape), seed=args.seed)
+    images, _ = gen.sample(args.shots)
+
+    pipe = MonitoringPipeline(
+        image_shape=shape,
+        seed=args.seed,
+        sketch=ARAMSConfig(ell=args.ell, beta=0.8, epsilon=0.05, seed=args.seed),
+        registry=registry,
+    )
+    store = pipe.attach_snapshot_store(
+        SnapshotStore(keep=8, registry=registry), every_batches=args.publish_every
+    )
+    clock = VirtualClock()
+    admission = AdmissionController(clock, max_queue=32, registry=registry)
+    engine = QueryEngine(store, registry=registry)
+    server = SketchServer(engine, admission)
+
+    timeline = Timeline(registry, clock=clock.now)
+    tracked = [
+        ("arams_rank", None, "value", "sketch rank"),
+        ("pipeline_images_total", None, "value", "images ingested"),
+        ("serve_queue_depth", None, "value", "serve queue depth"),
+        ("serve_query_seconds", {"kind": "project"}, "p99", "serve p99 (s)"),
+    ]
+    for metric, labels, field, _title in tracked:
+        timeline.track(metric, labels, field=field)
+    alerts = AlertManager(timeline, rules=[FDBoundRule(ell=args.ell)])
+    if args.alert_rules:
+        for rule in parse_rules(args.alert_rules.replace(";", "\n")):
+            alerts.add_rule(rule)
+    pipe.attach_timeline(timeline)
+    pipe.attach_alerts(alerts)
+
+    rng = np.random.default_rng(args.seed + 9001)
+    batch = max(args.batch, 1)
+    n_batches = (args.shots + batch - 1) // batch
+    use_ansi = (not args.plain) and sys.stdout.isatty()
+
+    def frame(i: int) -> str:
+        lines = [
+            f"repro-monitor top — batch {i}/{n_batches}  "
+            f"virtual t={clock.now():.2f}s  epochs={store.published}",
+            "",
+            f"  {'metric':24s} {'value':>12s}  history",
+        ]
+        for metric, labels, field, title in tracked:
+            s = timeline.series(metric, labels, field)
+            if s is None or not len(s):
+                lines.append(f"  {title:24s} {'—':>12s}")
+                continue
+            last = s.last()
+            lines.append(
+                f"  {title:24s} {last:12.4g}  {ascii_sparkline(s.values())}"
+            )
+        active = alerts.active()
+        lines.append("")
+        lines.append(
+            f"  ACTIVE ALERTS ({len(active)})"
+            + (f": {', '.join(sorted(active))}" if active else "")
+        )
+        tail = alerts.events[-6:]
+        if tail:
+            lines.append(
+                "\n".join("  " + ln for ln in
+                          render_alerts_table(tail).splitlines())
+            )
+        return "\n".join(lines)
+
+    for i, start in enumerate(range(0, args.shots, batch), start=1):
+        frames = images[start : min(start + batch, args.shots)]
+        pipe.consume(frames)
+        clock.advance(frames.shape[0] / 120.0)
+        if len(store):
+            for _ in range(args.queries_per_batch):
+                kind = str(rng.choice(["project", "residual", "stats"]))
+                payload = None
+                if kind != "stats":
+                    m = int(rng.integers(1, 5))
+                    idx = rng.integers(0, frames.shape[0], size=m)
+                    payload = pipe.preprocessor.apply_flat(frames[idx])
+                try:
+                    server.submit(kind, payload=payload)
+                except ServeRejected:
+                    pass
+            server.process()
+        # Refresh the sampled view so the frame reflects this batch's
+        # serving work too (consume() sampled before the queries ran).
+        timeline.sample()
+        alerts.evaluate()
+        if use_ansi:
+            sys.stdout.write("\x1b[H\x1b[2J")
+        print(frame(i))
+        if not use_ansi:
+            print()
     return 0
 
 
@@ -704,6 +958,7 @@ def main(argv: list[str] | None = None) -> int:
         "sketch": _cmd_sketch,
         "xpcs": _cmd_xpcs,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "chaos": _cmd_chaos,
     }
     from repro.obs.registry import get_default_registry, set_default_registry

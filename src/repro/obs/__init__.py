@@ -14,19 +14,43 @@ offline:
   shrinkage mass, residual error, sampler retention) attached to the
   core sketchers through a duck-typed observer hook;
 - :mod:`repro.obs.export` — Prometheus text, JSON-lines, terminal
-  table, and Chrome/Perfetto trace output.
+  table, and Chrome/Perfetto trace output;
+- :mod:`repro.obs.trace_context` — deterministic trace contexts and the
+  flow-point sink behind cross-component (rank ↔ serve ↔ pipeline)
+  trace correlation;
+- :mod:`repro.obs.timeline` — fixed-memory ring-buffer time series
+  sampled on an injectable (virtual) clock, with envelope-preserving
+  downsampling;
+- :mod:`repro.obs.alerts` — declarative alert rules (thresholds, rates,
+  burn-rate SLOs, the built-in FD-bound SLO) evaluated over timelines.
 
 A :class:`NullRegistry` (the process default until one is installed) is
 a near-zero-cost no-op, so instrumented hot loops stay within noise of
 uninstrumented throughput when metrics are off.
 """
 
+from repro.obs.alerts import (
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    BurnRateRule,
+    FDBoundRule,
+    RateRule,
+    ThresholdRule,
+    parse_rule,
+    parse_rules,
+)
 from repro.obs.clock import StopWatch, now
 from repro.obs.export import (
+    alerts_to_jsonl,
+    alerts_to_prometheus,
     chrome_trace,
+    escape_label,
+    render_alerts_table,
     render_table,
     to_jsonl,
     to_prometheus,
+    unescape_label,
     write_chrome_trace,
     write_metrics,
 )
@@ -42,6 +66,8 @@ from repro.obs.registry import (
     set_default_registry,
 )
 from repro.obs.spans import Span, SpanEvent, span
+from repro.obs.timeline import Series, Timeline, ascii_sparkline, downsample
+from repro.obs.trace_context import FlowPoint, TraceContext, TraceSink, flow_id
 
 __all__ = [
     "Counter",
@@ -61,7 +87,29 @@ __all__ = [
     "to_prometheus",
     "to_jsonl",
     "render_table",
+    "alerts_to_prometheus",
+    "alerts_to_jsonl",
+    "render_alerts_table",
+    "escape_label",
+    "unescape_label",
     "chrome_trace",
     "write_metrics",
     "write_chrome_trace",
+    "TraceContext",
+    "TraceSink",
+    "FlowPoint",
+    "flow_id",
+    "Series",
+    "Timeline",
+    "downsample",
+    "ascii_sparkline",
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
+    "ThresholdRule",
+    "RateRule",
+    "BurnRateRule",
+    "FDBoundRule",
+    "parse_rule",
+    "parse_rules",
 ]

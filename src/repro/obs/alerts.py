@@ -1,0 +1,653 @@
+"""Declarative alert rules evaluated over metric timelines.
+
+Four rule shapes cover the operational questions the sketching stack
+actually asks:
+
+- :class:`ThresholdRule` — a sampled value (or histogram field such as
+  ``p99``) crosses a static threshold, with optional ``for``-duration
+  hysteresis so transient spikes do not page;
+- :class:`RateRule` — the per-second rate of change over a trailing
+  window crosses a threshold (guard-rejection bursts, shed storms);
+- :class:`BurnRateRule` — a quantile/burn-rate SLO: the fraction of
+  recent samples violating an objective exceeds the error budget
+  (serve-latency SLOs);
+- :class:`FDBoundRule` — the built-in mathematical SLO from Liberty's
+  Frequent Directions guarantee: total shrinkage mass must stay below
+  ``||A||_F^2 / ell`` (``arams_shrinkage_mass_total`` vs
+  ``arams_energy_total / ell``).  A breach means the sketch math is
+  broken — corrupted merge, bad restore — not merely slow, so its
+  default severity is ``page``.
+
+Rules are plain data and can also be parsed from a one-line spec (see
+:func:`parse_rule`; syntax documented in ``docs/observability.md``)::
+
+    serve-p99: serve_query_seconds{kind="project"}.p99 > 0.05 for 2s severity=page
+    shed-burst: rate(serve_queries_shed_total, 10s) > 5
+    slo-burn: burn(serve_query_seconds.p99 > 0.02, budget=0.1, window=30s)
+
+An :class:`AlertManager` owns the rules, evaluates them against a
+:class:`~repro.obs.timeline.Timeline` on the same (virtual) clock, and
+emits typed :class:`AlertEvent` transitions — into a bounded event log,
+into registry counters, and optionally into a
+:class:`~repro.obs.trace_context.TraceSink` as instant markers so fired
+alerts appear on the merged trace.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field as dc_field
+
+from .registry import Registry, _label_key
+from .timeline import HISTOGRAM_FIELDS, Timeline
+
+__all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "ThresholdRule",
+    "RateRule",
+    "BurnRateRule",
+    "FDBoundRule",
+    "AlertManager",
+    "parse_rule",
+    "parse_rules",
+]
+
+SEVERITIES = ("info", "warning", "page")
+_OPS = {
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert state transition (typed, exporter-ready).
+
+    ``state`` is ``"firing"`` or ``"resolved"``; ``at`` is seconds on
+    the evaluating timeline's clock; ``value``/``threshold`` capture the
+    observation that caused the transition.
+    """
+
+    rule: str
+    severity: str
+    state: str
+    at: float
+    value: float
+    threshold: float
+    labels: dict = dc_field(default_factory=dict)
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "at": self.at,
+            "value": self.value,
+            "threshold": self.threshold,
+            "labels": dict(self.labels),
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class _Breach:
+    """A rule's condition held at this evaluation."""
+
+    value: float
+    threshold: float
+    message: str = ""
+
+
+class AlertRule:
+    """Base class: named condition with severity and hysteresis.
+
+    ``for_seconds`` is the hysteresis window: the condition must hold
+    continuously (as observed at evaluation times) for at least that
+    long before the rule transitions to firing.
+    """
+
+    def __init__(self, name: str, severity: str = "warning",
+                 for_seconds: float = 0.0):
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        if for_seconds < 0:
+            raise ValueError(f"for_seconds must be >= 0, got {for_seconds}")
+        self.name = str(name)
+        self.severity = severity
+        self.for_seconds = float(for_seconds)
+
+    def required_tracks(self) -> list[tuple[str, dict, str]]:
+        """``(metric, labels, field)`` tracks this rule evaluates over."""
+        return []
+
+    def check(self, timeline: Timeline, t: float) -> _Breach | None:
+        raise NotImplementedError
+
+    def labels(self) -> dict:
+        return {}
+
+
+class ThresholdRule(AlertRule):
+    """Latest sampled value compared against a static threshold."""
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        op: str,
+        threshold: float,
+        labels: dict | None = None,
+        field: str = "value",
+        severity: str = "warning",
+        for_seconds: float = 0.0,
+    ):
+        super().__init__(name, severity=severity, for_seconds=for_seconds)
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        self.metric = metric
+        self.op = op
+        self.threshold = float(threshold)
+        self.metric_labels = dict(labels or {})
+        self.field = field
+
+    def required_tracks(self):
+        return [(self.metric, self.metric_labels, self.field)]
+
+    def labels(self):
+        return {"metric": self.metric, **self.metric_labels}
+
+    def check(self, timeline: Timeline, t: float):
+        series = timeline.series(self.metric, self.metric_labels, self.field)
+        if series is None or not len(series):
+            return None
+        value = series.last()
+        if math.isnan(value) or not _OPS[self.op](value, self.threshold):
+            return None
+        return _Breach(
+            value=value,
+            threshold=self.threshold,
+            message=f"{self.metric}.{self.field} = {value:.6g} "
+                    f"{self.op} {self.threshold:.6g}",
+        )
+
+
+class RateRule(AlertRule):
+    """Per-second rate of change over a trailing window vs a threshold."""
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        op: str,
+        threshold: float,
+        window_seconds: float,
+        labels: dict | None = None,
+        field: str = "value",
+        severity: str = "warning",
+        for_seconds: float = 0.0,
+    ):
+        super().__init__(name, severity=severity, for_seconds=for_seconds)
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.metric = metric
+        self.op = op
+        self.threshold = float(threshold)
+        self.window_seconds = float(window_seconds)
+        self.metric_labels = dict(labels or {})
+        self.field = field
+
+    def required_tracks(self):
+        return [(self.metric, self.metric_labels, self.field)]
+
+    def labels(self):
+        return {"metric": self.metric, **self.metric_labels}
+
+    def check(self, timeline: Timeline, t: float):
+        series = timeline.series(self.metric, self.metric_labels, self.field)
+        if series is None:
+            return None
+        rate = series.rate(self.window_seconds)
+        if math.isnan(rate) or not _OPS[self.op](rate, self.threshold):
+            return None
+        return _Breach(
+            value=rate,
+            threshold=self.threshold,
+            message=f"rate({self.metric}, {self.window_seconds:g}s) = "
+                    f"{rate:.6g}/s {self.op} {self.threshold:.6g}/s",
+        )
+
+
+class BurnRateRule(AlertRule):
+    """Quantile/burn-rate SLO over a trailing window.
+
+    Fires when the fraction of recent sample buckets whose worst value
+    violates ``objective`` exceeds the error ``budget`` — i.e. the
+    service is burning its SLO budget faster than allowed.  Typically
+    pointed at a latency histogram's ``p99`` field.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        objective: float,
+        budget: float,
+        window_seconds: float,
+        labels: dict | None = None,
+        field: str = "p99",
+        severity: str = "warning",
+        for_seconds: float = 0.0,
+    ):
+        super().__init__(name, severity=severity, for_seconds=for_seconds)
+        if not 0.0 < budget < 1.0:
+            raise ValueError(f"budget must be in (0, 1), got {budget}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.metric = metric
+        self.objective = float(objective)
+        self.budget = float(budget)
+        self.window_seconds = float(window_seconds)
+        self.metric_labels = dict(labels or {})
+        self.field = field
+
+    def required_tracks(self):
+        return [(self.metric, self.metric_labels, self.field)]
+
+    def labels(self):
+        return {"metric": self.metric, **self.metric_labels}
+
+    def check(self, timeline: Timeline, t: float):
+        series = timeline.series(self.metric, self.metric_labels, self.field)
+        if series is None:
+            return None
+        window = series.window(t - self.window_seconds)
+        if not window:
+            return None
+        bad = sum(1 for b in window if b.vmax > self.objective)
+        fraction = bad / len(window)
+        if fraction <= self.budget:
+            return None
+        return _Breach(
+            value=fraction,
+            threshold=self.budget,
+            message=f"{fraction:.1%} of samples over the last "
+                    f"{self.window_seconds:g}s violate "
+                    f"{self.metric}.{self.field} <= {self.objective:.6g} "
+                    f"(budget {self.budget:.1%})",
+        )
+
+
+class FDBoundRule(AlertRule):
+    """Built-in SLO on Liberty's Frequent Directions bound.
+
+    FD guarantees ``sum_t delta_t <= ||A||_F^2 / ell``: the cumulative
+    shrinkage mass can never legitimately exceed the stream's total
+    energy divided by the sketch size.  This rule reads the live
+    ``arams_shrinkage_mass_total`` and ``arams_energy_total`` counters
+    and fires when ``shrinkage > margin * energy / ell`` — a breach is
+    a *mathematical* impossibility for a healthy sketch, so it signals
+    corruption (bad merge, bad restore, poisoned stream), not load.
+
+    ``margin`` < 1 turns it into an early-warning budget (e.g. 0.9 pages
+    when 90% of the theoretical headroom is spent).
+    """
+
+    SHRINKAGE_METRIC = "arams_shrinkage_mass_total"
+    ENERGY_METRIC = "arams_energy_total"
+
+    def __init__(
+        self,
+        ell: int,
+        margin: float = 1.0,
+        name: str = "fd_bound",
+        severity: str = "page",
+        for_seconds: float = 0.0,
+    ):
+        super().__init__(name, severity=severity, for_seconds=for_seconds)
+        if ell < 1:
+            raise ValueError(f"ell must be >= 1, got {ell}")
+        if margin <= 0:
+            raise ValueError(f"margin must be > 0, got {margin}")
+        self.ell = int(ell)
+        self.margin = float(margin)
+
+    def required_tracks(self):
+        return [
+            (self.SHRINKAGE_METRIC, {}, "value"),
+            (self.ENERGY_METRIC, {}, "value"),
+        ]
+
+    def labels(self):
+        return {"ell": str(self.ell)}
+
+    def check(self, timeline: Timeline, t: float):
+        registry = timeline.registry
+        shrink = registry.get_sample(self.SHRINKAGE_METRIC)
+        energy = registry.get_sample(self.ENERGY_METRIC)
+        if shrink is None or energy is None or energy.value <= 0:
+            return None
+        bound = self.margin * energy.value / self.ell
+        if shrink.value <= bound:
+            return None
+        return _Breach(
+            value=shrink.value,
+            threshold=bound,
+            message=f"FD bound violated: shrinkage mass {shrink.value:.6g} "
+                    f"> {self.margin:g} * energy {energy.value:.6g} / "
+                    f"ell {self.ell} = {bound:.6g}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Declarative rule syntax
+# ----------------------------------------------------------------------
+_DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(ms|s|m|h)?$")
+_SELECTOR_RE = re.compile(
+    r"^(?P<metric>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\.(?P<field>[A-Za-z0-9]+))?$"
+)
+_RULE_RE = re.compile(
+    r"^(?P<name>[A-Za-z0-9_.:-]+)\s*:\s*(?P<expr>.+)$"
+)
+_THRESH_RE = re.compile(
+    r"^(?P<sel>\S+)\s*(?P<op>>=|<=|>|<)\s*(?P<value>[-+0-9.eE]+)"
+    r"(?P<rest>(?:\s+\S+)*)$"
+)
+_RATE_RE = re.compile(
+    r"^rate\(\s*(?P<sel>[^,()]+?)\s*,\s*(?P<window>[^)]+?)\s*\)\s*"
+    r"(?P<op>>=|<=|>|<)\s*(?P<value>[-+0-9.eE]+)(?P<rest>(?:\s+\S+)*)$"
+)
+_BURN_RE = re.compile(
+    r"^burn\(\s*(?P<sel>[^,()]+?)\s*>\s*(?P<objective>[-+0-9.eE]+)\s*,\s*"
+    r"budget\s*=\s*(?P<budget>[0-9.eE]+)\s*,\s*"
+    r"window\s*=\s*(?P<window>[^)]+?)\s*\)(?P<rest>(?:\s+\S+)*)$"
+)
+_FD_RE = re.compile(
+    r"^fd_bound\(\s*ell\s*=\s*(?P<ell>\d+)\s*"
+    r"(?:,\s*margin\s*=\s*(?P<margin>[0-9.eE]+)\s*)?\)(?P<rest>(?:\s+\S+)*)$"
+)
+
+
+def _parse_duration(text: str) -> float:
+    m = _DURATION_RE.match(text.strip())
+    if not m:
+        raise ValueError(f"bad duration {text!r} (want e.g. 500ms, 10s, 2m)")
+    value = float(m.group(1))
+    unit = m.group(2) or "s"
+    return value * {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0}[unit]
+
+
+def _parse_selector(text: str) -> tuple[str, dict, str]:
+    m = _SELECTOR_RE.match(text.strip())
+    if not m:
+        raise ValueError(f"bad metric selector {text!r}")
+    labels: dict[str, str] = {}
+    if m.group("labels"):
+        for part in m.group("labels").split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad label pair {part!r} in {text!r}")
+            k, v = part.split("=", 1)
+            labels[k.strip()] = v.strip().strip('"')
+    field = m.group("field") or "value"
+    if field != "value" and field not in HISTOGRAM_FIELDS:
+        raise ValueError(
+            f"unknown field {field!r} in {text!r}; expected one of "
+            f"{('value',) + HISTOGRAM_FIELDS}"
+        )
+    return m.group("metric"), labels, field
+
+
+def _parse_rest(rest: str) -> dict:
+    """Trailing modifiers: ``for <dur>`` and ``severity=<level>``."""
+    out: dict = {"for_seconds": 0.0, "severity": "warning"}
+    tokens = rest.split()
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok == "for":
+            if i + 1 >= len(tokens):
+                raise ValueError("'for' needs a duration (e.g. 'for 10s')")
+            out["for_seconds"] = _parse_duration(tokens[i + 1])
+            i += 2
+        elif tok.startswith("severity="):
+            out["severity"] = tok.split("=", 1)[1]
+            i += 1
+        else:
+            raise ValueError(f"unknown modifier {tok!r}")
+    return out
+
+
+def parse_rule(spec: str) -> AlertRule:
+    """Parse one ``name: expression [modifiers]`` rule line.
+
+    Expressions::
+
+        metric{label="v"}[.field] OP number      static threshold
+        rate(metric[.field], WINDOW) OP number   rate of change
+        burn(metric.field > OBJ, budget=B, window=W)   SLO burn rate
+        fd_bound(ell=N[, margin=M])              FD-bound SLO
+
+    Modifiers: ``for DURATION`` (hysteresis), ``severity=LEVEL``.
+    """
+    m = _RULE_RE.match(spec.strip())
+    if not m:
+        raise ValueError(f"bad rule {spec!r} (want 'name: expression')")
+    name, expr = m.group("name"), m.group("expr").strip()
+
+    fd = _FD_RE.match(expr)
+    if fd:
+        mods = _parse_rest(fd.group("rest"))
+        if "severity=" not in fd.group("rest"):
+            mods["severity"] = "page"
+        return FDBoundRule(
+            ell=int(fd.group("ell")),
+            margin=float(fd.group("margin") or 1.0),
+            name=name,
+            **mods,
+        )
+    burn = _BURN_RE.match(expr)
+    if burn:
+        metric, labels, field = _parse_selector(burn.group("sel"))
+        if field == "value":
+            field = "p99"
+        mods = _parse_rest(burn.group("rest"))
+        return BurnRateRule(
+            name,
+            metric,
+            objective=float(burn.group("objective")),
+            budget=float(burn.group("budget")),
+            window_seconds=_parse_duration(burn.group("window")),
+            labels=labels,
+            field=field,
+            **mods,
+        )
+    rate = _RATE_RE.match(expr)
+    if rate:
+        metric, labels, field = _parse_selector(rate.group("sel"))
+        mods = _parse_rest(rate.group("rest"))
+        return RateRule(
+            name,
+            metric,
+            op=rate.group("op"),
+            threshold=float(rate.group("value")),
+            window_seconds=_parse_duration(rate.group("window")),
+            labels=labels,
+            field=field,
+            **mods,
+        )
+    thresh = _THRESH_RE.match(expr)
+    if thresh:
+        metric, labels, field = _parse_selector(thresh.group("sel"))
+        mods = _parse_rest(thresh.group("rest"))
+        return ThresholdRule(
+            name,
+            metric,
+            op=thresh.group("op"),
+            threshold=float(thresh.group("value")),
+            labels=labels,
+            field=field,
+            **mods,
+        )
+    raise ValueError(f"unparseable alert expression {expr!r}")
+
+
+def parse_rules(text: str) -> list[AlertRule]:
+    """Parse one rule per non-blank, non-``#`` line."""
+    rules = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rules.append(parse_rule(line))
+    return rules
+
+
+# ----------------------------------------------------------------------
+# Manager
+# ----------------------------------------------------------------------
+class AlertManager:
+    """Evaluates rules over a timeline and records typed transitions.
+
+    Parameters
+    ----------
+    timeline:
+        Sampled series (and the registry behind them).
+    rules:
+        Initial rules; more can be added with :meth:`add_rule`.
+    max_events:
+        Retention cap for the event log (oldest dropped; drops counted
+        in ``repro_alert_events_dropped_total``).
+    trace_sink / trace_context:
+        When given, every transition also lands as an instant marker on
+        the merged trace.
+    """
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        rules=(),
+        max_events: int = 4096,
+        trace_sink=None,
+        trace_context=None,
+    ):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.timeline = timeline
+        self.registry: Registry = timeline.registry
+        self.rules: list[AlertRule] = []
+        self.events: list[AlertEvent] = []
+        self.max_events = int(max_events)
+        self.n_events_dropped = 0
+        self.trace_sink = trace_sink
+        self.trace_context = trace_context
+        self._pending_since: dict[str, float] = {}
+        self._firing_since: dict[str, float] = {}
+        self._n_transitions = 0
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: AlertRule) -> AlertRule:
+        if any(r.name == rule.name for r in self.rules):
+            raise ValueError(f"duplicate alert rule name {rule.name!r}")
+        self.rules.append(rule)  # bounded: setup-time rule registration, duplicates rejected above
+        for metric, labels, field in rule.required_tracks():
+            self.timeline.track(metric, labels, field=field)
+        return rule
+
+    # ------------------------------------------------------------------
+    def evaluate(self, t: float | None = None) -> list[AlertEvent]:
+        """Check every rule at time ``t``; returns this pass's transitions."""
+        if t is None:
+            t = self.timeline.clock()
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            breach = rule.check(self.timeline, t)
+            if breach is not None:
+                since = self._pending_since.setdefault(rule.name, t)
+                held = t - since
+                if rule.name not in self._firing_since and held >= rule.for_seconds:
+                    self._firing_since[rule.name] = t
+                    transitions.append(self._emit(rule, "firing", t, breach))
+            else:
+                self._pending_since.pop(rule.name, None)
+                if rule.name in self._firing_since:
+                    del self._firing_since[rule.name]
+                    transitions.append(
+                        self._emit(rule, "resolved", t,
+                                   _Breach(value=math.nan, threshold=math.nan,
+                                           message="condition cleared"))
+                    )
+        self.registry.gauge(
+            "repro_alerts_active",
+            help="Alert rules currently in the firing state.",
+        ).set(len(self._firing_since))
+        return transitions
+
+    def _emit(self, rule: AlertRule, state: str, t: float,
+              breach: _Breach) -> AlertEvent:
+        event = AlertEvent(
+            rule=rule.name,
+            severity=rule.severity,
+            state=state,
+            at=t,
+            value=breach.value,
+            threshold=breach.threshold,
+            labels=rule.labels(),
+            message=breach.message,
+        )
+        self.events.append(event)  # bounded: trimmed to max_events just below
+        if len(self.events) > self.max_events:
+            excess = len(self.events) - self.max_events
+            del self.events[:excess]
+            self.n_events_dropped += excess
+            self.registry.counter(
+                "repro_alert_events_dropped_total",
+                help="Alert events discarded by the retention cap.",
+            ).inc(excess)
+        self.registry.counter(
+            f"repro_alerts_{state}_total",
+            labels={"rule": rule.name, "severity": rule.severity},
+            help=f"Alert transitions into the {state} state.",
+        ).inc()
+        if self.trace_sink is not None and self.trace_context is not None:
+            self._n_transitions += 1
+            self.trace_sink.instant(
+                self.trace_context.child(
+                    f"alert:{rule.name}:{self._n_transitions}"
+                ),
+                process="serve",
+                lane=99,
+                t=t,
+                name=f"alert {state}: {rule.name}",
+            )
+        return event
+
+    # ------------------------------------------------------------------
+    def active(self) -> dict[str, float]:
+        """Firing rules mapped to the time they started firing."""
+        return dict(self._firing_since)
+
+    def summary(self) -> dict:
+        return {
+            "rules": [r.name for r in self.rules],
+            "active": self.active(),
+            "events": len(self.events),
+            "events_dropped": self.n_events_dropped,
+        }

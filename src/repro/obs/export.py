@@ -28,9 +28,14 @@ __all__ = [
     "to_prometheus",
     "to_jsonl",
     "render_table",
+    "alerts_to_prometheus",
+    "alerts_to_jsonl",
+    "render_alerts_table",
     "chrome_trace",
     "write_metrics",
     "write_chrome_trace",
+    "escape_label",
+    "unescape_label",
 ]
 
 
@@ -41,6 +46,40 @@ def _escape_label(value: str) -> str:
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+#: Public alias: Prometheus label-value escaping (backslash, quote, newline).
+escape_label = _escape_label
+
+
+def unescape_label(value: str) -> str:
+    """Invert :func:`escape_label` (exact round trip for any input).
+
+    Walks the string left to right so escaped backslashes are not
+    re-interpreted — ``unescape_label(escape_label(s)) == s`` for every
+    ``s``, which the exporter test suite checks property-style.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _label_str(labels: dict, extra: dict | None = None) -> str:
@@ -65,8 +104,13 @@ def _fmt_value(v: float) -> str:
     return repr(float(v))
 
 
-def to_prometheus(registry: Registry) -> str:
-    """Render every instrument in Prometheus text exposition format."""
+def to_prometheus(registry: Registry, alerts: Iterable = ()) -> str:
+    """Render every instrument in Prometheus text exposition format.
+
+    ``alerts`` (an iterable of :class:`~repro.obs.alerts.AlertEvent`)
+    appends the Prometheus-convention ``ALERTS`` series for rules whose
+    most recent transition left them firing.
+    """
     lines: list[str] = []
     seen_header: set[str] = set()
     for m in registry.instruments():
@@ -87,21 +131,86 @@ def to_prometheus(registry: Registry) -> str:
             lines.append(f"{m.name}_count{_label_str(m.labels)} {m.count}")
         else:
             lines.append(f"{m.name}{_label_str(m.labels)} {_fmt_value(m.value)}")
+    body = "\n".join(lines) + "\n"
+    alert_body = alerts_to_prometheus(alerts)
+    return body + alert_body
+
+
+def alerts_to_prometheus(alerts: Iterable) -> str:
+    """``ALERTS{alertname=...}`` samples for currently-firing rules.
+
+    Follows the Prometheus/Alertmanager convention: one gauge sample of
+    value 1 per firing alert, labelled with ``alertname``,
+    ``alertstate`` and ``severity``.  State is reconstructed from the
+    event stream (the last transition per rule wins), so callers can
+    hand over the whole event log.
+    """
+    last: dict[str, object] = {}
+    for ev in alerts:
+        last[ev.rule] = ev
+    firing = [ev for _, ev in sorted(last.items())
+              if ev.state == "firing"]
+    if not firing:
+        return ""
+    lines = [
+        "# HELP ALERTS Currently firing alert rules.",
+        "# TYPE ALERTS gauge",
+    ]
+    for ev in firing:
+        labels = {"alertname": ev.rule, "alertstate": "firing",
+                  "severity": ev.severity}
+        labels.update({k: str(v) for k, v in ev.labels.items()})
+        lines.append(f"ALERTS{_label_str(labels)} 1")
     return "\n".join(lines) + "\n"
 
 
-def to_jsonl(registry: Registry) -> str:
-    """One JSON object per instrument, newline-delimited."""
+def to_jsonl(registry: Registry, alerts: Iterable = ()) -> str:
+    """One JSON object per instrument (and alert event), newline-delimited."""
     snap = registry.snapshot()
     lines = []
     for metric in snap["metrics"]:
         entry = dict(metric)
         entry["at"] = snap["at"]
         lines.append(json.dumps(entry, sort_keys=True))
+    alert_body = alerts_to_jsonl(alerts)
+    return "\n".join(lines) + ("\n" if lines else "") + alert_body
+
+
+def alerts_to_jsonl(alerts: Iterable) -> str:
+    """One JSON object per alert event, tagged ``"type": "alert"``."""
+    lines = []
+    for ev in alerts:
+        entry = ev.to_dict()
+        entry["type"] = "alert"
+        lines.append(json.dumps(entry, sort_keys=True))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def render_table(registry: Registry) -> str:
+def render_alerts_table(alerts: Iterable) -> str:
+    """Aligned terminal table of alert transitions (newest last)."""
+    rows = [
+        (f"{ev.at:.3f}", ev.state.upper(), ev.rule, ev.severity, ev.message)
+        for ev in alerts
+    ]
+    if not rows:
+        return "(no alerts)"
+    header = ("at", "state", "rule", "severity", "detail")
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in rows))
+        for i in range(4)
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(4)) + "  detail"
+    ]
+    lines.append("-" * (sum(widths) + 8 + len("detail")))
+    for r in rows:
+        lines.append(
+            "  ".join(r[i].ljust(widths[i]) for i in range(4)) + f"  {r[4]}"
+        )
+    return "\n".join(lines)
+
+
+def render_table(registry: Registry, alerts: Iterable = ()) -> str:
     """Aligned terminal dashboard of every instrument."""
     rows: list[tuple[str, str, str]] = []
     for m in registry.instruments():
@@ -120,14 +229,22 @@ def render_table(registry: Registry) -> str:
             rows.append((name, "histogram", detail))
         else:
             rows.append((name, m.kind, f"{m.value:.6g}"))
-    if not rows:
+    alerts = list(alerts)
+    if not rows and not alerts:
         return "(no metrics)"
-    w_name = max(len(r[0]) for r in rows)
-    w_kind = max(len(r[1]) for r in rows)
-    lines = [f"{'metric'.ljust(w_name)}  {'type'.ljust(w_kind)}  value"]
-    lines.append("-" * (w_name + w_kind + 9))
-    for name, kind, detail in rows:
-        lines.append(f"{name.ljust(w_name)}  {kind.ljust(w_kind)}  {detail}")
+    if rows:
+        w_name = max(len(r[0]) for r in rows)
+        w_kind = max(len(r[1]) for r in rows)
+        lines = [f"{'metric'.ljust(w_name)}  {'type'.ljust(w_kind)}  value"]
+        lines.append("-" * (w_name + w_kind + 9))
+        for name, kind, detail in rows:
+            lines.append(f"{name.ljust(w_name)}  {kind.ljust(w_kind)}  {detail}")
+    else:
+        lines = ["(no metrics)"]
+    if alerts:
+        lines.append("")
+        lines.append("alerts")
+        lines.append(render_alerts_table(alerts))
     return "\n".join(lines)
 
 
@@ -139,6 +256,8 @@ def chrome_trace(
     trace_events: Iterable = (),
     span_process: str = "pipeline",
     trace_process: str = "simulated ranks",
+    flow_events: Iterable = (),
+    serve_lanes: Iterable = (),
 ) -> dict:
     """Merge span events and simulated-rank trace events into one trace.
 
@@ -152,6 +271,15 @@ def chrome_trace(
         (virtual time, one lane per rank).
     span_process, trace_process:
         Process names shown by Perfetto for the two lanes.
+    flow_events:
+        Pre-rendered Chrome event dicts — typically
+        :meth:`~repro.obs.trace_context.TraceSink.chrome_events` — that
+        carry the cross-component flow arrows (``"ph": "s"``/``"f"``)
+        and instant markers tying sends to recvs and serve queries to
+        the snapshot epochs they read.
+    serve_lanes:
+        ``(tid, name)`` pairs naming lanes on the serve process
+        (pid 3) so flow endpoints emitted there are labelled.
 
     Returns
     -------
@@ -162,6 +290,8 @@ def chrome_trace(
     entries: list[dict] = []
     spans = list(spans)
     trace_events = list(trace_events)
+    flow_events = list(flow_events)
+    serve_lanes = list(serve_lanes)
 
     if spans:
         t0 = min(e.start for e in spans)
@@ -216,6 +346,19 @@ def chrome_trace(
                     "tid": e.rank,
                 }
             )
+
+    if flow_events or serve_lanes:
+        if any(ev.get("pid") == 3 for ev in flow_events) or serve_lanes:
+            entries.append(
+                {"name": "process_name", "ph": "M", "pid": 3,
+                 "args": {"name": "serve"}}
+            )
+            for tid, name in serve_lanes:
+                entries.append(
+                    {"name": "thread_name", "ph": "M", "pid": 3, "tid": tid,
+                     "args": {"name": name}}
+                )
+        entries.extend(flow_events)
     return {"traceEvents": entries}
 
 
@@ -226,23 +369,27 @@ _FORMATS = ("prom", "jsonl", "table")
 
 
 def write_metrics(
-    registry: Registry, path: str | Path, format: str = "prom"
+    registry: Registry, path: str | Path, format: str = "prom",
+    alerts: Iterable = (),
 ) -> Path:
     """Write a registry snapshot to ``path`` in the chosen format.
 
     ``format`` is one of ``"prom"`` (Prometheus text), ``"jsonl"``
-    (appends to an existing file), or ``"table"``.
+    (appends to an existing file), or ``"table"``.  ``alerts`` appends
+    alert events in the format's native shape (see the
+    ``alerts_to_*``/``render_alerts_table`` helpers).
     """
     if format not in _FORMATS:
         raise ValueError(f"unknown metrics format {format!r}; pick from {_FORMATS}")
     path = Path(path)
+    alerts = list(alerts)
     if format == "prom":
-        path.write_text(to_prometheus(registry))
+        path.write_text(to_prometheus(registry, alerts=alerts))
     elif format == "jsonl":
         with path.open("a") as fh:
-            fh.write(to_jsonl(registry))
+            fh.write(to_jsonl(registry, alerts=alerts))
     else:
-        path.write_text(render_table(registry) + "\n")
+        path.write_text(render_table(registry, alerts=alerts) + "\n")
     return path
 
 
@@ -250,11 +397,19 @@ def write_chrome_trace(
     path: str | Path,
     registry: Registry | None = None,
     recorder=None,
+    sink=None,
+    serve_lanes: Iterable = (),
 ) -> Path:
-    """Write one Chrome/Perfetto trace covering spans and rank events."""
+    """Write one Chrome/Perfetto trace covering spans and rank events.
+
+    ``sink`` (a :class:`~repro.obs.trace_context.TraceSink`) merges the
+    cross-component flow arrows and instant markers into the same file.
+    """
     doc = chrome_trace(
         spans=registry.spans if registry is not None else (),
         trace_events=recorder.events if recorder is not None else (),
+        flow_events=sink.chrome_events() if sink is not None else (),
+        serve_lanes=serve_lanes,
     )
     path = Path(path)
     path.write_text(json.dumps(doc, indent=1))

@@ -158,9 +158,26 @@ class SketchHealth:
             "forgetting_memory_rows", "Effective memory of the decayed sketch"
         )
         # Trajectories for operator reports: (rows_seen, value) pairs.
+        # Bounded: beyond max_trajectory points each list is thinned by
+        # dropping every other interior point (endpoints kept), so a
+        # week-long stream cannot grow them without limit.
         self.rank_trajectory: list[tuple[int, int]] = []
         self.error_trajectory: list[tuple[int, float]] = []
         self._last_energy = 0.0
+
+    #: Per-trajectory retention cap (see ``_record`` for the thinning).
+    max_trajectory = 4096
+
+    def _record(self, trajectory: list, point: tuple) -> None:
+        """Append one trajectory point, thinning at the retention cap."""
+        trajectory.append(point)  # bounded: thinned to max_trajectory below
+        if len(trajectory) > self.max_trajectory:
+            # Keep endpoints, drop every other interior point: halves
+            # memory while preserving the curve's overall shape.
+            thinned = trajectory[::2]
+            if thinned[-1] != trajectory[-1]:
+                thinned.append(trajectory[-1])
+            trajectory[:] = thinned
 
     # ------------------------------------------------------------------
     def attach(self, sketcher) -> "SketchHealth":
@@ -173,7 +190,7 @@ class SketchHealth:
         sketcher.observer = self
         fd = getattr(sketcher, "sketcher", sketcher)
         self.rank.set(fd.ell)
-        self.rank_trajectory.append((fd.n_seen, fd.ell))
+        self._record(self.rank_trajectory, (fd.n_seen, fd.ell))
         gamma = getattr(fd, "gamma", 1.0)
         self.gamma.set(gamma)
         if hasattr(fd, "effective_memory_rows"):
@@ -203,18 +220,18 @@ class SketchHealth:
             self._last_energy = energy
         traj = self.rank_trajectory
         if not traj or traj[-1][1] != fd.ell or fd.n_seen - traj[-1][0] >= fd.ell:
-            traj.append((fd.n_seen, fd.ell))
+            self._record(traj, (fd.n_seen, fd.ell))
 
     def on_rank_increase(self, fd) -> None:
         """Rank adaptation grew the sketch."""
         self.rank_increases.inc()
         self.rank.set(fd.ell)
-        self.rank_trajectory.append((fd.n_seen, fd.ell))
+        self._record(self.rank_trajectory, (fd.n_seen, fd.ell))
 
     def on_error_estimate(self, fd, estimate: float, flagged: bool) -> None:
         """Algorithm 1 produced a fresh residual-error estimate."""
         self.residual_error.set(estimate)
-        self.error_trajectory.append((fd.n_seen, float(estimate)))
+        self._record(self.error_trajectory, (fd.n_seen, float(estimate)))
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:

@@ -334,15 +334,20 @@ class Registry:
     """
 
     enabled = True
-    #: Upper bound on retained span events (oldest dropped beyond it).
+    #: Default upper bound on retained span events (oldest dropped
+    #: beyond it); override per instance via the ``max_spans`` ctor arg.
     max_spans = 100_000
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: int | None = None) -> None:
         self._instruments: dict[
             tuple[str, tuple[tuple[str, str], ...]], Counter | Gauge | Histogram
         ] = {}
         self._lock = threading.Lock()
         self.spans: list = []  # SpanEvent list (see repro.obs.spans)
+        if max_spans is not None:
+            if max_spans < 1:
+                raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+            self.max_spans = int(max_spans)
 
     # -- instrument access ---------------------------------------------
     def _get(self, cls, name: str, labels: LabelMap | None, help: str, **kw):
@@ -379,21 +384,33 @@ class Registry:
         """Get or create the histogram ``name`` with ``labels``."""
         return self._get(Histogram, name, labels, help, quantiles=quantiles)
 
-    def span(self, name: str, tags: LabelMap | None = None):
+    def span(self, name: str, tags: LabelMap | None = None, context=None):
         """Open a timing span recorded into this registry.
 
         Returns a context manager usable as a decorator; see
-        :mod:`repro.obs.spans` for the event/naming model.
+        :mod:`repro.obs.spans` for the event/naming model.  ``context``
+        (a :class:`~repro.obs.trace_context.TraceContext`) stamps the
+        event with trace/span-id tags for cross-component correlation.
         """
         from repro.obs.spans import Span
 
-        return Span(self, name, tags=tags)
+        return Span(self, name, tags=tags, context=context)
 
     def record_span(self, event) -> None:
-        """Append a completed span event (bounded; oldest dropped)."""
-        self.spans.append(event)
+        """Append a completed span event (bounded; oldest dropped).
+
+        Drops beyond ``max_spans`` are counted in the
+        ``repro_spans_dropped_total`` counter so a truncated span log is
+        distinguishable from a short run.
+        """
+        self.spans.append(event)  # bounded: trimmed to max_spans just below
         if len(self.spans) > self.max_spans:
-            del self.spans[: len(self.spans) - self.max_spans]
+            excess = len(self.spans) - self.max_spans
+            del self.spans[:excess]
+            self.counter(
+                "repro_spans_dropped_total",
+                help="Span events discarded by the registry retention cap.",
+            ).inc(excess)
 
     # -- inspection -----------------------------------------------------
     def instruments(self) -> Iterator[Counter | Gauge | Histogram]:
@@ -447,7 +464,7 @@ class NullRegistry(Registry):
     ) -> Histogram:
         return _NULL_HISTOGRAM
 
-    def span(self, name: str, tags: LabelMap | None = None):
+    def span(self, name: str, tags: LabelMap | None = None, context=None):
         return _NULL_SPAN
 
     def record_span(self, event) -> None:

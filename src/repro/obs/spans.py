@@ -76,14 +76,25 @@ class SpanEvent:
 
 
 class Span:
-    """Context-manager/decorator timing one region into a registry."""
+    """Context-manager/decorator timing one region into a registry.
 
-    __slots__ = ("registry", "name", "tags", "_start", "_depth", "_parent", "elapsed")
+    ``context`` (a :class:`~repro.obs.trace_context.TraceContext`)
+    stamps the recorded event with ``trace_id``/``span_id`` tags, so
+    pipeline spans correlate with rank flows and serve requests in the
+    merged Chrome trace.
+    """
 
-    def __init__(self, registry, name: str, tags=None):
+    __slots__ = ("registry", "name", "tags", "context",
+                 "_start", "_depth", "_parent", "elapsed")
+
+    def __init__(self, registry, name: str, tags=None, context=None):
         self.registry = registry
         self.name = name
         self.tags = dict(tags) if tags else {}
+        self.context = context
+        if context is not None:
+            self.tags.setdefault("trace_id", context.trace_id)
+            self.tags.setdefault("span_id", context.span_id)
         self._start = 0.0
         self._depth = 0
         self._parent = ""
@@ -125,17 +136,19 @@ class Span:
 
     def __call__(self, fn):
         """Use the span as a decorator; each call opens a fresh span."""
-        registry, name, tags = self.registry, self.name, self.tags
+        registry, name, tags, context = (
+            self.registry, self.name, self.tags, self.context
+        )
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            with Span(registry, name, tags=tags):
+            with Span(registry, name, tags=tags, context=context):
                 return fn(*args, **kwargs)
 
         return wrapper
 
 
-def span(name: str, registry=None, tags=None):
+def span(name: str, registry=None, tags=None, context=None):
     """Open a span against ``registry`` (default: the global registry).
 
     Examples
@@ -151,4 +164,4 @@ def span(name: str, registry=None, tags=None):
         from repro.obs.registry import get_default_registry
 
         registry = get_default_registry()
-    return registry.span(name, tags=tags)
+    return registry.span(name, tags=tags, context=context)

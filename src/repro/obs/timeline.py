@@ -1,0 +1,327 @@
+"""Fixed-memory metric timelines sampled on a shared (virtual) clock.
+
+PR 1's registry answers "what is the value *now*"; this module answers
+"what has it been doing" — without unbounded growth.  A
+:class:`Series` holds at most ``capacity`` buckets; when it fills, the
+oldest adjacent bucket pairs are merged, each merge keeping the pair's
+minimum, maximum, first and last values.  Occupancy halves, the
+effective stride doubles, and the min/max *envelope* of the whole
+history survives verbatim — a week-long campaign still shows its worst
+latency spike even though early samples were coalesced.
+
+A :class:`Timeline` samples registered instruments from a
+:class:`~repro.obs.registry.Registry` whenever :meth:`Timeline.sample`
+is called, timestamping with an injectable ``clock`` callable.  The
+serve replay passes the admission layer's virtual clock and the
+distributed runners pass rank clocks, so sampled histories are
+deterministic under replay; wall-clock use stays quarantined in
+``repro.obs.clock``.
+
+Alert rules in :mod:`repro.obs.alerts` evaluate over these series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from .clock import now
+from .registry import Histogram, Registry, _label_key
+
+__all__ = ["Bucket", "Series", "Timeline", "downsample", "ascii_sparkline"]
+
+#: Histogram fields a track spec may sample.
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p90", "p99")
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One (possibly merged) sample bucket of a series.
+
+    ``t0``/``t1`` bound the bucket in time; ``first``/``last`` are the
+    chronologically first/last raw values it absorbed and ``vmin``/
+    ``vmax`` the extremes — the invariants downsampling preserves.
+    """
+
+    t0: float
+    t1: float
+    first: float
+    last: float
+    vmin: float
+    vmax: float
+    count: int = 1
+
+    @classmethod
+    def point(cls, t: float, value: float) -> "Bucket":
+        v = float(value)
+        return cls(t0=float(t), t1=float(t), first=v, last=v, vmin=v, vmax=v)
+
+    def merge(self, other: "Bucket") -> "Bucket":
+        """Absorb a later bucket, preserving envelope and endpoints."""
+        if other.t0 < self.t0:
+            return other.merge(self)
+        return Bucket(
+            t0=self.t0,
+            t1=other.t1,
+            first=self.first,
+            last=other.last,
+            vmin=min(self.vmin, other.vmin),
+            vmax=max(self.vmax, other.vmax),
+            count=self.count + other.count,
+        )
+
+
+def downsample(buckets: Sequence[Bucket], target: int) -> list[Bucket]:
+    """Merge adjacent buckets until at most ``target`` remain.
+
+    Pairwise left-to-right merging: each pass halves the count, so the
+    result keeps coverage across the full time range rather than
+    truncating one end.  The global min/max envelope and the overall
+    first/last values are preserved exactly.
+    """
+    if target < 1:
+        raise ValueError(f"target must be >= 1, got {target}")
+    out = list(buckets)
+    while len(out) > target:
+        merged = []
+        it = iter(range(0, len(out), 2))
+        for i in it:
+            if i + 1 < len(out):
+                merged.append(out[i].merge(out[i + 1]))
+            else:
+                merged.append(out[i])
+        out = merged
+    return out
+
+
+class Series:
+    """Fixed-memory time series: at most ``capacity`` buckets, ever.
+
+    ``append`` is O(1) amortised; when the buffer is full a pairwise
+    merge halves it (envelope-preserving), so memory is bounded by
+    ``capacity`` regardless of campaign length.
+    """
+
+    __slots__ = ("name", "labels", "field", "capacity", "buckets", "n_samples")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict | None = None,
+        field: str = "value",
+        capacity: int = 512,
+    ):
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.field = field
+        self.capacity = int(capacity)
+        self.buckets: list[Bucket] = []
+        self.n_samples = 0
+
+    def append(self, t: float, value: float) -> None:
+        """Record one sample; silently coalesces when full."""
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return
+        if len(self.buckets) >= self.capacity:
+            self.buckets = downsample(self.buckets, self.capacity // 2)
+        self.buckets.append(Bucket.point(t, value))  # bounded: halved above at capacity
+        self.n_samples += 1
+
+    # -- read side -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def key(self) -> tuple:
+        return (self.name, _label_key(self.labels), self.field)
+
+    def envelope(self) -> tuple[float, float]:
+        """Global ``(min, max)`` over the whole retained history."""
+        if not self.buckets:
+            return (math.nan, math.nan)
+        return (
+            min(b.vmin for b in self.buckets),
+            max(b.vmax for b in self.buckets),
+        )
+
+    def last(self) -> float:
+        return self.buckets[-1].last if self.buckets else math.nan
+
+    def values(self) -> list[float]:
+        """Last-value-per-bucket trace (for sparklines and rules)."""
+        return [b.last for b in self.buckets]
+
+    def times(self) -> list[float]:
+        return [b.t1 for b in self.buckets]
+
+    def window(self, since: float) -> list[Bucket]:
+        """Buckets whose end time is at or after ``since``."""
+        return [b for b in self.buckets if b.t1 >= since]
+
+    def rate(self, window_seconds: float) -> float:
+        """Mean per-second change of ``last`` over the trailing window.
+
+        NaN until two buckets fall inside the window (a rate needs a
+        baseline).  Works for gauges too, where it reads as slope.
+        """
+        if not self.buckets:
+            return math.nan
+        tail = self.window(self.buckets[-1].t1 - window_seconds)
+        if len(tail) < 2:
+            return math.nan
+        dt = tail[-1].t1 - tail[0].t1
+        if dt <= 0:
+            return math.nan
+        return (tail[-1].last - tail[0].last) / dt
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "field": self.field,
+            "n_samples": self.n_samples,
+            "points": [
+                [b.t0, b.t1, b.first, b.last, b.vmin, b.vmax, b.count]
+                for b in self.buckets
+            ],
+        }
+
+
+def _read_field(instrument, field: str):
+    """Current value of one instrument field, or None if unavailable."""
+    if isinstance(instrument, Histogram):
+        if field == "value":
+            field = "mean"
+        if field not in HISTOGRAM_FIELDS:
+            raise ValueError(
+                f"unknown histogram field {field!r}; expected one of "
+                f"{HISTOGRAM_FIELDS}"
+            )
+        if field == "count":
+            return float(instrument.count)
+        if instrument.count == 0:
+            return None
+        if field == "sum":
+            return float(instrument.sum)
+        if field == "mean":
+            return float(instrument.sum / instrument.count)
+        if field == "min":
+            return float(instrument.min)
+        if field == "max":
+            return float(instrument.max)
+        q = {"p50": 0.5, "p90": 0.9, "p99": 0.99}[field]
+        return float(instrument.quantile(q))
+    if field != "value":
+        raise ValueError(
+            f"field {field!r} only applies to histograms; "
+            f"{type(instrument).__name__} exposes 'value'"
+        )
+    return float(instrument.value)
+
+
+class Timeline:
+    """Samples registered instruments into fixed-memory series.
+
+    Parameters
+    ----------
+    registry:
+        Source of instrument values.
+    clock:
+        Zero-argument callable returning "now" in seconds.  Pass the
+        serve layer's ``VirtualClock.now`` (or any rank clock getter)
+        for deterministic replays; defaults to the wall clock.
+    capacity:
+        Per-series bucket cap (see :class:`Series`).
+    """
+
+    def __init__(
+        self,
+        registry: Registry,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 512,
+    ):
+        self.registry = registry
+        self.clock = clock if clock is not None else now
+        self.capacity = int(capacity)
+        self._series: dict[tuple, Series] = {}
+        self._tracks: list[tuple[str, dict, str]] = []
+
+    # -- registration --------------------------------------------------
+    def track(
+        self, name: str, labels: dict | None = None, field: str = "value"
+    ) -> Series:
+        """Register an instrument to be sampled on every :meth:`sample`.
+
+        The instrument need not exist yet — tracks for instruments the
+        registry has not created are skipped until they appear, so
+        callers can declare what they care about up front.
+        """
+        labels = dict(labels or {})
+        series = Series(name, labels, field=field, capacity=self.capacity)
+        if series.key in self._series:
+            return self._series[series.key]
+        self._series[series.key] = series
+        self._tracks.append((name, labels, field))  # bounded: one entry per track() call at setup, not per event
+        return series
+
+    def track_all(self, names: Iterable[str]) -> None:
+        """Track every existing labelset of each named instrument."""
+        wanted = set(names)
+        for (name, label_key), instrument in sorted(
+            self.registry._instruments.items()
+        ):
+            if name in wanted:
+                self.track(name, dict(label_key), field="value")
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, t: float | None = None) -> int:
+        """Sample every tracked instrument; returns samples recorded."""
+        if t is None:
+            t = self.clock()
+        recorded = 0
+        for name, labels, field in self._tracks:
+            instrument = self.registry.get_sample(name, labels)
+            if instrument is None:
+                continue
+            value = _read_field(instrument, field)
+            if value is None:
+                continue
+            self._series[(name, _label_key(labels), field)].append(t, value)  # bounded: Series ring buffer halves at capacity
+            recorded += 1
+        return recorded
+
+    # -- read side -----------------------------------------------------
+    def series(
+        self, name: str, labels: dict | None = None, field: str = "value"
+    ) -> Series | None:
+        return self._series.get((name, _label_key(labels or {}), field))
+
+    def all_series(self) -> list[Series]:
+        return [self._series[k] for k in sorted(self._series)]
+
+    def to_dict(self) -> dict:
+        return {"capacity": self.capacity,
+                "series": [s.to_dict() for s in self.all_series()]}
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Unicode block sparkline of a value sequence (for the top view)."""
+    vals = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # stride-sample down to width, always keeping the last value
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width - 1)] + [vals[-1]]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[0] * len(vals)
+    idx = [int((v - lo) / span * (len(_SPARK_GLYPHS) - 1)) for v in vals]
+    return "".join(_SPARK_GLYPHS[i] for i in idx)

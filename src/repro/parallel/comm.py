@@ -152,6 +152,14 @@ class SimComm:
         # Per-rank communication-op index (send/recv), consulted by
         # stall rules; deterministic because each rank is sequential.
         self._op_index = 0
+        # Trace propagation: when a TraceContext is installed, every
+        # send derives a child context (rank-sequential counter, so ids
+        # are deterministic) and carries it OUTSIDE the costed payload —
+        # nbytes, checksums and virtual clocks never see it, which is
+        # what keeps chaos replays bit-identical with tracing on.
+        self.trace_context = None
+        self.last_recv_context = None
+        self._trace_seq = 0
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -222,7 +230,21 @@ class SimComm:
         nbytes = CommCostModel.payload_bytes(obj)
         self.bytes_sent += nbytes
         self.messages_sent += 1
-        self._world._channel(self.rank, dest, tag).put((obj, self.clock + delay, nbytes))
+        ctx = None
+        if self.trace_context is not None:
+            self._trace_seq += 1
+            ctx = self.trace_context.child(
+                f"msg:{self.rank}>{dest}:t{tag}:n{self._trace_seq}"
+            )
+            sink = self._world.trace_sink
+            if sink is not None:
+                sink.emit(
+                    "s", ctx, process="ranks", lane=self.rank, t=self.clock,
+                    name=f"send {self.rank}->{dest} tag {tag}",
+                )
+        self._world._channel(self.rank, dest, tag).put(
+            (obj, self.clock + delay, nbytes, ctx)
+        )
         return SendReceipt(delivered=True, corrupted=corrupted, delay=delay)
 
     def send_reliable(
@@ -269,7 +291,7 @@ class SimComm:
         deadline = now() + limit
         while True:
             try:
-                obj, send_clock, nbytes = chan.get(timeout=_POLL_INTERVAL)
+                obj, send_clock, nbytes, ctx = chan.get(timeout=_POLL_INTERVAL)
                 break
             except queue.Empty:
                 status = self._world.rank_status(source)
@@ -278,7 +300,7 @@ class SimComm:
                     # sent just before exiting, so drain once more
                     # before declaring the channel dead.
                     try:
-                        obj, send_clock, nbytes = chan.get_nowait()
+                        obj, send_clock, nbytes, ctx = chan.get_nowait()
                         break
                     except queue.Empty:
                         pass
@@ -299,6 +321,14 @@ class SimComm:
                     ) from None
         arrival = send_clock + self._world.cost_model.cost(nbytes)
         self.clock = max(self.clock, arrival)
+        self.last_recv_context = ctx
+        if ctx is not None:
+            sink = self._world.trace_sink
+            if sink is not None:
+                sink.emit(
+                    "f", ctx, process="ranks", lane=self.rank, t=self.clock,
+                    name=f"recv {source}->{self.rank} tag {tag}",
+                )
         return obj
 
     def recv_with_retry(
@@ -456,6 +486,13 @@ class SimCommWorld:
         given, every message and rank is subject to the injector's
         fault plan and :class:`~repro.parallel.faults.RankKilledError`
         raised by a rank marks it dead instead of failing the run.
+    trace_sink:
+        Optional :class:`~repro.obs.trace_context.TraceSink`; when
+        given (and ranks install a ``trace_context``), every delivered
+        message records a flow start at the sender and a flow finish at
+        the receiver, rendering as arrows in the merged Chrome trace.
+        Tracing never touches payload bytes, checksums, or virtual
+        clocks, so results are bit-identical with it on or off.
 
     Examples
     --------
@@ -477,6 +514,7 @@ class SimCommWorld:
         cost_model: CommCostModel | None = None,
         timeout: float = 120.0,
         injector: FaultInjector | None = None,
+        trace_sink=None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
@@ -484,6 +522,7 @@ class SimCommWorld:
         self.cost_model = cost_model if cost_model is not None else CommCostModel()
         self.timeout = float(timeout)
         self.injector = injector
+        self.trace_sink = trace_sink
         self._channels: dict[tuple[int, int, int], queue.Queue] = {}
         self._channels_lock = threading.Lock()
         # Serializes timed compute regions across ranks; see SimComm.timed.

@@ -176,6 +176,17 @@ class DistributedSketchRunner:
     max_retries:
         Bounded retry/retransmission attempts for both sides of a
         fault-tolerant transfer.
+    trace_sink:
+        Optional :class:`~repro.obs.trace_context.TraceSink`.  With a
+        ``trace_context``, every rank gets a per-rank child context:
+        message sends/recvs record flow arrows, and merges, fault
+        re-routes, lost subtrees and checkpoint restores land as
+        instant markers — one merged Chrome trace for the whole run.
+        Ids are rank-sequential counters, so a traced chaos replay is
+        bit-identical to an untraced one.
+    trace_context:
+        Root :class:`~repro.obs.trace_context.TraceContext` for the
+        run (required for ``trace_sink`` to record anything).
 
     Examples
     --------
@@ -201,6 +212,8 @@ class DistributedSketchRunner:
         checkpoint_every: int = 2,
         compute_model: ComputeCostModel | None = None,
         max_retries: int = 3,
+        trace_sink=None,
+        trace_context=None,
     ):
         if strategy not in ("serial", "tree"):
             raise ValueError(f"unknown merge strategy {strategy!r}")
@@ -223,6 +236,8 @@ class DistributedSketchRunner:
         self.checkpoint_every = int(checkpoint_every)
         self.compute_model = compute_model
         self.max_retries = int(max_retries)
+        self.trace_sink = trace_sink
+        self.trace_context = trace_context
         # Wall seconds one receive attempt waits for a *running* sender;
         # dead senders are detected immediately regardless.
         self.recv_wall_timeout = 10.0
@@ -243,6 +258,20 @@ class DistributedSketchRunner:
             return out
         with comm.timed():
             return work()
+
+    def _mark(self, comm: SimComm, name: str) -> None:
+        """Instant marker on this rank's trace lane (no-op untraced)."""
+        sink = comm._world.trace_sink
+        if sink is None or comm.trace_context is None:
+            return
+        comm._trace_seq += 1
+        sink.instant(
+            comm.trace_context.child(f"mark:{comm.rank}:{comm._trace_seq}"),
+            process="ranks",
+            lane=comm.rank,
+            t=comm.clock,
+            name=name,
+        )
 
     # ------------------------------------------------------------------
     def run(self, shards: Sequence[np.ndarray]) -> ParallelRunResult:
@@ -271,7 +300,12 @@ class DistributedSketchRunner:
                 raise ValueError(
                     f"fault plan kills ranks {bad} but the world has only {size} ranks"
                 )
-        world = SimCommWorld(size, cost_model=self.cost_model, injector=injector)
+        world = SimCommWorld(
+            size,
+            cost_model=self.cost_model,
+            injector=injector,
+            trace_sink=self.trace_sink,
+        )
         rotation_counts: list[int] = [0] * size
         state = _FTState(size)
         doomed = (
@@ -281,6 +315,8 @@ class DistributedSketchRunner:
 
         def program(comm: SimComm) -> np.ndarray | None:
             rank = comm.rank
+            if self.trace_context is not None:
+                comm.trace_context = self.trace_context.child(f"rank{rank}")
             local = self._local_phase(comm, shards[rank], d, injector, state)
             local_time = comm.clock
             if injector is not None and injector.doomed(rank):
@@ -489,11 +525,13 @@ class DistributedSketchRunner:
         """One stacked shrink, charged to the rank's virtual clock."""
         model = self.compute_model
         stacked_rows = sum(p.shape[0] for p in pieces)
-        return self._charge(
+        merged = self._charge(
             comm,
             lambda: model.merge_cost(stacked_rows, pieces[0].shape[1]),
             lambda: shrink_stack(pieces, self.ell),
         )
+        self._mark(comm, f"merge fold x{len(pieces)}")
+        return merged
 
     def _serial_phase(
         self, comm: SimComm, local: np.ndarray, rotations: list[int]
@@ -628,11 +666,13 @@ class DistributedSketchRunner:
                 # move on without blocking.
                 comm.advance(self._world_cost(comm).recv_timeout)
                 state.lost_children[0].append(src)
+                self._mark(comm, f"lost child {src}")
                 continue
             try:
                 env = self._recv_envelope(comm, src, _SERIAL_TAG, state)
             except (DeadlockError, RankFailedError):
                 state.lost_children[0].append(src)
+                self._mark(comm, f"lost child {src}")
                 continue
             acc = self._merge_charge(comm, [acc, env["sketch"]])
             rotations[0] += 1
@@ -670,6 +710,10 @@ class DistributedSketchRunner:
             group = stride * self.arity
             if rank % group != 0:
                 dest, _ = routes[rank]
+                if dest != (rank // group) * group:
+                    # Natural parent is doomed; shipping to the nearest
+                    # surviving ancestor instead.
+                    self._mark(comm, f"reroute {rank}->{dest}")
                 comm.send_reliable(
                     self._envelope(acc, merged_rows, origins),
                     dest=dest,
@@ -685,6 +729,7 @@ class DistributedSketchRunner:
                     env = self._recv_envelope(comm, src, _MERGE_TAG, state)
                 except (DeadlockError, RankFailedError):
                     state.lost_children[rank].append(src)
+                    self._mark(comm, f"lost child {src}")
                     continue
                 pieces.append(env["sketch"])
                 merged_rows += env["rows"]
@@ -756,6 +801,14 @@ class DistributedSketchRunner:
             cost += world.cost_model.cost(int(recovered.nbytes))
             makespan += cost
             rotations[0] += 1
+            if self.trace_sink is not None and self.trace_context is not None:
+                self.trace_sink.instant(
+                    self.trace_context.child(f"restore:rank{rank}"),
+                    process="ranks",
+                    lane=rank,
+                    t=makespan,
+                    name=f"checkpoint restore rank {rank}",
+                )
             report.ranks_recovered.append(rank)
             report.rows_recovered += int(shards[rank].shape[0])
             report.rows_merged += int(shards[rank].shape[0])

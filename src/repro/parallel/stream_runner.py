@@ -117,6 +117,12 @@ class StreamingDistributedSketcher:
         Optional flop-based clock model; when given, ingest and merge
         work is charged by modelled cost instead of measured wall time,
         making the stream's virtual clocks reproducible.
+    trace_sink / trace_context:
+        Optional :class:`~repro.obs.trace_context.TraceSink` and root
+        :class:`~repro.obs.trace_context.TraceContext`.  When both are
+        given, kills, checkpoint restarts and global snapshots land as
+        instant markers on the merged Chrome trace.  Tracing never
+        affects clocks or sketches.
 
     Examples
     --------
@@ -144,6 +150,8 @@ class StreamingDistributedSketcher:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 2,
         compute_model: ComputeCostModel | None = None,
+        trace_sink=None,
+        trace_context=None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -203,6 +211,22 @@ class StreamingDistributedSketcher:
         self._rows_dropped = 0
         self._rows_recovered = 0
         self._checkpoints_written = 0
+        self.trace_sink = trace_sink
+        self.trace_context = trace_context
+        self._n_marks = 0
+
+    def _mark(self, name: str, lane: int, t: float) -> None:
+        """Instant trace marker on a rank lane (no-op untraced)."""
+        if self.trace_sink is None or self.trace_context is None:
+            return
+        self._n_marks += 1
+        self.trace_sink.instant(
+            self.trace_context.child(f"stream:{self._n_marks}"),
+            process="ranks",
+            lane=lane,
+            t=t,
+            name=name,
+        )
 
     # ------------------------------------------------------------------
     def _charge(self, rank: int, cost: float, sw: StopWatch | None) -> None:
@@ -252,9 +276,13 @@ class StreamingDistributedSketcher:
             self._last_ckpt_rotation[rank] = sk.n_rotations
             self._clocks[rank] += self.cost_model.restart_penalty
             self._ranks_recovered.append(rank)
+            self._mark(
+                f"checkpoint restart rank {rank}", lane=rank, t=self._clocks[rank]
+            )
         else:
             self._alive[rank] = False
             self._rows_dropped += self._rows_per_rank[rank]
+            self._mark(f"rank {rank} lost", lane=rank, t=self._clocks[rank])
 
     # ------------------------------------------------------------------
     def ingest(self, batch: np.ndarray) -> "StreamingDistributedSketcher":
@@ -360,6 +388,11 @@ class StreamingDistributedSketcher:
             merge_levels=levels,
         )
         self.snapshots.append(snap)
+        self._mark(
+            f"snapshot batch={snap.batch_index} levels={levels}",
+            lane=0,
+            t=snap.completed_at,
+        )
         self._snapshot_hist.observe(float(done))
         self._merge_levels_gauge.set(levels)
         self.registry.counter(

@@ -44,6 +44,7 @@ def write_embedding_report(
     guard: dict | None = None,
     stages: dict | None = None,
     serving: dict | None = None,
+    alerts: dict | None = None,
 ) -> Path:
     """Write a standalone interactive scatter report.
 
@@ -91,6 +92,15 @@ def write_embedding_report(
         shows published epochs, queries served by kind, typed shed
         counts, cache hit ratio and per-kind latency quantiles —
         green-bannered when nothing was shed, amber otherwise.
+    alerts:
+        Optional alerting/timeline account: a dict with keys
+        ``active`` (list of firing-alert dicts), ``events`` (list of
+        :meth:`repro.obs.alerts.AlertEvent.to_dict` entries) and
+        ``timelines`` (series name → list of ``(t, value)`` points,
+        e.g. from :meth:`repro.obs.timeline.Series.times` zipped with
+        ``values``).  When given, a panel lists active alerts, the
+        event history and a sparkline per timeline series —
+        amber-bannered while any alert is firing.
 
     Returns
     -------
@@ -146,7 +156,7 @@ def write_embedding_report(
         "__GUARD__", _guard_html(guard)
     ).replace("__STAGES__", _stages_html(stages)).replace(
         "__SERVING__", _serving_html(serving)
-    )
+    ).replace("__ALERTS__", _alerts_html(alerts))
     path = Path(path)
     path.write_text(html)
     return path
@@ -371,6 +381,47 @@ def _serving_html(serving: dict | None) -> str:
     )
 
 
+def _alerts_html(alerts: dict | None) -> str:
+    """Render the alerts/timeline panel (empty string when absent)."""
+    if not alerts:
+        return ""
+    active = alerts.get("active") or []
+    events = alerts.get("events") or []
+    banner = (
+        f'<span class="deg bad">{len(active)} FIRING</span>'
+        if active
+        else '<span class="deg ok">no active alerts</span>'
+    )
+    rows = []
+    for ev in events:
+        state = _escape(str(ev.get("state", "?")))
+        cls = "bad" if state == "firing" else "ok"
+        rows.append(
+            f'<tr><td>{float(ev.get("at", 0.0)):.3f}s</td>'
+            f'<td><span class="deg {cls}">{state}</span></td>'
+            f'<td>{_escape(str(ev.get("rule", "?")))}</td>'
+            f'<td>{_escape(str(ev.get("severity", "?")))}</td>'
+            f'<td>{_escape(str(ev.get("message", "")))}</td></tr>'
+        )
+    table = (
+        f'<table class="health">{"".join(rows)}</table>'
+        if rows
+        else "<em>no alert events</em>"
+    )
+    sparks = []
+    for name, points in (alerts.get("timelines") or {}).items():
+        pts = [(float(t), float(v)) for t, v in points]
+        sparks.append(
+            f"<b>{_escape(str(name))}</b><br>"
+            f'{_sparkline(pts, color="#009E73")}'
+        )
+    spark_html = f'<div>{"".join(sparks)}</div>' if sparks else ""
+    return (
+        f'<div id="alerts"><h2>alerts &amp; timelines {banner}</h2>'
+        f'<div id="alertwrap">{table}{spark_html}</div></div>'
+    )
+
+
 def _stringify(v: object) -> str:
     if isinstance(v, (float, np.floating)):
         return f"{float(v):.4g}"
@@ -408,8 +459,10 @@ _TEMPLATE = """<!DOCTYPE html>
   table.health td { padding: 1px 10px 1px 0; }
   table.health td:last-child { font-variant-numeric: tabular-nums; }
   #health .range { font-size: 11px; color: #777; margin-bottom: 8px; }
-  #degradation, #guard, #stages, #serving { padding: 8px 12px; font-size: 13px; }
-  #degradation h2, #guard h2, #stages h2, #serving h2 { font-size: 14px; margin: 6px 0; }
+  #degradation, #guard, #stages, #serving, #alerts { padding: 8px 12px; font-size: 13px; }
+  #degradation h2, #guard h2, #stages h2, #serving h2, #alerts h2 { font-size: 14px; margin: 6px 0; }
+  #alertwrap { display: flex; gap: 28px; align-items: flex-start; }
+  #alerts .range { font-size: 11px; color: #777; margin-bottom: 8px; }
   .deg { font-size: 11px; padding: 2px 8px; border-radius: 9px; margin-left: 8px;
          vertical-align: 1px; }
   .deg.ok { background: #d9efe3; color: #00633c; }
@@ -427,6 +480,7 @@ __HEALTH__
 __GUARD__
 __STAGES__
 __SERVING__
+__ALERTS__
 __DEGRADATION__
 <div id="tip"></div>
 <script>

@@ -287,6 +287,11 @@ class MonitoringPipeline:
         self._snapshot_store = None
         self._publish_every = 1
         self._batches_since_publish = 0
+        # Observability attachments (see repro.obs.timeline / .alerts):
+        # when set, every consumed batch samples the timeline and
+        # evaluates the alert rules on the attached clock.
+        self._timeline = None
+        self._alerts = None
         self.registry = registry if registry is not None else Registry()
         self.guard = self._build_guard(guard)
         self.health = SketchHealth(self.registry)
@@ -467,11 +472,46 @@ class MonitoringPipeline:
 
     def _maybe_publish(self) -> None:
         if self._snapshot_store is None:
+            self._observe()
             return
         self._batches_since_publish += 1
         if self._batches_since_publish >= self._publish_every:
             self._batches_since_publish = 0
             self._snapshot_store.publish(self)
+        self._observe()
+
+    # ------------------------------------------------------------------
+    # Timeline sampling and alert evaluation (see docs/observability.md)
+    # ------------------------------------------------------------------
+    def attach_timeline(self, timeline):
+        """Sample ``timeline`` after every consumed batch.
+
+        ``timeline`` is a :class:`~repro.obs.timeline.Timeline` (usually
+        over this pipeline's registry, on the driver's virtual clock).
+        Sampling reads instruments only — ingest stays bit-identical
+        with a timeline attached or not.  Returns ``timeline``.
+        """
+        self._timeline = timeline
+        return timeline
+
+    def attach_alerts(self, alerts):
+        """Evaluate ``alerts`` after every consumed batch.
+
+        ``alerts`` is an :class:`~repro.obs.alerts.AlertManager`; its
+        timeline is attached too (one sample per batch precedes each
+        evaluation).  Returns ``alerts``.
+        """
+        self._alerts = alerts
+        if alerts.timeline is not None:
+            self._timeline = alerts.timeline
+        return alerts
+
+    def _observe(self) -> None:
+        """Per-batch observability tick: sample, then evaluate rules."""
+        if self._timeline is not None:
+            self._timeline.sample()
+        if self._alerts is not None:
+            self._alerts.evaluate()
 
     def retained_latent_sample(
         self, basis: np.ndarray, max_rows: int = 256
@@ -805,4 +845,6 @@ class MonitoringPipeline:
             summary["guard"] = self.guard.summary()
         if self._analysis is not None and self._analysis.stages:
             summary["stages"] = self._analysis.stage_summary()
+        if self._alerts is not None:
+            summary["alerts"] = self._alerts.summary()
         return summary

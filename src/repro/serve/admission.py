@@ -177,6 +177,9 @@ class ServeRequest:
     #: Filled by the server when the request is answered (or left None
     #: when the request was shed after admission).
     result: Any = field(default=None, repr=False)
+    #: Trace context stamped at admission when the controller was built
+    #: with a trace sink; ties the submit flow event to the answer.
+    trace: Any = field(default=None, repr=False)
 
     def expired(self, now: float) -> bool:
         return now > self.deadline
@@ -200,6 +203,13 @@ class AdmissionController:
     registry:
         ``repro.obs`` registry receiving the queue-depth gauge and the
         exact shed counters.
+    trace_sink / trace_context:
+        Optional :class:`~repro.obs.trace_context.TraceSink` and base
+        :class:`~repro.obs.trace_context.TraceContext`.  When both are
+        given, every admitted request is stamped with a child context
+        and a flow *start* lands on the serve submit lane; the server
+        finishes the arrow when it answers.  Sheds emit instant
+        markers.  Tracing never changes admission decisions.
 
     Examples
     --------
@@ -219,6 +229,8 @@ class AdmissionController:
         default_deadline: float | None = 1.0,
         bucket: TokenBucket | None = None,
         registry=None,
+        trace_sink=None,
+        trace_context=None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -235,6 +247,8 @@ class AdmissionController:
 
             registry = get_default_registry()
         self.registry = registry
+        self.trace_sink = trace_sink
+        self.trace_context = trace_context
         self._queue: deque[ServeRequest] = deque()
         self._seq = 0
         self.n_admitted = 0
@@ -256,6 +270,15 @@ class AdmissionController:
         """Count one shed request under ``reason`` (exact, typed)."""
         self.n_shed[reason] += 1
         self._shed_counters[reason].inc()
+        if self.trace_sink is not None and self.trace_context is not None:
+            n = sum(self.n_shed.values())
+            self.trace_sink.instant(
+                self.trace_context.child(f"shed:{n}"),
+                process="serve",
+                lane=0,
+                t=self.clock.now(),
+                name=f"shed ({reason})",
+            )
 
     def submit(
         self,
@@ -294,6 +317,16 @@ class AdmissionController:
             enqueued_at=now,
             seq=self._seq,
         )
+        if self.trace_sink is not None and self.trace_context is not None:
+            req.trace = self.trace_context.child(f"query:{self._seq}")
+            self.trace_sink.emit(
+                "s",
+                req.trace,
+                process="serve",
+                lane=0,
+                t=now,
+                name=f"submit {kind} #{self._seq}",
+            )
         self._queue.append(req)
         self.n_admitted += 1
         self._depth_gauge.set(len(self._queue))

@@ -397,4 +397,45 @@ class SketchServer:
             live.append(req)
         if not live:
             return []
-        return self.engine.query_batch(live)
+        results = self.engine.query_batch(live)
+        self._trace_answers(live, results)
+        return results
+
+    def _trace_answers(self, live: list[ServeRequest], results) -> None:
+        """Finish each answered request's flow arrow and tie it to the
+        snapshot epoch it read (no-op when admission is untraced)."""
+        sink = self.admission.trace_sink
+        base = self.admission.trace_context
+        if sink is None or base is None:
+            return
+        now = self.admission.clock.now()
+        for req, res in zip(live, results):
+            if req.trace is not None:
+                sink.emit(
+                    "f",
+                    req.trace,
+                    process="serve",
+                    lane=1,
+                    t=now,
+                    name=f"answer {req.kind} #{req.seq}"
+                    + (" (cached)" if res.cached else ""),
+                )
+            # Epoch tie: a second arrow from the epochs lane to the
+            # answer, so the trace shows which snapshot the query read.
+            ectx = base.child(f"epoch:{res.epoch}:q{req.seq}")
+            sink.emit(
+                "s",
+                ectx,
+                process="serve",
+                lane=2,
+                t=now,
+                name=f"epoch {res.epoch}",
+            )
+            sink.emit(
+                "f",
+                ectx,
+                process="serve",
+                lane=1,
+                t=now,
+                name=f"epoch {res.epoch} -> #{req.seq}",
+            )

@@ -1,0 +1,80 @@
+"""Lint: per-event accumulators inside ``src/repro/obs/`` must be bounded.
+
+The observability layer runs for the lifetime of a beamtime, so any
+append onto *instance state* that never truncates is a slow-motion
+OOM.  Every such accumulator in ``repro.obs`` therefore enforces a cap
+(ring buffer, drop counter, trajectory thinning, or setup-time-only
+growth) and marks the append site with a same-line ``# bounded:``
+comment naming the mechanism::
+
+    self.events.append(event)  # bounded: trimmed to max_events just below
+
+This test walks the package and fails on any ``self.<...>.append(``
+call that lacks the marker — a new accumulator must either document
+its bound or be rewritten against one of the existing capped
+structures.  Local per-call lists (an exporter building its output
+lines, say) are bounded by the call and exempt.  The marker is
+deliberately a comment, not a decorator: the hot paths stay free of
+indirection and the reviewer sees the claimed bound exactly where the
+growth happens.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OBS = REPO / "src" / "repro" / "obs"
+MARKER = "# bounded:"
+
+#: An append whose receiver chain starts from ``self`` — state that
+#: outlives the call, i.e. a potential per-event accumulator.
+_SELF_APPEND = re.compile(r"\bself\.[^#]*\.append\(")
+
+
+def test_obs_package_exists():
+    assert OBS.is_dir(), f"expected observability package at {OBS}"
+
+
+def test_every_obs_state_append_is_bounded():
+    offenders: list[str] = []
+    for path in sorted(OBS.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if _SELF_APPEND.search(code) and MARKER not in line:
+                offenders.append(
+                    f"{path.relative_to(REPO)}:{lineno}: {line.strip()}"
+                )
+    assert not offenders, (
+        "unbounded accumulator(s) in repro.obs — every append onto instance "
+        f"state must carry a same-line '{MARKER} <mechanism>' comment "
+        "documenting its cap:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_marker_sites_exist():
+    """The convention is live: the known capped sites carry the marker."""
+    marked = sum(
+        1
+        for path in OBS.rglob("*.py")
+        for line in path.read_text().splitlines()
+        if ".append(" in line and MARKER in line
+    )
+    assert marked >= 5, "expected the documented bounded-append sites in repro.obs"
+
+
+def test_marker_names_a_mechanism():
+    """``# bounded:`` must be followed by actual words, not left empty."""
+    bad: list[str] = []
+    for path in sorted(OBS.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if MARKER not in line:
+                continue
+            reason = line.split(MARKER, 1)[1].strip()
+            if len(reason) < 8:
+                bad.append(f"{path.relative_to(REPO)}:{lineno}")
+    assert not bad, (
+        "empty '# bounded:' marker(s) — name the capping mechanism:\n  "
+        + "\n  ".join(bad)
+    )

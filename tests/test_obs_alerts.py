@@ -1,0 +1,412 @@
+"""Alert rules, the spec grammar, hysteresis, and the manager's bounds.
+
+The FD-bound rule is the one with paper-level stakes: Liberty's
+guarantee says cumulative shrinkage mass can never exceed
+``||A||_F^2 / ell``, so the built-in rule must fire on a synthetic
+violation and must stay quiet on a real ARAMS run (a false page on a
+healthy sketch would be worse than no rule at all).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.obs.alerts import (
+    AlertManager,
+    BurnRateRule,
+    FDBoundRule,
+    RateRule,
+    ThresholdRule,
+    parse_rule,
+    parse_rules,
+)
+from repro.obs.health import SketchHealth
+from repro.obs.registry import Registry
+from repro.obs.timeline import Timeline
+from repro.obs.trace_context import TraceContext, TraceSink
+
+
+def _stack(rules=(), **kw):
+    """Registry + clocked timeline + manager, ready to drive by hand."""
+    registry = Registry()
+    t = [0.0]
+    timeline = Timeline(registry, clock=lambda: t[0])
+    manager = AlertManager(timeline, rules=rules, **kw)
+    return registry, t, timeline, manager
+
+
+# ---------------------------------------------------------------------------
+# Rule constructors / validation
+# ---------------------------------------------------------------------------
+
+
+class TestRuleValidation:
+    def test_bad_severity(self):
+        with pytest.raises(ValueError, match="severity"):
+            ThresholdRule("r", "m", ">", 1.0, severity="sev1")
+
+    def test_negative_hysteresis(self):
+        with pytest.raises(ValueError, match="for_seconds"):
+            ThresholdRule("r", "m", ">", 1.0, for_seconds=-1.0)
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError, match="op"):
+            ThresholdRule("r", "m", "!=", 1.0)
+
+    def test_rate_window_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            RateRule("r", "m", ">", 1.0, window_seconds=0.0)
+
+    def test_burn_budget_open_interval(self):
+        for budget in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError, match="budget"):
+                BurnRateRule("r", "m", objective=1.0, budget=budget,
+                             window_seconds=10.0)
+
+    def test_fd_bound_params(self):
+        with pytest.raises(ValueError, match="ell"):
+            FDBoundRule(ell=0)
+        with pytest.raises(ValueError, match="margin"):
+            FDBoundRule(ell=8, margin=0.0)
+
+    def test_fd_bound_defaults_to_page(self):
+        assert FDBoundRule(ell=8).severity == "page"
+
+
+# ---------------------------------------------------------------------------
+# Rule behavior
+# ---------------------------------------------------------------------------
+
+
+class TestThresholdRule:
+    def test_fires_and_resolves(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("depth", "queue_depth", ">", 5.0)]
+        )
+        g = registry.gauge("queue_depth")
+        g.set(3.0)
+        timeline.sample()
+        assert mgr.evaluate() == []
+
+        t[0] = 1.0
+        g.set(9.0)
+        timeline.sample()
+        (fired,) = mgr.evaluate()
+        assert fired.state == "firing" and fired.value == 9.0
+        assert fired.threshold == 5.0
+        assert mgr.active() == {"depth": 1.0}
+
+        t[0] = 2.0
+        g.set(2.0)
+        timeline.sample()
+        (resolved,) = mgr.evaluate()
+        assert resolved.state == "resolved"
+        assert math.isnan(resolved.value)
+        assert resolved.message == "condition cleared"
+        assert mgr.active() == {}
+
+    def test_no_retrigger_while_firing(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("depth", "queue_depth", ">", 5.0)]
+        )
+        g = registry.gauge("queue_depth")
+        g.set(9.0)
+        for i in range(5):
+            t[0] = float(i)
+            timeline.sample()
+            transitions = mgr.evaluate()
+            assert len(transitions) == (1 if i == 0 else 0)
+
+    def test_hysteresis_holds_off_transients(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("depth", "queue_depth", ">", 5.0,
+                                 for_seconds=2.0)]
+        )
+        g = registry.gauge("queue_depth")
+        # breach at t=0 and t=1: held < 2s, still pending
+        for tt in (0.0, 1.0):
+            t[0] = tt
+            g.set(9.0)
+            timeline.sample()
+            assert mgr.evaluate() == []
+        # dip at t=1.5 resets the pending window
+        t[0] = 1.5
+        g.set(1.0)
+        timeline.sample()
+        assert mgr.evaluate() == []
+        # breach again: needs 2 full seconds from t=2 before firing
+        for tt in (2.0, 3.0):
+            t[0] = tt
+            g.set(9.0)
+            timeline.sample()
+            assert mgr.evaluate() == []
+        t[0] = 4.0
+        timeline.sample()
+        (fired,) = mgr.evaluate()
+        assert fired.state == "firing"
+
+
+class TestRateRule:
+    def test_fires_on_slope(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[RateRule("shed", "shed_total", ">", 5.0,
+                            window_seconds=10.0)]
+        )
+        c = registry.counter("shed_total")
+        for i in range(5):
+            t[0] = float(i)
+            c.inc(10.0)  # 10/s >> threshold 5/s
+            timeline.sample()
+        assert [e.state for e in mgr.evaluate()] == ["firing"]
+
+    def test_quiet_without_enough_history(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[RateRule("shed", "shed_total", ">", 5.0,
+                            window_seconds=10.0)]
+        )
+        registry.counter("shed_total").inc(100.0)
+        timeline.sample()
+        assert mgr.evaluate() == []  # one bucket: rate is NaN
+
+
+class TestBurnRateRule:
+    def test_fires_when_budget_exceeded(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[BurnRateRule("slo", "lat", objective=0.05, budget=0.10,
+                                window_seconds=10.0, field="p99")]
+        )
+        h = registry.histogram("lat")
+        # 5 clean samples, then 5 violating ones: 50% > 10% budget
+        for i in range(10):
+            t[0] = float(i)
+            h.observe(0.001 if i < 5 else 0.5)
+            timeline.sample()
+        (fired,) = mgr.evaluate()
+        assert fired.state == "firing"
+        assert fired.threshold == 0.10
+        assert fired.value > 0.10
+
+    def test_quiet_within_budget(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[BurnRateRule("slo", "lat", objective=10.0, budget=0.10,
+                                window_seconds=10.0, field="p99")]
+        )
+        h = registry.histogram("lat")
+        for i in range(10):
+            t[0] = float(i)
+            h.observe(0.001)
+            timeline.sample()
+        assert mgr.evaluate() == []
+
+
+class TestFDBoundRule:
+    def test_fires_on_synthetic_violation(self):
+        registry, t, timeline, mgr = _stack(rules=[FDBoundRule(ell=8)])
+        registry.counter(FDBoundRule.ENERGY_METRIC).inc(80.0)
+        registry.counter(FDBoundRule.SHRINKAGE_METRIC).inc(11.0)  # > 80/8
+        (fired,) = mgr.evaluate()
+        assert fired.state == "firing"
+        assert fired.severity == "page"
+        assert fired.threshold == pytest.approx(10.0)
+        assert "FD bound violated" in fired.message
+
+    def test_quiet_without_energy(self):
+        registry, t, timeline, mgr = _stack(rules=[FDBoundRule(ell=8)])
+        registry.counter(FDBoundRule.SHRINKAGE_METRIC).inc(11.0)
+        assert mgr.evaluate() == []  # energy absent/zero: no division
+
+    def test_margin_tightens_bound(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[FDBoundRule(ell=8, margin=0.5)]
+        )
+        registry.counter(FDBoundRule.ENERGY_METRIC).inc(80.0)
+        registry.counter(FDBoundRule.SHRINKAGE_METRIC).inc(6.0)  # > 0.5*80/8
+        (fired,) = mgr.evaluate()
+        assert fired.threshold == pytest.approx(5.0)
+
+    def test_stays_quiet_on_healthy_sketch(self):
+        """The theorem in vivo: a real ARAMS run never pages."""
+        registry, t, timeline, mgr = _stack(rules=[FDBoundRule(ell=16)])
+        sk = ARAMS(d=32, config=ARAMSConfig(ell=16, beta=0.8, epsilon=0.05,
+                                            seed=0))
+        SketchHealth(registry).attach(sk)
+        rng = np.random.default_rng(5)
+        for i in range(20):
+            t[0] = float(i)
+            sk.partial_fit(rng.standard_normal((100, 32)))
+            timeline.sample()
+            assert mgr.evaluate() == [], "FD bound fired on a healthy sketch"
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar
+# ---------------------------------------------------------------------------
+
+
+class TestParseRule:
+    def test_threshold_with_labels_field_and_modifiers(self):
+        rule = parse_rule(
+            'p99: serve_query_seconds{kind="project"}.p99 > 0.05 '
+            "for 2s severity=page"
+        )
+        assert isinstance(rule, ThresholdRule)
+        assert rule.name == "p99"
+        assert rule.metric == "serve_query_seconds"
+        assert rule.metric_labels == {"kind": "project"}
+        assert rule.field == "p99"
+        assert rule.op == ">" and rule.threshold == 0.05
+        assert rule.for_seconds == 2.0 and rule.severity == "page"
+
+    def test_rate(self):
+        rule = parse_rule("shed: rate(serve_queries_shed_total, 10s) > 5")
+        assert isinstance(rule, RateRule)
+        assert rule.window_seconds == 10.0 and rule.threshold == 5.0
+
+    def test_burn_defaults_value_field_to_p99(self):
+        rule = parse_rule(
+            "slo: burn(serve_query_seconds > 0.02, budget=0.1, window=30s)"
+        )
+        assert isinstance(rule, BurnRateRule)
+        assert rule.field == "p99"
+        assert rule.objective == 0.02 and rule.budget == 0.1
+        assert rule.window_seconds == 30.0
+
+    def test_fd_bound_spec(self):
+        rule = parse_rule("fd: fd_bound(ell=24, margin=0.9)")
+        assert isinstance(rule, FDBoundRule)
+        assert rule.ell == 24 and rule.margin == 0.9
+        assert rule.severity == "page"  # default even via the grammar
+        assert parse_rule("fd: fd_bound(ell=8) severity=info").severity == "info"
+
+    def test_duration_units(self):
+        assert parse_rule("r: m > 1 for 500ms").for_seconds == 0.5
+        assert parse_rule("r: m > 1 for 2m").for_seconds == 120.0
+        assert parse_rule("r: m > 1 for 1h").for_seconds == 3600.0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "no-colon-here",
+            "r: ",
+            "r: m >",
+            "r: m > 1 for",
+            "r: m > 1 frobnicate",
+            "r: m > 1 for 10parsecs",
+            "r: m{k}.p99 > 1",          # label pair without '='
+            "r: m.p12 > 1",             # unknown field
+            "r: rate(m, 10s) != 5",     # bad operator
+            "r: burn(m > 1, budget=2, window=10s)",  # budget out of range
+        ],
+    )
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_rule(spec)
+
+    def test_parse_rules_skips_blank_and_comments(self):
+        rules = parse_rules(
+            "# comment\n\nr1: m > 1\n   \nr2: rate(m, 5s) < 0\n"
+        )
+        assert [r.name for r in rules] == ["r1", "r2"]
+
+
+# ---------------------------------------------------------------------------
+# Manager plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestAlertManager:
+    def test_rejects_duplicate_rule_names(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("r", "m", ">", 1.0)]
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            mgr.add_rule(ThresholdRule("r", "other", "<", 0.0))
+
+    def test_add_rule_auto_tracks(self):
+        registry, t, timeline, mgr = _stack()
+        mgr.add_rule(ThresholdRule("r", "queue_depth", ">", 1.0))
+        assert timeline.series("queue_depth") is not None
+
+    def test_transition_counters_and_active_gauge(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("depth", "queue_depth", ">", 5.0)]
+        )
+        g = registry.gauge("queue_depth")
+        g.set(9.0)
+        timeline.sample()
+        mgr.evaluate()
+        assert registry.get_sample(
+            "repro_alerts_firing_total",
+            {"rule": "depth", "severity": "warning"},
+        ).value == 1.0
+        assert registry.get_sample("repro_alerts_active").value == 1.0
+        t[0] = 1.0
+        g.set(0.0)
+        timeline.sample()
+        mgr.evaluate()
+        assert registry.get_sample(
+            "repro_alerts_resolved_total",
+            {"rule": "depth", "severity": "warning"},
+        ).value == 1.0
+        assert registry.get_sample("repro_alerts_active").value == 0.0
+
+    def test_event_log_bounded_with_drop_counter(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("flap", "g", ">", 0.5)], max_events=4
+        )
+        g = registry.gauge("g")
+        for i in range(8):  # 8 flaps -> 16 transitions
+            t[0] = float(2 * i)
+            g.set(1.0)
+            timeline.sample()
+            mgr.evaluate()
+            t[0] = float(2 * i + 1)
+            g.set(0.0)
+            timeline.sample()
+            mgr.evaluate()
+        assert len(mgr.events) == 4
+        assert mgr.n_events_dropped == 12
+        assert registry.get_sample(
+            "repro_alert_events_dropped_total"
+        ).value == 12.0
+        # survivors are the newest transitions
+        assert mgr.events[-1].state == "resolved"
+        assert mgr.events[-1].at == 15.0
+
+    def test_max_events_validated(self):
+        registry = Registry()
+        timeline = Timeline(registry, clock=lambda: 0.0)
+        with pytest.raises(ValueError, match="max_events"):
+            AlertManager(timeline, max_events=0)
+
+    def test_transitions_land_on_trace(self):
+        sink = TraceSink()
+        root = TraceContext.root("alerts-test")
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("depth", "queue_depth", ">", 5.0)],
+            trace_sink=sink,
+            trace_context=root,
+        )
+        registry.gauge("queue_depth").set(9.0)
+        timeline.sample()
+        mgr.evaluate()
+        events = [
+            e for e in sink.chrome_events() if e.get("ph") == "i"
+        ]
+        assert any(e["name"] == "alert firing: depth" for e in events)
+
+    def test_summary(self):
+        registry, t, timeline, mgr = _stack(
+            rules=[ThresholdRule("depth", "queue_depth", ">", 5.0)]
+        )
+        registry.gauge("queue_depth").set(9.0)
+        timeline.sample()
+        mgr.evaluate()
+        s = mgr.summary()
+        assert s["rules"] == ["depth"]
+        assert list(s["active"]) == ["depth"]
+        assert s["events"] == 1 and s["events_dropped"] == 0

@@ -1,0 +1,225 @@
+"""End-to-end observability: one seeded run, one merged trace, live alerts.
+
+The PR-6 acceptance scenario: a seeded run that combines guard-rejected
+corruption (NaN/Inf frames), an injected rank stall in the distributed
+leg, and a traced serve replay must land everything in ONE merged trace
+(single trace id, flow arrows pairing sends with receives and queries
+with answers) and fire at least two alerts — the FD-bound SLO and the
+serve-latency burn-rate SLO — with the transition log frozen as golden
+JSON in ``tests/golden/obs_e2e.json``.
+
+Determinism notes: every timestamp in the scenario sits on virtual
+clocks (the serve clock and the simulated rank clocks), alert ids are
+sequence numbers, and the only wall-clock quantity (real query latency
+feeding ``serve_query_seconds``) is consumed through a burn-rate rule
+with objective 0 — any positive latency violates it — so the fired
+transitions are replay-exact even though the latencies are not.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.arams import ARAMSConfig
+from repro.data.synthetic import sharded_synthetic_dataset
+from repro.obs.alerts import (
+    AlertManager,
+    BurnRateRule,
+    FDBoundRule,
+    ThresholdRule,
+)
+from repro.obs.registry import Registry
+from repro.obs.timeline import Timeline
+from repro.obs.trace_context import TraceContext, TraceSink
+from repro.parallel.cost_model import ComputeCostModel
+from repro.parallel.faults import FaultPlan
+from repro.parallel.runner import DistributedSketchRunner
+from repro.pipeline.monitor import MonitoringPipeline
+from repro.serve import (
+    AdmissionController,
+    QueryEngine,
+    SketchServer,
+    SnapshotStore,
+    VirtualClock,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "obs_e2e.json"
+
+SIDE = 24
+SHOTS = 180
+BATCH = 60
+ELL = 12
+
+
+def _run_scenario():
+    """The full seeded scenario; returns (registry, sink, alerts, dist)."""
+    registry = Registry()
+    sink = TraceSink()
+    root = TraceContext.root("e2e-seed42")
+    clock = VirtualClock()
+
+    # --- distributed leg: tree merge with an injected rank stall -------
+    shards = sharded_synthetic_dataset(
+        n_shards=4, rows_per_shard=60, d=32, rank=20,
+        profile="cubic", rate=0.05, seed=3,
+    )
+    dist = DistributedSketchRunner(
+        ell=ELL, strategy="tree",
+        fault_plan=FaultPlan(seed=13).stall(2, seconds=0.2, op=0),
+        compute_model=ComputeCostModel(),
+        trace_sink=sink, trace_context=root.child("dist"),
+    ).run(shards)
+
+    # --- guarded ingest: corrupted frames rejected, sketch stays clean -
+    pipe = MonitoringPipeline(
+        image_shape=(SIDE, SIDE), seed=0,
+        sketch=ARAMSConfig(ell=ELL, beta=0.8, epsilon=0.05, seed=0),
+        registry=registry, guard=True,
+    )
+    store = pipe.attach_snapshot_store(
+        SnapshotStore(registry=registry), every_batches=1
+    )
+    timeline = Timeline(registry, clock=clock.now)
+    alerts = AlertManager(
+        timeline,
+        rules=[
+            # margin ~ 0: fires as soon as any shrinkage mass exists, so
+            # the built-in FD-bound path is exercised without corrupting
+            # the sketch (a real breach is a mathematical impossibility).
+            FDBoundRule(ell=ELL, margin=1e-9),
+            BurnRateRule(
+                "serve_p99_slo", "serve_query_seconds", objective=0.0,
+                budget=0.5, window_seconds=60.0,
+                labels={"kind": "project"}, field="p99", severity="warning",
+            ),
+            ThresholdRule(
+                "guard_rejects", "frames_rejected_total", ">", 0.0,
+                labels={"reason": "non_finite"}, severity="info",
+            ),
+        ],
+        trace_sink=sink,
+        trace_context=root.child("alerts"),
+    )
+    pipe.attach_timeline(timeline)
+    pipe.attach_alerts(alerts)
+
+    rng = np.random.default_rng(42)
+    frames = np.abs(rng.normal(1.0, 0.25, (SHOTS, SIDE, SIDE)))
+    frames[7, 3, 3] = np.nan    # guard corruption in batch 0
+    frames[65, 0, 0] = np.inf   # and again in batch 1
+    for start in range(0, SHOTS, BATCH):
+        clock.advance(1.0)
+        pipe.consume(frames[start : start + BATCH])
+
+    # --- serve replay: traced queries against the published epochs ----
+    admission = AdmissionController(
+        clock, max_queue=32, registry=registry,
+        trace_sink=sink, trace_context=root.child("serve"),
+    )
+    server = SketchServer(QueryEngine(store, registry=registry), admission)
+    payload = pipe.preprocessor.apply_flat(frames[:4])
+    for _ in range(6):
+        clock.advance(0.25)
+        server.submit("project", payload)
+        server.submit("stats")
+        server.process()
+    clock.advance(1.0)
+    timeline.sample()
+    alerts.evaluate()
+    return registry, sink, alerts, dist
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return _run_scenario()
+
+
+def _golden_payload(sink, alerts) -> dict:
+    """The replay-exact projection of the run (see determinism notes)."""
+    return {
+        "schema_version": 1,
+        "trace": {
+            "traces": sink.summary()["traces"],
+            "by_phase": sink.summary()["by_phase"],
+        },
+        "fired": sorted(
+            {e.rule for e in alerts.events if e.state == "firing"}
+        ),
+        "events": [
+            {"rule": e.rule, "severity": e.severity,
+             "state": e.state, "at": e.at}
+            for e in alerts.events
+        ],
+    }
+
+
+class TestMergedTrace:
+    def test_single_trace_id(self, scenario):
+        _, sink, _, _ = scenario
+        assert sink.summary()["traces"] == ["e2e-seed42"]
+
+    def test_flow_arrows_all_paired(self, scenario):
+        _, sink, _, _ = scenario
+        events = sink.chrome_events()
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        finishes = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts and starts == finishes
+
+    def test_all_three_legs_present(self, scenario):
+        _, sink, _, _ = scenario
+        processes = {p.process for p in sink.points}
+        assert processes == {"ranks", "serve"}
+        names = {p.name for p in sink.points}
+        assert any(n.startswith("merge fold") for n in names)   # dist leg
+        assert any(n.startswith("submit") for n in names)       # serve leg
+        assert any(n.startswith("alert firing") for n in names)  # alerts
+
+    def test_stall_was_actually_injected(self, scenario):
+        _, _, _, dist = scenario
+        assert dist.degradation.stalls_injected == 1
+
+
+class TestAlerts:
+    def test_at_least_two_slos_fired(self, scenario):
+        _, _, alerts, _ = scenario
+        fired = {e.rule for e in alerts.events if e.state == "firing"}
+        assert {"fd_bound", "serve_p99_slo"} <= fired
+
+    def test_guard_corruption_fired_its_rule(self, scenario):
+        registry, _, alerts, _ = scenario
+        assert registry.get_sample(
+            "frames_rejected_total", {"reason": "non_finite"}
+        ).value == 2.0
+        assert "guard_rejects" in alerts.active()
+
+    def test_fd_bound_event_carries_the_bound_math(self, scenario):
+        _, _, alerts, _ = scenario
+        (ev,) = [e for e in alerts.events if e.rule == "fd_bound"]
+        assert ev.severity == "page"
+        assert "FD bound violated" in ev.message
+        assert ev.value > 0
+
+
+class TestGoldenJSON:
+    def test_matches_golden_file(self, scenario):
+        _, sink, alerts, _ = scenario
+        payload = _golden_payload(sink, alerts)
+        assert GOLDEN.exists(), (
+            f"missing golden file {GOLDEN}; regenerate it from "
+            f"_golden_payload if the scenario changed deliberately"
+        )
+        assert payload == json.loads(GOLDEN.read_text())
+
+    def test_scenario_is_replay_exact(self):
+        _, sink_a, alerts_a, _ = _run_scenario()
+        _, sink_b, alerts_b, _ = _run_scenario()
+        assert _golden_payload(sink_a, alerts_a) == _golden_payload(
+            sink_b, alerts_b
+        )
+        # raw insertion order is thread-interleaving-dependent; the
+        # sorted chrome export is the deterministic surface
+        assert sink_a.chrome_events() == sink_b.chrome_events()

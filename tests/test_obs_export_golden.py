@@ -1,0 +1,131 @@
+"""Golden-file tests for alert exporter output, plus label escaping.
+
+The exporters' byte-level output is an interface: scrape configs,
+log-ingest pipelines and the ops runbook all parse it.  These tests
+freeze the rendered form of a fixed alert history in
+``tests/golden/alerts.{prom,jsonl,txt}`` so a formatting change is a
+deliberate diff, not an accident.  Label escaping is checked
+property-style: ``unescape_label(escape_label(s)) == s`` for arbitrary
+strings including backslash/quote/newline torture cases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.alerts import AlertEvent
+from repro.obs.export import (
+    alerts_to_jsonl,
+    alerts_to_prometheus,
+    escape_label,
+    render_alerts_table,
+    to_jsonl,
+    to_prometheus,
+    unescape_label,
+)
+from repro.obs.registry import Registry
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: Fixed alert history: fd_bound fired and stayed firing, the serve SLO
+#: fired then resolved, and a rule with escaping-hostile labels fired.
+EVENTS = (
+    AlertEvent(
+        rule="fd_bound", severity="page", state="firing", at=12.5,
+        value=11.0, threshold=10.0, labels={"ell": "8"},
+        message="FD bound violated: shrinkage mass 11 > 1 * energy 80 / ell 8 = 10",
+    ),
+    AlertEvent(
+        rule="serve_p99_slo", severity="warning", state="firing", at=14.0,
+        value=0.5, threshold=0.1,
+        labels={"metric": "serve_query_seconds", "kind": "project"},
+        message="50.0% of samples over the last 5s violate "
+                "serve_query_seconds.p99 <= 0.05 (budget 10.0%)",
+    ),
+    AlertEvent(
+        rule="odd_labels", severity="info", state="firing", at=15.0,
+        value=1.0, threshold=0.0,
+        labels={"path": 'C:\\data\\"run"\n2'},
+        message="labels survive escaping",
+    ),
+    AlertEvent(
+        rule="serve_p99_slo", severity="warning", state="resolved", at=16.0,
+        value=float("nan"), threshold=float("nan"),
+        labels={"metric": "serve_query_seconds", "kind": "project"},
+        message="condition cleared",
+    ),
+)
+
+
+def _check_golden(name: str, rendered: str):
+    path = GOLDEN / name
+    assert path.exists(), (
+        f"missing golden file {path}; if the format change is deliberate, "
+        f"regenerate it from this test's EVENTS fixture"
+    )
+    assert rendered == path.read_text(), (
+        f"exporter output diverged from {path} — formatting changes must "
+        f"update the golden file deliberately"
+    )
+
+
+class TestAlertGoldenFiles:
+    def test_prometheus(self):
+        _check_golden("alerts.prom", alerts_to_prometheus(EVENTS))
+
+    def test_jsonl(self):
+        _check_golden("alerts.jsonl", alerts_to_jsonl(EVENTS))
+
+    def test_table(self):
+        _check_golden("alerts.txt", render_alerts_table(EVENTS) + "\n")
+
+    def test_prometheus_reflects_last_state(self):
+        # serve_p99_slo resolved last, so only fd_bound + odd_labels show.
+        body = alerts_to_prometheus(EVENTS)
+        assert 'alertname="fd_bound"' in body
+        assert 'alertname="odd_labels"' in body
+        assert "serve_p99_slo" not in body
+
+    def test_jsonl_lines_parse_as_typed_alerts(self):
+        lines = alerts_to_jsonl(EVENTS).splitlines()
+        assert len(lines) == len(EVENTS)
+        for line, ev in zip(lines, EVENTS):
+            obj = json.loads(line)
+            assert obj["type"] == "alert"
+            assert obj["rule"] == ev.rule
+            assert obj["labels"] == ev.labels
+
+    def test_registry_exports_embed_alert_sections(self):
+        registry = Registry()
+        registry.gauge("g", help="A gauge.").set(1.0)
+        prom = to_prometheus(registry, alerts=EVENTS)
+        assert "# TYPE ALERTS gauge" in prom
+        jsonl = to_jsonl(registry, alerts=EVENTS)
+        kinds = [json.loads(l).get("type") for l in jsonl.splitlines()]
+        assert kinds.count("alert") == len(EVENTS)
+
+    def test_empty_history_renders_empty(self):
+        assert alerts_to_prometheus(()) == ""
+        assert alerts_to_jsonl(()) == ""
+        assert render_alerts_table(()) == "(no alerts)"
+
+
+class TestLabelEscaping:
+    def test_torture_cases(self):
+        for s in ('a"b', "a\\b", "a\nb", '\\"', "\\n", "", "plain", '\\\\"'):
+            assert unescape_label(escape_label(s)) == s
+
+    def test_escaped_form_is_single_line_and_quote_free(self):
+        s = 'multi\nline "quoted" \\slashed\\'
+        esc = escape_label(s)
+        assert "\n" not in esc
+        # every remaining quote is escaped
+        assert '"' not in esc.replace('\\"', "")
+
+    @given(st.text(max_size=200))
+    def test_round_trip_property(self, s):
+        assert unescape_label(escape_label(s)) == s

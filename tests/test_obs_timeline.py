@@ -1,0 +1,307 @@
+"""Timelines: ring-buffer bounds, envelope-preserving downsampling.
+
+The fixed-memory claim is the whole point of ``repro.obs.timeline`` —
+a series must never exceed its capacity no matter how long the
+campaign — and downsampling must keep the min/max envelope exactly, or
+a week-old latency spike silently vanishes from the HTML panel.  Both
+are checked property-style (hypothesis) over random streams, plus unit
+coverage of the sampling/read API the alert rules build on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import Registry
+from repro.obs.timeline import (
+    Bucket,
+    Series,
+    Timeline,
+    ascii_sparkline,
+    downsample,
+)
+
+COMMON = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+# ---------------------------------------------------------------------------
+# Bucket / downsample
+# ---------------------------------------------------------------------------
+
+
+class TestBucket:
+    def test_point(self):
+        b = Bucket.point(2.0, 5.0)
+        assert (b.t0, b.t1, b.first, b.last, b.vmin, b.vmax, b.count) == (
+            2.0, 2.0, 5.0, 5.0, 5.0, 5.0, 1,
+        )
+
+    def test_merge_preserves_endpoints_and_envelope(self):
+        a = Bucket.point(0.0, 3.0)
+        b = Bucket.point(1.0, -7.0)
+        m = a.merge(b)
+        assert (m.t0, m.t1) == (0.0, 1.0)
+        assert (m.first, m.last) == (3.0, -7.0)
+        assert (m.vmin, m.vmax) == (-7.0, 3.0)
+        assert m.count == 2
+
+    def test_merge_commutes_on_time_order(self):
+        a = Bucket.point(0.0, 1.0)
+        b = Bucket.point(5.0, 2.0)
+        assert b.merge(a) == a.merge(b)
+
+
+class TestDownsample:
+    def test_target_respected(self):
+        buckets = [Bucket.point(float(t), float(t)) for t in range(100)]
+        out = downsample(buckets, 10)
+        assert len(out) <= 10
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            downsample([], 0)
+
+    @COMMON
+    @given(st.lists(finite, min_size=1, max_size=200), st.integers(1, 64))
+    def test_envelope_first_last_count_preserved(self, values, target):
+        buckets = [Bucket.point(float(t), v) for t, v in enumerate(values)]
+        out = downsample(buckets, target)
+        assert len(out) <= target
+        assert min(b.vmin for b in out) == min(values)
+        assert max(b.vmax for b in out) == max(values)
+        assert out[0].first == values[0]
+        assert out[-1].last == values[-1]
+        assert sum(b.count for b in out) == len(values)
+        # time coverage survives too: first/last stamps are untouched
+        assert out[0].t0 == 0.0
+        assert out[-1].t1 == float(len(values) - 1)
+
+    @COMMON
+    @given(st.lists(finite, min_size=2, max_size=200), st.integers(1, 64))
+    def test_buckets_stay_time_ordered(self, values, target):
+        buckets = [Bucket.point(float(t), v) for t, v in enumerate(values)]
+        out = downsample(buckets, target)
+        for left, right in zip(out, out[1:]):
+            assert left.t1 <= right.t0
+
+
+# ---------------------------------------------------------------------------
+# Series
+# ---------------------------------------------------------------------------
+
+
+class TestSeries:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Series("x", capacity=1)
+
+    @COMMON
+    @given(st.lists(finite, min_size=1, max_size=3000), st.integers(2, 64))
+    def test_never_exceeds_capacity(self, values, capacity):
+        s = Series("x", capacity=capacity)
+        for t, v in enumerate(values):
+            s.append(float(t), v)
+            assert len(s) <= capacity
+        assert s.n_samples == len(values)
+
+    @COMMON
+    @given(st.lists(finite, min_size=1, max_size=3000), st.integers(2, 64))
+    def test_envelope_survives_coalescing(self, values, capacity):
+        s = Series("x", capacity=capacity)
+        for t, v in enumerate(values):
+            s.append(float(t), v)
+        lo, hi = s.envelope()
+        assert lo == min(values)
+        assert hi == max(values)
+        assert s.last() == values[-1]
+
+    @COMMON
+    @given(st.integers(1, 3000), st.integers(2, 64))
+    def test_monotone_counter_stays_monotone(self, n, capacity):
+        """A counter-shaped stream never loses monotonicity to merging."""
+        s = Series("x_total", capacity=capacity)
+        total = 0.0
+        for t in range(n):
+            total += (t * 7919) % 13  # deterministic nonneg increments
+            s.append(float(t), total)
+        vals = s.values()
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+        assert s.last() == total
+
+    def test_nan_and_none_skipped(self):
+        s = Series("x", capacity=8)
+        s.append(0.0, float("nan"))
+        s.append(1.0, None)
+        assert len(s) == 0 and s.n_samples == 0
+        assert math.isnan(s.last())
+        assert all(math.isnan(v) for v in s.envelope())
+
+    def test_window_and_rate(self):
+        s = Series("x", capacity=64)
+        for t in range(10):
+            s.append(float(t), 2.0 * t)
+        assert len(s.window(7.0)) == 3
+        assert s.rate(5.0) == pytest.approx(2.0)
+        assert math.isnan(Series("y").rate(5.0))
+
+    def test_rate_needs_two_points(self):
+        s = Series("x", capacity=8)
+        s.append(0.0, 1.0)
+        assert math.isnan(s.rate(10.0))
+
+    def test_to_dict_round_trips_points(self):
+        s = Series("x", labels={"rank": "0"}, field="p99", capacity=8)
+        s.append(1.0, 4.0)
+        d = s.to_dict()
+        assert d["name"] == "x" and d["labels"] == {"rank": "0"}
+        assert d["field"] == "p99" and d["n_samples"] == 1
+        assert d["points"] == [[1.0, 1.0, 4.0, 4.0, 4.0, 4.0, 1]]
+
+
+# ---------------------------------------------------------------------------
+# Timeline
+# ---------------------------------------------------------------------------
+
+
+def _clocked_timeline(registry, **kw):
+    t = [0.0]
+    timeline = Timeline(registry, clock=lambda: t[0], **kw)
+    return t, timeline
+
+
+class TestTimeline:
+    def test_samples_gauges_counters_histograms(self):
+        registry = Registry()
+        registry.gauge("g").set(3.0)
+        registry.counter("c_total").inc(2.0)
+        registry.histogram("h").observe(0.5)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("g")
+        timeline.track("c_total")
+        timeline.track("h", field="p99")
+        assert timeline.sample() == 3
+        assert timeline.series("g").last() == 3.0
+        assert timeline.series("c_total").last() == 2.0
+        assert timeline.series("h", field="p99").last() == pytest.approx(0.5)
+
+    def test_untracked_instrument_skipped_until_created(self):
+        registry = Registry()
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("later")
+        assert timeline.sample() == 0
+        registry.gauge("later").set(1.0)
+        assert timeline.sample() == 1
+
+    def test_track_is_idempotent(self):
+        registry = Registry()
+        t, timeline = _clocked_timeline(registry)
+        s1 = timeline.track("g")
+        s2 = timeline.track("g")
+        assert s1 is s2
+        assert len(timeline.all_series()) == 1
+
+    def test_track_all_picks_up_labelsets(self):
+        registry = Registry()
+        registry.gauge("depth", labels={"rank": "0"}).set(1.0)
+        registry.gauge("depth", labels={"rank": "1"}).set(2.0)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track_all(["depth"])
+        assert timeline.sample() == 2
+        assert timeline.series("depth", {"rank": "1"}).last() == 2.0
+
+    def test_sample_uses_injected_clock(self):
+        registry = Registry()
+        registry.gauge("g").set(1.0)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("g")
+        t[0] = 42.0
+        timeline.sample()
+        assert timeline.series("g").times() == [42.0]
+        timeline.sample(t=99.0)  # explicit stamp wins
+        assert timeline.series("g").times() == [42.0, 99.0]
+
+    def test_histogram_value_field_aliases_mean(self):
+        registry = Registry()
+        h = registry.histogram("h")
+        h.observe(1.0)
+        h.observe(3.0)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("h")  # field defaults to "value" -> mean
+        timeline.sample()
+        assert timeline.series("h").last() == pytest.approx(2.0)
+
+    def test_unknown_histogram_field_rejected(self):
+        registry = Registry()
+        registry.histogram("h").observe(1.0)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("h", field="p12")
+        with pytest.raises(ValueError, match="p12"):
+            timeline.sample()
+
+    def test_field_on_gauge_rejected(self):
+        registry = Registry()
+        registry.gauge("g").set(1.0)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("g", field="p99")
+        with pytest.raises(ValueError, match="histogram"):
+            timeline.sample()
+
+    def test_capacity_bounds_long_campaign(self):
+        registry = Registry()
+        g = registry.gauge("g")
+        t, timeline = _clocked_timeline(registry, capacity=16)
+        timeline.track("g")
+        for i in range(10_000):
+            t[0] = float(i)
+            g.set(float(i % 100))
+            timeline.sample()
+        s = timeline.series("g")
+        assert len(s) <= 16
+        assert s.n_samples == 10_000
+        assert s.envelope() == (0.0, 99.0)
+
+    def test_to_dict_sorted_series(self):
+        registry = Registry()
+        registry.gauge("b").set(1.0)
+        registry.gauge("a").set(2.0)
+        t, timeline = _clocked_timeline(registry)
+        timeline.track("b")
+        timeline.track("a")
+        timeline.sample()
+        d = timeline.to_dict()
+        assert [s["name"] for s in d["series"]] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Sparklines
+# ---------------------------------------------------------------------------
+
+
+class TestSparkline:
+    def test_empty_and_nan_only(self):
+        assert ascii_sparkline([]) == ""
+        assert ascii_sparkline([float("nan")]) == ""
+
+    def test_flat_series_renders_floor(self):
+        assert ascii_sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_extremes_hit_both_glyph_ends(self):
+        line = ascii_sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_respected_and_last_kept(self):
+        line = ascii_sparkline(list(range(1000)), width=20)
+        assert len(line) == 20
+        assert line[-1] == "█"  # last (= max) value always survives

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tiered CI runner: one entry point for local runs and the workflow.
 
-Three tiers, cheapest first, documented in ``docs/ci.md``:
+Four tiers, cheapest first, documented in ``docs/ci.md``:
 
 - **Tier 1 — lint + fast tests.**  Byte-compiles every Python file
   (syntax gate; the container ships no third-party linter) and runs the
@@ -16,6 +16,12 @@ Three tiers, cheapest first, documented in ``docs/ci.md``:
   against their committed ``BENCH_*.json`` through the shared
   comparator in ``benchmarks/_gate.py``.  Timing-sensitive: run on a
   quiet machine.
+- **Tier 4 — observability suite.**  The trace/timeline/alert test
+  files (incl. the exporter golden files and the bounded-append lint)
+  plus the obs overhead gate (``bench_obs_overhead`` against
+  ``BENCH_obs.json``).  Most of these also run in tier 1; the tier
+  exists so observability changes can be iterated on in isolation and
+  so the workflow pins the overhead budgets explicitly.
 
 Usage::
 
@@ -94,6 +100,42 @@ TIERS: dict[int, tuple[str, tuple[Step, ...]]] = {
                     "benchmarks/bench_core.py",
                     "benchmarks/bench_guard_overhead.py",
                     "benchmarks/bench_serve.py",
+                    "-q",
+                    "--benchmark-disable",
+                ),
+            ),
+        ),
+    ),
+    4: (
+        "observability suite (traces + timelines + alerts)",
+        (
+            Step(
+                "obs-tests",
+                (
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    "-q",
+                    "tests/test_obs_registry.py",
+                    "tests/test_obs_spans.py",
+                    "tests/test_obs_export.py",
+                    "tests/test_obs_health.py",
+                    "tests/test_obs_timeline.py",
+                    "tests/test_obs_alerts.py",
+                    "tests/test_obs_trace_context.py",
+                    "tests/test_obs_export_golden.py",
+                    "tests/test_obs_e2e.py",
+                    "tests/test_trace.py",
+                    "tests/test_no_unbounded_append.py",
+                ),
+            ),
+            Step(
+                "obs-bench",
+                (
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    "benchmarks/bench_obs_overhead.py",
                     "-q",
                     "--benchmark-disable",
                 ),
