@@ -1,0 +1,215 @@
+"""Backend portfolio throughput + selector payoff (BENCH_backends.json).
+
+Times every streaming ``SketchBackend`` at a representative shape and
+checks that the auto-selector's promise holds in *wall-clock*, not just
+in its cost model:
+
+- ``{backend}_stream_d1024_l32`` — streaming rows/sec per backend on a
+  seeded low-rank + noise stream (the regime the portfolio targets).
+  ``rel_cov_error`` rides along ungated, as evidence that throughput
+  was not bought with accuracy.
+- ``selector_d{d}_r{rank}_t{target}`` — for each frozen regime, run
+  the auto-selection, then measure the chosen backend and FD on the
+  same stream.  ``speedup`` (chosen vs FD wall-clock) is gated;
+  ``selected_nonfd`` / ``meets_target`` record the decision.
+
+``test_selector_beats_fd_somewhere`` is the acceptance bar from the
+portfolio issue: at least one regime where the selector picks a non-FD
+backend that meets the error target *and* out-throughputs FD in
+measured wall-clock.
+
+``test_regression_vs_baseline`` gates a fresh run against the committed
+JSON through the shared comparator (``benchmarks/_gate.py``); the
+baseline is captured at import time and rewritten only under
+``pytest --update-baseline``.  Absolute numbers are machine-dependent;
+the gate tracks relative movement only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from _gate import compare_cases, load_baseline, write_baseline
+
+from repro.core.backend import create_backend
+from repro.core.errors import relative_covariance_error
+from repro.core.selector import probe_stream, select_backend
+from repro.obs.clock import StopWatch
+
+pytestmark = pytest.mark.backends
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_backends.json"
+
+# Read the committed baseline BEFORE any test can rewrite it.
+_BASELINE = load_baseline(BASELINE_PATH)
+
+D, ELL = 1024, 32
+N_ROWS = 4096
+RANK = 8
+
+#: Every streaming backend in the registry, at one shared shape: the
+#: three auto-candidates plus the two cheap oblivious baselines (the
+#: fit-only leverage sketcher has no streaming path to time).
+STREAM_BACKENDS = ("fd", "ipca", "rrf", "random_projection", "hashing")
+
+#: Selector regimes mirroring the golden-fixture grid corners where the
+#: loose target is in play: a large low-rank detector (RRF territory)
+#: and a small drifting one.  ``ell=48`` matches the golden fixture.
+PAYOFF_REGIMES = (
+    {"d": 1024, "ell": 48, "rank": 8, "drift": 0.0, "target": 0.01},
+    {"d": 256, "ell": 48, "rank": 24, "drift": 0.6, "target": 0.01},
+)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall seconds (best-of filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        with StopWatch() as sw:
+            fn()
+        best = min(best, sw.elapsed)
+    return best
+
+
+def _measure_backend(name: str, d: int, ell: int, rows):
+    """(final sketcher, measured rows/sec) for one streaming backend."""
+    warm = create_backend(name, d=d, ell=ell, seed=0)
+    warm.partial_fit(rows[: rows.shape[0] // 4])
+    holder = {}
+
+    def run():
+        sk = create_backend(name, d=d, ell=ell, seed=0)
+        sk.partial_fit(rows)
+        holder["sk"] = sk
+
+    seconds = _best_of(run)
+    return holder["sk"], rows.shape[0] / seconds
+
+
+@pytest.fixture(scope="module")
+def backend_numbers() -> dict:
+    """Measure every case once per session (shapes are the expensive part)."""
+    cases: dict[str, dict[str, float]] = {}
+
+    rows = probe_stream(N_ROWS, D, rank=RANK, drift=0.0, seed=2)
+    for name in STREAM_BACKENDS:
+        sk, rps = _measure_backend(name, D, ELL, rows)
+        cases[f"{name}_stream_d{D}_l{ELL}"] = {
+            "rows_per_sec": rps,
+            "rel_cov_error": relative_covariance_error(rows, sk.sketch),
+        }
+
+    for regime in PAYOFF_REGIMES:
+        result = select_backend(
+            d=regime["d"],
+            ell=regime["ell"],
+            target_error=regime["target"],
+            rank=regime["rank"],
+            drift=regime["drift"],
+            seed=0,
+        )
+        stream = probe_stream(
+            N_ROWS, regime["d"], rank=regime["rank"],
+            drift=regime["drift"], seed=3,
+        )
+        _, rps_chosen = _measure_backend(
+            result.backend, regime["d"], regime["ell"], stream
+        )
+        _, rps_fd = _measure_backend("fd", regime["d"], regime["ell"], stream)
+        key = (
+            f"selector_d{regime['d']}_r{regime['rank']}_t{regime['target']}"
+        )
+        cases[key] = {
+            "rows_per_sec": rps_chosen,
+            "speedup": rps_chosen / rps_fd,
+            "selected_nonfd": 0.0 if result.backend == "fd" else 1.0,
+            "meets_target": (
+                1.0 if result.report(result.backend).meets_target else 0.0
+            ),
+        }
+    return cases
+
+
+def test_streaming_rates_positive(backend_numbers, table):
+    rows = [
+        [name, m["rows_per_sec"], m["rel_cov_error"]]
+        for name, m in backend_numbers.items()
+        if name.endswith(f"_stream_d{D}_l{ELL}")
+    ]
+    table(
+        f"backend streaming throughput, {N_ROWS} x {D} rows, ell={ELL}",
+        ["case", "rows/sec", "rel cov error"],
+        rows,
+    )
+    assert all(r[1] > 0 for r in rows)
+
+
+def test_selector_beats_fd_somewhere(backend_numbers, table):
+    """Acceptance bar: >= 1 regime where a qualifying non-FD backend
+    wins on *measured* throughput, not just on the cost model."""
+    selector_cases = {
+        name: m
+        for name, m in backend_numbers.items()
+        if name.startswith("selector_")
+    }
+    table(
+        "selector payoff (speedup = chosen vs FD wall-clock)",
+        ["case", "rows/sec", "speedup", "non-FD?", "meets target?"],
+        [
+            [n, m["rows_per_sec"], m["speedup"],
+             int(m["selected_nonfd"]), int(m["meets_target"])]
+            for n, m in selector_cases.items()
+        ],
+    )
+    payoff = [
+        name
+        for name, m in selector_cases.items()
+        if m["selected_nonfd"] and m["meets_target"] and m["speedup"] > 1.0
+    ]
+    assert payoff, (
+        "no regime where the selector picked a non-FD backend that met the "
+        "target and beat FD's wall-clock throughput"
+    )
+
+
+def test_write_baseline(backend_numbers, update_baseline):
+    """Refresh benchmarks/BENCH_backends.json (only under --update-baseline)."""
+    if not update_baseline:
+        pytest.skip("baseline unchanged; rerun with --update-baseline to refresh")
+    write_baseline(
+        BASELINE_PATH,
+        backend_numbers,
+        command="PYTHONPATH=src python -m pytest benchmarks/bench_backends.py "
+                "-s --update-baseline",
+    )
+    assert load_baseline(BASELINE_PATH)["cases"]
+
+
+def test_regression_vs_baseline(backend_numbers, table):
+    """Fail when any gated case regressed >50% against the committed JSON."""
+    if _BASELINE is None:
+        pytest.skip("no committed BENCH_backends.json baseline; run once with "
+                    "--update-baseline and commit it")
+    rows, failures = compare_cases(backend_numbers, _BASELINE)
+    table(
+        "regression vs committed baseline (ratio > 1 = slower)",
+        ["case", "metric", "baseline", "fresh", "ratio"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+# pytest-benchmark variants of the headline cases, for --benchmark-* tooling.
+def test_bench_rrf_stream(benchmark):
+    x = probe_stream(N_ROWS, D, rank=RANK, drift=0.0, seed=2)
+    benchmark(
+        lambda: create_backend("rrf", d=D, ell=ELL, seed=0).partial_fit(x)
+    )
+
+
+def test_bench_ipca_stream(benchmark):
+    x = probe_stream(N_ROWS, D, rank=RANK, drift=0.0, seed=2)
+    benchmark(
+        lambda: create_backend("ipca", d=D, ell=ELL, seed=0).partial_fit(x)
+    )

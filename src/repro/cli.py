@@ -116,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--beta", type=float, default=0.8, help="sampling fraction")
     mon.add_argument("--epsilon", type=float, default=0.05, help="error tolerance")
     mon.add_argument("--seed", type=int, default=0)
+    mon.add_argument(
+        "--backend", choices=["auto", "fd", "ipca", "rrf"], default="fd",
+        help="sketch backend; 'auto' probes the stream regime and picks "
+             "the fastest backend meeting --target-error "
+             "(see docs/backends.md); non-fd backends disable --epsilon "
+             "rank adaptation",
+    )
+    mon.add_argument(
+        "--target-error", type=float, default=None, metavar="REL",
+        help="relative covariance-error target for --backend auto "
+             "(default: select on accuracy alone)",
+    )
     mon.add_argument("--csv", type=str, default=None, help="export embedding CSV")
     mon.add_argument("--html", type=str, default=None,
                      help="write an interactive HTML report (Bokeh-style)")
@@ -190,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
     ser.add_argument("--beta", type=float, default=0.8, help="sampling fraction")
     ser.add_argument("--epsilon", type=float, default=0.05, help="error tolerance")
     ser.add_argument("--seed", type=int, default=0)
+    ser.add_argument(
+        "--backend", choices=["auto", "fd", "ipca", "rrf"], default="fd",
+        help="sketch backend behind the snapshot store ('auto' probes "
+             "the regime; see docs/backends.md)",
+    )
+    ser.add_argument(
+        "--target-error", type=float, default=None, metavar="REL",
+        help="relative covariance-error target for --backend auto",
+    )
     ser.add_argument(
         "--publish-every", type=int, default=2, metavar="N",
         help="publish a sketch snapshot every N consumed batches",
@@ -295,6 +316,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _sketch_kwargs(args: argparse.Namespace) -> dict:
+    """ARAMSConfig kwargs honoring --backend/--target-error.
+
+    Non-fd backends have fixed sketch budgets, so the --epsilon rank
+    adaptation is dropped for them (ARAMSConfig would reject the
+    combination).
+    """
+    kwargs = dict(
+        ell=args.ell, beta=args.beta, epsilon=args.epsilon, seed=args.seed
+    )
+    backend = getattr(args, "backend", "fd")
+    if backend != "fd":
+        kwargs["epsilon"] = None
+        kwargs["backend"] = backend
+        kwargs["target_error"] = getattr(args, "target_error", None)
+    return kwargs
+
+
+def _describe_backend(arams) -> str:
+    """One status line naming the active backend (+ auto evidence)."""
+    name = getattr(type(arams.sketcher), "backend_name", None) or "fd"
+    selection = getattr(arams, "selection", None)
+    if selection is None:
+        return name
+    evidence = ", ".join(
+        f"{c.name}: err={c.error:.4f}"
+        f"{'' if c.meets_target else ' (misses target)'}"
+        for c in selection.candidates
+    )
+    target = (
+        f" for target {selection.target_error}"
+        if selection.target_error is not None
+        else ""
+    )
+    return f"{name} (auto{target}; probe: {evidence})"
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.arams import ARAMSConfig
     from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
@@ -332,9 +390,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         pipe = MonitoringPipeline(
             image_shape=shape,
             seed=args.seed,
-            sketch=ARAMSConfig(
-                ell=args.ell, beta=args.beta, epsilon=args.epsilon, seed=args.seed
-            ),
+            sketch=ARAMSConfig(**_sketch_kwargs(args)),
             umap={"n_epochs": 200, "n_neighbors": 15},
             optics={"min_samples": max(10, args.shots // 50)},
             cluster_method=args.cluster,
@@ -368,6 +424,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     print(f"scenario       : {args.scenario} ({args.shots} shots of {shape[0]}x{shape[1]})")
     print(f"sketch         : ell={pipe.sketcher.ell} (started {args.ell}), "
           f"beta={args.beta}, epsilon={args.epsilon}")
+    print(f"backend        : {_describe_backend(pipe.sketcher)}")
     print(f"ingest rate    : {pipe.throughput_hz():.1f} Hz")
     print(f"total wall time: {total:.1f}s "
           f"({', '.join(f'{k}={v:.2f}s' for k, v in result.timings.items())})")
@@ -564,9 +621,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pipe = MonitoringPipeline(
         image_shape=shape,
         seed=args.seed,
-        sketch=ARAMSConfig(
-            ell=args.ell, beta=args.beta, epsilon=args.epsilon, seed=args.seed
-        ),
+        sketch=ARAMSConfig(**_sketch_kwargs(args)),
         umap={"n_epochs": 150, "n_neighbors": 15},
         optics={"min_samples": max(10, args.shots // 50)},
         registry=registry,
@@ -701,6 +756,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serve replay   : {args.scenario}, {args.shots} shots of "
           f"{shape[0]}x{shape[1]} in {n_batches} batches, "
           f"publish every {args.publish_every}")
+    print(f"backend        : {_describe_backend(pipe.sketcher)}")
     print(f"epochs         : {store.published} published, {len(store)} retained "
           f"(latest {store.latest().epoch if len(store) else '-'})")
     print(f"queries        : {n_issued} issued, {adm['admitted']} admitted, "

@@ -1,5 +1,8 @@
 """Sketching core: the paper's primary contribution.
 
+- :mod:`repro.core.backend` — the :class:`SketchBackend` protocol and
+  registry every sketcher implements (capabilities, persistence,
+  merge contracts; see ``docs/backends.md``).
 - :mod:`repro.core.frequent_directions` — streaming Frequent Directions
   (Liberty 2013; Ghashami et al. 2016) with the FastFD ``2l x d`` buffer.
 - :mod:`repro.core.rank_adaptive` — the rank-adaptation heuristic
@@ -9,12 +12,27 @@
   (Duffield, Lund & Thorup 2007) over row norms.
 - :mod:`repro.core.arams` — Accelerated Rank-Adaptive Matrix Sketching
   (paper Algorithm 3): priority sampling chained into rank-adaptive FD.
+- :mod:`repro.core.ipca` / :mod:`repro.core.randomized` — the
+  incremental-PCA and randomized range-finder backends FD is compared
+  against under the same contract.
+- :mod:`repro.core.selector` — deterministic ``--backend auto``
+  selection for an observed (d, rank, drift) regime.
 - :mod:`repro.core.merge` — mergeable-summary operations: pairwise,
   serial and tree merges with rotation accounting.
 - :mod:`repro.core.errors` — exact sketch quality metrics (covariance
   error, projection error) used across tests and benchmarks.
 """
 
+from repro.core.backend import (
+    BackendCapabilities,
+    BackendInfo,
+    SketchBackend,
+    backend_names,
+    create_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.rank_adaptive import RankAdaptiveFD, rank_adapt_heuristic
 from repro.core.priority_sampling import PrioritySampler, priority_sample
@@ -29,6 +47,15 @@ from repro.core.baselines import (
     RandomProjectionSketcher,
     RowSamplingSketcher,
 )
+from repro.core.ipca import IncrementalPCASketcher
+from repro.core.randomized import RandomizedRangeFinderSketcher
+from repro.core.selector import (
+    AUTO_CANDIDATES,
+    CandidateReport,
+    SelectionResult,
+    probe_stream,
+    select_backend,
+)
 from repro.core.errors import (
     covariance_error,
     projection_error,
@@ -37,6 +64,14 @@ from repro.core.errors import (
 )
 
 __all__ = [
+    "SketchBackend",
+    "BackendCapabilities",
+    "BackendInfo",
+    "backend_names",
+    "create_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
     "FrequentDirections",
     "RankAdaptiveFD",
     "rank_adapt_heuristic",
@@ -56,6 +91,13 @@ __all__ = [
     "HashingSketcher",
     "RowSamplingSketcher",
     "LeverageSamplingSketcher",
+    "IncrementalPCASketcher",
+    "RandomizedRangeFinderSketcher",
+    "AUTO_CANDIDATES",
+    "CandidateReport",
+    "SelectionResult",
+    "probe_stream",
+    "select_backend",
     "covariance_error",
     "projection_error",
     "relative_covariance_error",

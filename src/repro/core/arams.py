@@ -69,6 +69,16 @@ class ARAMSConfig:
         Rotation kernel for the underlying sketcher: ``"auto"``
         (default), ``"svd"``, or ``"gram"`` (see
         :func:`repro.linalg.svd.fd_rotate`).
+    backend:
+        Sketch backend behind the sampler: ``"fd"`` (default — the
+        paper's FD family, including the ``epsilon``/``gamma``
+        variants), any registered backend name (see
+        :func:`repro.core.backend.backend_names`), or ``"auto"`` to
+        probe the stream regime and pick the fastest backend meeting
+        ``target_error`` (see :mod:`repro.core.selector`).
+    target_error:
+        Relative covariance-error target for ``backend="auto"``
+        selection; ``None`` selects purely on accuracy.
     """
 
     ell: int = 50
@@ -82,6 +92,8 @@ class ARAMSConfig:
     gamma: float = 1.0
     seed: int | None = None
     rotation_kernel: str = "auto"
+    backend: str = "fd"
+    target_error: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.beta <= 1.0:
@@ -104,6 +116,34 @@ class ARAMSConfig:
                 "forgetting (gamma < 1) and rank adaptation (epsilon) are "
                 "mutually exclusive; pick one"
             )
+        if self.backend != "fd":
+            if self.backend != "auto":
+                from repro.core.backend import backend_names
+
+                if self.backend not in backend_names():
+                    raise ValueError(
+                        f"unknown backend {self.backend!r}; expected 'auto' "
+                        f"or one of {', '.join(backend_names())}"
+                    )
+            if self.epsilon is not None:
+                raise ValueError(
+                    "epsilon (rank adaptation) requires backend='fd'; "
+                    "other backends have fixed sketch budgets"
+                )
+            if self.gamma < 1.0:
+                raise ValueError(
+                    "gamma (forgetting) requires backend='fd'; use "
+                    "backend='forgetting' for the registered decay config"
+                )
+        if self.target_error is not None:
+            if self.backend != "auto":
+                raise ValueError(
+                    "target_error only applies to backend='auto' selection"
+                )
+            if self.target_error <= 0:
+                raise ValueError(
+                    f"target_error must be positive, got {self.target_error}"
+                )
 
 
 class ARAMS:
@@ -133,10 +173,33 @@ class ARAMS:
         self.d = int(d)
         cfg = self.config
         self._n_offered = 0
+        #: :class:`repro.core.selector.SelectionResult` when
+        #: ``backend="auto"`` chose the sketcher; ``None`` otherwise.
+        self.selection = None
         rng = np.random.default_rng(cfg.seed)
+        # Draw order is part of the on-disk contract: the fd path must
+        # consume exactly the two draws it always has (bit-identical
+        # sampling/probe streams vs. older versions); non-fd backends
+        # take one extra draw *after* those.
         self._sample_rng = np.random.default_rng(rng.integers(2**63))
         probe_rng = np.random.default_rng(rng.integers(2**63))
-        if cfg.epsilon is not None:
+        if cfg.backend != "fd":
+            from repro.core.backend import create_backend
+
+            name = cfg.backend
+            if name == "auto":
+                from repro.core.selector import select_backend
+
+                self.selection = select_backend(
+                    d=d,
+                    ell=cfg.ell,
+                    target_error=cfg.target_error,
+                    seed=cfg.seed if cfg.seed is not None else 0,
+                )
+                name = self.selection.backend
+            backend_seed = int(rng.integers(2**63))
+            self._fd = create_backend(name, d=d, ell=cfg.ell, seed=backend_seed)
+        elif cfg.epsilon is not None:
             self._fd: FrequentDirections = RankAdaptiveFD(
                 d=d,
                 ell=cfg.ell,
@@ -179,8 +242,9 @@ class ARAMS:
 
     # ------------------------------------------------------------------
     @property
-    def sketcher(self) -> FrequentDirections:
-        """The underlying FD sketcher (rank-adaptive when configured)."""
+    def sketcher(self):
+        """The underlying :class:`~repro.core.backend.SketchBackend`
+        (FD family by default; whatever ``config.backend`` selected)."""
         return self._fd
 
     @property

@@ -1,0 +1,393 @@
+"""The ``SketchBackend`` contract: one interface over every sketcher.
+
+The paper frames Frequent Directions as one point in a *family* of
+streaming matrix sketches (sampling, random projection, incremental
+PCA, randomized range finders).  This module is the seam that lets the
+rest of the system — pipeline, serving snapshots, persistence,
+benchmarks, the auto-selector — treat that family as interchangeable:
+
+- :class:`SketchBackend` — the abstract streaming contract
+  (``append`` / ``rotate`` / ``sketch`` / ``peek`` / ``merge`` /
+  ``state_dict`` / ``load_state``), with default implementations for
+  everything derivable from ``sketch`` (compaction, basis, projection).
+- :class:`BackendCapabilities` — per-backend declarations (mergeable,
+  forgetting, rank-adaptive, batch invariance, error-bound kind) that
+  the conformance suite (``tests/test_backend_conformance.py``) turns
+  into executable contracts.  A capability is not documentation — it is
+  a promise the test suite enforces on every registered backend.
+- the **registry** — ``register_backend`` / ``get_backend`` /
+  ``create_backend``.  Registration is what puts a backend under test:
+  the conformance fixtures enumerate the registry, and a lint test
+  asserts every concrete subclass in ``src/repro`` is registered (no
+  silently untested backends).
+
+Every capability opt-out lives here, in the registry entry's
+``caveats`` string, so "which backend cannot do what, and why" has one
+authoritative home (see ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar
+
+import numpy as np
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendInfo",
+    "SketchBackend",
+    "backend_names",
+    "create_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "rng_state_to_json",
+    "rng_from_json",
+    "state_scalar",
+    "state_array",
+]
+
+
+# ----------------------------------------------------------------------
+# Capabilities
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend promises; enforced by the conformance suite.
+
+    Attributes
+    ----------
+    mergeable:
+        ``merge(other)`` combines summaries of disjoint streams into a
+        summary of the union.  Non-mergeable backends must say why in
+        their registry ``caveats``.
+    merge_exact:
+        Merge is a linear (or max-) composition: association order
+        changes the result only up to floating-point round-off, tested
+        with a tight ``allclose``.  Shrink-style merges (FD, iPCA) are
+        order-dependent and are instead tested semantically — every
+        association order must still honor the error bound.
+    forgetting:
+        Older rows are deliberately down-weighted; the sketch estimates
+        a decayed Gram matrix, so no bound against the plain stream
+        Gram is declared.
+    rank_adaptive:
+        The sketch size may grow during the stream.
+    streaming:
+        Supports ``partial_fit`` on arbitrary row batches.  ``False``
+        means two-pass ``fit``-only (leverage sampling); streaming
+        conformance checks are skipped and the opt-out documented.
+    batch_invariance:
+        How the sketch depends on how the same row sequence is split
+        into batches: ``"exact"`` (bit-identical), ``"fp"`` (identical
+        up to floating-point summation order — GEMM accumulation), or
+        ``"none"`` (no promise).  Enforced by hypothesis property
+        tests straddling the internal buffer boundary.
+    error_bound:
+        Which reconstruction guarantee the conformance suite asserts on
+        seeded streams:
+
+        - ``"fd"`` — deterministic FD bound
+          ``||A^T A - B^T B||_2 <= ||A||_F^2 / ell``.
+        - ``"tail"`` — spectrum-adaptive:
+          ``||A^T A - B^T B||_2 <= factor * sum_{i>r} sigma_i^2``
+          (error controlled by the optimal tail energy beyond the
+          backend's rank budget).
+        - ``"stochastic"`` — oblivious unbiased sketch:
+          ``||A^T A - B^T B||_2 <= factor * ||A||_F^2 / sqrt(ell)``
+          on seeded data (a concentration bound, not worst-case).
+        - ``"none"`` — no bound declared (forgetting backends).
+    error_bound_factor:
+        The ``factor`` in the ``"tail"`` / ``"stochastic"`` bounds
+        above (ignored for ``"fd"`` whose constant is exactly 1).
+    """
+
+    mergeable: bool = False
+    merge_exact: bool = False
+    forgetting: bool = False
+    rank_adaptive: bool = False
+    streaming: bool = True
+    batch_invariance: str = "exact"
+    error_bound: str = "none"
+    error_bound_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.batch_invariance not in ("exact", "fp", "none"):
+            raise ValueError(
+                f"unknown batch_invariance {self.batch_invariance!r}"
+            )
+        if self.error_bound not in ("fd", "tail", "stochastic", "none"):
+            raise ValueError(f"unknown error_bound {self.error_bound!r}")
+        if self.merge_exact and not self.mergeable:
+            raise ValueError("merge_exact requires mergeable")
+
+
+# ----------------------------------------------------------------------
+# The contract
+# ----------------------------------------------------------------------
+class SketchBackend:
+    """Abstract streaming-sketch backend over ``d``-dimensional rows.
+
+    The contract (enforced per registered backend by
+    ``tests/test_backend_conformance.py``):
+
+    - ``append(rows)`` / ``partial_fit(rows)`` consume a ``(k, d)``
+      batch; ``fit(a)`` is the whole-matrix convenience.
+    - ``sketch`` (property) and ``peek()`` are **pure**: reading them
+      mid-stream never changes how the stream evolves (bit-identical
+      continuation with or without interleaved reads).
+    - ``rotate()`` compacts any internally buffered rows *now*; the
+      value of ``sketch`` before and after is identical, only the
+      internal representation changes.
+    - ``state_dict()`` / ``load_state`` / ``from_state`` round-trip the
+      complete state (including RNG state where the backend has one):
+      resuming from a snapshot continues bit-identically.
+    - ``merge(other)`` folds another backend's summary in, where
+      ``capabilities.mergeable``; ``n_seen`` and ``squared_frobenius``
+      add exactly.
+
+    Required attributes: ``d``, ``ell`` (sketch-size budget; ``sketch``
+    has at most ``ell`` rows), ``n_seen``, ``squared_frobenius``, and
+    ``observer`` (duck-typed health hook, see
+    :mod:`repro.obs.health`; ``None`` disables observation).
+    """
+
+    #: Set by :func:`register_backend` on first registration; used by
+    #: persistence to name the class in checkpoints.
+    backend_name: ClassVar[str | None] = None
+
+    #: Declared contract; concrete subclasses must override.
+    capabilities: ClassVar[BackendCapabilities] = BackendCapabilities()
+
+    # -- required primitives ------------------------------------------
+    def partial_fit(self, rows: np.ndarray) -> "SketchBackend":
+        raise NotImplementedError
+
+    @property
+    def sketch(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Complete state as a flat ``{str: array | scalar | str}`` dict.
+
+        Values must be ``np.savez``-serializable without pickling:
+        arrays, scalars, or strings (RNG state travels as a JSON
+        string; see :func:`rng_state_to_json`).
+        """
+        raise NotImplementedError
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` (in place)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SketchBackend":
+        """Rebuild an instance from a :meth:`state_dict` snapshot."""
+        obj = cls(**cls._ctor_args(state))
+        obj.load_state(state)
+        return obj
+
+    @classmethod
+    def _ctor_args(cls, state: dict) -> dict:
+        """Constructor kwargs recoverable from a state dict."""
+        raise NotImplementedError
+
+    # -- protocol verbs with universal defaults ------------------------
+    def append(self, rows: np.ndarray) -> "SketchBackend":
+        """Protocol alias for :meth:`partial_fit`."""
+        return self.partial_fit(rows)
+
+    def fit(self, a: np.ndarray) -> "SketchBackend":
+        """Sketch an entire matrix in one call."""
+        return self.partial_fit(a)
+
+    def rotate(self) -> None:
+        """Compact internal buffers now; ``sketch`` is unchanged.
+
+        Backends without deferred work (pure per-row updates) inherit
+        this no-op.
+        """
+
+    def peek(self) -> np.ndarray:
+        """Non-mutating snapshot of the current sketch (a fresh copy)."""
+        return self.peek_sketch()
+
+    def peek_sketch(self) -> np.ndarray:
+        """Alias kept for the FD-era read API; same purity contract."""
+        return self.sketch
+
+    def compact_sketch(self) -> np.ndarray:
+        """Sketch with exact zero rows removed (safe for merging)."""
+        b = self.sketch
+        return b[np.any(b != 0.0, axis=1)]
+
+    def peek_compact_sketch(self) -> np.ndarray:
+        """Non-mutating :meth:`compact_sketch`."""
+        b = self.peek_sketch()
+        return b[np.any(b != 0.0, axis=1)]
+
+    def merge(self, other: "SketchBackend") -> "SketchBackend":
+        raise NotImplementedError(
+            f"{type(self).__name__} is not mergeable "
+            "(see its registry caveats in repro.core.backend)"
+        )
+
+    def basis(self, k: int | None = None) -> np.ndarray:
+        """Top-``k`` orthonormal row-space basis (``d x k``)."""
+        from repro.linalg.svd import thin_svd
+
+        b = self.compact_sketch()
+        if b.shape[0] == 0:
+            raise RuntimeError("sketch is empty; no data has been consumed")
+        _, s, vt = thin_svd(b)
+        nonzero = int(np.sum(s > s[0] * 1e-12)) if s.size and s[0] > 0 else 0
+        if nonzero == 0:
+            raise RuntimeError("sketch has no nonzero directions")
+        if k is None:
+            k = nonzero
+        return vt[: min(k, nonzero)].T
+
+    def project(self, x: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Project rows of ``x`` onto the top-``k`` sketch directions."""
+        return np.asarray(x, dtype=np.float64) @ self.basis(k)
+
+
+# ----------------------------------------------------------------------
+# State-dict helpers
+# ----------------------------------------------------------------------
+def rng_state_to_json(rng: np.random.Generator) -> str:
+    """Serialize a generator's bit-generator state to a JSON string."""
+    return json.dumps(rng.bit_generator.state)
+
+
+def rng_from_json(payload: str) -> np.random.Generator:
+    """Rebuild a generator from :func:`rng_state_to_json` output."""
+    state = json.loads(payload)
+    bit_gen = getattr(np.random, state["bit_generator"])()
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)
+
+
+def state_scalar(value, kind):
+    """Coerce a state-dict entry (possibly a 0-d array) to ``kind``.
+
+    ``npz`` round-trips wrap scalars and strings in 0-d arrays; this
+    normalizes both the in-memory and the reloaded form.
+    """
+    if kind is str:
+        return str(np.asarray(value).item()) if not isinstance(value, str) else value
+    return kind(np.asarray(value).item())
+
+
+def state_array(value, dtype=np.float64) -> np.ndarray:
+    """Coerce a state-dict entry to an owned array of ``dtype``."""
+    return np.array(value, dtype=dtype, copy=True)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registered backend: identity, factory and documented limits.
+
+    ``factory(d, ell, seed)`` builds a conformance-testable instance —
+    for parameterized families (forgetting decay, adaptation epsilon)
+    the registered factory pins a representative configuration, which
+    is the configuration the conformance suite locks down.
+    """
+
+    name: str
+    cls: type
+    factory: Callable[..., SketchBackend]
+    summary: str
+    caveats: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return self.cls.capabilities
+
+
+_REGISTRY: dict[str, BackendInfo] = {}
+
+#: Modules whose import registers the built-in backends.  Kept lazy so
+#: ``repro.core.backend`` stays import-cycle-free (the provider modules
+#: import this one for the base class).
+_BUILTIN_MODULES = (
+    "repro.core.frequent_directions",
+    "repro.core.forgetting",
+    "repro.core.rank_adaptive",
+    "repro.core.baselines",
+    "repro.core.ipca",
+    "repro.core.randomized",
+)
+
+
+def register_backend(
+    name: str,
+    cls: type,
+    factory: Callable[..., SketchBackend],
+    summary: str,
+    caveats: str = "",
+    tags: tuple[str, ...] = (),
+) -> BackendInfo:
+    """Register a backend class under ``name`` (idempotent per name).
+
+    Registration is what places a backend under the conformance suite;
+    the ``test_every_backend_registered`` lint fails any concrete
+    :class:`SketchBackend` subclass that skips it.
+    """
+    if name in _REGISTRY and _REGISTRY[name].cls is not cls:
+        raise ValueError(
+            f"backend name {name!r} already registered for "
+            f"{_REGISTRY[name].cls.__name__}"
+        )
+    info = BackendInfo(
+        name=name, cls=cls, factory=factory, summary=summary,
+        caveats=caveats, tags=tuple(tags),
+    )
+    _REGISTRY[name] = info
+    if cls.__dict__.get("backend_name") is None:
+        cls.backend_name = name
+    return info
+
+
+def _ensure_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def backend_names() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def list_backends() -> tuple[BackendInfo, ...]:
+    """Every registered backend, sorted by name."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> BackendInfo:
+    """Look up one registered backend by name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sketch backend {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def create_backend(
+    name: str, d: int, ell: int, seed: int | None = None, **kwargs
+) -> SketchBackend:
+    """Instantiate a registered backend via its factory."""
+    return get_backend(name).factory(d=d, ell=ell, seed=seed, **kwargs)

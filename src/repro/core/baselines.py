@@ -5,8 +5,8 @@ matrix-sketching families — "its runtime lags behind competitors such as
 sampling methods and random-projection methods [5]" — which is the very
 motivation for the priority-sampling acceleration.  To make that
 comparison runnable, the three standard competitor families are
-implemented behind the same streaming interface as
-:class:`~repro.core.frequent_directions.FrequentDirections`:
+implemented behind the same :class:`~repro.core.backend.SketchBackend`
+contract as :class:`~repro.core.frequent_directions.FrequentDirections`:
 
 - :class:`RandomProjectionSketcher` — ``B = S A`` with a dense Gaussian
   map ``S`` (``l x n``, entries ``N(0, 1/l)``); oblivious
@@ -20,13 +20,29 @@ implemented behind the same streaming interface as
   (Drineas & Kannan 2003); two-pass in principle, implemented as a
   weighted reservoir for streaming use.
 
-All three match FD's ``partial_fit`` / ``sketch`` / ``merge`` protocol,
-so benches sweep them interchangeably (``bench_baselines.py``).
+All randomness is consumed **per row, in stream order** — one fixed-size
+draw block per arriving row, regardless of how rows are batched — so a
+seeded sketcher sees identical draws whether a stream arrives as one
+batch or many (the batch-invariance contract the conformance suite
+enforces; the same property PR 3 established for ``PrioritySampler``).
+The sketchers register with the backend registry, which places them
+under the conformance suite: persistence round-trip, merge laws and
+error bounds are exercised for every registered backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.core.backend import (
+    BackendCapabilities,
+    SketchBackend,
+    register_backend,
+    rng_from_json,
+    rng_state_to_json,
+    state_array,
+    state_scalar,
+)
 
 __all__ = [
     "RandomProjectionSketcher",
@@ -36,8 +52,8 @@ __all__ = [
 ]
 
 
-class _BaseSketcher:
-    """Shared validation and bookkeeping for the baseline sketchers."""
+class _BaseSketcher(SketchBackend):
+    """Shared validation, bookkeeping and state plumbing."""
 
     def __init__(self, d: int, ell: int, seed: int | None = None):
         if d < 1:
@@ -49,6 +65,7 @@ class _BaseSketcher:
         self._rng = np.random.default_rng(seed)
         self.n_seen = 0
         self.squared_frobenius = 0.0
+        self.observer = None
 
     def _validate(self, rows: np.ndarray) -> np.ndarray:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
@@ -62,9 +79,42 @@ class _BaseSketcher:
         self.squared_frobenius += float(np.sum(rows * rows))
         return rows
 
+    def _check_merge(self, other: "_BaseSketcher") -> None:
+        if other.d != self.d or other.ell != self.ell:
+            raise ValueError("can only merge sketches of identical shape")
+
+    def _fold_counts(self, other: "_BaseSketcher") -> None:
+        self.n_seen += other.n_seen
+        self.squared_frobenius += other.squared_frobenius
+
     def fit(self, a: np.ndarray):
         """Sketch an entire matrix in one call."""
-        return self.partial_fit(a)  # type: ignore[attr-defined]
+        return self.partial_fit(a)
+
+    # -- state round-trip ----------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "d": self.d,
+            "ell": self.ell,
+            "n_seen": self.n_seen,
+            "squared_frobenius": self.squared_frobenius,
+            "rng_state": rng_state_to_json(self._rng),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state_scalar(state["d"], int) != self.d:
+            raise ValueError("state dimension mismatch")
+        self.ell = state_scalar(state["ell"], int)
+        self.n_seen = state_scalar(state["n_seen"], int)
+        self.squared_frobenius = state_scalar(state["squared_frobenius"], float)
+        self._rng = rng_from_json(state_scalar(state["rng_state"], str))
+
+    @classmethod
+    def _ctor_args(cls, state: dict) -> dict:
+        return {
+            "d": state_scalar(state["d"], int),
+            "ell": state_scalar(state["ell"], int),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(d={self.d}, ell={self.ell}, n_seen={self.n_seen})"
@@ -74,7 +124,8 @@ class RandomProjectionSketcher(_BaseSketcher):
     """Dense Gaussian random-projection sketch ``B = S A``.
 
     Each incoming row ``a_i`` is scattered into all ``l`` sketch rows
-    with fresh ``N(0, 1/l)`` coefficients:
+    with a fresh ``N(0, 1/l)`` coefficient vector ``g_i`` (one
+    length-``l`` draw per row, in stream order):
     ``B += g_i a_i^T`` — so ``E[B^T B] = A^T A`` and one pass suffices.
     No SVD is ever computed, which is why this family wins on raw speed
     and loses on error per sketch row (no adaptivity to the spectrum).
@@ -88,15 +139,27 @@ class RandomProjectionSketcher(_BaseSketcher):
     (8, 16)
     """
 
+    capabilities = BackendCapabilities(
+        mergeable=True,
+        merge_exact=True,
+        # RNG draws are per-row exact; the GEMM accumulating a batch
+        # into B groups the additions differently per batch split, so
+        # invariance holds to floating-point round-off only.
+        batch_invariance="fp",
+        error_bound="stochastic",
+        error_bound_factor=4.0,
+    )
+
     def __init__(self, d: int, ell: int, seed: int | None = None):
         super().__init__(d, ell, seed)
         self._b = np.zeros((ell, d), dtype=np.float64)
 
     def partial_fit(self, rows: np.ndarray) -> "RandomProjectionSketcher":
-        """Scatter a batch through a fresh Gaussian block."""
+        """Scatter a batch through fresh per-row Gaussian vectors."""
         rows = self._validate(rows)
-        g = self._rng.standard_normal((self.ell, rows.shape[0])) / np.sqrt(self.ell)
-        self._b += g @ rows
+        # (n, l) so row i consumes draws [i*l, (i+1)*l) — batch-invariant.
+        g = self._rng.standard_normal((rows.shape[0], self.ell))
+        self._b += (g.T @ rows) / np.sqrt(self.ell)
         return self
 
     @property
@@ -106,12 +169,19 @@ class RandomProjectionSketcher(_BaseSketcher):
 
     def merge(self, other: "RandomProjectionSketcher") -> "RandomProjectionSketcher":
         """Sum of projections of disjoint data is a projection of the union."""
-        if other.d != self.d or other.ell != self.ell:
-            raise ValueError("can only merge sketches of identical shape")
+        self._check_merge(other)
         self._b += other._b
-        self.n_seen += other.n_seen
-        self.squared_frobenius += other.squared_frobenius
+        self._fold_counts(other)
         return self
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["b"] = self._b.copy()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._b = state_array(state["b"])
 
 
 class HashingSketcher(_BaseSketcher):
@@ -120,7 +190,9 @@ class HashingSketcher(_BaseSketcher):
     Row ``a_i`` lands in bucket ``h(i)`` with sign ``s(i)``; with fresh
     hashes per row this is the sparse-embedding sketch, one add per row
     — the cheapest streaming sketch that still satisfies
-    ``E[B^T B] = A^T A``.
+    ``E[B^T B] = A^T A``.  Bucket and sign come from one uniform pair
+    per row (in stream order), and the scatter-add applies rows
+    sequentially, so the sketch is bit-identical under any batching.
 
     Examples
     --------
@@ -131,6 +203,14 @@ class HashingSketcher(_BaseSketcher):
     (8, 16)
     """
 
+    capabilities = BackendCapabilities(
+        mergeable=True,
+        merge_exact=True,
+        batch_invariance="exact",
+        error_bound="stochastic",
+        error_bound_factor=6.0,
+    )
+
     def __init__(self, d: int, ell: int, seed: int | None = None):
         super().__init__(d, ell, seed)
         self._b = np.zeros((ell, d), dtype=np.float64)
@@ -139,8 +219,11 @@ class HashingSketcher(_BaseSketcher):
         """Hash a batch of rows into the buckets (vectorized scatter)."""
         rows = self._validate(rows)
         n = rows.shape[0]
-        buckets = self._rng.integers(0, self.ell, size=n)
-        signs = self._rng.choice(np.array([-1.0, 1.0]), size=n)
+        # One (bucket, sign) uniform pair per row, drawn row-major so
+        # the draw sequence is independent of the batch split.
+        u = self._rng.random((n, 2))
+        buckets = np.minimum((u[:, 0] * self.ell).astype(np.intp), self.ell - 1)
+        signs = np.where(u[:, 1] < 0.5, -1.0, 1.0)
         np.add.at(self._b, buckets, signs[:, None] * rows)
         return self
 
@@ -151,12 +234,19 @@ class HashingSketcher(_BaseSketcher):
 
     def merge(self, other: "HashingSketcher") -> "HashingSketcher":
         """Bucket sums of disjoint streams add."""
-        if other.d != self.d or other.ell != self.ell:
-            raise ValueError("can only merge sketches of identical shape")
+        self._check_merge(other)
         self._b += other._b
-        self.n_seen += other.n_seen
-        self.squared_frobenius += other.squared_frobenius
+        self._fold_counts(other)
         return self
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["b"] = self._b.copy()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._b = state_array(state["b"])
 
 
 class RowSamplingSketcher(_BaseSketcher):
@@ -166,7 +256,13 @@ class RowSamplingSketcher(_BaseSketcher):
     reservoir sampling), each holding one row drawn with probability
     proportional to its squared norm; selected rows are rescaled by
     ``||A||_F / (sqrt(l) ||a_i||)`` so ``E[B^T B] = A^T A``
-    (Drineas & Kannan 2003, streaming form).
+    (Drineas & Kannan 2003, streaming form).  Each row consumes one
+    length-``l`` uniform block in stream order, and reservoir
+    composition is a running max of keys — exactly associative — so the
+    *reservoir* is bit-identical under any batching and the merge is
+    the valid A-Res composition.  The exported sketch is only
+    fp-invariant: its ``||A||_F`` rescaling sums batch energies in
+    arrival grouping.
 
     Examples
     --------
@@ -176,6 +272,18 @@ class RowSamplingSketcher(_BaseSketcher):
     >>> s.sketch.shape
     (8, 16)
     """
+
+    capabilities = BackendCapabilities(
+        mergeable=True,
+        merge_exact=True,
+        # Reservoir contents (rows and keys) are bit-exact under any
+        # batching — max composition is associative — but the exported
+        # sketch rescales by the accumulated ||A||_F^2, whose batch-sum
+        # grouping varies with the split.
+        batch_invariance="fp",
+        error_bound="stochastic",
+        error_bound_factor=6.0,
+    )
 
     def __init__(self, d: int, ell: int, seed: int | None = None):
         super().__init__(d, ell, seed)
@@ -191,13 +299,13 @@ class RowSamplingSketcher(_BaseSketcher):
         if not np.any(positive):
             return self
         rows, w = rows[positive], w[positive]
-        n = rows.shape[0]
-        # Exponential trick: key = log(u)/w is max-equivalent to u^(1/w).
-        u = self._rng.uniform(size=(self.ell, n))
+        # (n, l): row i consumes draws [i*l, (i+1)*l) — batch-invariant.
+        u = self._rng.uniform(size=(rows.shape[0], self.ell))
         u[u == 0] = np.finfo(np.float64).tiny
-        keys = np.log(u) / w[None, :]
-        best = np.argmax(keys, axis=1)
-        best_keys = keys[np.arange(self.ell), best]
+        # Exponential trick: key = log(u)/w is max-equivalent to u^(1/w).
+        keys = np.log(u) / w[:, None]
+        best = np.argmax(keys, axis=0)
+        best_keys = keys[best, np.arange(self.ell)]
         replace = best_keys > self._keys
         self._keys[replace] = best_keys[replace]
         self._rows[replace] = rows[best[replace]]
@@ -216,14 +324,23 @@ class RowSamplingSketcher(_BaseSketcher):
 
     def merge(self, other: "RowSamplingSketcher") -> "RowSamplingSketcher":
         """Keep the better key per reservoir (valid A-Res composition)."""
-        if other.d != self.d or other.ell != self.ell:
-            raise ValueError("can only merge sketches of identical shape")
+        self._check_merge(other)
         replace = other._keys > self._keys
         self._keys[replace] = other._keys[replace]
         self._rows[replace] = other._rows[replace]
-        self.n_seen += other.n_seen
-        self.squared_frobenius += other.squared_frobenius
+        self._fold_counts(other)
         return self
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rows"] = self._rows.copy()
+        state["keys"] = self._keys.copy()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._rows = state_array(state["rows"])
+        self._keys = state_array(state["keys"])
 
 
 class LeverageSamplingSketcher(_BaseSketcher):
@@ -240,7 +357,8 @@ class LeverageSamplingSketcher(_BaseSketcher):
 
     Unlike the other baselines this is **two-pass** (leverage needs the
     spectrum): ``fit`` only, no ``partial_fit`` — it exists to complete
-    the comparison, not to stream.
+    the comparison, not to stream.  The registry entry documents both
+    opt-outs (no streaming, no merge).
 
     Parameters
     ----------
@@ -262,6 +380,14 @@ class LeverageSamplingSketcher(_BaseSketcher):
     >>> s.sketch.shape
     (8, 16)
     """
+
+    capabilities = BackendCapabilities(
+        mergeable=False,
+        streaming=False,
+        batch_invariance="none",
+        error_bound="stochastic",
+        error_bound_factor=6.0,
+    )
 
     def __init__(self, d: int, ell: int, k: int | None = None,
                  seed: int | None = None):
@@ -306,3 +432,68 @@ class LeverageSamplingSketcher(_BaseSketcher):
             "leverage sampling has no mergeable-summary property; "
             "use FD or the oblivious baselines for distributed sketching"
         )
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["b"] = self._b.copy()
+        state["k"] = self.k
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._b = state_array(state["b"])
+        self.k = state_scalar(state["k"], int)
+
+    @classmethod
+    def _ctor_args(cls, state: dict) -> dict:
+        args = super()._ctor_args(state)
+        args["k"] = state_scalar(state["k"], int)
+        return args
+
+
+register_backend(
+    "random_projection",
+    RandomProjectionSketcher,
+    factory=lambda d, ell, seed=None: RandomProjectionSketcher(
+        d=d, ell=ell, seed=seed
+    ),
+    summary="Dense Gaussian random projection B = SA: fastest dense "
+            "oblivious sketch, 1/sqrt(ell)-type stochastic error",
+    caveats="batch_invariance=fp: per-row draws are exact, but batch GEMM "
+            "accumulation order varies with the split.",
+    tags=("baseline", "oblivious"),
+)
+
+register_backend(
+    "hashing",
+    HashingSketcher,
+    factory=lambda d, ell, seed=None: HashingSketcher(d=d, ell=ell, seed=seed),
+    summary="CountSketch signed hashing into ell buckets: cheapest "
+            "streaming sketch, unbiased Gram estimate",
+    tags=("baseline", "oblivious"),
+)
+
+register_backend(
+    "row_sampling",
+    RowSamplingSketcher,
+    factory=lambda d, ell, seed=None: RowSamplingSketcher(d=d, ell=ell, seed=seed),
+    summary="Length-squared weighted reservoir row sampling with "
+            "importance rescaling (A-Res composition merge)",
+    caveats="batch_invariance=fp: the sampled reservoir is bit-exact "
+            "under any batching, but the sketch's ||A||_F rescaling "
+            "accumulates batch sums, whose grouping the split changes.",
+    tags=("baseline", "sampling"),
+)
+
+register_backend(
+    "leverage",
+    LeverageSamplingSketcher,
+    factory=lambda d, ell, seed=None: LeverageSamplingSketcher(
+        d=d, ell=ell, seed=seed
+    ),
+    summary="Rank-k leverage-score row sampling (two-pass, fit-only)",
+    caveats="streaming=False: leverage scores need the full spectrum, so "
+            "only fit(A) is supported; mergeable=False: iid leverage draws "
+            "from different matrices have no composable summary.",
+    tags=("baseline", "sampling", "two-pass"),
+)

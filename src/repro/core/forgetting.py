@@ -20,6 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import (
+    BackendCapabilities,
+    register_backend,
+    state_scalar,
+)
 from repro.core.frequent_directions import FrequentDirections
 
 __all__ = ["ForgettingFD"]
@@ -50,6 +55,16 @@ class ForgettingFD(FrequentDirections):
     >>> fd.sketch.shape
     (4, 16)
     """
+
+    capabilities = BackendCapabilities(
+        mergeable=True,
+        merge_exact=False,
+        forgetting=True,
+        batch_invariance="exact",
+        # The sketch estimates the exponentially *decayed* Gram matrix,
+        # so no bound against the plain stream Gram is declared.
+        error_bound="none",
+    )
 
     def __init__(
         self, d: int, ell: int, gamma: float = 0.95, rotation_kernel: str = "auto"
@@ -92,3 +107,37 @@ class ForgettingFD(FrequentDirections):
             f"ForgettingFD(d={self.d}, ell={self.ell}, gamma={self.gamma}, "
             f"n_seen={self.n_seen})"
         )
+
+    # ------------------------------------------------------------------
+    # SketchBackend state round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["gamma"] = self.gamma
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.gamma = state_scalar(state["gamma"], float)
+
+    @classmethod
+    def _ctor_args(cls, state: dict) -> dict:
+        args = super()._ctor_args(state)
+        args["gamma"] = state_scalar(state["gamma"], float)
+        return args
+
+
+register_backend(
+    "forgetting",
+    ForgettingFD,
+    factory=lambda d, ell, seed=None, gamma=0.9: ForgettingFD(
+        d=d, ell=ell, gamma=gamma
+    ),
+    summary="Exponentially forgetting FD: sketch tracks the decayed Gram "
+            "matrix of a drifting stream (gamma=0.9 registered config)",
+    caveats="error_bound=none: the estimand is the *decayed* Gram matrix, "
+            "so no bound against the plain stream Gram holds; merging "
+            "combines the current decayed summaries (decay clocks are not "
+            "aligned across streams).",
+    tags=("fd-family", "drift"),
+)

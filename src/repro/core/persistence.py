@@ -11,10 +11,24 @@ file.
 What round-trips exactly: the buffer (including pending un-rotated
 rows), all counters, the current/maximum rank and the adaptation flags —
 continuing a stream after ``load`` produces bit-identical sketches to
-never having stopped.  What does not: the random generator driving the
-rank-adaptation probes (NumPy generators are not stably serializable
-across versions); pass a seed to ``load_sketcher`` for deterministic
-resumed runs.
+never having stopped.  The legacy rank-adaptive kind does not persist
+the probe generator (pass a seed to ``load_sketcher`` for deterministic
+resumed runs); every other backend round-trips through its
+``state_dict`` — including RNG state — so resume is bit-exact with no
+seed argument.
+
+Three checkpoint kinds share the ``.npz`` container:
+
+- ``"plain"`` / ``"rank_adaptive"`` — the original field-by-field
+  layouts for exactly :class:`FrequentDirections` and
+  :class:`RankAdaptiveFD`; byte-compatible with checkpoints written
+  before the backend protocol existed.
+- ``"backend"`` — any other registered
+  :class:`~repro.core.backend.SketchBackend`: the backend's name plus
+  its ``state_dict`` entries (``state_``-prefixed), restored via the
+  registry.  This is also the fix for a long-standing gap: a
+  :class:`~repro.core.forgetting.ForgettingFD` used to be saved as
+  ``"plain"``, silently dropping ``gamma`` on reload.
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ import numpy as np
 
 from typing import Mapping
 
+from repro.core.backend import SketchBackend, get_backend
 from repro.core.frequent_directions import FrequentDirections
 from repro.core.rank_adaptive import RankAdaptiveFD
 
@@ -32,10 +47,11 @@ __all__ = ["save_sketcher", "load_sketcher", "load_sketcher_with_extras"]
 
 _FORMAT_VERSION = 1
 _EXTRA_PREFIX = "extra_"
+_STATE_PREFIX = "state_"
 
 
 def save_sketcher(
-    sketcher: FrequentDirections,
+    sketcher: SketchBackend,
     path: str | Path,
     extras: Mapping[str, int | float] | None = None,
 ) -> Path:
@@ -44,8 +60,11 @@ def save_sketcher(
     Parameters
     ----------
     sketcher:
-        A :class:`FrequentDirections` or :class:`RankAdaptiveFD`
-        instance (ARAMS users checkpoint ``arams.sketcher``).
+        Any registered :class:`~repro.core.backend.SketchBackend`
+        (ARAMS users checkpoint ``arams.sketcher``).  Exact
+        :class:`FrequentDirections` / :class:`RankAdaptiveFD` instances
+        keep their original byte layout; everything else goes through
+        the generic ``state_dict`` kind.
     path:
         Output file; ``.npz`` is appended by numpy if missing.
     extras:
@@ -59,6 +78,8 @@ def save_sketcher(
     pathlib.Path
         The file actually written.
     """
+    if type(sketcher) not in (FrequentDirections, RankAdaptiveFD):
+        return _save_generic(sketcher, path, extras)
     payload: dict[str, np.ndarray] = {
         "format_version": np.array(_FORMAT_VERSION),
         "kind": np.array(
@@ -99,9 +120,39 @@ def save_sketcher(
     return path
 
 
+def _save_generic(
+    sketcher: SketchBackend,
+    path: str | Path,
+    extras: Mapping[str, int | float] | None = None,
+) -> Path:
+    """Checkpoint any registered backend via its ``state_dict``."""
+    name = getattr(type(sketcher), "backend_name", None)
+    if name is None:
+        raise ValueError(
+            f"{type(sketcher).__name__} is not a registered backend; "
+            "register it (repro.core.backend.register_backend) to make "
+            "it checkpointable"
+        )
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("backend"),
+        "backend_name": np.array(name),
+    }
+    for key, value in sketcher.state_dict().items():
+        payload[_STATE_PREFIX + key] = np.asarray(value)
+    for key, value in (extras or {}).items():
+        if _STATE_PREFIX + key in payload or not key.isidentifier():
+            raise ValueError(f"invalid extras key {key!r}")
+        payload[_EXTRA_PREFIX + key] = np.array(value)
+    path = Path(path)
+    with path.open("wb") as fh:
+        np.savez(fh, **payload)
+    return path
+
+
 def load_sketcher(
     path: str | Path, seed: int | None = None
-) -> FrequentDirections:
+) -> SketchBackend:
     """Restore a sketcher checkpointed by :func:`save_sketcher`.
 
     Parameters
@@ -110,11 +161,12 @@ def load_sketcher(
         Checkpoint file.
     seed:
         Seed for the restored rank-adaptation probe generator
-        (rank-adaptive checkpoints only; ignored otherwise).
+        (legacy rank-adaptive checkpoints only; ignored otherwise —
+        ``"backend"``-kind checkpoints carry their RNG state).
 
     Returns
     -------
-    FrequentDirections | RankAdaptiveFD
+    SketchBackend
         Ready to continue ``partial_fit`` exactly where it stopped.
     """
     sketcher, _ = load_sketcher_with_extras(path, seed=seed)
@@ -123,7 +175,7 @@ def load_sketcher(
 
 def load_sketcher_with_extras(
     path: str | Path, seed: int | None = None
-) -> tuple[FrequentDirections, dict[str, float]]:
+) -> tuple[SketchBackend, dict[str, float]]:
     """Like :func:`load_sketcher`, also returning the ``extras`` metadata.
 
     Extras come back as a plain ``{name: float}`` dict (empty when the
@@ -137,6 +189,20 @@ def load_sketcher_with_extras(
                 f"(this build reads {_FORMAT_VERSION})"
             )
         kind = str(data["kind"])
+        if kind == "backend":
+            name = str(data["backend_name"])
+            state = {
+                key[len(_STATE_PREFIX):]: data[key]
+                for key in data.files
+                if key.startswith(_STATE_PREFIX)
+            }
+            sketcher = get_backend(name).cls.from_state(state)
+            extras = {
+                key[len(_EXTRA_PREFIX):]: float(data[key])
+                for key in data.files
+                if key.startswith(_EXTRA_PREFIX)
+            }
+            return sketcher, extras
         d = int(data["d"])
         ell = int(data["ell"])
         # Older checkpoints predate kernel selection; "auto" preserves

@@ -280,7 +280,7 @@ class SnapshotStore:
                 n_images=int(pipeline.n_images),
                 n_offered=int(pipeline.n_offered),
                 ell=int(sketcher.ell),
-                n_rotations=int(fd.n_rotations),
+                n_rotations=int(getattr(fd, "n_rotations", 0)),
                 health=pipeline.health.summary(),
                 guard=pipeline.guard.summary() if pipeline.guard is not None else None,
                 published_at=now(),

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tiered CI runner: one entry point for local runs and the workflow.
 
-Four tiers, cheapest first, documented in ``docs/ci.md``:
+Five tiers, cheapest first, documented in ``docs/ci.md``:
 
 - **Tier 1 — lint + fast tests.**  Byte-compiles every Python file
   (syntax gate; the container ships no third-party linter) and runs the
@@ -22,6 +22,12 @@ Four tiers, cheapest first, documented in ``docs/ci.md``:
   ``BENCH_obs.json``).  Most of these also run in tier 1; the tier
   exists so observability changes can be iterated on in isolation and
   so the workflow pins the overhead budgets explicitly.
+- **Tier 5 — backend portfolio.**  The ``-m backends`` selection
+  (conformance contract, hypothesis properties, golden selector
+  fixture, registry-hygiene lint) plus the backend bench gate
+  (``bench_backends`` against ``BENCH_backends.json``).  The tests
+  also run in tier 1; the tier isolates backend work and pins the
+  wall-clock selector-payoff bar explicitly.
 
 Usage::
 
@@ -136,6 +142,36 @@ TIERS: dict[int, tuple[str, tuple[Step, ...]]] = {
                     "-m",
                     "pytest",
                     "benchmarks/bench_obs_overhead.py",
+                    "-q",
+                    "--benchmark-disable",
+                ),
+            ),
+        ),
+    ),
+    5: (
+        "backend portfolio (conformance + golden + bench gate)",
+        (
+            Step(
+                "backend-tests",
+                (
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    "-q",
+                    "-m",
+                    "backends",
+                    "tests/test_backend_conformance.py",
+                    "tests/test_backend_properties.py",
+                    "tests/test_backend_golden.py",
+                ),
+            ),
+            Step(
+                "backend-bench",
+                (
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    "benchmarks/bench_backends.py",
                     "-q",
                     "--benchmark-disable",
                 ),
