@@ -11,6 +11,13 @@ representative ``(d, l)`` shapes and writes the numbers to
   rows/sec (and seconds per rotation where the sketcher counts them)
   with the automatic kernel choice.
 - ``tree_merge_*`` — latency of a 16-way binary tree merge.
+- ``ingest_*_d16384_l64`` — the end-to-end ingest hot path on the
+  representative LCLS shape (float32 ``256 x 256`` frames cropped to
+  ``128 x 128``, guard on): the staged chain (screen -> preprocess ->
+  partial_fit, one full-frame copy per stage) vs the fused single-sweep
+  engine (``repro.pipeline.ingest``), exact float64 tier and float32
+  frame-math tier.  The tentpole gate is the fused float32 tier's
+  >= 2x rows/sec over staged, measured in the same run.
 
 ``test_regression_vs_baseline`` gates a fresh run against the committed
 JSON through the shared comparator (``benchmarks/_gate.py``: >25%
@@ -37,6 +44,10 @@ from repro.core.merge import tree_merge
 from repro.core.rank_adaptive import RankAdaptiveFD
 from repro.linalg.svd import RotationWorkspace, fd_rotate
 from repro.obs.clock import StopWatch
+from repro.obs.registry import NullRegistry
+from repro.pipeline.guard import FrameGuard, GuardConfig
+from repro.pipeline.ingest import FusedIngest
+from repro.pipeline.preprocess import Preprocessor
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_core.json"
 
@@ -82,6 +93,34 @@ def _measure_stream(make_sketcher, rows: int, d: int) -> dict:
     return out
 
 
+def _measure_ingest(mode: str, rows: int = 1024) -> dict:
+    """End-to-end ingest on the LCLS shape: guard + preprocess + sketch.
+
+    ``staged`` is the seed chain (one full-frame copy per stage);
+    ``fused`` / ``fused_fast`` run the single-sweep engine on the
+    float64 (bit-identical) / float32 (frame math) tier.
+    """
+    rng = np.random.default_rng(7)
+    frames = rng.gamma(2.0, 1.0, size=(rows, 256, 256)).astype(np.float32)
+    pre = Preprocessor(threshold=0.5, crop=(128, 128))
+    precision = "float32" if mode == "fused_fast" else "float64"
+
+    def run():
+        guard = FrameGuard(GuardConfig(), registry=NullRegistry())
+        sk = ARAMS(d=128 * 128, config=ARAMSConfig(ell=64, precision=precision))
+        if mode == "staged":
+            batch = guard.screen(frames)
+            sk.partial_fit(pre.apply_flat(batch.accepted))
+        else:
+            eng = FusedIngest(
+                sk, pre, guard=guard, registry=NullRegistry(), precision=precision
+            )
+            eng.ingest(frames)
+
+    run()  # warm up
+    return {"rows_per_sec": rows / _best_of(run)}
+
+
 @pytest.fixture(scope="module")
 def core_numbers() -> dict:
     """Measure every case once per session (shapes are the expensive part)."""
@@ -114,6 +153,16 @@ def core_numbers() -> dict:
         d=4096,
     )
 
+    staged = _measure_ingest("staged")
+    fused = _measure_ingest("fused")
+    fast = _measure_ingest("fused_fast")
+    cases["ingest_staged_d16384_l64"] = staged
+    cases["ingest_fused_d16384_l64"] = fused
+    cases["ingest_fused_fast_d16384_l64"] = fast
+    cases["ingest_fused_speedup_d16384_l64"] = {
+        "speedup": fast["rows_per_sec"] / staged["rows_per_sec"]
+    }
+
     rng = np.random.default_rng(3)
     sketches = [
         FrequentDirections(d=4096, ell=32).fit(rng.standard_normal((128, 4096))).sketch
@@ -138,6 +187,28 @@ def test_gram_rotation_speedup(core_numbers, table):
     )
     print(f"speedup: {speedup:.2f}x")
     assert speedup >= 1.5
+
+
+def test_fused_ingest_speedup(core_numbers, table):
+    """Acceptance bar: fused float32 ingest >= 2x staged rows/sec at
+    d=16384 (256 x 256 float32 frames cropped to 128 x 128, guard on),
+    compared within the same run so machine variance cancels."""
+    staged = core_numbers["ingest_staged_d16384_l64"]["rows_per_sec"]
+    fused = core_numbers["ingest_fused_d16384_l64"]["rows_per_sec"]
+    fast = core_numbers["ingest_fused_fast_d16384_l64"]["rows_per_sec"]
+    speedup = core_numbers["ingest_fused_speedup_d16384_l64"]["speedup"]
+    table(
+        "ingest hot path, 1024 float32 256x256 frames -> crop 128x128, ell=64",
+        ["path", "rows/sec"],
+        [
+            ["staged (seed chain)", staged],
+            ["fused float64 (bit-identical)", fused],
+            ["fused float32 frame math", fast],
+        ],
+    )
+    print(f"fused-fast speedup over staged: {speedup:.2f}x")
+    assert fused > staged  # the exact tier must already win
+    assert speedup >= 2.0
 
 
 def test_streaming_rates_positive(core_numbers, table):

@@ -79,6 +79,15 @@ class ARAMSConfig:
     target_error:
         Relative covariance-error target for ``backend="auto"``
         selection; ``None`` selects purely on accuracy.
+    precision:
+        Frame-math precision tier for the fused ingest engine (see
+        :mod:`repro.pipeline.ingest`).  ``"float64"`` (default) keeps
+        every preprocessing pass in double precision and is bit-identical
+        to the staged chain; ``"float32"`` runs the per-frame passes in
+        single precision (half the memory traffic) and upcasts once on
+        the final write into the sketch buffer, trading ~1e-7 relative
+        per-pixel error — far below the FD bound ``||A||_F^2 / ell`` —
+        for throughput.  Sketch accumulation itself is always float64.
     """
 
     ell: int = 50
@@ -94,8 +103,13 @@ class ARAMSConfig:
     rotation_kernel: str = "auto"
     backend: str = "fd"
     target_error: float | None = None
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
+        if self.precision not in ("float64", "float32"):
+            raise ValueError(
+                f"precision must be 'float64' or 'float32', got {self.precision!r}"
+            )
         if not 0.0 < self.beta <= 1.0:
             raise ValueError(f"beta must be in (0, 1], got {self.beta}")
         if self.rotation_kernel not in ROTATION_KERNELS:
@@ -257,7 +271,42 @@ class ARAMS:
         """Rows offered to ARAMS (before sampling)."""
         return self._n_offered
 
-    def partial_fit(self, batch: np.ndarray) -> "ARAMS":
+    def fused_writer(self) -> FrequentDirections | None:
+        """The FD sketcher when zero-copy fused ingestion is admissible.
+
+        The fused ingest engine can write preprocessed frames straight
+        into the sketch buffer (``reserve_rows``/``commit_rows``) only
+        when nothing sits between the stream and the sketcher: priority
+        sampling must be off (``beta == 1``; sampling draws depend on
+        whole-batch energies, so chunked writes would change the RNG
+        stream) and the backend must be an FD-family sketcher exposing
+        the reserve/commit protocol.  Returns ``None`` otherwise — the
+        engine then falls back to materializing rows and calling
+        :meth:`partial_fit` once per batch, which is still fused
+        preprocessing, just not zero-copy.
+        """
+        if self.config.beta < 1.0:
+            return None
+        if not isinstance(self._fd, FrequentDirections):
+            return None
+        return self._fd
+
+    def record_fused_batch(self, offered: int, kept: int) -> None:
+        """Account for a batch the fused engine wrote around the sampler.
+
+        Keeps :attr:`n_seen` and the ``on_batch`` observer stream
+        identical to what :meth:`partial_fit` would have produced for
+        the same batch, so health dashboards and checkpoints cannot tell
+        the ingest paths apart.
+        """
+        self._n_offered += int(offered)
+        obs = self._observer
+        if obs is not None:
+            obs.on_batch(self, offered=int(offered), kept=int(kept))
+
+    def partial_fit(
+        self, batch: np.ndarray, *, check_finite: bool = True
+    ) -> "ARAMS":
         """Consume one batch: priority-sample it, then sketch the survivors.
 
         Parameters
@@ -265,6 +314,10 @@ class ARAMS:
         batch:
             ``(k, d)`` rows.  With ``beta < 1`` only the
             ``ceil(beta * k)`` highest-priority rows reach the sketcher.
+        check_finite:
+            Pass ``False`` when the caller already certifies every row
+            is finite (e.g. a frame guard with a zero non-finite
+            budget); skips the sketcher's NaN/Inf scan.
 
         Returns
         -------
@@ -288,7 +341,10 @@ class ARAMS:
         if obs is not None:
             obs.on_batch(self, offered=offered, kept=batch.shape[0])
         if batch.shape[0]:
-            self._fd.partial_fit(batch)
+            if not check_finite and isinstance(self._fd, FrequentDirections):
+                self._fd.partial_fit(batch, check_finite=False)
+            else:
+                self._fd.partial_fit(batch)
         return self
 
     def fit(self, x: np.ndarray) -> "ARAMS":

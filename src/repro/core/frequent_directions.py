@@ -156,13 +156,20 @@ class FrequentDirections(SketchBackend):
     # ------------------------------------------------------------------
     # Streaming interface
     # ------------------------------------------------------------------
-    def partial_fit(self, rows: np.ndarray) -> "FrequentDirections":
+    def partial_fit(
+        self, rows: np.ndarray, check_finite: bool = True
+    ) -> "FrequentDirections":
         """Consume a batch of rows, rotating whenever the buffer fills.
 
         Parameters
         ----------
         rows:
             ``(k, d)`` array (a single ``(d,)`` row is also accepted).
+        check_finite:
+            Validate that the batch is NaN/Inf-free before consuming it
+            (one full read pass).  Callers that already hold a
+            finiteness certificate — the fused ingest engine gets one
+            from the frame guard — pass ``False`` to skip the pass.
 
         Returns
         -------
@@ -173,14 +180,13 @@ class FrequentDirections(SketchBackend):
             raise ValueError(
                 f"rows have dimension {rows.shape[1]}, sketcher expects {self.d}"
             )
-        if not np.all(np.isfinite(rows)):
+        if check_finite and not np.all(np.isfinite(rows)):
             # A single NaN would silently destroy the whole sketch at
             # the next SVD; fail loudly at the boundary instead.
             raise ValueError(
                 "rows contain NaN/Inf; repair detector frames first "
                 "(see repro.pipeline.preprocess.repair_dead_pixels)"
             )
-        self.squared_frobenius += float(np.sum(rows * rows))
         self._final_cache = None
         i = 0
         k = rows.shape[0]
@@ -191,13 +197,63 @@ class FrequentDirections(SketchBackend):
                 self._on_buffer_full()
                 continue
             take = min(space, k - i)
-            self._buffer[self._next_zero : self._next_zero + take] = rows[i : i + take]
+            chunk = rows[i : i + take]
+            self._buffer[self._next_zero : self._next_zero + take] = chunk
+            # ||A||_F^2 accumulates per insertion slice (not once per
+            # batch) so the zero-copy reserve/commit path — which sees
+            # the stream in exactly these slices — stays bit-identical.
+            self.squared_frobenius += float(np.sum(chunk * chunk))
             self._next_zero += take
             self.n_seen += take
             i += take
         # A buffer left exactly full is handled lazily: the next insert
         # (or a sketch access) triggers the rotation, matching the
         # paper's Algorithm 2, which checks fullness before each insert.
+        return self
+
+    def reserve_rows(self, max_rows: int) -> np.ndarray:
+        """Writable view of the next free buffer rows (zero-copy insert).
+
+        Rotates first if the buffer is exactly full, then returns a
+        ``(take, d)`` float64 view of the next ``take = min(space,
+        max_rows)`` rows.  The fused ingest engine writes preprocessed
+        frames straight into this view — the single copy of the whole
+        ingest path — and then calls :meth:`commit_rows`.
+
+        The view is only valid until the next mutation (commit, rotate,
+        merge, load_state); a caller must fill and commit it before
+        touching the sketcher again.
+        """
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        if self._buffer.shape[0] - self._next_zero == 0:
+            self._on_buffer_full()
+        space = self._buffer.shape[0] - self._next_zero
+        take = min(space, int(max_rows))
+        return self._buffer[self._next_zero : self._next_zero + take]
+
+    def commit_rows(self, k: int) -> "FrequentDirections":
+        """Declare the first ``k`` rows of the last reserved view filled.
+
+        Advances the buffer cursor and accumulates ``||A||_F^2`` over
+        exactly the committed slice, matching :meth:`partial_fit`'s
+        per-slice accumulation bit for bit.  Rows are assumed finite —
+        reserve/commit callers hold a guard certificate by construction.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return self
+        if k > self._buffer.shape[0] - self._next_zero:
+            raise ValueError(
+                f"cannot commit {k} rows; only "
+                f"{self._buffer.shape[0] - self._next_zero} were reservable"
+            )
+        chunk = self._buffer[self._next_zero : self._next_zero + k]
+        self.squared_frobenius += float(np.sum(chunk * chunk))
+        self._final_cache = None
+        self._next_zero += k
+        self.n_seen += k
         return self
 
     def fit(self, a: np.ndarray) -> "FrequentDirections":

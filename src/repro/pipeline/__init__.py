@@ -8,6 +8,8 @@ ABOD outlier flagging → operator-facing summary.
 - :mod:`repro.pipeline.preprocess` — the paper's image-processing steps.
 - :mod:`repro.pipeline.guard` — FrameGuard screening/quarantine in front
   of the sketch (see ``docs/data_robustness.md``).
+- :mod:`repro.pipeline.ingest` — :class:`FusedIngest`, the single-pass
+  guard → preprocess → sketch hot path (see ``docs/performance.md``).
 - :mod:`repro.pipeline.supervisor` — fail-soft stage supervision for the
   analysis stages (:class:`DegradedResult` instead of raising).
 - :mod:`repro.pipeline.monitor` — :class:`MonitoringPipeline`, the
@@ -33,6 +35,7 @@ from repro.pipeline.guard import (
     QuarantinedFrame,
     RejectReason,
 )
+from repro.pipeline.ingest import FusedIngest, IngestResult
 from repro.pipeline.supervisor import DegradedResult, StageFailure, StageSupervisor
 from repro.pipeline.monitor import MonitoringPipeline, MonitoringResult
 from repro.pipeline.checkpoint import (
@@ -62,6 +65,8 @@ __all__ = [
     "QuarantineRing",
     "QuarantinedFrame",
     "RejectReason",
+    "FusedIngest",
+    "IngestResult",
     "DegradedResult",
     "StageFailure",
     "StageSupervisor",

@@ -142,6 +142,7 @@ def _pipeline_state(pipe: MonitoringPipeline) -> dict:
         "retain": pipe.retain,
         "seed": pipe.seed,
         "guard": pipe.guard.config.to_dict() if pipe.guard is not None else None,
+        "ingest": pipe.ingest,
     }
     if config["preprocessor"]["crop"] is not None:
         config["preprocessor"]["crop"] = list(config["preprocessor"]["crop"])
@@ -328,6 +329,8 @@ def _load_generation(gen_dir: Path, registry: Registry | None) -> MonitoringPipe
         registry=registry if registry is not None else Registry(),
         seed=config["seed"],
         guard=GuardConfig.from_dict(guard_cfg) if guard_cfg is not None else None,
+        # Checkpoints written before the fused path carried no ingest key.
+        ingest=config.get("ingest", "staged"),
     )
 
     # Rebuild the sketcher around the persisted FD state, then restore

@@ -249,12 +249,22 @@ class GuardBatch:
     ``accepted`` stacks the surviving frames in offer order with their
     pixel values untouched; ``rejected`` lists this batch's quarantine
     entries (they are also in the guard's ring).
+
+    When the vectorized fast path certified the batch, it also exports
+    the by-products of its certificate reductions so downstream
+    consumers (the fused ingest engine) never recompute them:
+    ``accepted_norms`` holds each accepted frame's L2 norm and
+    ``accepted_nonneg`` certifies that every accepted pixel is >= 0.
+    Both stay at their defaults when the per-frame fallback screened the
+    batch.
     """
 
     accepted: np.ndarray
     accepted_ids: np.ndarray
     offered: int
     rejected: list[QuarantinedFrame] = field(default_factory=list)
+    accepted_norms: np.ndarray | None = None
+    accepted_nonneg: bool = False
 
     @property
     def n_accepted(self) -> int:
@@ -266,6 +276,18 @@ class GuardBatch:
 
 
 _STATE_VERSION = 1
+
+def _rescaled_norm(values: np.ndarray) -> float:
+    """L2 norm of an all-finite frame whose squared-norm reduction overflowed.
+
+    Factoring out ``m = max|x|`` keeps every intermediate below 1, so the
+    result ``m * ||x / m||`` is finite whenever the true norm is
+    representable (it always is: ``||x|| <= m * sqrt(npix)``).
+    """
+    m = float(np.max(np.abs(values)))
+    scaled = values / m
+    return m * float(np.sqrt(np.einsum("ij,ij->", scaled, scaled)))
+
 
 # Accepted frames between refreshes of the cached robust norm scale.
 # The window median/MAD drift slowly (the window holds hundreds of
@@ -489,16 +511,43 @@ class FrameGuard:
             return None  # may collide with already-seen ids
 
         flat = stack.reshape(n, -1)
-        vals = flat.astype(np.float64, copy=False)
-        npix = vals.shape[1]
+        npix = flat.shape[1]
         if npix == 0:
             return None  # degenerate (h, w); empty reductions would raise
-        sumsq = np.einsum("ij,ij->i", vals, vals)
-        mins = vals.min(axis=1)
-        maxs = vals.max(axis=1)
-        sums = vals.sum(axis=1)
+        vals = flat
+        # Reduce in the input dtype with float64 accumulators: one pass
+        # over the pixels at their native width instead of materializing
+        # a float64 copy of the whole stack first (for float32 detector
+        # frames that copy doubles the guard's memory traffic).  Each
+        # element upcasts to float64 exactly inside the reduction, so
+        # the certificates are bit-identical to the cast-first path.
+        sumsq = np.einsum("ij,ij->i", flat, flat, dtype=np.float64)
+        mins = flat.min(axis=1).astype(np.float64)
+        maxs = flat.max(axis=1).astype(np.float64)
+        sums = flat.sum(axis=1, dtype=np.float64)
 
         clean = np.isfinite(sumsq)  # NaN/Inf pixels poison the reduction
+        rescued_idx = None
+        rescued_norms = None
+        if not clean.all():
+            # A non-finite squared norm has two very different causes:
+            # corrupt NaN/Inf pixels, or a legitimately finite frame
+            # whose pixel magnitudes are near sqrt(float64 max) so the
+            # reduction itself overflowed.  Only the former is corrupt;
+            # misclassifying the latter would falsely reject valid
+            # high-dynamic-range data.  Rescale the suspect rows by
+            # max|x| and recompute: finite rescaled norms certify the
+            # frame and replace the overflowed entries.
+            suspect = np.nonzero(~clean)[0]
+            sub = vals[suspect].astype(np.float64, copy=False)
+            if bool(np.isfinite(sub).all()):
+                m = np.max(np.abs(sub), axis=1)
+                scaled = sub / m[:, None]
+                sub_norms = m * np.sqrt(np.einsum("ij,ij->i", scaled, scaled))
+                if bool(np.isfinite(sub_norms).all()):
+                    clean[suspect] = True
+                    rescued_idx = suspect
+                    rescued_norms = sub_norms
         clean &= sumsq > cfg.min_energy
         # Dead-pixel rule: rows that may contain zeros get an exact count.
         may_have_zero = clean & ~((mins > 0.0) | (maxs < 0.0))
@@ -512,7 +561,7 @@ class FrameGuard:
             mixed = clean & (mins < 0.0) & (maxs > 0.0)
             if mixed.any():
                 idx = np.nonzero(mixed)[0]
-                mean_abs[idx] = np.abs(vals[idx]).mean(axis=1)
+                mean_abs[idx] = np.abs(vals[idx]).mean(axis=1, dtype=np.float64)
             max_abs = np.maximum(np.abs(mins), np.abs(maxs))
             clean &= max_abs <= cfg.hot_sigma * mean_abs
         if not clean.all():
@@ -535,6 +584,8 @@ class FrameGuard:
 
         # Norm-outlier screen, segmented by scale-refresh boundaries.
         norms = np.sqrt(sumsq)
+        if rescued_idx is not None:
+            norms[rescued_idx] = rescued_norms
         accept = np.ones(n, dtype=bool)
         rejected: list[QuarantinedFrame] = []
         arm_at = max(cfg.norm_warmup, 2)
@@ -597,15 +648,26 @@ class FrameGuard:
         m = int(accept.sum())
         self.n_accepted += m
         self._accepted_counter.inc(m)
+        nonneg = bool((mins >= 0.0).all())
         if m == n:
             self._seen_ids.update(id_arr.tolist())
             return GuardBatch(
-                accepted=stack, accepted_ids=id_arr, offered=n, rejected=rejected
+                accepted=stack,
+                accepted_ids=id_arr,
+                offered=n,
+                rejected=rejected,
+                accepted_norms=norms,
+                accepted_nonneg=nonneg,
             )
         kept = id_arr[accept]
         self._seen_ids.update(kept.tolist())
         return GuardBatch(
-            accepted=stack[accept], accepted_ids=kept, offered=n, rejected=rejected
+            accepted=stack[accept],
+            accepted_ids=kept,
+            offered=n,
+            rejected=rejected,
+            accepted_norms=norms[accept],
+            accepted_nonneg=nonneg,
         )
 
     def _track_gap(self, sid: int) -> None:
@@ -658,6 +720,14 @@ class FrameGuard:
                 )
             values = np.where(finite, values, 0.0)  # screen the rest on the finite part
         energy = float(np.einsum("ij,ij->", values, values))
+        norm: float | None = None
+        if not np.isfinite(energy):
+            # Every pixel is finite here (the non-finite rule ran above),
+            # so a non-finite energy means the squared-norm reduction
+            # overflowed for a high-dynamic-range frame.  Rescale by
+            # max|x| to recover the true (finite) L2 norm; energy stays
+            # inf, which still clears the zero-energy rule below.
+            norm = _rescaled_norm(values)
         if energy <= cfg.min_energy:
             return (
                 RejectReason.ZERO_ENERGY,
@@ -687,7 +757,8 @@ class FrameGuard:
             ):
                 self._refresh_norm_scale()
             med, mad = self._norm_scale_cache
-            norm = float(np.sqrt(energy))
+            if norm is None:
+                norm = float(np.sqrt(energy))
             scale = 1.4826 * mad  # consistent with sigma for Gaussian norms
             floor = max(1e-12, 1e-9 * max(abs(med), norm))
             scale = max(scale, floor)
@@ -703,7 +774,13 @@ class FrameGuard:
     def _observe_norm(self, frame: np.ndarray) -> None:
         values = frame.astype(np.float64, copy=False)
         values = np.where(np.isfinite(values), values, 0.0)
-        norm = float(np.sqrt(np.einsum("ij,ij->", values, values)))
+        sumsq = np.einsum("ij,ij->", values, values)
+        if np.isfinite(sumsq):
+            norm = float(np.sqrt(sumsq))
+        else:
+            # Reduction overflow on a finite high-dynamic-range frame; a
+            # raw sqrt would store inf and poison the window median/MAD.
+            norm = _rescaled_norm(values)
         self._norms.append(norm)
         self._norms_since_refresh += 1
         if len(self._norms) > self.config.norm_window:

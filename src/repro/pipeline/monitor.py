@@ -48,7 +48,8 @@ from repro.obs.registry import Registry
 from repro.obs.spans import SPAN_HISTOGRAM
 from repro.parallel.cost_model import CommCostModel
 from repro.parallel.runner import DistributedSketchRunner
-from repro.pipeline.guard import FrameGuard, GuardConfig
+from repro.pipeline.guard import FrameGuard, GuardBatch, GuardConfig
+from repro.pipeline.ingest import FusedIngest
 from repro.pipeline.preprocess import Preprocessor
 from repro.pipeline.supervisor import DegradedResult, StageSupervisor
 
@@ -61,12 +62,25 @@ def _stride_sample(parts: list[np.ndarray], total: int, max_rows: int) -> np.nda
     Deterministic (no RNG) and width-tolerant: blocks of different
     column counts (the latent-mode case, where the latent width grows
     with the sketch rank) are right-padded with zeros to the widest.
+
+    Always returns exactly ``min(max_rows, total)`` rows: the indices
+    are built with exact integer arithmetic (first row, last row, and
+    evenly spread interior rows), which yields strictly increasing —
+    hence distinct — positions.  The previous float
+    ``linspace(...).astype(int64)`` construction could floor two grid
+    points onto the same index and silently return fewer rows after
+    ``np.unique`` collapsed the duplicates.
     """
     if total <= 0 or not parts:
         width = max((p.shape[1] for p in parts), default=0)
         return np.zeros((0, width))
     take = min(max_rows, total)
-    wanted = np.unique(np.linspace(0, total - 1, take).astype(np.int64))
+    # k-th index = round-down of k*(total-1)/(take-1); with take <= total
+    # the spacing is >= 1 so all indices are distinct and sorted.
+    wanted = (np.arange(take, dtype=np.int64) * (total - 1)) // max(take - 1, 1)
+    assert wanted.shape[0] == take and (
+        take < 2 or bool((np.diff(wanted) >= 1).all())
+    ), "stride sample must return exactly `take` distinct sorted indices"
     width = max(p.shape[1] for p in parts)
     out = np.zeros((wanted.shape[0], width))
     offset = 0
@@ -205,6 +219,15 @@ class MonitoringPipeline:
         (timing views then read as zero).
     seed:
         Master seed for every stochastic stage.
+    ingest:
+        ``"staged"`` (default) runs guard → preprocess → sketch as
+        separate whole-stack passes; ``"fused"`` routes accepted frames
+        through :class:`~repro.pipeline.ingest.FusedIngest`, a
+        single-sweep hot path that reuses the guard's certificates and
+        writes each processed frame exactly once.  With the default
+        float64 precision tier the sketch state is bit-identical to
+        staged ingestion; ``ARAMSConfig(precision="float32")`` selects
+        the faster approximate tier (see ``docs/performance.md``).
 
     Examples
     --------
@@ -233,9 +256,12 @@ class MonitoringPipeline:
         registry: Registry | None = None,
         seed: int | None = None,
         guard: FrameGuard | GuardConfig | bool | None = None,
+        ingest: str = "staged",
     ):
         if retain not in ("rows", "latent"):
             raise ValueError(f"unknown retain mode {retain!r}")
+        if ingest not in ("staged", "fused"):
+            raise ValueError(f"unknown ingest mode {ingest!r}")
         self.image_shape = tuple(image_shape)
         self.preprocessor = (
             preprocessor
@@ -265,6 +291,8 @@ class MonitoringPipeline:
         self.outlier_neighbors = int(outlier_neighbors)
         self.retain = retain
         self.seed = seed
+        self.ingest = ingest
+        self._fused: FusedIngest | None = None
 
         self._sketcher: ARAMS | None = None
         self._analysis: MonitoringResult | None = None
@@ -326,14 +354,20 @@ class MonitoringPipeline:
             )
         return self._sketcher
 
-    def _admit(self, images, shot_ids) -> tuple[np.ndarray, np.ndarray]:
-        """Screen (or pass through) one batch; returns ``(images, ids)``.
+    def _admit(
+        self, images, shot_ids
+    ) -> tuple[np.ndarray, np.ndarray, GuardBatch | None]:
+        """Screen (or pass through) one batch.
 
-        With a guard installed the batch may be a ragged frame list and
-        comes back as the accepted ``(m, h, w)`` stack; without one, it
-        must already be a clean stack.  Either way the pipeline's
-        offered count and shot-id cursor advance.
+        Returns ``(images, ids, guard_batch)``.  With a guard installed
+        the batch may be a ragged frame list and comes back as the
+        accepted ``(m, h, w)`` stack plus the full
+        :class:`~repro.pipeline.guard.GuardBatch` (whose certificate
+        by-products the fused ingest path reuses); without one, it must
+        already be a clean stack and the batch slot is ``None``.  Either
+        way the pipeline's offered count and shot-id cursor advance.
         """
+        batch = None
         if self.guard is not None:
             with self.registry.span("consume.guard"):
                 batch = self.guard.screen(images, shot_ids=shot_ids)
@@ -354,7 +388,7 @@ class MonitoringPipeline:
             self.n_offered += n
         if ids.shape[0]:
             self._next_shot_id = max(self._next_shot_id, int(ids.max()) + 1)
-        return images, ids
+        return images, ids, batch
 
     def consume(self, images, shot_ids=None) -> "MonitoringPipeline":
         """Preprocess one image batch and feed it to the online sketch.
@@ -368,21 +402,67 @@ class MonitoringPipeline:
         shot_ids:
             Per-frame shot ids; ``None`` auto-numbers sequentially.
         """
-        images, ids = self._admit(images, shot_ids)
+        images, ids, gb = self._admit(images, shot_ids)
         self._batches_counter.inc()
         if images.shape[0] == 0:
             return self  # whole batch quarantined; the sketch sees nothing
-        with self.registry.span("consume.preprocess"):
-            rows = self.preprocessor.apply_flat(images)
-        sk = self._ensure_sketcher(rows.shape[1])
-        with self.registry.span("consume.sketch"):
-            sk.partial_fit(rows)
+        if self.ingest == "fused":
+            rows = self._consume_fused(images, gb)
+            sk = self._sketcher
+        else:
+            with self.registry.span("consume.preprocess"):
+                rows = self.preprocessor.apply_flat(images)
+            sk = self._ensure_sketcher(rows.shape[1])
+            with self.registry.span("consume.sketch"):
+                sk.partial_fit(rows)
         self.n_images += rows.shape[0]
         self.shot_ids.extend(int(s) for s in ids)
         self._images_counter.inc(rows.shape[0])
         self._retain_batch(rows, sk)
         self._maybe_publish()
         return self
+
+    def _ensure_fused(self) -> FusedIngest:
+        if self._fused is None:
+            # The pipeline keeps its own guard bookkeeping in _admit, so
+            # the engine runs guard-less; keep_rows because every retain
+            # mode needs the materialized rows (retention or latent
+            # projection).
+            self._fused = FusedIngest(
+                preprocessor=self.preprocessor,
+                registry=self.registry,
+                precision=self.sketch_config.precision,
+                keep_rows=True,
+            )
+        return self._fused
+
+    def _consume_fused(
+        self, images: np.ndarray, gb: GuardBatch | None
+    ) -> np.ndarray:
+        """Run one accepted stack through the fused sweep; returns rows.
+
+        The returned block is a view of the engine's reusable arena —
+        valid until the next batch — so retention copies it.
+        """
+        h, w = int(images.shape[1]), int(images.shape[2])
+        crop = self.preprocessor.crop
+        ch, cw = crop if crop is not None else (h, w)
+        sk = self._ensure_sketcher(ch * cw)
+        eng = self._ensure_fused()
+        certified = (
+            self.guard is not None
+            and self.guard.config.max_nonfinite_fraction == 0.0
+        )
+        rows, _ = eng.sweep(
+            images,
+            sk,
+            certified_finite=certified,
+            nonneg=gb.accepted_nonneg if gb is not None else False,
+            norms=gb.accepted_norms if gb is not None else None,
+        )
+        if self.retain == "rows":
+            rows = rows.copy()  # outlive the arena's next-batch reuse
+        return rows
 
     def _retain_batch(self, rows: np.ndarray, sk: ARAMS) -> None:
         if self.retain == "rows":
@@ -415,7 +495,7 @@ class MonitoringPipeline:
         sketcher, so sharded and streaming ingestion can be mixed.  The
         virtual makespan is charged to ``sketch_time``.
         """
-        images, ids = self._admit(images, shot_ids)
+        images, ids, _ = self._admit(images, shot_ids)
         self._batches_counter.inc()
         if images.shape[0] == 0:
             return self
@@ -841,6 +921,14 @@ class MonitoringPipeline:
         }
         summary["n_images"] = self.n_images
         summary["n_offered"] = self.n_offered
+        summary["ingest"] = {"mode": self.ingest}
+        if self._fused is not None:
+            summary["ingest"].update(
+                precision=self._fused.precision,
+                frames=self._fused.n_frames,
+                chunks=self._fused.n_chunks,
+                zero_copy_rows=self._fused.n_zero_copy_rows,
+            )
         if self.guard is not None:
             summary["guard"] = self.guard.summary()
         if self._analysis is not None and self._analysis.stages:

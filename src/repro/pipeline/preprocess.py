@@ -11,6 +11,7 @@ the result into sketcher-ready rows.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,8 @@ __all__ = [
     "threshold_intensity",
     "normalize_intensity",
     "center_images",
+    "center_shifts",
+    "shift_images_into",
     "crop_images",
     "Preprocessor",
 ]
@@ -105,13 +108,100 @@ def normalize_intensity(images: np.ndarray, mode: str = "sum") -> np.ndarray:
     return images / scale[:, None, None]
 
 
+def center_shifts(
+    images: np.ndarray,
+    *,
+    assume_nonneg: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-frame integer ``(dy, dx)`` recentering shifts, vectorized.
+
+    Computes every frame's intensity center of mass with whole-stack
+    reductions (no per-frame Python loop) and returns the circular-shift
+    amounts that move it to the geometric center.  Frames with zero or
+    non-finite mass have no meaningful center (an unrepaired Inf pixel
+    would turn the centroid into NaN); their shift is zero, which makes
+    the subsequent roll a pure passthrough.
+
+    ``assume_nonneg=True`` skips the negative-pixel clip (a full-stack
+    copy) when the caller has already certified ``images >= 0`` — the
+    fused ingest engine gets this for free from the guard's min
+    statistics.  Clipping a non-negative stack is the identity, so the
+    hint never changes the result, it only removes a pass.
+    """
+    n, h, w = images.shape
+    img = images if assume_nonneg else np.clip(images, 0.0, None)
+    row_mass = img.sum(axis=2)  # (n, h)
+    col_mass = img.sum(axis=1)  # (n, w)
+    total = row_mass.sum(axis=1)
+    ys = np.arange(h, dtype=np.float64)
+    xs = np.arange(w, dtype=np.float64)
+    # einsum (not BLAS matvec) so each frame's centroid is accumulated
+    # identically no matter how many frames share the stack — the fused
+    # engine processes the same frames in chunks and must agree bitwise.
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        cy = np.einsum("nh,h->n", row_mass, ys) / total
+        cx = np.einsum("nw,w->n", col_mass, xs) / total
+    ok = (total != 0) & np.isfinite(total) & np.isfinite(cy) & np.isfinite(cx)
+    cy_target = (h - 1) / 2.0
+    cx_target = (w - 1) / 2.0
+    dy = np.zeros(n, dtype=np.int64)
+    dx = np.zeros(n, dtype=np.int64)
+    # np.rint matches the former int(round(...)) — both round half to even.
+    dy[ok] = np.rint(cy_target - cy[ok]).astype(np.int64)
+    dx[ok] = np.rint(cx_target - cx[ok]).astype(np.int64)
+    return dy, dx
+
+
+def shift_images_into(
+    out: np.ndarray,
+    images: np.ndarray,
+    dy: np.ndarray,
+    dx: np.ndarray,
+) -> None:
+    """Circularly shift each frame by its ``(dy, dx)`` into ``out``.
+
+    Each roll is four block slice copies written straight into ``out``
+    (no intermediate rolled copy, unlike ``np.roll``); the result is
+    bit-identical to ``np.roll`` since a roll is a pure permutation of
+    pixels.  ``out`` may be any writable ``(n, h, w)`` view — the fused
+    ingest engine passes a reshaped window of the sketch buffer so
+    centered frames are written exactly once, directly where the
+    sketcher consumes them.
+    """
+    n, h, w = images.shape
+    for i in range(n):
+        a = int(dy[i]) % h
+        b = int(dx[i]) % w
+        src = images[i]
+        dst = out[i]
+        dst[a:, b:] = src[: h - a, : w - b]
+        dst[a:, :b] = src[: h - a, w - b :]
+        dst[:a, b:] = src[h - a :, : w - b]
+        dst[:a, :b] = src[h - a :, w - b :]
+
+
 def center_images(images: np.ndarray) -> np.ndarray:
     """Shift each frame so its intensity center of mass is at the center.
 
-    Uses integer circular shifts (``np.roll``), which preserve total
-    intensity exactly and avoid interpolation artefacts; sub-pixel
-    centering is deliberately not attempted since the sketch operates on
-    pixel-space features.
+    Uses integer circular shifts, which preserve total intensity exactly
+    and avoid interpolation artefacts; sub-pixel centering is
+    deliberately not attempted since the sketch operates on pixel-space
+    features.  Centroids are computed with whole-stack reductions and
+    the shifts applied as one batched gather — no per-frame Python loop.
+    """
+    images = _check_stack(images)
+    out = np.empty_like(images)
+    dy, dx = center_shifts(images)
+    shift_images_into(out, images, dy, dx)
+    return out
+
+
+def _center_images_loop(images: np.ndarray) -> np.ndarray:
+    """Pre-vectorization reference implementation of :func:`center_images`.
+
+    Kept as the oracle for equivalence tests and as the "before" case in
+    the ingest benchmarks; iterates frames in a Python loop exactly as
+    the original code did.
     """
     images = _check_stack(images)
     n, h, w = images.shape
@@ -124,9 +214,6 @@ def center_images(images: np.ndarray) -> np.ndarray:
         img = np.clip(images[i], 0.0, None)
         total = img.sum()
         if total == 0 or not np.isfinite(total):
-            # Zero-mass frames have no center; non-finite mass (an
-            # unrepaired Inf pixel) would turn the centroid into
-            # NaN and crash int(round(...)).  Pass both through.
             out[i] = images[i]
             continue
         cy = float((img.sum(axis=1) @ ys) / total)
@@ -236,9 +323,10 @@ def repair_dead_pixels(
         Value substituted for NaN/Inf pixels.
     hot_sigma:
         If given, pixels more than ``hot_sigma`` standard deviations
-        above their own frame's mean are clamped to that threshold
-        (median/std computed per frame over finite pixels).  ``None``
-        disables hot-pixel clamping.
+        above their own frame's median are clamped to that threshold
+        (median/std computed per frame over finite pixels of the
+        *original* frame, so dead pixels never skew the statistics).
+        ``None`` disables hot-pixel clamping.
 
     Returns
     -------
@@ -248,14 +336,35 @@ def repair_dead_pixels(
     images = _check_stack(images)
     out = images.copy()
     bad = ~np.isfinite(out)
-    if np.any(bad):
+    any_bad = bool(np.any(bad))
+    if any_bad:
         out[bad] = nan_fill
     if hot_sigma is not None:
         if hot_sigma <= 0:
             raise ValueError(f"hot_sigma must be positive, got {hot_sigma}")
         flat = out.reshape(out.shape[0], -1)
-        mean = flat.mean(axis=1)
-        std = flat.std(axis=1)
-        cap = mean + hot_sigma * np.maximum(std, np.finfo(np.float64).tiny)
+        # Robust per-frame statistics over the finite pixels of the
+        # ORIGINAL frame: computing them after the nan_fill substitution
+        # would let a swath of dead pixels drag the center down and
+        # over-clamp legitimately bright frames.
+        if any_bad:
+            masked = np.where(
+                bad.reshape(bad.shape[0], -1),
+                np.nan,
+                images.reshape(images.shape[0], -1),
+            )
+            # All-NaN frames make nanmedian/nanstd warn before returning
+            # NaN; that degenerate case is handled below.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                med = np.nanmedian(masked, axis=1)
+                std = np.nanstd(masked, axis=1)
+        else:
+            med = np.median(flat, axis=1)
+            std = flat.std(axis=1)
+        cap = med + hot_sigma * np.maximum(std, np.finfo(np.float64).tiny)
+        # Frames with no finite pixels at all have no statistics; leave
+        # them unclamped (they are already nan_fill everywhere).
+        cap = np.where(np.isfinite(cap), cap, np.inf)
         np.minimum(flat, cap[:, None], out=flat)
     return out

@@ -431,3 +431,52 @@ def _poke(frame, value):
     out = frame.copy()
     out[0, 0] = value
     return out
+
+
+class TestOverflowRescue:
+    """Regression: high-dynamic-range frames near sqrt(float64 max).
+
+    The squared-norm reduction used for the clean certificate overflows
+    to Inf for all-finite frames with pixels around 1e154; the guard
+    used to read that Inf as "contains non-finite pixels" and falsely
+    quarantine perfectly valid HDR data.  The rescue path recomputes
+    the norm on max-rescaled copies of the suspect frames.
+    """
+
+    def _hdr_frames(self, n=8, scale=9.0e153, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.abs(rng.normal(1.0, 0.1, (n, 8, 8))) * scale
+
+    def test_hdr_frames_accepted_not_falsely_non_finite(self):
+        frames = self._hdr_frames()
+        assert np.isfinite(frames).all()  # genuinely clean input
+        # ... yet the raw squared-norm reduction overflows:
+        assert not np.isfinite(
+            np.einsum("ij,ij->i", frames.reshape(8, -1), frames.reshape(8, -1))
+        ).any()
+        guard = make_guard(norm_sigma=None)
+        batch = guard.screen(frames)
+        assert batch.n_accepted == 8
+        assert batch.rejected == []
+        np.testing.assert_array_equal(batch.accepted, frames)
+        # The exported norm certificate is finite and correct.
+        expected = np.linalg.norm(frames.reshape(8, -1) / 9.0e153, axis=1)
+        np.testing.assert_allclose(
+            batch.accepted_norms / 9.0e153, expected, rtol=1e-10
+        )
+
+    def test_follow_up_batch_unpoisoned(self):
+        guard = make_guard(norm_sigma=None)
+        assert guard.screen(self._hdr_frames()).n_accepted == 8
+        later = guard.screen(clean_frames(8))
+        assert later.n_accepted == 8
+        assert guard.reject_counts == {}
+
+    def test_nan_in_hdr_batch_still_rejected(self):
+        frames = self._hdr_frames()
+        frames[3, 2, 2] = np.nan
+        guard = make_guard(norm_sigma=None)
+        batch = guard.screen(frames)
+        assert batch.n_accepted == 7
+        assert [str(q.reason) for q in batch.rejected] == ["non_finite"]
+        assert [q.shot_id for q in batch.rejected] == [3]

@@ -1,0 +1,379 @@
+"""Fused ingest engine: equivalence, precision tiers, and plumbing.
+
+The load-bearing contract of :class:`repro.pipeline.ingest.FusedIngest`
+is *bit-identity*: on the default float64 tier, one fused sweep must
+leave the sketch in exactly the state the staged chain
+(``guard.screen`` → ``Preprocessor.apply_flat`` → ``partial_fit``)
+would, for any preprocessor configuration, any batch split, and any mix
+of clean/corrupt frames.  The hypothesis suite here locks that property;
+the float32 tier is held to the FD covariance bound instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.arams import ARAMS, ARAMSConfig
+from repro.core.errors import covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.obs.registry import NullRegistry, Registry
+from repro.pipeline.guard import FrameGuard, GuardConfig
+from repro.pipeline.ingest import FusedIngest, IngestResult
+from repro.pipeline.monitor import MonitoringPipeline
+from repro.pipeline.preprocess import Preprocessor
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _fd_state(sk: ARAMS) -> dict:
+    fd = sk.sketcher
+    return {
+        "buffer": fd._buffer.copy(),
+        "next_zero": fd._next_zero,
+        "n_seen": fd.n_seen,
+        "sf": fd.squared_frobenius,
+        "n_rotations": fd.n_rotations,
+        "offered": sk.n_seen,
+    }
+
+
+def _assert_states_identical(a: dict, b: dict):
+    assert np.array_equal(a["buffer"], b["buffer"])
+    for key in ("next_zero", "n_seen", "sf", "n_rotations", "offered"):
+        assert a[key] == b[key], key
+
+
+@st.composite
+def image_stream(draw):
+    """A small stream: frames, batch boundaries, and corruption sites."""
+    n = draw(st.integers(12, 60))
+    h = draw(st.integers(6, 14))
+    w = draw(st.integers(6, 14))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    imgs = rng.gamma(2.0, 1.0, size=(n, h, w))
+    # A bright frame exercises the norm-outlier screen; NaN frames
+    # exercise repair (guard off) or quarantine (guard on).
+    if draw(st.booleans()):
+        imgs[draw(st.integers(0, n - 1))] *= draw(st.floats(10.0, 200.0))
+    for _ in range(draw(st.integers(0, 2))):
+        i = draw(st.integers(0, n - 1))
+        imgs[i, draw(st.integers(0, h - 1)), draw(st.integers(0, w - 1))] = np.nan
+    n_batches = draw(st.integers(1, 4))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(1, n - 1),
+                min_size=n_batches - 1,
+                max_size=n_batches - 1,
+                unique=True,
+            )
+        )
+    )
+    batches = np.split(imgs, cuts)
+    return imgs, batches
+
+
+@st.composite
+def preprocessor_config(draw, h_max=6, w_max=6):
+    threshold_mode = draw(st.sampled_from(["absolute", "quantile"]))
+    threshold = (
+        None
+        if draw(st.booleans())
+        else (
+            draw(st.floats(0.0, 2.0))
+            if threshold_mode == "absolute"
+            else draw(st.floats(0.05, 0.9))
+        )
+    )
+    crop = None if draw(st.booleans()) else (h_max, w_max)
+    return Preprocessor(
+        threshold=threshold,
+        threshold_mode=threshold_mode,
+        normalize=draw(st.sampled_from(["l2", "sum", "max", None])),
+        center=draw(st.booleans()),
+        crop=crop,
+        repair=True,
+        hot_sigma=None if draw(st.booleans()) else draw(st.floats(3.0, 8.0)),
+    )
+
+
+def _staged_run(pre, batches, d, ell, guard_cfg=None, beta=1.0, seed=0):
+    sk = ARAMS(d, ARAMSConfig(ell=ell, beta=beta, seed=seed))
+    guard = FrameGuard(guard_cfg, registry=NullRegistry()) if guard_cfg else None
+    rejected = []
+    for b in batches:
+        if guard is not None:
+            gb = guard.screen(b)
+            rejected.extend(gb.rejected)
+            stack = gb.accepted
+        else:
+            stack = b
+        if stack.shape[0]:
+            sk.partial_fit(pre.apply_flat(stack))
+    return sk, guard, rejected
+
+
+def _fused_run(
+    pre, batches, d, ell, guard_cfg=None, beta=1.0, seed=0,
+    precision="float64", keep_rows=False,
+):
+    sk = ARAMS(d, ARAMSConfig(ell=ell, beta=beta, seed=seed, precision=precision))
+    guard = FrameGuard(guard_cfg, registry=NullRegistry()) if guard_cfg else None
+    eng = FusedIngest(
+        sk, pre, guard=guard, registry=NullRegistry(),
+        precision=precision, keep_rows=keep_rows,
+    )
+    results = [eng.ingest(b) for b in batches]
+    return sk, guard, eng, results
+
+
+class TestBitIdentityFloat64:
+    """Fused float64 sweep == staged chain, bit for bit."""
+
+    @COMMON
+    @given(image_stream(), preprocessor_config(), st.integers(3, 8))
+    def test_no_guard(self, stream, pre, ell):
+        imgs, batches = stream
+        h, w = imgs.shape[1:]
+        ch, cw = pre.crop if pre.crop else (h, w)
+        d = ch * cw
+        staged, _, _ = _staged_run(pre, batches, d, ell)
+        fused, _, eng, _ = _fused_run(pre, batches, d, ell)
+        _assert_states_identical(_fd_state(staged), _fd_state(fused))
+        # Without keep_rows and with beta=1 every row goes zero-copy.
+        assert eng.n_zero_copy_rows == imgs.shape[0]
+
+    @COMMON
+    @given(image_stream(), preprocessor_config(), st.integers(3, 8))
+    def test_with_guard_including_quarantine(self, stream, pre, ell):
+        imgs, batches = stream
+        h, w = imgs.shape[1:]
+        ch, cw = pre.crop if pre.crop else (h, w)
+        d = ch * cw
+        cfg = GuardConfig(expected_shape=(h, w))
+        staged, g1, rej1 = _staged_run(pre, batches, d, ell, guard_cfg=cfg)
+        fused, g2, eng, results = _fused_run(pre, batches, d, ell, guard_cfg=cfg)
+        _assert_states_identical(_fd_state(staged), _fd_state(fused))
+        # Guard decisions and counters must be indistinguishable.
+        assert g1.n_offered == g2.n_offered == imgs.shape[0]
+        assert g1.n_accepted == g2.n_accepted
+        assert g1.reject_counts == g2.reject_counts
+        rej2 = [r for res in results for r in res.rejected]
+        assert [(r.shot_id, r.reason) for r in rej1] == [
+            (r.shot_id, r.reason) for r in rej2
+        ]
+
+    @COMMON
+    @given(image_stream(), preprocessor_config(), st.integers(3, 8))
+    def test_keep_rows_arena_path(self, stream, pre, ell):
+        imgs, batches = stream
+        h, w = imgs.shape[1:]
+        ch, cw = pre.crop if pre.crop else (h, w)
+        d = ch * cw
+        staged, _, _ = _staged_run(pre, batches, d, ell)
+        fused, _, eng, results = _fused_run(pre, batches, d, ell, keep_rows=True)
+        _assert_states_identical(_fd_state(staged), _fd_state(fused))
+        assert eng.n_zero_copy_rows == 0  # keep_rows forces the arena
+        # The last batch's rows are still valid and match the staged chain.
+        last = batches[-1]
+        assert np.array_equal(results[-1].rows, pre.apply_flat(last))
+
+    @COMMON
+    @given(image_stream(), st.floats(0.3, 0.9), st.integers(3, 8))
+    def test_priority_sampling_rng_parity(self, stream, beta, ell):
+        """beta < 1 falls back to one partial_fit per batch: the
+        sampler must see identical batches and draw identically."""
+        imgs, batches = stream
+        d = imgs.shape[1] * imgs.shape[2]
+        pre = Preprocessor()
+        staged, _, _ = _staged_run(pre, batches, d, ell, beta=beta, seed=11)
+        fused, _, eng, _ = _fused_run(pre, batches, d, ell, beta=beta, seed=11)
+        _assert_states_identical(_fd_state(staged), _fd_state(fused))
+        assert eng.n_zero_copy_rows == 0
+
+
+class TestFloat32Tier:
+    @COMMON
+    @given(image_stream(), st.integers(4, 8))
+    def test_within_fd_error_bound(self, stream, ell):
+        imgs, batches = stream
+        imgs = np.nan_to_num(imgs)
+        batches = [np.nan_to_num(b) for b in batches]
+        pre = Preprocessor()
+        d = imgs.shape[1] * imgs.shape[2]
+        ell = min(ell, d)
+        fused, _, _, _ = _fused_run(pre, batches, d, ell, precision="float32")
+        a = pre.apply_flat(imgs)
+        assert covariance_error(a, fused.sketch) <= np.sum(a * a) / ell * (1 + 1e-9)
+
+    def test_close_to_exact_tier(self):
+        rng = np.random.default_rng(0)
+        imgs = rng.gamma(2.0, 1.0, size=(64, 12, 12))
+        pre = Preprocessor()
+        d = 144
+        exact, _, _, _ = _fused_run(pre, [imgs], d, 8)
+        fast, _, _, _ = _fused_run(pre, [imgs], d, 8, precision="float32")
+        # Same rotations, same structure; values differ only by f32
+        # rounding of the frame math.
+        assert exact.sketcher.n_rotations == fast.sketcher.n_rotations
+        np.testing.assert_allclose(
+            fast.sketcher._buffer, exact.sketcher._buffer, rtol=0, atol=1e-5
+        )
+
+    def test_precision_validated(self):
+        with pytest.raises(ValueError, match="precision"):
+            FusedIngest(registry=NullRegistry(), precision="float16")
+        with pytest.raises(ValueError, match="precision"):
+            ARAMSConfig(ell=8, precision="bf16")
+
+
+class TestEngineBehavior:
+    def test_nonfinite_without_repair_matches_staged_error(self):
+        """repair=False + corrupt frame raises the sketcher's exact
+        error, before anything is committed."""
+        imgs = np.ones((8, 6, 6))
+        imgs[3, 2, 2] = np.inf
+        pre = Preprocessor(repair=False, center=False, normalize=None)
+        sk = ARAMS(36, ARAMSConfig(ell=4))
+        eng = FusedIngest(sk, pre, registry=NullRegistry())
+        with pytest.raises(ValueError, match="repair detector frames"):
+            eng.ingest(imgs)
+        assert sk.sketcher.n_seen == 0  # nothing half-committed
+
+    def test_requires_a_sketcher(self):
+        eng = FusedIngest(registry=NullRegistry())
+        with pytest.raises(ValueError, match="sketcher"):
+            eng.sweep(np.ones((2, 4, 4)))
+
+    def test_shot_id_length_mismatch(self):
+        sk = ARAMS(16, ARAMSConfig(ell=4))
+        eng = FusedIngest(sk, Preprocessor(), registry=NullRegistry())
+        with pytest.raises(ValueError, match="shot_ids"):
+            eng.ingest(np.ones((3, 4, 4)), shot_ids=[1, 2])
+
+    def test_empty_batch_is_a_noop(self):
+        sk = ARAMS(16, ARAMSConfig(ell=4))
+        eng = FusedIngest(sk, Preprocessor(), registry=NullRegistry())
+        res = eng.ingest(np.zeros((0, 4, 4)))
+        assert isinstance(res, IngestResult)
+        assert res.n_accepted == 0
+        assert sk.sketcher.n_seen == 0
+
+    def test_counters_and_spans_flow_to_registry(self):
+        reg = Registry()
+        rng = np.random.default_rng(0)
+        imgs = rng.gamma(2.0, 1.0, size=(40, 8, 8))
+        sk = ARAMS(64, ARAMSConfig(ell=4))
+        eng = FusedIngest(sk, Preprocessor(), registry=reg)
+        eng.ingest(imgs)
+        labels = {"precision": "float64"}
+        assert reg.get_sample("fused_frames_total", labels).value == 40
+        assert reg.get_sample("fused_zero_copy_rows_total", labels).value == 40
+        # The staged-path histograms keep working in fused mode, so
+        # preprocess_time / sketch_time / throughput readers don't care
+        # which ingest path ran.
+        from repro.obs.spans import SPAN_HISTOGRAM
+
+        for span in ("consume.preprocess", "consume.sketch", "consume.fused"):
+            sample = reg.get_sample(SPAN_HISTOGRAM, {"span": span})
+            assert sample is not None and sample.count >= 1, span
+
+    def test_fused_writer_gating(self):
+        assert isinstance(
+            ARAMS(16, ARAMSConfig(ell=4)).fused_writer(), FrequentDirections
+        )
+        assert ARAMS(16, ARAMSConfig(ell=4, beta=0.5)).fused_writer() is None
+
+
+class TestReserveCommit:
+    """FD's zero-copy protocol is partial_fit, bit for bit."""
+
+    def test_matches_partial_fit(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((300, 32))
+        ref = FrequentDirections(d=32, ell=4).partial_fit(x)
+        fd = FrequentDirections(d=32, ell=4)
+        pos = 0
+        while pos < x.shape[0]:
+            view = fd.reserve_rows(x.shape[0] - pos)
+            k = view.shape[0]
+            view[...] = x[pos : pos + k]
+            fd.commit_rows(k)
+            pos += k
+        assert np.array_equal(fd._buffer, ref._buffer)
+        assert fd.squared_frobenius == ref.squared_frobenius
+        assert fd.n_seen == ref.n_seen
+        assert fd.n_rotations == ref.n_rotations
+
+    def test_validates_arguments(self):
+        fd = FrequentDirections(d=8, ell=2)
+        with pytest.raises(ValueError):
+            fd.reserve_rows(0)
+        with pytest.raises(ValueError):
+            fd.commit_rows(-1)
+        view = fd.reserve_rows(fd._buffer.shape[0])
+        with pytest.raises(ValueError, match="reservable"):
+            fd.commit_rows(view.shape[0] + 1)
+
+
+class TestPipelineFusedMode:
+    def _stream(self):
+        rng = np.random.default_rng(0)
+        imgs = rng.gamma(2.0, 1.0, size=(150, 20, 20))
+        imgs[7, 3, 3] = np.nan  # quarantined by the guard
+        return imgs
+
+    def _run(self, ingest, retain="rows", precision="float64"):
+        imgs = self._stream()
+        pipe = MonitoringPipeline(
+            image_shape=(20, 20), seed=0, guard=True, retain=retain,
+            ingest=ingest,
+            sketch=ARAMSConfig(ell=8, beta=1.0, seed=0, precision=precision),
+        )
+        for i in range(0, 150, 50):
+            pipe.consume(imgs[i : i + 50], shot_ids=np.arange(i, i + 50))
+        return pipe
+
+    def test_sketch_rows_and_ids_identical(self):
+        staged = self._run("staged")
+        fused = self._run("fused")
+        assert np.array_equal(
+            staged.sketcher.sketcher._buffer, fused.sketcher.sketcher._buffer
+        )
+        assert np.array_equal(np.vstack(staged._rows), np.vstack(fused._rows))
+        assert staged.shot_ids == fused.shot_ids
+        assert staged.n_images == fused.n_images == 149
+        assert fused.health_summary()["ingest"]["mode"] == "fused"
+
+    def test_latent_retention_identical(self):
+        staged = self._run("staged", retain="latent")
+        fused = self._run("fused", retain="latent")
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(staged._latents, fused._latents)
+        )
+
+    def test_retained_rows_survive_arena_reuse(self):
+        """Retention must copy out of the engine's reusable arena."""
+        fused = self._run("fused")
+        first = fused._rows[0].copy()
+        fused.consume(self._stream()[:50], shot_ids=np.arange(900, 950))
+        assert np.array_equal(fused._rows[0], first)
+
+    def test_timing_views_work_in_fused_mode(self):
+        fused = self._run("fused")
+        assert fused.preprocess_time > 0
+        assert fused.sketch_time > 0
+        assert np.isfinite(fused.throughput_hz())
+
+    def test_ingest_mode_validated(self):
+        with pytest.raises(ValueError, match="ingest"):
+            MonitoringPipeline(image_shape=(8, 8), ingest="overlapped")

@@ -214,3 +214,30 @@ class TestOnlineScoring:
         full = pipe.consume(images).analyze()
         out = pipe.score_new(images[:25])
         assert sum(out.timings.values()) < sum(full.timings.values())
+
+
+class TestStrideSample:
+    """Regression: the float linspace construction could floor two grid
+    points onto the same index and return fewer than min(take, total)
+    rows after the duplicates collapsed."""
+
+    def test_exact_count_for_all_small_totals(self):
+        from repro.pipeline.monitor import _stride_sample
+
+        rng = np.random.default_rng(0)
+        for total in range(1, 40):
+            parts = [rng.standard_normal((total, 3))]
+            for take in range(1, 2 * total + 2):
+                out = _stride_sample(parts, total, take)
+                assert out.shape == (min(take, total), 3), (total, take)
+                # Rows are distinct stream positions in order.
+                ref = parts[0]
+                idx = [int(np.argmax((ref == row).all(axis=1))) for row in out]
+                assert idx == sorted(set(idx)), (total, take)
+
+    def test_first_and_last_rows_always_included(self):
+        from repro.pipeline.monitor import _stride_sample
+
+        parts = [np.arange(17, dtype=float).reshape(17, 1)]
+        out = _stride_sample(parts, 17, 5)
+        assert out[0, 0] == 0.0 and out[-1, 0] == 16.0

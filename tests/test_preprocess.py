@@ -197,3 +197,43 @@ class TestDegenerateFrames:
         pre = Preprocessor()  # repair=True: Inf pixels zeroed first
         rows = pre.apply_flat(self.degenerate_stack())
         assert np.all(np.isfinite(rows))
+
+
+class TestRepairHotPixelStats:
+    """Hot-pixel statistics must come from the ORIGINAL finite pixels.
+
+    Regression: the per-frame median/std used to be computed after the
+    NaN->nan_fill substitution, so a swath of dead pixels dragged the
+    median toward ``nan_fill`` and the clamp cap below the frame's real
+    signal level, crushing legitimately bright frames.
+    """
+
+    def test_half_dead_uniform_bright_frame_stays_unclamped(self):
+        from repro.pipeline.preprocess import repair_dead_pixels
+
+        frame = np.full((1, 10, 10), 100.0)
+        frame[0, :6, :] = np.nan  # 60% dead
+        out = repair_dead_pixels(frame, hot_sigma=1.5)
+        # Finite pixels are uniformly 100: median 100, std 0, so the
+        # cap sits at 100 and the signal must pass through untouched.
+        # (With fill-then-measure stats the median was 0, std ~49, and
+        # the cap ~73 clamped every live pixel.)
+        assert np.all(out[0, 6:, :] == 100.0)
+        assert np.all(out[0, :6, :] == 0.0)  # dead pixels filled
+
+    def test_genuine_hot_pixel_still_clamped_next_to_dead_ones(self):
+        from repro.pipeline.preprocess import repair_dead_pixels
+
+        rng = np.random.default_rng(3)
+        frame = rng.normal(1.0, 0.05, (1, 12, 12))
+        frame[0, 0, 0] = np.nan
+        frame[0, 5, 5] = 1e6  # cosmic hit
+        out = repair_dead_pixels(frame, hot_sigma=6.0)
+        assert np.isfinite(out).all()
+        # Clamped down to the cap (the plain std is inflated by the hit
+        # itself, so the cap is loose — but strictly below the hit).
+        assert out[0, 5, 5] < frame[0, 5, 5]
+        # Everything else is within the cap and passes through exactly.
+        keep = np.ones((12, 12), dtype=bool)
+        keep[0, 0] = keep[5, 5] = False
+        np.testing.assert_array_equal(out[0][keep], frame[0][keep])
