@@ -1,0 +1,102 @@
+"""Campaign orchestration overhead: scheduler vs bare task loop.
+
+The orchestrator's promise is that its machinery — spec expansion,
+dependency sweeps, retry bookkeeping, spans, counters, timeline samples
+and alert evaluation — is scheduling glue, not a second pipeline: the
+wall cost of a campaign should be dominated by the task attempts
+themselves.  This bench times the same 4-task matrix two ways:
+
+- ``bare``      — ``run_task_attempt`` called directly in task order,
+  no scheduler, no observability;
+- ``scheduled`` — the full :class:`~repro.campaign.scheduler.CampaignScheduler`
+  (spans + counters + timeline + alerts + report assembly).
+
+and asserts the scheduled run stays within a *lenient* 3x of bare —
+checkpoint I/O noise on shared machines is real, and the bar exists to
+catch structural regressions (an accidental per-batch re-expansion, an
+O(tasks²) sweep), not micro-drift.  A second case prices the chaos
+path: a kill-and-resume campaign must cost virtual time equal to the
+clean makespan plus the charged backoff, never a recompute.
+
+Not wired into the CI tiers; run locally with
+``pytest benchmarks/bench_campaign.py -q --benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.tasks import run_task_attempt
+from repro.obs.clock import StopWatch
+from repro.serve.admission import VirtualClock
+
+SPEC = {
+    "name": "bench",
+    "seed": 17,
+    "runs": [
+        {"run": 1, "shots": 40, "batch": 10},
+        {"run": 2, "shots": 40, "batch": 10},
+    ],
+    "detectors": [{"name": "epix", "size": 16, "scenario": "beam"}],
+    "variants": [
+        {"name": "fd", "ell": 8},
+        {"name": "arams", "ell": 8, "beta": 0.9, "epsilon": 0.1},
+    ],
+    "dependencies": [{"task": "r0002/*", "after": "r0001/*"}],
+    "retry": {"max_attempts": 3, "base": 0.25, "cap": 4.0, "jitter": 0.1},
+    "checkpoint_every": 1,
+}
+
+OVERHEAD_FACTOR = 3.0  # lenient: structural regressions only
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(SPEC)
+
+
+def _bare_seconds() -> float:
+    """Task attempts in task order, no scheduler machinery."""
+    tasks = spec().tasks()
+    with tempfile.TemporaryDirectory() as tmp, StopWatch() as sw:
+        clock = VirtualClock()
+        for task in tasks:
+            run_task_attempt(task, 1, Path(tmp), clock)
+    return sw.elapsed
+
+
+def _scheduled_seconds(faults: str | None = None) -> float:
+    with tempfile.TemporaryDirectory() as tmp, StopWatch() as sw:
+        CampaignScheduler(spec(), tmp, faults=faults).run()
+    return sw.elapsed
+
+
+def test_campaign_orchestration_overhead(benchmark):
+    bare = min(_bare_seconds() for _ in range(3))
+    benchmark(_scheduled_seconds)
+    scheduled = min(_scheduled_seconds() for _ in range(3))
+    assert scheduled <= OVERHEAD_FACTOR * bare, (
+        f"campaign scheduling overhead blew the budget: scheduled "
+        f"{scheduled * 1e3:.1f} ms vs bare {bare * 1e3:.1f} ms "
+        f"(> {OVERHEAD_FACTOR:.0f}x)"
+    )
+
+
+def test_campaign_chaos_resume_is_pay_once(benchmark):
+    """A kill-and-resume campaign charges backoff, never recompute."""
+    chaos = "seed=3; kill task=r0001/epix/fd batch=2 attempt=1"
+    benchmark(lambda: _scheduled_seconds(chaos))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = CampaignScheduler(spec(), tmp).run()
+    with tempfile.TemporaryDirectory() as tmp:
+        chaotic = CampaignScheduler(spec(), tmp, faults=chaos).run()
+    victim = chaotic.task("r0001/epix/fd")
+    assert victim.resumed and victim.attempts == 2
+    assert chaotic.makespan_virtual_seconds == pytest.approx(
+        clean.makespan_virtual_seconds + victim.backoff_seconds
+    )

@@ -1,0 +1,72 @@
+"""Declarative campaign orchestration (runs × detectors × variants).
+
+The in-process equivalent of the production ``btx``/Airflow stack that
+drives the paper's pipelines at LCLS: a YAML/dict
+:class:`~repro.campaign.spec.CampaignSpec` expands into a dependency
+DAG of monitoring tasks, the deterministic
+:class:`~repro.campaign.scheduler.CampaignScheduler` executes it on a
+virtual clock with the repository's one shared
+:class:`~repro.campaign.retry.RetryPolicy`, retries resume from
+crash-consistent checkpoints, and every execution — chaos-injected or
+not — returns a stable-schema
+:class:`~repro.campaign.report.CampaignReport`.
+
+Import structure: the light value types (retry policy, spec) are eager;
+the scheduler/tasks/report machinery — which pulls in the pipeline and
+parallel layers — loads lazily, because
+:mod:`repro.parallel.cost_model` imports
+:mod:`repro.campaign.retry` at module scope and the scheduler imports
+the parallel layer right back.
+"""
+
+from repro.campaign.retry import RetryPolicy, exponential_backoff
+from repro.campaign.spec import (
+    CampaignSpec,
+    CampaignSpecError,
+    DetectorSpec,
+    RunSpec,
+    TaskSpec,
+    VariantSpec,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "exponential_backoff",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "DetectorSpec",
+    "RunSpec",
+    "TaskSpec",
+    "VariantSpec",
+    # lazy (see __getattr__):
+    "CampaignScheduler",
+    "run_campaign",
+    "CampaignReport",
+    "TaskResult",
+    "TaskError",
+    "TaskFailed",
+    "TaskKilledError",
+    "TaskTimeoutError",
+    "run_task_attempt",
+]
+
+_LAZY = {
+    "CampaignScheduler": "repro.campaign.scheduler",
+    "run_campaign": "repro.campaign.scheduler",
+    "CampaignReport": "repro.campaign.report",
+    "TaskResult": "repro.campaign.report",
+    "TaskError": "repro.campaign.tasks",
+    "TaskFailed": "repro.campaign.tasks",
+    "TaskKilledError": "repro.campaign.tasks",
+    "TaskTimeoutError": "repro.campaign.tasks",
+    "run_task_attempt": "repro.campaign.tasks",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

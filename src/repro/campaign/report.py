@@ -1,0 +1,212 @@
+"""Campaign reports: the stable JSON account of what a campaign did.
+
+A :class:`CampaignReport` is what the scheduler always returns — faulted
+or not, fully succeeded or partially failed.  Like
+:class:`~repro.parallel.faults.DegradationReport`, the serialization has
+a *fixed* field order (``_JSON_FIELDS`` below, ``sort_keys`` off): the
+schema order is the contract the golden test
+(``tests/golden/campaign_report.json``) and downstream dashboards pin.
+
+Every duration in a report is **virtual** seconds from the campaign
+clock, never wall time, so reports replay byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["TaskResult", "CampaignReport"]
+
+TASK_STATES = ("succeeded", "failed", "skipped")
+
+
+@dataclass
+class TaskResult:
+    """Terminal account of one campaign task.
+
+    ``state`` is one of :data:`TASK_STATES`: ``"succeeded"`` (an attempt
+    completed), ``"failed"`` (the attempt budget was exhausted —
+    ``error`` holds the last failure) or ``"skipped"`` (a dependency
+    failed; the task never started).
+    """
+
+    task_id: str
+    state: str
+    attempts: int = 0
+    retries: int = 0
+    resumed: bool = False
+    restarted_from_scratch: bool = False
+    checkpoints_written: int = 0
+    n_frames: int = 0
+    virtual_seconds: float = 0.0
+    backoff_seconds: float = 0.0
+    sketch_sha256: str | None = None
+    error: str | None = None
+    depends: tuple[str, ...] = ()
+
+    _JSON_FIELDS = (
+        "task_id",
+        "state",
+        "attempts",
+        "retries",
+        "resumed",
+        "restarted_from_scratch",
+        "checkpoints_written",
+        "n_frames",
+        "virtual_seconds",
+        "backoff_seconds",
+        "sketch_sha256",
+        "error",
+        "depends",
+    )
+
+    def __post_init__(self) -> None:
+        if self.state not in TASK_STATES:
+            raise ValueError(
+                f"unknown task state {self.state!r}; expected one of {TASK_STATES}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        values: Mapping[str, Any] = {
+            "task_id": self.task_id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "resumed": self.resumed,
+            "restarted_from_scratch": self.restarted_from_scratch,
+            "checkpoints_written": self.checkpoints_written,
+            "n_frames": self.n_frames,
+            "virtual_seconds": round(self.virtual_seconds, 9),
+            "backoff_seconds": round(self.backoff_seconds, 9),
+            "sketch_sha256": self.sketch_sha256,
+            "error": self.error,
+            "depends": list(self.depends),
+        }
+        return {k: values[k] for k in self._JSON_FIELDS}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TaskResult":
+        return cls(
+            task_id=d["task_id"],
+            state=d["state"],
+            attempts=int(d.get("attempts", 0)),
+            retries=int(d.get("retries", 0)),
+            resumed=bool(d.get("resumed", False)),
+            restarted_from_scratch=bool(d.get("restarted_from_scratch", False)),
+            checkpoints_written=int(d.get("checkpoints_written", 0)),
+            n_frames=int(d.get("n_frames", 0)),
+            virtual_seconds=float(d.get("virtual_seconds", 0.0)),
+            backoff_seconds=float(d.get("backoff_seconds", 0.0)),
+            sketch_sha256=d.get("sketch_sha256"),
+            error=d.get("error"),
+            depends=tuple(d.get("depends", ())),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign execution did, with a stable JSON schema.
+
+    ``degraded`` is ``True`` iff any task failed, was skipped, retried,
+    resumed or restarted — i.e. iff the campaign's history differs from
+    the clean single-attempt run.  A campaign with failed tasks is still
+    a *completed* campaign; partial results are the contract.
+    """
+
+    name: str
+    tasks: list[TaskResult] = field(default_factory=list)
+    makespan_virtual_seconds: float = 0.0
+    faults: dict[str, Any] = field(default_factory=dict)
+
+    SCHEMA_VERSION = 1
+    _JSON_FIELDS = (
+        "schema_version",
+        "name",
+        "degraded",
+        "tasks_total",
+        "tasks_succeeded",
+        "tasks_failed",
+        "tasks_skipped",
+        "attempts_total",
+        "retries_total",
+        "tasks_resumed",
+        "tasks_restarted",
+        "checkpoints_written_total",
+        "makespan_virtual_seconds",
+        "faults",
+        "tasks",
+    )
+
+    # -- derived tallies ------------------------------------------------
+    def _count(self, state: str) -> int:
+        return sum(1 for t in self.tasks if t.state == state)
+
+    @property
+    def tasks_succeeded(self) -> int:
+        return self._count("succeeded")
+
+    @property
+    def tasks_failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def tasks_skipped(self) -> int:
+        return self._count("skipped")
+
+    @property
+    def degraded(self) -> bool:
+        return any(
+            t.state != "succeeded" or t.retries or t.resumed
+            or t.restarted_from_scratch
+            for t in self.tasks
+        )
+
+    def task(self, task_id: str) -> TaskResult:
+        """Look up one task's result by id."""
+        for t in self.tasks:
+            if t.task_id == task_id:
+                return t
+        raise KeyError(task_id)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data view with the stable documented field order."""
+        tasks = sorted(self.tasks, key=lambda t: t.task_id)
+        values: Mapping[str, Any] = {
+            "schema_version": self.SCHEMA_VERSION,
+            "name": self.name,
+            "degraded": self.degraded,
+            "tasks_total": len(self.tasks),
+            "tasks_succeeded": self.tasks_succeeded,
+            "tasks_failed": self.tasks_failed,
+            "tasks_skipped": self.tasks_skipped,
+            "attempts_total": sum(t.attempts for t in self.tasks),
+            "retries_total": sum(t.retries for t in self.tasks),
+            "tasks_resumed": sum(1 for t in self.tasks if t.resumed),
+            "tasks_restarted": sum(
+                1 for t in self.tasks if t.restarted_from_scratch
+            ),
+            "checkpoints_written_total": sum(
+                t.checkpoints_written for t in self.tasks
+            ),
+            "makespan_virtual_seconds": round(self.makespan_virtual_seconds, 9),
+            "faults": dict(self.faults),
+            "tasks": [t.to_dict() for t in tasks],
+        }
+        return {k: values[k] for k in self._JSON_FIELDS}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize with stable field ordering (``sort_keys`` is OFF —
+        the schema order above is the contract)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "CampaignReport":
+        return cls(
+            name=d["name"],
+            tasks=[TaskResult.from_dict(t) for t in d.get("tasks", [])],
+            makespan_virtual_seconds=float(d.get("makespan_virtual_seconds", 0.0)),
+            faults=dict(d.get("faults", {})),
+        )

@@ -1,0 +1,154 @@
+"""The repository's one and only retry/backoff implementation.
+
+Every retry loop in the system — campaign task attempts, simulated-MPI
+retransmissions (:meth:`repro.parallel.comm.SimComm.send_reliable` /
+``recv_with_retry``), the comm cost model's virtual backoff charges —
+prices its waits through this module.  A lint test
+(``tests/test_no_sleep_backoff.py``) bans ``time.sleep`` and hand-rolled
+``base * 2 ** attempt`` loops everywhere else under ``src/``, mirroring
+the wall-clock lint that funnels raw timer reads through
+:mod:`repro.obs.clock`.
+
+Waits are *virtual seconds*: nothing here ever sleeps.  Callers charge
+the returned duration to whatever clock they own (a rank's virtual
+clock, the campaign scheduler's :class:`~repro.serve.admission.VirtualClock`),
+which is what keeps retry storms visible in makespans while tests replay
+them instantly and bit-identically.
+
+Determinism contract
+--------------------
+:func:`exponential_backoff` is a pure function.
+:meth:`RetryPolicy.backoff` adds *seeded* jitter: the perturbation is
+drawn from a generator keyed on ``(policy seed, caller key, attempt)``,
+never from shared RNG state or wall time, so two schedulers replaying
+the same campaign charge byte-identical waits regardless of execution
+order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "exponential_backoff"]
+
+
+def exponential_backoff(
+    attempt: int,
+    base: float,
+    factor: float = 2.0,
+    cap: float = float("inf"),
+) -> float:
+    """Capped exponential backoff before retry ``attempt + 1``.
+
+    ``attempt`` is the 0-based index of the attempt that just failed;
+    the wait is ``min(cap, base * factor ** attempt)`` virtual seconds.
+    With the default ``cap`` this reduces exactly to the classic
+    uncapped schedule, which is what keeps the simulated-MPI chaos
+    replays bit-identical to their pre-policy baselines.
+
+    Examples
+    --------
+    >>> [exponential_backoff(a, base=0.5) for a in range(3)]
+    [0.5, 1.0, 2.0]
+    >>> exponential_backoff(10, base=0.5, cap=4.0)
+    4.0
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be nonnegative, got {attempt}")
+    if base < 0:
+        raise ValueError(f"base must be nonnegative, got {base}")
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if cap < 0:
+        raise ValueError(f"cap must be nonnegative, got {cap}")
+    return min(cap, base * factor**attempt)
+
+
+def _key_digest(key: tuple) -> int:
+    """Stable nonnegative digest of a caller key (task id, channel, ...)."""
+    return zlib.crc32("/".join(str(part) for part in key).encode())
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shared, seeded retry schedule: attempt budget + capped backoff + jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts allowed (first try included); exhausting the
+        budget is the caller's terminal-failure condition.
+    base:
+        First backoff wait in virtual seconds.
+    factor:
+        Multiplier between consecutive waits.
+    cap:
+        Upper bound on a single wait (applied before jitter).
+    jitter:
+        Fraction of the capped wait added as seeded noise: the actual
+        wait is ``w * (1 + jitter * u)`` with ``u ~ Uniform[0, 1)``
+        drawn from a generator keyed on ``(seed, key, attempt)``.
+        ``0.0`` disables jitter and makes the schedule a pure function.
+    seed:
+        Root seed of the jitter stream.
+    """
+
+    max_attempts: int = 3
+    base: float = 0.25
+    factor: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base < 0:
+            raise ValueError(f"base must be nonnegative, got {self.base}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.cap < 0:
+            raise ValueError(f"cap must be nonnegative, got {self.cap}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, key: tuple = ()) -> float:
+        """Virtual seconds to wait after failed attempt ``attempt`` (0-based).
+
+        ``key`` namespaces the jitter stream (e.g. ``(task_id,)`` or a
+        ``(source, dest, tag)`` channel) so concurrent retry loops
+        sharing one policy draw independent — but individually
+        reproducible — perturbations.
+        """
+        wait = exponential_backoff(attempt, self.base, self.factor, self.cap)
+        if self.jitter == 0.0 or wait == 0.0:
+            return wait
+        rng = np.random.default_rng([self.seed, _key_digest(key), attempt])
+        return wait * (1.0 + self.jitter * float(rng.random()))
+
+    def schedule(self, key: tuple = ()) -> list[float]:
+        """All waits of one full budget: ``max_attempts - 1`` entries."""
+        return [self.backoff(a, key) for a in range(self.max_attempts - 1)]
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base": self.base,
+            "factor": self.factor,
+            "cap": self.cap,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RetryPolicy":
+        known = {f: d[f] for f in
+                 ("max_attempts", "base", "factor", "cap", "jitter", "seed")
+                 if f in d}
+        unknown = set(d) - set(known)
+        if unknown:
+            raise ValueError(f"unknown retry policy fields: {sorted(unknown)}")
+        return cls(**known)

@@ -1,0 +1,306 @@
+"""Deterministic dependency scheduler for campaign specs.
+
+:class:`CampaignScheduler` executes a
+:class:`~repro.campaign.spec.CampaignSpec` on a virtual clock:
+
+- **Ready order is deterministic.**  Tasks run when every dependency has
+  succeeded, in task-id order among the ready set — no thread pool, no
+  wall-clock races, so a campaign's history is a pure function of
+  ``(spec, fault plan)``.
+- **Retries resume, never replay.**  A failed attempt (kill, timeout)
+  charges the shared :class:`~repro.campaign.retry.RetryPolicy` backoff
+  to the clock and re-enters :func:`~repro.campaign.tasks.run_task_attempt`,
+  which picks up from the newest verified checkpoint generation.
+- **Failure is local.**  A task that exhausts its attempt budget
+  degrades to the typed :class:`~repro.campaign.tasks.TaskFailed`
+  terminal state; its dependents are skipped, everything else runs, and
+  the campaign always returns a (possibly partial)
+  :class:`~repro.campaign.report.CampaignReport`.
+- **Observability is wired in.**  Per-attempt spans carry trace-context
+  lineage (``campaign:<name>`` → ``task:<id>`` → ``attempt:<n>``),
+  ``campaign_tasks_{started,retried,failed,resumed,succeeded}_total``
+  counters land in the registry, and an
+  :class:`~repro.obs.alerts.AlertManager` fires the retry burn-rate rule
+  on the campaign's own virtual timeline.
+
+The optional ``wall_timeout`` arms the same SIGALRM watchdog machinery
+the test suite uses — a safety net for *wall* hangs (the virtual
+per-attempt timeout is the semantic one), nesting-safe under an outer
+alarm.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.campaign.report import CampaignReport, TaskResult
+from repro.campaign.spec import CampaignSpec, TaskSpec
+from repro.campaign.tasks import (
+    TaskError,
+    TaskFailed,
+    run_task_attempt,
+)
+from repro.obs.alerts import AlertManager, RateRule
+from repro.obs.registry import Registry
+from repro.obs.timeline import Timeline
+from repro.obs.trace_context import TraceContext
+from repro.parallel.faults import CampaignFaultInjector, CampaignFaultPlan
+from repro.serve.admission import VirtualClock
+
+__all__ = ["CampaignScheduler", "CampaignWallTimeout", "run_campaign"]
+
+RETRY_BURN_RULE = "campaign_retry_burn"
+
+
+class CampaignWallTimeout(RuntimeError):
+    """The whole campaign exceeded its wall-clock safety budget."""
+
+
+@contextmanager
+def _wall_deadline(seconds: float | None):
+    """Arm a SIGALRM wall watchdog for the campaign, nesting-safe.
+
+    The previous handler *and* any outer alarm's remaining budget are
+    restored on exit, so running under the test suite's per-test
+    watchdog (see ``tests/conftest.py``) keeps both deadlines live.
+    Off the main thread signals are unavailable; the watchdog degrades
+    to a no-op there.
+    """
+    if seconds is None or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CampaignWallTimeout(
+            f"campaign exceeded its {seconds}s wall-clock budget"
+        )
+
+    prev_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    prev_remaining = signal.alarm(max(1, int(seconds)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, prev_handler)
+        if prev_remaining:
+            signal.alarm(prev_remaining)
+
+
+class CampaignScheduler:
+    """Execute one campaign deterministically; always return a report.
+
+    Parameters
+    ----------
+    spec:
+        The validated campaign (its :meth:`~repro.campaign.spec.CampaignSpec.tasks`
+        expansion is taken at construction, so spec errors surface here).
+    workdir:
+        Root directory for per-task checkpoint trees.
+    faults:
+        Optional chaos: a :class:`~repro.parallel.faults.CampaignFaultPlan`,
+        its compact spec string, or ``None``.
+    registry:
+        Metrics/span destination (fresh :class:`~repro.obs.Registry` by
+        default).  Task pipelines use their own registries; this one
+        holds the campaign-level signal.
+    clock:
+        The campaign's virtual clock; defaults to a fresh
+        :class:`~repro.serve.admission.VirtualClock` at 0.
+    trace_sink:
+        Optional :class:`~repro.obs.trace_context.TraceSink` receiving
+        alert transition markers.
+    keep_checkpoints:
+        Checkpoint generations retained per task.
+    retry_burn_threshold / retry_burn_window:
+        The retry burn-rate alert fires when retries/sec over the
+        trailing virtual window exceed the threshold.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workdir: str | Path,
+        faults: CampaignFaultPlan | str | None = None,
+        registry: Registry | None = None,
+        clock: VirtualClock | None = None,
+        trace_sink=None,
+        keep_checkpoints: int = 2,
+        retry_burn_threshold: float = 0.05,
+        retry_burn_window: float = 120.0,
+    ):
+        self.spec = spec
+        self.tasks: tuple[TaskSpec, ...] = spec.tasks()
+        self.workdir = Path(workdir)
+        if isinstance(faults, str):
+            faults = CampaignFaultPlan.parse(faults)
+        self.injector = (
+            CampaignFaultInjector(faults) if faults is not None else None
+        )
+        self.registry = registry if registry is not None else Registry()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.keep_checkpoints = int(keep_checkpoints)
+        self.context = TraceContext.root(f"campaign:{spec.name}")
+        self.timeline = Timeline(self.registry, clock=self.clock.now)
+        self.alerts = AlertManager(
+            self.timeline,
+            rules=[
+                RateRule(
+                    RETRY_BURN_RULE,
+                    "campaign_tasks_retried_total",
+                    ">",
+                    retry_burn_threshold,
+                    retry_burn_window,
+                    severity="warning",
+                )
+            ],
+            trace_sink=trace_sink,
+            trace_context=self.context,
+        )
+        self._counters = {
+            name: self.registry.counter(
+                f"campaign_tasks_{name}_total",
+                help=f"Campaign task attempts {name}",
+            )
+            for name in ("started", "retried", "failed", "resumed", "succeeded")
+        }
+
+    # ------------------------------------------------------------------
+    def _observe(self) -> None:
+        """Sample the timeline and evaluate alert rules at virtual now."""
+        self.timeline.sample()
+        self.alerts.evaluate()
+
+    def _run_task(self, task: TaskSpec) -> TaskResult:
+        """Drive one task through its attempt budget; never raises."""
+        policy = self.spec.retry
+        task_ctx = self.context.child(f"task:{task.task_id}")
+        self._counters["started"].inc()
+        backoff_total = 0.0
+        last_error: TaskError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            attempt_ctx = task_ctx.child(f"attempt:{attempt}")
+            try:
+                with self.registry.span(
+                    "campaign.attempt",
+                    tags={"task": task.task_id, "attempt": str(attempt)},
+                    context=attempt_ctx,
+                ):
+                    outcome = run_task_attempt(
+                        task,
+                        attempt,
+                        self.workdir,
+                        self.clock,
+                        injector=self.injector,
+                        keep=self.keep_checkpoints,
+                    )
+            except TaskError as exc:
+                last_error = exc
+                if attempt < policy.max_attempts:
+                    wait = policy.backoff(attempt - 1, key=(task.task_id,))
+                    self.clock.advance(wait)
+                    backoff_total += wait
+                    self._counters["retried"].inc()
+                    self._observe()
+                continue
+            if outcome.resumed:
+                self._counters["resumed"].inc()
+            self._counters["succeeded"].inc()
+            self._observe()
+            return TaskResult(
+                task_id=task.task_id,
+                state="succeeded",
+                attempts=attempt,
+                retries=attempt - 1,
+                resumed=outcome.resumed,
+                restarted_from_scratch=outcome.restarted_from_scratch,
+                checkpoints_written=outcome.checkpoints_written,
+                n_frames=outcome.n_frames,
+                virtual_seconds=outcome.virtual_seconds,
+                backoff_seconds=backoff_total,
+                sketch_sha256=outcome.sketch_sha256,
+                depends=task.depends,
+            )
+        failure = TaskFailed(task.task_id, policy.max_attempts, last_error)
+        self._counters["failed"].inc()
+        self._observe()
+        return TaskResult(
+            task_id=task.task_id,
+            state="failed",
+            attempts=policy.max_attempts,
+            retries=policy.max_attempts - 1,
+            backoff_seconds=backoff_total,
+            error=str(failure),
+            depends=task.depends,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, wall_timeout: float | None = None) -> CampaignReport:
+        """Execute every task; return the (possibly partial) report.
+
+        ``wall_timeout`` arms the SIGALRM safety net for the whole
+        campaign; the per-attempt *virtual* timeout in the spec remains
+        the semantic budget.
+        """
+        by_id = {t.task_id: t for t in self.tasks}
+        results: dict[str, TaskResult] = {}
+        start = self.clock.now()
+        # Baseline scrape: rate rules need the campaign-start sample to
+        # see the first counter increments as a rise, not a plateau.
+        self._observe()
+        with _wall_deadline(wall_timeout):
+            remaining = sorted(by_id)
+            while remaining:
+                progressed = False
+                for tid in list(remaining):
+                    task = by_id[tid]
+                    if any(
+                        results.get(dep) is not None
+                        and results[dep].state != "succeeded"
+                        for dep in task.depends
+                    ):
+                        # A dependency terminally failed (or was itself
+                        # skipped): this task can never become ready.
+                        results[tid] = TaskResult(
+                            task_id=tid,
+                            state="skipped",
+                            error="dependency failed: " + ", ".join(
+                                dep for dep in task.depends
+                                if results.get(dep) is not None
+                                and results[dep].state != "succeeded"
+                            ),
+                            depends=task.depends,
+                        )
+                        remaining.remove(tid)
+                        progressed = True
+                        continue
+                    if all(
+                        dep in results and results[dep].state == "succeeded"
+                        for dep in task.depends
+                    ):
+                        results[tid] = self._run_task(task)
+                        remaining.remove(tid)
+                        progressed = True
+                assert progressed, "scheduler stuck: cycle survived validation"
+        report = CampaignReport(
+            name=self.spec.name,
+            tasks=[results[tid] for tid in sorted(results)],
+            makespan_virtual_seconds=self.clock.now() - start,
+            faults=self.injector.stats() if self.injector is not None else {},
+        )
+        return report
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workdir: str | Path,
+    faults: CampaignFaultPlan | str | None = None,
+    **kwargs,
+) -> CampaignReport:
+    """One-call convenience: schedule ``spec`` and return its report."""
+    wall_timeout = kwargs.pop("wall_timeout", None)
+    return CampaignScheduler(spec, workdir, faults=faults, **kwargs).run(
+        wall_timeout=wall_timeout
+    )

@@ -1,0 +1,419 @@
+"""Declarative campaign specs: runs × detectors × variants, with deps.
+
+A *campaign* is the in-process equivalent of the production ``btx``
+Airflow setup at LCLS: a YAML (or plain dict) document declaring a
+matrix of monitoring tasks — every combination of experiment **run**,
+**detector** and sketching **pipeline variant** — plus explicit
+dependencies between matrix slices (``r0002/* after r0001/*``: don't
+touch run 2 until run 1's sketches exist).  The spec is a pure value;
+:meth:`CampaignSpec.tasks` expands it into a validated, deterministic
+task list the :class:`~repro.campaign.scheduler.CampaignScheduler`
+executes.
+
+Validation is loud and typed: every malformed field, unknown key,
+pattern that matches nothing, or dependency cycle raises
+:class:`CampaignSpecError` naming the offending entry — a campaign that
+parses is a campaign that can run.
+
+Determinism: each task's data seed is derived from ``(campaign seed,
+run, detector)`` with a stable digest — never Python's randomized
+``hash`` — so every variant of one ``(run, detector)`` cell consumes the
+*same* frame stream, and a re-parsed spec reproduces byte-identical
+campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.campaign.retry import RetryPolicy
+
+__all__ = [
+    "CampaignSpecError",
+    "DetectorSpec",
+    "VariantSpec",
+    "RunSpec",
+    "TaskSpec",
+    "CampaignSpec",
+]
+
+_SCENARIOS = ("beam", "diffraction")
+
+
+class CampaignSpecError(ValueError):
+    """A campaign spec failed validation (malformed field, bad dependency)."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise CampaignSpecError(message)
+
+
+def _check_keys(entry: Mapping[str, Any], allowed: tuple[str, ...], what: str) -> None:
+    unknown = set(entry) - set(allowed)
+    _require(not unknown, f"{what}: unknown keys {sorted(unknown)} "
+                          f"(allowed: {sorted(allowed)})")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment run: a contiguous seeded stream of shots."""
+
+    run: int
+    shots: int = 80
+    batch: int = 20
+
+    def __post_init__(self) -> None:
+        _require(self.run >= 0, f"run number must be >= 0, got {self.run}")
+        _require(self.shots >= 1, f"run {self.run}: shots must be >= 1")
+        _require(1 <= self.batch <= self.shots,
+                 f"run {self.run}: batch must be in [1, shots]")
+
+    @classmethod
+    def from_entry(cls, entry: Any) -> "RunSpec":
+        if isinstance(entry, int):
+            return cls(run=entry)
+        _require(isinstance(entry, Mapping),
+                 f"run entry must be an int or mapping, got {entry!r}")
+        _check_keys(entry, ("run", "shots", "batch"), f"run entry {entry!r}")
+        _require("run" in entry, f"run entry {entry!r} is missing 'run'")
+        return cls(**{k: int(v) for k, v in entry.items()})
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """One detector: frame geometry plus the synthetic scenario family."""
+
+    name: str
+    size: int = 16
+    scenario: str = "beam"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and "/" not in self.name and " " not in self.name,
+                 f"detector name {self.name!r} must be nonempty without '/' or spaces")
+        _require(self.size >= 8, f"detector {self.name}: size must be >= 8 "
+                                 f"(the synthetic generators' floor)")
+        _require(self.scenario in _SCENARIOS,
+                 f"detector {self.name}: scenario must be one of {_SCENARIOS}")
+
+    @classmethod
+    def from_entry(cls, entry: Any) -> "DetectorSpec":
+        if isinstance(entry, str):
+            return cls(name=entry)
+        _require(isinstance(entry, Mapping),
+                 f"detector entry must be a string or mapping, got {entry!r}")
+        _check_keys(entry, ("name", "size", "scenario"), f"detector entry {entry!r}")
+        _require("name" in entry, f"detector entry {entry!r} is missing 'name'")
+        kwargs = dict(entry)
+        if "size" in kwargs:
+            kwargs["size"] = int(kwargs["size"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One pipeline variant: the sketch configuration a task runs with."""
+
+    name: str
+    ell: int = 8
+    beta: float = 1.0
+    epsilon: float | None = None
+    backend: str = "fd"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and "/" not in self.name and " " not in self.name,
+                 f"variant name {self.name!r} must be nonempty without '/' or spaces")
+        _require(self.ell >= 2, f"variant {self.name}: ell must be >= 2")
+        _require(0.0 < self.beta <= 1.0,
+                 f"variant {self.name}: beta must be in (0, 1]")
+        if self.epsilon is not None:
+            _require(self.epsilon > 0,
+                     f"variant {self.name}: epsilon must be positive or null")
+            _require(self.backend == "fd",
+                     f"variant {self.name}: epsilon rank adaptation requires "
+                     f"the fd backend")
+
+    def sketch_kwargs(self, seed: int) -> dict:
+        """``ARAMSConfig`` keyword arguments for this variant."""
+        kwargs: dict[str, Any] = dict(
+            ell=self.ell, beta=self.beta, epsilon=self.epsilon, seed=seed
+        )
+        if self.backend != "fd":
+            kwargs["backend"] = self.backend
+        return kwargs
+
+    @classmethod
+    def from_entry(cls, entry: Any) -> "VariantSpec":
+        if isinstance(entry, str):
+            return cls(name=entry)
+        _require(isinstance(entry, Mapping),
+                 f"variant entry must be a string or mapping, got {entry!r}")
+        _check_keys(entry, ("name", "ell", "beta", "epsilon", "backend"),
+                    f"variant entry {entry!r}")
+        _require("name" in entry, f"variant entry {entry!r} is missing 'name'")
+        kwargs = dict(entry)
+        if "ell" in kwargs:
+            kwargs["ell"] = int(kwargs["ell"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One expanded matrix cell, ready to execute.
+
+    ``task_id`` is ``r{run:04d}/{detector}/{variant}`` — the coordinate
+    the scheduler, the fault injector and the report all key on.
+    ``seed`` drives the synthetic data stream and is shared by every
+    variant of one ``(run, detector)`` cell, so variants compare
+    like-for-like on identical frames.
+    """
+
+    task_id: str
+    run: RunSpec
+    detector: DetectorSpec
+    variant: VariantSpec
+    seed: int
+    depends: tuple[str, ...] = ()
+    checkpoint_every: int = 1
+    timeout: float | None = None
+
+    def sketch_kwargs(self) -> dict:
+        return self.variant.sketch_kwargs(self.seed)
+
+
+def _task_seed(campaign_seed: int, run: int, detector: str) -> int:
+    """Stable data seed for one ``(run, detector)`` cell (hash-free)."""
+    return zlib.crc32(f"{campaign_seed}/{run}/{detector}".encode()) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The full declarative campaign: matrix axes + dependencies + policy.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier (report title, trace id).
+    seed:
+        Root seed every task seed derives from.
+    runs, detectors, variants:
+        The matrix axes; the task set is their cross product.
+    dependencies:
+        ``(task_pattern, after_pattern)`` pairs; every task matching
+        ``task_pattern`` depends on every task matching
+        ``after_pattern`` (``fnmatch`` globs over task ids, exact
+        self-pairs skipped).  Patterns that match nothing are typed
+        errors — a silent no-op dependency is a latent outage.
+    retry:
+        The shared :class:`~repro.campaign.retry.RetryPolicy` for every
+        task.
+    checkpoint_every:
+        Batches between checkpoint generations inside a task.
+    timeout:
+        Per-attempt budget in *virtual* seconds (``None`` = unlimited).
+    """
+
+    name: str
+    seed: int = 0
+    runs: tuple[RunSpec, ...] = ()
+    detectors: tuple[DetectorSpec, ...] = ()
+    variants: tuple[VariantSpec, ...] = ()
+    dependencies: tuple[tuple[str, str], ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_every: int = 1
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "campaign name must be nonempty")
+        _require(self.checkpoint_every >= 1,
+                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}")
+        if self.timeout is not None:
+            _require(self.timeout > 0, f"timeout must be positive, got {self.timeout}")
+        _require(len(self.runs) >= 1, "campaign declares no runs")
+        _require(len(self.detectors) >= 1, "campaign declares no detectors")
+        _require(len(self.variants) >= 1, "campaign declares no variants")
+        for axis, items in (("run", [r.run for r in self.runs]),
+                            ("detector", [d.name for d in self.detectors]),
+                            ("variant", [v.name for v in self.variants])):
+            dupes = sorted({x for x in items if items.count(x) > 1})
+            _require(not dupes, f"duplicate {axis} entries: {dupes}")
+
+    # ------------------------------------------------------------------
+    # Matrix expansion
+    # ------------------------------------------------------------------
+    def task_ids(self) -> list[str]:
+        """Every task id of the matrix, in deterministic order."""
+        return [
+            f"r{run.run:04d}/{det.name}/{var.name}"
+            for run in self.runs
+            for det in self.detectors
+            for var in self.variants
+        ]
+
+    def tasks(self) -> tuple[TaskSpec, ...]:
+        """Expand the matrix into validated, dependency-resolved tasks.
+
+        Raises
+        ------
+        CampaignSpecError
+            On dependency patterns that match nothing or dependency
+            cycles.
+        """
+        ids = self.task_ids()
+        id_set = set(ids)
+        depends: dict[str, set[str]] = {tid: set() for tid in ids}
+        for task_pattern, after_pattern in self.dependencies:
+            targets = [t for t in ids if fnmatchcase(t, task_pattern)]
+            _require(bool(targets),
+                     f"dependency pattern {task_pattern!r} matches no task "
+                     f"(tasks: {ids})")
+            prereqs = [t for t in ids if fnmatchcase(t, after_pattern)]
+            _require(bool(prereqs),
+                     f"dependency target {after_pattern!r} matches no task "
+                     f"(tasks: {ids})")
+            for target in targets:
+                depends[target].update(p for p in prereqs if p != target)
+        self._check_acyclic(depends)
+
+        out: list[TaskSpec] = []
+        for run in self.runs:
+            for det in self.detectors:
+                seed = _task_seed(self.seed, run.run, det.name)
+                for var in self.variants:
+                    tid = f"r{run.run:04d}/{det.name}/{var.name}"
+                    assert tid in id_set
+                    out.append(TaskSpec(
+                        task_id=tid,
+                        run=run,
+                        detector=det,
+                        variant=var,
+                        seed=seed,
+                        depends=tuple(sorted(depends[tid])),
+                        checkpoint_every=self.checkpoint_every,
+                        timeout=self.timeout,
+                    ))
+        return tuple(out)
+
+    @staticmethod
+    def _check_acyclic(depends: dict[str, set[str]]) -> None:
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, stack: list[str]) -> None:
+            mark = state.get(node)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = stack[stack.index(node):] + [node]
+                raise CampaignSpecError(
+                    f"dependency cycle: {' -> '.join(cycle)}"
+                )
+            state[node] = 0
+            stack.append(node)
+            for dep in sorted(depends[node]):
+                visit(dep, stack)
+            stack.pop()
+            state[node] = 1
+
+        for node in sorted(depends):
+            visit(node, [])
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data view (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "runs": [{"run": r.run, "shots": r.shots, "batch": r.batch}
+                     for r in self.runs],
+            "detectors": [{"name": d.name, "size": d.size, "scenario": d.scenario}
+                          for d in self.detectors],
+            "variants": [
+                {"name": v.name, "ell": v.ell, "beta": v.beta,
+                 "epsilon": v.epsilon, "backend": v.backend}
+                for v in self.variants
+            ],
+            "dependencies": [{"task": t, "after": a} for t, a in self.dependencies],
+            "retry": self.retry.to_dict(),
+            "checkpoint_every": self.checkpoint_every,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "CampaignSpec":
+        """Build and validate a spec from a YAML-shaped dict."""
+        _require(isinstance(doc, Mapping),
+                 f"campaign document must be a mapping, got {type(doc).__name__}")
+        _check_keys(doc, ("name", "seed", "runs", "detectors", "variants",
+                          "dependencies", "retry", "checkpoint_every", "timeout"),
+                    "campaign document")
+        _require("name" in doc, "campaign document is missing 'name'")
+        deps: list[tuple[str, str]] = []
+        for entry in doc.get("dependencies", []) or []:
+            _require(isinstance(entry, Mapping),
+                     f"dependency entry must be a mapping, got {entry!r}")
+            _check_keys(entry, ("task", "after"), f"dependency entry {entry!r}")
+            _require("task" in entry and "after" in entry,
+                     f"dependency entry {entry!r} needs 'task' and 'after'")
+            deps.append((str(entry["task"]), str(entry["after"])))
+        retry_doc = doc.get("retry", {}) or {}
+        try:
+            retry = RetryPolicy.from_dict(dict(retry_doc))
+        except ValueError as exc:
+            raise CampaignSpecError(f"retry policy: {exc}") from exc
+        timeout = doc.get("timeout")
+        return cls(
+            name=str(doc["name"]),
+            seed=int(doc.get("seed", 0)),
+            runs=tuple(RunSpec.from_entry(e) for e in doc.get("runs", []) or []),
+            detectors=tuple(DetectorSpec.from_entry(e)
+                            for e in doc.get("detectors", []) or []),
+            variants=tuple(VariantSpec.from_entry(e)
+                           for e in doc.get("variants", []) or []),
+            dependencies=tuple(deps),
+            retry=retry,
+            checkpoint_every=int(doc.get("checkpoint_every", 1)),
+            timeout=None if timeout is None else float(timeout),
+        )
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "CampaignSpec":
+        """Parse a YAML document (requires PyYAML; typed error if absent)."""
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise CampaignSpecError(
+                "YAML campaign specs need PyYAML, which is not installed; "
+                "use a JSON spec or CampaignSpec.from_dict instead"
+            ) from exc
+        try:
+            doc = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise CampaignSpecError(f"malformed YAML campaign spec: {exc}") from exc
+        return cls.from_dict(doc)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "CampaignSpec":
+        """Load a spec from a ``.json`` / ``.yaml`` / ``.yml`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".json":
+            try:
+                doc = json.loads(text)
+            except ValueError as exc:
+                raise CampaignSpecError(
+                    f"{path}: malformed JSON campaign spec: {exc}"
+                ) from exc
+            return cls.from_dict(doc)
+        if path.suffix in (".yaml", ".yml"):
+            return cls.from_yaml(text)
+        raise CampaignSpecError(
+            f"{path}: unsupported spec extension {path.suffix!r} "
+            f"(expected .json, .yaml or .yml)"
+        )

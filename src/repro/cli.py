@@ -47,6 +47,15 @@ be driven without writing Python:
     was recovered from checkpoints.  Uses a flop-based compute model, so
     the same plan always reproduces the same merged sketch and makespan.
 
+``repro-monitor campaign``
+    Execute a declarative campaign — a runs × detectors × variants task
+    matrix with dependencies (``--spec campaign.yaml``, or a built-in
+    demo matrix) — through the deterministic scheduler: shared
+    retry/backoff policy, checkpoint-resumed retries, per-task virtual
+    timeouts, and optional scheduler-level chaos
+    (``--faults "seed=3; kill task=r0001/* batch=2"``).  Prints (or
+    writes) the stable-schema campaign report; see docs/campaigns.md.
+
 Every flag has a sensible default, so ``repro-monitor monitor`` alone
 produces a meaningful demonstration in under a minute on one core.
 """
@@ -326,6 +335,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the degradation report as JSON instead of a table",
     )
     _add_metrics_args(cha)
+
+    cam = sub.add_parser(
+        "campaign", help="run a declarative multi-task campaign"
+    )
+    cam.add_argument(
+        "--spec", type=str, default=None, metavar="PATH",
+        help="campaign spec file (.yaml/.yml/.json) declaring the "
+             "runs x detectors x variants matrix, dependencies and retry "
+             "policy (default: a built-in two-run demo campaign); see "
+             "docs/campaigns.md for the grammar",
+    )
+    cam.add_argument(
+        "--workdir", type=str, default=None, metavar="DIR",
+        help="working directory for per-task checkpoint trees "
+             "(default: a temporary directory discarded on exit)",
+    )
+    cam.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="campaign chaos plan: 'seed=N; kind task=PATTERN ...' "
+             "clauses (kinds: kill, stall, corrupt_checkpoint); see "
+             "docs/campaigns.md",
+    )
+    cam.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's campaign seed",
+    )
+    cam.add_argument(
+        "--wall-timeout", type=float, default=None, metavar="SECONDS",
+        help="SIGALRM wall-clock safety budget for the whole campaign "
+             "(the per-attempt timeout in the spec is virtual and "
+             "separate)",
+    )
+    cam.add_argument(
+        "--json", action="store_true",
+        help="print the campaign report as JSON instead of a table",
+    )
+    cam.add_argument(
+        "--report-out", type=str, default=None, metavar="PATH",
+        help="also write the campaign report JSON to PATH",
+    )
+    cam.add_argument(
+        "--html", type=str, default=None,
+        help="write an HTML campaign report",
+    )
+    _add_metrics_args(cam)
     return parser
 
 
@@ -1026,6 +1080,119 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+DEMO_CAMPAIGN = {
+    "name": "demo-campaign",
+    "seed": 7,
+    "runs": [
+        {"run": 1, "shots": 40, "batch": 10},
+        {"run": 2, "shots": 30, "batch": 10},
+    ],
+    "detectors": [
+        {"name": "epix", "size": 16, "scenario": "beam"},
+        {"name": "jungfrau", "size": 16, "scenario": "diffraction"},
+    ],
+    "variants": [
+        {"name": "fd", "ell": 8},
+        {"name": "arams", "ell": 8, "beta": 0.8, "epsilon": 0.1},
+    ],
+    "dependencies": [{"task": "r0002/*", "after": "r0001/*"}],
+    "retry": {"max_attempts": 3, "base": 0.25, "cap": 8.0, "jitter": 0.1},
+    "checkpoint_every": 1,
+}
+"""The built-in demo matrix ``repro-monitor campaign`` runs by default."""
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import tempfile
+    from dataclasses import replace as dc_replace
+    from pathlib import Path
+
+    from repro.campaign import CampaignSpec, CampaignSpecError
+    from repro.campaign.scheduler import CampaignScheduler
+
+    registry = _command_registry()
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_file(args.spec)
+        else:
+            spec = CampaignSpec.from_dict(DEMO_CAMPAIGN)
+        if args.seed is not None:
+            spec = dc_replace(spec, seed=args.seed)
+        if args.workdir:
+            workdir = Path(args.workdir)
+            workdir.mkdir(parents=True, exist_ok=True)
+            scheduler = CampaignScheduler(
+                spec, workdir, faults=args.faults, registry=registry
+            )
+            report = scheduler.run(wall_timeout=args.wall_timeout)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+                scheduler = CampaignScheduler(
+                    spec, tmp, faults=args.faults, registry=registry
+                )
+                report = scheduler.run(wall_timeout=args.wall_timeout)
+    except CampaignSpecError as exc:
+        print(f"error: invalid campaign: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    doc = report.to_dict()
+    if args.json:
+        print(report.to_json())
+    else:
+        policy = spec.retry
+        print(f"campaign       : {spec.name} ({doc['tasks_total']} tasks = "
+              f"{len(spec.runs)} runs x {len(spec.detectors)} detectors x "
+              f"{len(spec.variants)} variants)")
+        print(f"retry policy   : max_attempts={policy.max_attempts} "
+              f"base={policy.base}s factor={policy.factor} cap={policy.cap}s "
+              f"jitter={policy.jitter}")
+        print(f"faults         : {args.faults or 'none'}")
+        print(f"status         : {'DEGRADED' if doc['degraded'] else 'clean'} "
+              f"({doc['tasks_succeeded']} succeeded, {doc['tasks_failed']} failed, "
+              f"{doc['tasks_skipped']} skipped)")
+        print(f"attempts       : {doc['attempts_total']} total, "
+              f"{doc['retries_total']} retries, "
+              f"{doc['tasks_resumed']} resumed, "
+              f"{doc['tasks_restarted']} restarted from scratch")
+        print(f"makespan       : {doc['makespan_virtual_seconds']:.3f}s (virtual)")
+        active = scheduler.alerts.active()
+        print(f"alerts         : {len(scheduler.alerts.rules)} rules, "
+              f"{len(active)} active"
+              + (f" ({', '.join(sorted(active))})" if active else ""))
+        print()
+        print(f"{'task':32s} {'state':10s} {'att':>3s} {'res':>3s} "
+              f"{'frames':>6s} {'sketch':10s}")
+        for task in doc["tasks"]:
+            sha = (task["sketch_sha256"] or "-")[:10]
+            print(f"{task['task_id']:32s} {task['state']:10s} "
+                  f"{task['attempts']:3d} {'y' if task['resumed'] else '.':>3s} "
+                  f"{task['n_frames']:6d} {sha:10s}"
+                  + (f"  {task['error']}" if task["error"] else ""))
+
+    if args.report_out:
+        out = Path(args.report_out)
+        out.write_text(report.to_json() + "\n")
+        print(f"campaign report written to {out}")
+    if args.html:
+        from repro.pipeline.html_report import write_campaign_report
+
+        path = write_campaign_report(
+            args.html,
+            doc,
+            title=f"Campaign {spec.name}",
+            alerts={
+                "active": sorted(scheduler.alerts.active()),
+                "events": [ev.to_dict() for ev in scheduler.alerts.events],
+            },
+        )
+        print(f"campaign HTML report written to {path}")
+    _write_metrics(registry, args, alerts=scheduler.alerts.events)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -1037,6 +1204,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "top": _cmd_top,
         "chaos": _cmd_chaos,
+        "campaign": _cmd_campaign,
     }
     from repro.obs.registry import get_default_registry, set_default_registry
 

@@ -248,7 +248,8 @@ class SimComm:
         return SendReceipt(delivered=True, corrupted=corrupted, delay=delay)
 
     def send_reliable(
-        self, obj: Any, dest: int, tag: int = 0, max_attempts: int = 4
+        self, obj: Any, dest: int, tag: int = 0, max_attempts: int = 4,
+        policy=None,
     ) -> SendReceipt:
         """Send with bounded retransmission of dropped/corrupted attempts.
 
@@ -258,7 +259,17 @@ class SimComm:
         retry loop would.  After ``max_attempts`` transmissions the last
         receipt is returned (``delivered=False`` if every attempt was
         dropped); the caller decides whether a lost message is fatal.
+
+        ``policy`` (a :class:`repro.campaign.retry.RetryPolicy`)
+        overrides both the attempt budget and the backoff schedule: the
+        wait before retry ``i + 1`` becomes
+        ``policy.backoff(i, key=(rank, dest, tag))`` — the same seeded,
+        capped, jittered schedule campaign tasks use.  The default
+        (``policy=None``) keeps the historic cost-model schedule, which
+        existing chaos replays are bit-identical against.
         """
+        if policy is not None:
+            max_attempts = policy.max_attempts
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         receipt = SendReceipt(delivered=False)
@@ -268,7 +279,10 @@ class SimComm:
             if receipt.delivered and not receipt.corrupted:
                 return receipt
             self.retries += 1
-            self.advance(self._world.cost_model.backoff_cost(attempt))
+            if policy is not None:
+                self.advance(policy.backoff(attempt, key=(self.rank, dest, tag)))
+            else:
+                self.advance(self._world.cost_model.backoff_cost(attempt))
         return receipt
 
     def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
@@ -337,6 +351,7 @@ class SimComm:
         tag: int = 0,
         max_attempts: int = 3,
         timeout: float | None = None,
+        policy=None,
     ) -> Any:
         """Receive with bounded retry and exponential virtual backoff.
 
@@ -344,7 +359,16 @@ class SimComm:
         (a modelled receive-timeout cost plus exponential backoff) to
         this rank's virtual clock; the final failure re-raises the
         underlying :class:`DeadlockError` / :class:`RankFailedError`.
+
+        ``policy`` (a :class:`repro.campaign.retry.RetryPolicy`)
+        overrides the attempt budget and replaces the backoff half of
+        the charge with ``policy.backoff(i, key=(source, rank, tag))``
+        (the modelled detection timeout is still charged per failed
+        attempt).  ``policy=None`` keeps the historic schedule that
+        existing chaos replays pin.
         """
+        if policy is not None:
+            max_attempts = policy.max_attempts
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         for attempt in range(max_attempts):
@@ -352,7 +376,13 @@ class SimComm:
                 return self.recv(source, tag, timeout=timeout)
             except (DeadlockError, RankFailedError):
                 self.retries += 1
-                self.advance(self._world.cost_model.retry_cost(attempt))
+                if policy is not None:
+                    self.advance(
+                        self._world.cost_model.recv_timeout
+                        + policy.backoff(attempt, key=(source, self.rank, tag))
+                    )
+                else:
+                    self.advance(self._world.cost_model.retry_cost(attempt))
                 if attempt == max_attempts - 1:
                     raise
 

@@ -72,10 +72,16 @@ class CommCostModel:
         return self.alpha + self.beta * nbytes
 
     def backoff_cost(self, attempt: int) -> float:
-        """Exponential backoff charged before retry ``attempt + 1``."""
-        if attempt < 0:
-            raise ValueError(f"attempt must be nonnegative, got {attempt}")
-        return self.backoff_base * (2.0 ** attempt)
+        """Exponential backoff charged before retry ``attempt + 1``.
+
+        Delegates to the repository's single backoff implementation
+        (:func:`repro.campaign.retry.exponential_backoff`); uncapped, so
+        the schedule is bit-identical to the historic doubling schedule
+        starting at ``backoff_base``.
+        """
+        from repro.campaign.retry import exponential_backoff
+
+        return exponential_backoff(attempt, base=self.backoff_base)
 
     def retry_cost(self, attempt: int) -> float:
         """Full virtual cost of one failed receive attempt: the

@@ -53,6 +53,9 @@ __all__ = [
     "DegradationReport",
     "RankKilledError",
     "payload_checksum",
+    "CampaignFaultRule",
+    "CampaignFaultPlan",
+    "CampaignFaultInjector",
 ]
 
 _KINDS = ("drop", "delay", "corrupt", "stall", "kill")
@@ -535,3 +538,233 @@ class DegradationReport:
             report.stalls_injected = injector.stalls_injected
             report.delay_seconds_injected = injector.delay_seconds_injected
         return report
+
+
+# ----------------------------------------------------------------------
+# Scheduler-level (campaign) fault injection
+# ----------------------------------------------------------------------
+#
+# The classes above inject faults at *message/rank* coordinates inside a
+# single distributed run.  Campaign chaos lives one level up: faults are
+# keyed on ``(task_id, attempt)`` — kill a task mid-stream, stall an
+# attempt on the scheduler's virtual clock, or rot the bytes of the
+# checkpoint a retry is about to resume from.  The same determinism
+# contract applies: a plan is a pure value, every decision is a function
+# of logical coordinates, and the seeded chaos matrix in
+# ``tests/test_campaign_chaos.py`` replays bit-identically.
+
+_CAMPAIGN_KINDS = ("kill", "stall", "corrupt_checkpoint")
+
+
+@dataclass(frozen=True)
+class CampaignFaultRule:
+    """One fault clause of a :class:`CampaignFaultPlan`.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill"`` (die before consuming a chosen batch), ``"stall"``
+        (charge virtual seconds at attempt start) or
+        ``"corrupt_checkpoint"`` (rot the newest checkpoint generation
+        before the attempt resumes from it).
+    task:
+        ``fnmatch`` pattern over task ids (``r0001/epix/*``).
+    attempt:
+        1-based attempt number the rule fires on.
+    batch:
+        ``kill`` only — the absolute 0-based stream batch index the
+        attempt dies *before* consuming.
+    seconds:
+        ``stall`` only — virtual seconds charged to the attempt.
+    """
+
+    kind: str
+    task: str
+    attempt: int = 1
+    batch: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CAMPAIGN_KINDS:
+            raise ValueError(
+                f"unknown campaign fault kind {self.kind!r}; "
+                f"expected one of {_CAMPAIGN_KINDS}"
+            )
+        if not self.task:
+            raise ValueError("campaign fault rule needs a task pattern")
+        if self.attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {self.attempt}")
+        if self.batch < 0:
+            raise ValueError(f"batch must be >= 0, got {self.batch}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be nonnegative, got {self.seconds}")
+        if self.kind == "stall" and self.seconds == 0.0:
+            raise ValueError("stall rule needs seconds= > 0")
+
+    def matches(self, task_id: str, attempt: int) -> bool:
+        """Whether this rule applies to ``(task_id, attempt)``."""
+        from fnmatch import fnmatchcase
+
+        return attempt == self.attempt and fnmatchcase(task_id, self.task)
+
+
+def _campaign_rule_to_clause(rule: CampaignFaultRule) -> str:
+    parts = [rule.kind, f"task={rule.task}"]
+    defaults = {f.name: f.default for f in fields(CampaignFaultRule)}
+    for name in ("attempt", "batch", "seconds"):
+        value = getattr(rule, name)
+        if value != defaults[name]:
+            parts.append(f"{name}={value}")
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CampaignFaultPlan:
+    """A seeded, declarative chaos scenario over campaign coordinates.
+
+    Build programmatically (:meth:`kill`, :meth:`stall`,
+    :meth:`corrupt_checkpoint`) or parse the same compact clause syntax
+    :class:`FaultPlan` uses::
+
+        CampaignFaultPlan.parse(
+            "seed=7; kill task=r0001/epix/fd batch=2; "
+            "corrupt_checkpoint task=r0002/* attempt=2"
+        )
+    """
+
+    seed: int = 0
+    rules: tuple[CampaignFaultRule, ...] = ()
+
+    def with_rule(self, rule: CampaignFaultRule) -> "CampaignFaultPlan":
+        """Return a copy of this plan with ``rule`` appended."""
+        return CampaignFaultPlan(seed=self.seed, rules=self.rules + (rule,))
+
+    def kill(self, task: str, batch: int, attempt: int = 1) -> "CampaignFaultPlan":
+        """Kill matching tasks before stream batch ``batch`` on ``attempt``."""
+        return self.with_rule(
+            CampaignFaultRule("kill", task=task, attempt=attempt, batch=batch)
+        )
+
+    def stall(self, task: str, seconds: float, attempt: int = 1) -> "CampaignFaultPlan":
+        """Charge ``seconds`` of virtual stall at the start of ``attempt``."""
+        return self.with_rule(
+            CampaignFaultRule("stall", task=task, attempt=attempt, seconds=seconds)
+        )
+
+    def corrupt_checkpoint(self, task: str, attempt: int = 2) -> "CampaignFaultPlan":
+        """Rot the newest checkpoint before ``attempt`` resumes from it."""
+        return self.with_rule(
+            CampaignFaultRule("corrupt_checkpoint", task=task, attempt=attempt)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "CampaignFaultPlan":
+        """Parse the compact ``seed=N; kind key=value ...`` spec syntax."""
+        seed = 0
+        rules: list[CampaignFaultRule] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            tokens = clause.split()
+            if len(tokens) == 1 and tokens[0].startswith("seed="):
+                seed = int(tokens[0][len("seed="):])
+                continue
+            kind = tokens[0]
+            kwargs: dict[str, Any] = {}
+            for token in tokens[1:]:
+                if "=" not in token:
+                    raise ValueError(
+                        f"malformed campaign fault clause {clause!r}: "
+                        f"expected key=value, got {token!r}"
+                    )
+                key, value = token.split("=", 1)
+                if key == "task":
+                    kwargs[key] = value
+                elif key == "seconds":
+                    kwargs[key] = float(value)
+                elif key in ("attempt", "batch"):
+                    kwargs[key] = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown campaign fault parameter {key!r} in clause {clause!r}"
+                    )
+            if "task" not in kwargs:
+                raise ValueError(f"campaign fault clause {clause!r} needs task=")
+            rules.append(CampaignFaultRule(kind, **kwargs))
+        return cls(seed=seed, rules=tuple(rules))
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`parse` (round-trips exactly)."""
+        clauses = [f"seed={self.seed}"]
+        clauses.extend(_campaign_rule_to_clause(r) for r in self.rules)
+        return "; ".join(clauses)
+
+
+class CampaignFaultInjector:
+    """Runtime fault oracle for one campaign execution.
+
+    Owns the chaos statistics so a :class:`CampaignFaultPlan` stays a
+    shareable value; the :class:`~repro.campaign.scheduler.CampaignScheduler`
+    consults it at each attempt's coordinates.
+    """
+
+    def __init__(self, plan: CampaignFaultPlan):
+        self.plan = plan
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm every rule and zero the statistics."""
+        self.tasks_killed: list[tuple[str, int]] = []
+        self.stalls_injected = 0
+        self.stall_seconds_injected = 0.0
+        self.checkpoints_corrupted = 0
+
+    # ------------------------------------------------------------------
+    def kill_batch(self, task_id: str, attempt: int) -> int | None:
+        """Batch index ``(task_id, attempt)`` dies before, or ``None``.
+
+        The first matching kill rule wins, mirroring
+        :meth:`FaultPlan.kill_rotation`.
+        """
+        for rule in self.plan.rules:
+            if rule.kind == "kill" and rule.matches(task_id, attempt):
+                return rule.batch
+        return None
+
+    def stall_seconds(self, task_id: str, attempt: int) -> float:
+        """Virtual stall charged at the start of ``(task_id, attempt)``."""
+        total = sum(
+            rule.seconds
+            for rule in self.plan.rules
+            if rule.kind == "stall" and rule.matches(task_id, attempt)
+        )
+        if total > 0.0:
+            self.stalls_injected += 1
+            self.stall_seconds_injected += total
+        return total
+
+    def corrupts_checkpoint(self, task_id: str, attempt: int) -> bool:
+        """Whether to rot the newest checkpoint before this attempt."""
+        return any(
+            rule.kind == "corrupt_checkpoint" and rule.matches(task_id, attempt)
+            for rule in self.plan.rules
+        )
+
+    def record_kill(self, task_id: str, attempt: int) -> None:
+        """Note that an attempt actually died (statistics only)."""
+        self.tasks_killed.append((task_id, attempt))
+
+    def record_checkpoint_corruption(self, task_id: str, attempt: int) -> None:
+        """Note that a checkpoint was actually rotted (statistics only)."""
+        self.checkpoints_corrupted += 1
+
+    def stats(self) -> dict[str, Any]:
+        """Exact bookkeeping of applied faults, in stable field order."""
+        return {
+            "tasks_killed": sorted(self.tasks_killed),
+            "stalls_injected": self.stalls_injected,
+            "stall_seconds_injected": self.stall_seconds_injected,
+            "checkpoints_corrupted": self.checkpoints_corrupted,
+        }

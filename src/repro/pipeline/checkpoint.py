@@ -54,6 +54,7 @@ __all__ = [
     "save_pipeline_checkpoint",
     "load_pipeline_checkpoint",
     "list_generations",
+    "prune_generations",
 ]
 
 FORMAT_VERSION = 1
@@ -260,12 +261,68 @@ def save_pipeline_checkpoint(
         help="Pipeline checkpoint generations committed",
     ).inc()
 
-    for _, old in list_generations(directory)[:-keep]:
-        shutil.rmtree(old, ignore_errors=True)
+    prune_generations(directory, keep, assume_intact=final)
     for child in directory.iterdir():
         if child.is_dir() and child.name.startswith(".gen-") and child != tmp:
             shutil.rmtree(child, ignore_errors=True)
     return final
+
+
+def prune_generations(
+    directory: str | Path,
+    keep: int,
+    assume_intact: Path | None = None,
+) -> list[Path]:
+    """Remove committed generations beyond the newest ``keep``.
+
+    The newest generation that passes integrity verification is *never*
+    deleted, even when it falls outside the keep window: if every newer
+    generation is corrupt (bit rot discovered later, a torn write that
+    somehow committed), it is the only loadable state left, and pruning
+    it would turn a recoverable resume into a restart.  Temp directories
+    from interrupted saves are not generations and neither count toward
+    ``keep`` nor shield anything from pruning.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint root.
+    keep:
+        Committed generations to retain (>= 1).
+    assume_intact:
+        A generation known verified (the one :func:`save_pipeline_checkpoint`
+        just committed) — skips re-hashing it.
+
+    Returns
+    -------
+    list[pathlib.Path]
+        The generation directories actually removed.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    directory = Path(directory)
+    gens = list_generations(directory)
+    doomed = [path for _, path in gens[:-keep]]
+    if not doomed:
+        return []
+    newest_verified: Path | None = None
+    for _, gen_dir in reversed(gens):
+        if assume_intact is not None and gen_dir == assume_intact:
+            newest_verified = gen_dir
+            break
+        try:
+            _verify_generation(gen_dir)
+        except CheckpointCorruptionError:
+            continue
+        newest_verified = gen_dir
+        break
+    removed = []
+    for old in doomed:
+        if old == newest_verified:
+            continue
+        shutil.rmtree(old, ignore_errors=True)
+        removed.append(old)
+    return removed
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +481,16 @@ def load_pipeline_checkpoint(
         except CheckpointCorruptionError as exc:
             corruptions += 1
             last_error = exc
+            continue
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            # A generation whose payloads pass their checksums but whose
+            # state does not reconstruct (truncated field set, wrong
+            # types — e.g. written by a buggy tool) is corruption, not a
+            # crash: skip it and fall back like a checksum failure.
+            corruptions += 1
+            last_error = CheckpointCorruptionError(
+                f"{gen_dir}: state does not reconstruct a pipeline: {exc!r}"
+            )
             continue
         if corruptions:
             pipe.registry.counter(

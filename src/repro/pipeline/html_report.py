@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_embedding_report"]
+__all__ = ["write_embedding_report", "write_campaign_report"]
 
 # Categorical palette (Okabe-Ito + extensions), colorblind-safe.
 _PALETTE = [
@@ -422,6 +422,112 @@ def _alerts_html(alerts: dict | None) -> str:
     )
 
 
+def _campaign_html(campaign: dict | None) -> str:
+    """Render the campaign-orchestration panel (empty string when absent)."""
+    if not campaign:
+        return ""
+    degraded = bool(campaign.get("degraded"))
+    banner = (
+        '<span class="deg bad">DEGRADED CAMPAIGN</span>'
+        if degraded
+        else '<span class="deg ok">clean campaign</span>'
+    )
+    rows = [
+        ("campaign", _escape(str(campaign.get("name", "?")))),
+        ("tasks (ok / failed / skipped)",
+         f"{campaign.get('tasks_succeeded', 0)} / "
+         f"{campaign.get('tasks_failed', 0)} / "
+         f"{campaign.get('tasks_skipped', 0)} "
+         f"of {campaign.get('tasks_total', 0)}"),
+        ("attempts / retries", f"{campaign.get('attempts_total', 0)} / "
+                               f"{campaign.get('retries_total', 0)}"),
+        ("tasks resumed / restarted",
+         f"{campaign.get('tasks_resumed', 0)} / "
+         f"{campaign.get('tasks_restarted', 0)}"),
+        ("checkpoints written", f"{campaign.get('checkpoints_written_total', 0)}"),
+        ("makespan (virtual)",
+         f"{float(campaign.get('makespan_virtual_seconds', 0.0)):.4f}s"),
+    ]
+    faults = campaign.get("faults") or {}
+    if faults:
+        killed = faults.get("tasks_killed") or []
+        rows.append(("faults injected",
+                     f"{len(killed)} kills, "
+                     f"{faults.get('stalls_injected', 0)} stalls, "
+                     f"{faults.get('checkpoints_corrupted', 0)} corruptions"))
+    summary = "".join(f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in rows)
+
+    task_rows = []
+    for t in campaign.get("tasks") or []:
+        state = str(t.get("state", "?"))
+        cls = "ok" if state == "succeeded" else "bad"
+        flags = []
+        if t.get("resumed"):
+            flags.append("resumed")
+        if t.get("restarted_from_scratch"):
+            flags.append("restarted")
+        if t.get("error"):
+            flags.append(_escape(str(t.get("error"))))
+        sha = str(t.get("sketch_sha256") or "")
+        task_rows.append(
+            f'<tr><td>{_escape(str(t.get("task_id", "?")))}</td>'
+            f'<td><span class="deg {cls}">{_escape(state)}</span></td>'
+            f'<td>{t.get("attempts", 0)}</td>'
+            f'<td>{float(t.get("virtual_seconds", 0.0)):.4f}s</td>'
+            f'<td><code>{_escape(sha[:12])}</code></td>'
+            f'<td>{", ".join(flags) if flags else "&mdash;"}</td></tr>'
+        )
+    tasks_table = (
+        '<table class="health"><tr><th>task</th><th>state</th>'
+        "<th>attempts</th><th>virtual</th><th>sketch</th><th>notes</th></tr>"
+        f'{"".join(task_rows)}</table>'
+        if task_rows
+        else "<em>no tasks</em>"
+    )
+    return (
+        f'<div id="campaign"><h2>campaign orchestration {banner}</h2>'
+        f'<table class="health">{summary}</table>'
+        f"<h2>tasks</h2>{tasks_table}</div>"
+    )
+
+
+def write_campaign_report(
+    path: str | Path,
+    campaign: dict,
+    title: str = "Campaign report",
+    alerts: dict | None = None,
+) -> Path:
+    """Write a standalone HTML campaign report.
+
+    Parameters
+    ----------
+    path:
+        Output ``.html`` path.
+    campaign:
+        A campaign account
+        (:meth:`repro.campaign.report.CampaignReport.to_dict`): summary
+        counters, fault statistics and the per-task outcome table.
+    title:
+        Page title.
+    alerts:
+        Optional alerting account in the same shape
+        :func:`write_embedding_report` accepts (``active`` / ``events``
+        / ``timelines``); renders the retry burn-rate history below the
+        task table.
+
+    Returns
+    -------
+    pathlib.Path
+        The written file.
+    """
+    html = _CAMPAIGN_TEMPLATE.replace("__TITLE__", _escape(title)).replace(
+        "__CAMPAIGN__", _campaign_html(campaign)
+    ).replace("__ALERTS__", _alerts_html(alerts))
+    path = Path(path)
+    path.write_text(html)
+    return path
+
+
 def _stringify(v: object) -> str:
     if isinstance(v, (float, np.floating)):
         return f"{float(v):.4g}"
@@ -589,6 +695,35 @@ for (const [c, color] of Object.entries(DATA.colors)) {
 }
 draw();
 </script>
+</body>
+</html>
+"""
+
+_CAMPAIGN_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { margin: 0; font-family: system-ui, sans-serif; background: #fafafa; }
+  h1 { font-size: 16px; padding: 10px 12px 0; margin: 0; }
+  #campaign, #alerts { padding: 8px 12px; font-size: 13px; }
+  #campaign h2, #alerts h2 { font-size: 14px; margin: 6px 0; }
+  #alertwrap { display: flex; gap: 28px; align-items: flex-start; }
+  #alerts .range { font-size: 11px; color: #777; margin-bottom: 8px; }
+  table.health td, table.health th { padding: 1px 10px 1px 0; text-align: left; }
+  table.health td:last-child { font-variant-numeric: tabular-nums; }
+  code { font-size: 12px; }
+  .deg { font-size: 11px; padding: 2px 8px; border-radius: 9px; margin-left: 8px;
+         vertical-align: 1px; }
+  .deg.ok { background: #d9efe3; color: #00633c; }
+  .deg.bad { background: #fcebcc; color: #8a5a00; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+__CAMPAIGN__
+__ALERTS__
 </body>
 </html>
 """

@@ -1,0 +1,461 @@
+"""Campaign orchestrator tests: spec validation, the shared retry
+policy, scheduler semantics and the degraded-completion contract.
+
+These are the fast tier-1 cuts.  The full chaos matrix — kill / stall /
+corrupt-checkpoint across task positions, bit-identity against unfaulted
+runs, the golden report — lives in ``tests/test_campaign_chaos.py``
+behind the ``campaign`` marker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignSpecError,
+    RetryPolicy,
+    exponential_backoff,
+)
+from repro.campaign.report import CampaignReport, TaskResult
+from repro.campaign.scheduler import (
+    RETRY_BURN_RULE,
+    CampaignScheduler,
+    CampaignWallTimeout,
+    _wall_deadline,
+    run_campaign,
+)
+from repro.campaign.tasks import (
+    TaskKilledError,
+    TaskTimeoutError,
+    batch_sizes,
+    run_task_attempt,
+)
+from repro.obs.registry import Registry
+from repro.parallel.comm import SimComm, SimCommWorld
+from repro.parallel.cost_model import CommCostModel
+from repro.parallel.faults import CampaignFaultInjector, CampaignFaultPlan, FaultInjector, FaultPlan
+from repro.serve.admission import VirtualClock
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    """One run x one detector x one variant: the cheapest real campaign."""
+    doc = {
+        "name": "tiny",
+        "seed": 5,
+        "runs": [{"run": 1, "shots": 20, "batch": 5}],
+        "detectors": [{"name": "epix", "size": 16, "scenario": "beam"}],
+        "variants": [{"name": "fd", "ell": 6}],
+        "retry": {"max_attempts": 3, "base": 0.25, "cap": 4.0, "jitter": 0.0},
+        "checkpoint_every": 1,
+    }
+    doc.update(overrides)
+    return CampaignSpec.from_dict(doc)
+
+
+def chain_spec(**overrides) -> CampaignSpec:
+    """Two runs with r0002 depending on r0001."""
+    doc = {
+        "name": "chain",
+        "runs": [
+            {"run": 1, "shots": 20, "batch": 5},
+            {"run": 2, "shots": 15, "batch": 5},
+        ],
+        "dependencies": [{"task": "r0002/*", "after": "r0001/*"}],
+    }
+    doc.update(overrides)
+    return tiny_spec(**doc)
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestExponentialBackoff:
+    def test_classic_schedule(self):
+        assert [exponential_backoff(a, base=0.5) for a in range(4)] == [
+            0.5, 1.0, 2.0, 4.0,
+        ]
+
+    def test_cap(self):
+        assert exponential_backoff(20, base=1.0, cap=8.0) == 8.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempt": -1, "base": 1.0},
+            {"attempt": 0, "base": -1.0},
+            {"attempt": 0, "base": 1.0, "factor": 0.5},
+            {"attempt": 0, "base": 1.0, "cap": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            exponential_backoff(**kwargs)
+
+
+class TestRetryPolicy:
+    def test_no_jitter_is_pure(self):
+        p = RetryPolicy(base=0.5, jitter=0.0, cap=8.0)
+        for a in range(5):
+            assert p.backoff(a) == exponential_backoff(a, 0.5, cap=8.0)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        p = RetryPolicy(base=1.0, jitter=0.25, seed=9)
+        first = p.backoff(1, key=("r0001/epix/fd",))
+        again = p.backoff(1, key=("r0001/epix/fd",))
+        assert first == again  # replay-identical
+        assert 2.0 <= first < 2.0 * 1.25
+
+    def test_jitter_streams_independent_per_key(self):
+        p = RetryPolicy(base=1.0, jitter=0.5)
+        assert p.backoff(0, key=("a",)) != p.backoff(0, key=("b",))
+
+    def test_schedule_covers_budget(self):
+        p = RetryPolicy(max_attempts=4, base=0.25, jitter=0.0)
+        assert p.schedule() == [0.25, 0.5, 1.0]
+
+    def test_round_trip(self):
+        p = RetryPolicy(max_attempts=5, base=0.1, cap=2.0, jitter=0.2, seed=3)
+        assert RetryPolicy.from_dict(p.to_dict()) == p
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown retry policy"):
+            RetryPolicy.from_dict({"max_attempts": 2, "backoff": 1.0})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_attempts": 0}, {"jitter": 2.0}, {"factor": 0.0}, {"cap": -1.0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+class TestCampaignSpec:
+    def test_task_ids_are_deterministic(self):
+        spec = chain_spec()
+        assert spec.task_ids() == ["r0001/epix/fd", "r0002/epix/fd"]
+
+    def test_variants_share_the_data_seed(self):
+        spec = tiny_spec(
+            variants=[{"name": "fd", "ell": 6}, {"name": "arams", "ell": 6, "beta": 0.9}]
+        )
+        tasks = spec.tasks()
+        assert tasks[0].seed == tasks[1].seed  # same (run, detector) cell
+
+    def test_detectors_get_distinct_seeds(self):
+        spec = tiny_spec(
+            detectors=[
+                {"name": "epix", "size": 16, "scenario": "beam"},
+                {"name": "jungfrau", "size": 16, "scenario": "beam"},
+            ]
+        )
+        seeds = {t.seed for t in spec.tasks()}
+        assert len(seeds) == 2
+
+    def test_round_trip(self):
+        spec = chain_spec()
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown"):
+            tiny_spec(parallelism=8)
+
+    def test_duplicate_variants_rejected(self):
+        with pytest.raises(CampaignSpecError, match="duplicate"):
+            tiny_spec(variants=[{"name": "fd"}, {"name": "fd", "ell": 4}])
+
+    def test_small_detector_rejected(self):
+        with pytest.raises(CampaignSpecError, match="size"):
+            tiny_spec(detectors=[{"name": "tiny", "size": 4, "scenario": "beam"}])
+
+    def test_epsilon_requires_fd_backend(self):
+        with pytest.raises(CampaignSpecError, match="epsilon"):
+            tiny_spec(variants=[{"name": "v", "epsilon": 0.1, "backend": "random"}])
+
+    def test_unmatched_dependency_pattern_rejected(self):
+        spec = tiny_spec(dependencies=[{"task": "r9999/*", "after": "r0001/*"}])
+        with pytest.raises(CampaignSpecError, match="matches no task"):
+            spec.tasks()
+
+    def test_dependency_cycle_rejected(self):
+        spec = chain_spec(
+            dependencies=[
+                {"task": "r0002/*", "after": "r0001/*"},
+                {"task": "r0001/*", "after": "r0002/*"},
+            ]
+        )
+        with pytest.raises(CampaignSpecError, match="cycle"):
+            spec.tasks()
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(chain_spec().to_dict()))
+        assert CampaignSpec.from_file(path) == chain_spec()
+
+    def test_malformed_json_is_typed(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{broken")
+        with pytest.raises(CampaignSpecError, match="malformed JSON"):
+            CampaignSpec.from_file(path)
+
+    def test_from_yaml(self):
+        yaml = pytest.importorskip("yaml")
+        text = yaml.safe_dump(tiny_spec().to_dict())
+        assert CampaignSpec.from_yaml(text) == tiny_spec()
+
+
+# ----------------------------------------------------------------------
+# Task attempts
+# ----------------------------------------------------------------------
+class TestTaskAttempts:
+    def test_batch_sizes(self):
+        assert batch_sizes(20, 5) == [5, 5, 5, 5]
+        assert batch_sizes(23, 5) == [5, 5, 5, 5, 3]
+
+    def test_clean_attempt_is_deterministic(self, tmp_path):
+        task = tiny_spec().tasks()[0]
+        a = run_task_attempt(task, 1, tmp_path / "a", VirtualClock())
+        b = run_task_attempt(task, 1, tmp_path / "b", VirtualClock())
+        assert a.sketch_sha256 == b.sketch_sha256
+        assert a.n_frames == 20 and not a.resumed
+        assert a.checkpoints_written == 4
+        assert a.virtual_seconds == b.virtual_seconds > 0.0
+
+    def test_kill_then_resume_is_bit_identical(self, tmp_path):
+        task = tiny_spec().tasks()[0]
+        clean = run_task_attempt(task, 1, tmp_path / "clean", VirtualClock())
+
+        injector = CampaignFaultInjector(
+            CampaignFaultPlan().kill(task.task_id, batch=2, attempt=1)
+        )
+        clock = VirtualClock()
+        with pytest.raises(TaskKilledError, match="killed before batch 2"):
+            run_task_attempt(task, 1, tmp_path / "chaos", clock, injector=injector)
+        outcome = run_task_attempt(
+            task, 2, tmp_path / "chaos", clock, injector=injector
+        )
+        assert outcome.resumed and not outcome.restarted_from_scratch
+        assert outcome.sketch_sha256 == clean.sketch_sha256
+        assert outcome.n_frames == clean.n_frames
+
+    def test_virtual_timeout_enforced(self, tmp_path):
+        spec = tiny_spec(timeout=0.01)  # 20 frames at 120 Hz >> 10 ms
+        task = spec.tasks()[0]
+        with pytest.raises(TaskTimeoutError, match="timed out"):
+            run_task_attempt(task, 1, tmp_path, VirtualClock())
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_clean_campaign(self, tmp_path):
+        report = run_campaign(chain_spec(), tmp_path)
+        assert not report.degraded
+        assert report.tasks_succeeded == 2
+        assert report.makespan_virtual_seconds > 0.0
+        for t in report.tasks:
+            assert t.state == "succeeded" and t.attempts == 1
+            assert t.sketch_sha256
+
+    def test_retry_after_kill_charges_backoff(self, tmp_path):
+        spec = tiny_spec()
+        clean = run_campaign(spec, tmp_path / "clean")
+        chaos = run_campaign(
+            spec,
+            tmp_path / "chaos",
+            faults="seed=1; kill task=r0001/epix/fd batch=2 attempt=1",
+        )
+        assert chaos.degraded
+        task = chaos.task("r0001/epix/fd")
+        assert task.state == "succeeded" and task.attempts == 2 and task.resumed
+        assert task.backoff_seconds == spec.retry.backoff(0, key=(task.task_id,))
+        # Resume recomputes nothing: the chaos makespan is exactly the
+        # clean makespan plus the charged backoff wait.
+        assert chaos.makespan_virtual_seconds == pytest.approx(
+            clean.makespan_virtual_seconds + task.backoff_seconds
+        )
+        assert task.sketch_sha256 == clean.task(task.task_id).sketch_sha256
+        assert chaos.faults["tasks_killed"] == [("r0001/epix/fd", 1)]
+
+    def test_exhausted_budget_degrades_not_raises(self, tmp_path):
+        faults = "; ".join(
+            f"kill task=r0001/* batch=0 attempt={a}" for a in (1, 2, 3)
+        )
+        report = run_campaign(chain_spec(), tmp_path, faults=faults)
+        failed = report.task("r0001/epix/fd")
+        assert failed.state == "failed"
+        assert "failed after 3 attempts" in failed.error
+        skipped = report.task("r0002/epix/fd")
+        assert skipped.state == "skipped"
+        assert skipped.error == "dependency failed: r0001/epix/fd"
+        assert report.degraded
+        assert (report.tasks_failed, report.tasks_skipped) == (1, 1)
+
+    def test_independent_tasks_survive_a_failure(self, tmp_path):
+        spec = tiny_spec(
+            name="wide",
+            detectors=[
+                {"name": "epix", "size": 16, "scenario": "beam"},
+                {"name": "jungfrau", "size": 16, "scenario": "diffraction"},
+            ],
+        )
+        faults = "; ".join(
+            f"kill task=*/epix/* batch=0 attempt={a}" for a in (1, 2, 3)
+        )
+        report = run_campaign(spec, tmp_path, faults=faults)
+        assert report.task("r0001/epix/fd").state == "failed"
+        assert report.task("r0001/jungfrau/fd").state == "succeeded"
+
+    def test_stall_fault_charges_dead_time(self, tmp_path):
+        spec = tiny_spec()
+        clean = run_campaign(spec, tmp_path / "clean")
+        chaos = run_campaign(
+            spec,
+            tmp_path / "chaos",
+            faults="seed=1; stall task=r0001/* seconds=2.5 attempt=1",
+        )
+        assert chaos.makespan_virtual_seconds == pytest.approx(
+            clean.makespan_virtual_seconds + 2.5
+        )
+        assert chaos.faults["stall_seconds_injected"] == 2.5
+        # A stall wastes time but corrupts nothing.
+        assert (
+            chaos.task("r0001/epix/fd").sketch_sha256
+            == clean.task("r0001/epix/fd").sketch_sha256
+        )
+
+    def test_wall_deadline_raises_on_alarm(self):
+        with pytest.raises(CampaignWallTimeout, match="wall-clock budget"):
+            with _wall_deadline(30.0):
+                os.kill(os.getpid(), signal.SIGALRM)
+
+    def test_wall_deadline_restores_outer_alarm(self):
+        def outer(signum, frame):  # pragma: no cover - never fires
+            raise AssertionError("outer alarm fired")
+
+        prev = signal.signal(signal.SIGALRM, outer)
+        signal.alarm(50)
+        try:
+            with _wall_deadline(5.0):
+                pass
+            assert signal.getsignal(signal.SIGALRM) is outer
+            assert 0 < signal.alarm(0) <= 50
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, prev)
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_field_order_is_the_contract(self, tmp_path):
+        doc = run_campaign(tiny_spec(), tmp_path).to_dict()
+        assert tuple(doc) == CampaignReport._JSON_FIELDS
+        assert tuple(doc["tasks"][0]) == TaskResult._JSON_FIELDS
+        assert doc["schema_version"] == CampaignReport.SCHEMA_VERSION
+
+    def test_json_round_trip(self, tmp_path):
+        report = run_campaign(tiny_spec(), tmp_path)
+        clone = CampaignReport.from_dict(json.loads(report.to_json()))
+        got, want = clone.to_dict(), report.to_dict()
+        got["faults"], want["faults"] = {}, {}  # tuples become lists in JSON
+        assert got == want
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown task state"):
+            TaskResult(task_id="x", state="exploded")
+
+    def test_unknown_task_lookup_raises(self):
+        with pytest.raises(KeyError):
+            CampaignReport(name="empty").task("nope")
+
+
+# ----------------------------------------------------------------------
+# Observability wiring
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_counters_spans_and_burn_alert(self, tmp_path):
+        registry = Registry()
+        scheduler = CampaignScheduler(
+            tiny_spec(),
+            tmp_path,
+            faults="seed=1; kill task=r0001/* batch=2 attempt=1",
+            registry=registry,
+            retry_burn_threshold=1e-9,  # any retry trips the rule
+        )
+        scheduler.run()
+        counts = {
+            name: registry.counter(f"campaign_tasks_{name}_total").value
+            for name in ("started", "retried", "failed", "resumed", "succeeded")
+        }
+        assert counts == {
+            "started": 1, "retried": 1, "failed": 0, "resumed": 1, "succeeded": 1,
+        }
+        attempts = [s for s in registry.spans if s.name == "campaign.attempt"]
+        assert [s.tags["attempt"] for s in attempts] == ["1", "2"]
+        assert all("trace_id" in s.tags for s in attempts)
+        assert any(ev.rule == RETRY_BURN_RULE for ev in scheduler.alerts.events)
+
+    def test_clean_run_keeps_the_burn_alert_quiet(self, tmp_path):
+        scheduler = CampaignScheduler(tiny_spec(), tmp_path)
+        scheduler.run()
+        assert scheduler.alerts.active() == {}
+
+
+# ----------------------------------------------------------------------
+# One backoff implementation repo-wide
+# ----------------------------------------------------------------------
+class TestSharedBackoffAdoption:
+    def test_cost_model_delegates_bit_identically(self):
+        model = CommCostModel(backoff_base=1e-4)
+        for attempt in range(8):
+            assert model.backoff_cost(attempt) == 1e-4 * 2.0**attempt
+            assert model.backoff_cost(attempt) == exponential_backoff(
+                attempt, base=1e-4
+            )
+
+    def test_send_reliable_adopts_policy_schedule(self):
+        plan = FaultPlan().drop(source=1, dest=0, count=1)
+        world = SimCommWorld(2, injector=FaultInjector(plan))
+        policy = RetryPolicy(max_attempts=2, base=0.5, jitter=0.0)
+
+        def program(comm: SimComm):
+            if comm.rank == 1:
+                receipt = comm.send_reliable("x", dest=0, policy=policy)
+                return receipt.attempts, comm.clock
+            comm.recv(source=1)
+            return None
+
+        attempts, clock = world.run(program)[1]
+        assert attempts == 2
+        assert clock >= policy.backoff(0, key=(1, 0, 0))
+
+    def test_recv_with_retry_adopts_policy_budget(self):
+        world = SimCommWorld(2)
+        policy = RetryPolicy(max_attempts=2, base=0.25, jitter=0.0)
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                from repro.parallel.comm import DeadlockError
+
+                try:
+                    comm.recv_with_retry(source=1, policy=policy)
+                except DeadlockError:
+                    return comm.retries, comm.clock
+            return None
+
+        retries, clock = world.run(program)[0]
+        assert retries == 2
+        assert clock >= policy.backoff(0, key=(1, 0, 0)) + policy.backoff(
+            1, key=(1, 0, 0)
+        )

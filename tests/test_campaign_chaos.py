@@ -1,0 +1,174 @@
+"""Campaign chaos matrix: every fault kind at every task position.
+
+The acceptance bar mirrors the checkpoint suite's: a campaign driven
+through kills, stalls and checkpoint corruption must produce **bit
+identical** sketch bytes to the unfaulted campaign for every task, and
+its report must replay byte-identically.  The fully-failed-task scenario
+is locked against ``tests/golden/campaign_report.json`` — the partial
+``CampaignReport`` schema is the contract dashboards pin.
+
+Run with ``pytest -m campaign`` (tier 6); excluded from tier 1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.campaign.scheduler import run_campaign
+
+pytestmark = [pytest.mark.campaign, pytest.mark.timeout(300)]
+
+GOLDEN = Path(__file__).parent / "golden" / "campaign_report.json"
+
+#: 2 runs x 1 detector x 2 variants with a cross-run dependency: the
+#: four task positions the matrix sweeps (independent roots r0001/*,
+#: dependent leaves r0002/*).
+MATRIX_SPEC = {
+    "name": "chaos-matrix",
+    "seed": 11,
+    "runs": [
+        {"run": 1, "shots": 15, "batch": 5},
+        {"run": 2, "shots": 15, "batch": 5},
+    ],
+    "detectors": [{"name": "epix", "size": 16, "scenario": "beam"}],
+    "variants": [
+        {"name": "fd", "ell": 6},
+        {"name": "arams", "ell": 6, "beta": 0.9, "epsilon": 0.1},
+    ],
+    "dependencies": [{"task": "r0002/*", "after": "r0001/*"}],
+    "retry": {"max_attempts": 3, "base": 0.25, "cap": 4.0, "jitter": 0.1},
+    "checkpoint_every": 1,
+}
+
+TASK_POSITIONS = (
+    "r0001/epix/fd",
+    "r0001/epix/arams",
+    "r0002/epix/fd",
+    "r0002/epix/arams",
+)
+
+#: Fault kind -> clause template.  ``corrupt`` composes a kill with a
+#: corrupt-checkpoint on the retry: batch 2 dies with two committed
+#: generations behind it, the newest is rotted before the resume, so
+#: the loader's fall-back-to-previous-generation path runs for real.
+FAULT_CLAUSES = {
+    "kill": "seed=3; kill task={task} batch=1 attempt=1",
+    "stall": "seed=3; stall task={task} seconds=1.5 attempt=1",
+    "corrupt": (
+        "seed=3; kill task={task} batch=2 attempt=1; "
+        "corrupt_checkpoint task={task} attempt=2"
+    ),
+}
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(MATRIX_SPEC)
+
+
+@pytest.fixture(scope="module")
+def clean(tmp_path_factory):
+    """The unfaulted campaign: reference shas and makespan."""
+    report = run_campaign(spec(), tmp_path_factory.mktemp("clean"))
+    assert not report.degraded
+    return report
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("task_id", TASK_POSITIONS)
+    @pytest.mark.parametrize("kind", sorted(FAULT_CLAUSES))
+    def test_fault_cell_is_bit_identical(self, kind, task_id, clean, tmp_path):
+        faults = FAULT_CLAUSES[kind].format(task=task_id)
+        report = run_campaign(spec(), tmp_path, faults=faults)
+
+        # Every task still succeeds: faults cost time, never results.
+        assert report.tasks_succeeded == len(TASK_POSITIONS)
+        for tid in TASK_POSITIONS:
+            assert (
+                report.task(tid).sketch_sha256 == clean.task(tid).sketch_sha256
+            ), f"{kind} at {task_id} changed the sketch of {tid}"
+
+        victim = report.task(task_id)
+        if kind == "kill":
+            assert victim.attempts == 2 and victim.resumed
+            assert report.faults["tasks_killed"] == [(task_id, 1)]
+        elif kind == "stall":
+            # A stall burns virtual time but no attempt fails: the
+            # campaign history is clean, only the makespan inflates.
+            assert victim.attempts == 1
+            assert report.faults["stall_seconds_injected"] == 1.5
+            assert report.makespan_virtual_seconds == pytest.approx(
+                clean.makespan_virtual_seconds + 1.5
+            )
+            assert not report.degraded
+        else:  # corrupt
+            assert victim.attempts == 2
+            # The rotted newest generation forced the loader onto the
+            # previous one — still a resume, never a restart.
+            assert victim.resumed and not victim.restarted_from_scratch
+            assert report.faults["checkpoints_corrupted"] == 1
+        if kind != "stall":
+            assert report.degraded
+
+
+class TestReplayDeterminism:
+    def test_chaos_report_replays_byte_identically(self, tmp_path):
+        faults = (
+            "seed=3; kill task=r0001/epix/fd batch=1 attempt=1; "
+            "stall task=r0002/* seconds=0.5 attempt=1"
+        )
+        first = run_campaign(spec(), tmp_path / "a", faults=faults)
+        second = run_campaign(spec(), tmp_path / "b", faults=faults)
+        assert first.to_json() == second.to_json()
+
+    def test_all_generations_corrupt_restarts_from_scratch(self, tmp_path, clean):
+        # keep=1 leaves a single generation; rotting it on the retry
+        # forces the documented degraded path: a from-scratch restart
+        # that is slower but still bit-identical.
+        faults = (
+            "seed=3; kill task=r0001/epix/fd batch=2 attempt=1; "
+            "corrupt_checkpoint task=r0001/epix/fd attempt=2"
+        )
+        report = run_campaign(
+            spec(), tmp_path, faults=faults, keep_checkpoints=1
+        )
+        victim = report.task("r0001/epix/fd")
+        assert victim.restarted_from_scratch and not victim.resumed
+        assert victim.sketch_sha256 == clean.task("r0001/epix/fd").sketch_sha256
+
+
+class TestGoldenPartialReport:
+    """A task that fails all its attempts yields the golden partial report."""
+
+    def run_partial(self, workdir) -> str:
+        doc = dict(MATRIX_SPEC, name="golden-partial")
+        faults = "seed=3; " + "; ".join(
+            f"kill task=r0001/epix/fd batch=0 attempt={a}" for a in (1, 2, 3)
+        )
+        report = run_campaign(CampaignSpec.from_dict(doc), workdir, faults=faults)
+        assert report.task("r0001/epix/fd").state == "failed"
+        assert report.task("r0001/epix/arams").state == "succeeded"
+        for tid in ("r0002/epix/fd", "r0002/epix/arams"):
+            assert report.task(tid).state == "skipped"
+        return report.to_json()
+
+    def test_matches_golden(self, tmp_path):
+        got = self.run_partial(tmp_path)
+        want = GOLDEN.read_text().rstrip("\n")
+        assert got == want, (
+            "campaign report schema drifted from tests/golden/"
+            "campaign_report.json; if the change is intentional, bump "
+            "CampaignReport.SCHEMA_VERSION and regenerate the golden "
+            "file"
+        )
+
+    def test_golden_is_valid_json_with_stable_order(self):
+        doc = json.loads(GOLDEN.read_text())
+        from repro.campaign.report import CampaignReport
+
+        assert tuple(doc) == CampaignReport._JSON_FIELDS
+        assert doc["degraded"] is True
+        assert doc["tasks_failed"] == 1 and doc["tasks_skipped"] == 2

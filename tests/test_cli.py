@@ -129,3 +129,83 @@ class TestChaos:
     def test_bad_fault_plan_raises(self):
         with pytest.raises(ValueError, match="unknown fault kind"):
             main(["chaos", "--fault-plan", "explode rank=1"])
+
+
+class TestCampaignCommand:
+    SPEC = {
+        "name": "cli-tiny",
+        "seed": 3,
+        "runs": [{"run": 1, "shots": 20, "batch": 5}],
+        "detectors": [{"name": "epix", "size": 16, "scenario": "beam"}],
+        "variants": [{"name": "fd", "ell": 6}],
+        "retry": {"max_attempts": 2, "base": 0.25, "jitter": 0.0},
+    }
+
+    def write_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.spec is None and args.faults is None
+        assert not args.json
+
+    def test_campaign_runs_and_prints_table(self, capsys, tmp_path):
+        rc = main(["campaign", "--spec", str(self.write_spec(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-tiny" in out and "clean" in out
+        assert "r0001/epix/fd" in out and "succeeded" in out
+
+    def test_campaign_json_report(self, capsys, tmp_path):
+        import json
+
+        rc = main([
+            "campaign", "--spec", str(self.write_spec(tmp_path)), "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["tasks_total"] == 1 and not doc["degraded"]
+
+    def test_campaign_chaos_report_and_artifacts(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "report.json"
+        html = tmp_path / "report.html"
+        rc = main([
+            "campaign", "--spec", str(self.write_spec(tmp_path)),
+            "--workdir", str(tmp_path / "work"),
+            "--faults", "seed=1; kill task=r0001/* batch=2 attempt=1",
+            "--report-out", str(report), "--html", str(html),
+        ])
+        assert rc == 0
+        doc = json.loads(report.read_text())
+        assert doc["degraded"] and doc["retries_total"] == 1
+        assert doc["tasks"][0]["resumed"] is True
+        page = html.read_text()
+        assert "campaign orchestration" in page and "DEGRADED" in page
+
+    def test_campaign_seed_override(self, capsys, tmp_path):
+        import json
+
+        spec = self.write_spec(tmp_path)
+        shas = []
+        for seed in ("3", "4"):
+            main(["campaign", "--spec", str(spec), "--seed", seed, "--json"])
+            doc = json.loads(capsys.readouterr().out)
+            shas.append(doc["tasks"][0]["sketch_sha256"])
+        assert shas[0] != shas[1]
+
+    def test_campaign_invalid_spec_fails_cleanly(self, capsys, tmp_path):
+        import json
+
+        bad = dict(self.SPEC, variants=[])
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        rc = main(["campaign", "--spec", str(path)])
+        assert rc == 2
+        assert "invalid campaign" in capsys.readouterr().err

@@ -1,0 +1,52 @@
+"""Lint: all retry waits go through repro.campaign.retry.
+
+``time.sleep`` in library code would couple the simulated world to wall
+time — waits must be *virtual* seconds charged to a clock, which is what
+keeps chaos replays instant and bit-identical.  And a hand-rolled
+``base * factor ** attempt`` is a second backoff implementation waiting
+to drift from the shared :class:`~repro.campaign.retry.RetryPolicy`
+schedule.  Both are banned everywhere under ``src/`` except the one
+module that owns the schedule, mirroring the ``perf_counter`` lint that
+funnels wall-clock reads through :mod:`repro.obs.clock`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RETRY_MODULE = REPO / "src" / "repro" / "campaign" / "retry.py"
+
+#: A wall-clock sleep, or an exponential-backoff expression keyed on an
+#: attempt counter (``2 ** attempt``, ``factor**attempt`` ...).
+_SLEEP = re.compile(r"\btime\.sleep\s*\(|\bsleep\s*\(")
+_BACKOFF = re.compile(r"\*\*\s*attempt\b|\battempt\s*\*\*")
+
+
+def _offenders(pattern: re.Pattern) -> list[str]:
+    found: list[str] = []
+    for path in sorted((REPO / "src").rglob("*.py")):
+        if path == RETRY_MODULE:
+            continue
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if pattern.search(line):
+                found.append(f"{path.relative_to(REPO)}:{i}: {line.strip()}")
+    return found
+
+
+def test_no_wall_clock_sleep_in_library_code():
+    offenders = _offenders(_SLEEP)
+    assert not offenders, (
+        "time.sleep in library code (charge virtual seconds to a clock "
+        "via repro.campaign.retry instead):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_no_hand_rolled_backoff_outside_retry_module():
+    offenders = _offenders(_BACKOFF)
+    assert not offenders, (
+        "hand-rolled exponential backoff outside repro/campaign/retry.py "
+        "(use RetryPolicy.backoff or exponential_backoff instead):\n  "
+        + "\n  ".join(offenders)
+    )

@@ -17,6 +17,7 @@ from repro.pipeline.checkpoint import (
     CheckpointError,
     list_generations,
     load_pipeline_checkpoint,
+    prune_generations,
     save_pipeline_checkpoint,
 )
 from repro.pipeline.monitor import MonitoringPipeline
@@ -219,3 +220,69 @@ class TestGuards:
         assert resumed.guard is None
         feed(resumed, clean, 40, 80)
         assert resumed.sketcher.sketch.tobytes() == ref.sketcher.sketch.tobytes()
+
+
+def _rewrite_state(gen_dir, payload: bytes = b"{}") -> None:
+    """Replace state.json with checksum-valid but unreconstructable JSON."""
+    import hashlib
+    import json
+
+    (gen_dir / "state.json").write_bytes(payload)
+    manifest = json.loads((gen_dir / "MANIFEST.json").read_text())
+    manifest["files"]["state.json"] = {
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "bytes": len(payload),
+    }
+    (gen_dir / "MANIFEST.json").write_text(json.dumps(manifest))
+
+
+class TestReconstructionFailures:
+    """Checksums passing does not mean the state reconstructs a pipeline."""
+
+    def test_unreconstructable_state_falls_back(self, tmp_path, stream):
+        pipe = feed(make_pipe(), stream, 0, 80)
+        save_pipeline_checkpoint(pipe, tmp_path)
+        feed(pipe, stream, 80, 120)
+        newest = save_pipeline_checkpoint(pipe, tmp_path)
+        _rewrite_state(newest)
+        resumed = load_pipeline_checkpoint(tmp_path)
+        assert resumed.n_offered == 80  # the older, intact generation
+
+    def test_all_unreconstructable_raises_typed(self, tmp_path, stream):
+        pipe = feed(make_pipe(), stream, 0, 40)
+        gen = save_pipeline_checkpoint(pipe, tmp_path, keep=1)
+        _rewrite_state(gen)
+        with pytest.raises(CheckpointCorruptionError, match="reconstruct"):
+            load_pipeline_checkpoint(tmp_path)
+
+
+class TestPruneGenerations:
+    def _three_generations(self, tmp_path, stream):
+        pipe = feed(make_pipe(), stream, 0, 40)
+        gens = []
+        for stop in (80, 120, 160):
+            gens.append(save_pipeline_checkpoint(pipe, tmp_path, keep=10))
+            feed(pipe, stream, stop - 40, stop)
+        return gens
+
+    def test_prune_removes_oldest_and_reports(self, tmp_path, stream):
+        gens = self._three_generations(tmp_path, stream)
+        removed = prune_generations(tmp_path, keep=1)
+        assert removed == gens[:2]
+        assert [g for g, _ in list_generations(tmp_path)] == [3]
+
+    def test_prune_never_deletes_newest_verified(self, tmp_path, stream):
+        gens = self._three_generations(tmp_path, stream)
+        # Bit-rot the two NEWEST generations: the only loadable state
+        # left is gen 1, which the keep window would normally evict.
+        for victim in gens[1:]:
+            (victim / "sketch.npz").write_bytes(b"rotten")
+        removed = prune_generations(tmp_path, keep=1)
+        assert gens[0] not in removed  # the sole verified state survives
+        assert gens[0].exists()
+        resumed = load_pipeline_checkpoint(tmp_path)
+        assert resumed.n_offered == 40  # restored from the shielded gen 1
+
+    def test_prune_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            prune_generations(tmp_path, keep=0)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tiered CI runner: one entry point for local runs and the workflow.
 
-Five tiers, cheapest first, documented in ``docs/ci.md``:
+Six tiers, cheapest first, documented in ``docs/ci.md``:
 
 - **Tier 1 — lint + fast tests.**  Byte-compiles every Python file
   (syntax gate; the container ships no third-party linter) and runs the
@@ -28,6 +28,11 @@ Five tiers, cheapest first, documented in ``docs/ci.md``:
   (``bench_backends`` against ``BENCH_backends.json``).  The tests
   also run in tier 1; the tier isolates backend work and pins the
   wall-clock selector-payoff bar explicitly.
+- **Tier 6 — campaign orchestration.**  The campaign chaos matrix
+  (``-m campaign``): every fault kind at every task position must
+  yield bit-identical sketches and the golden partial report.
+  Deterministic (virtual clocks) but a full campaign per cell, so it
+  rides outside the tier-1 merge gate.
 
 Usage::
 
@@ -175,6 +180,15 @@ TIERS: dict[int, tuple[str, tuple[Step, ...]]] = {
                     "-q",
                     "--benchmark-disable",
                 ),
+            ),
+        ),
+    ),
+    6: (
+        "campaign orchestration (kill-and-resume matrix)",
+        (
+            Step(
+                "campaign",
+                (sys.executable, "-m", "pytest", "-q", "-m", "campaign"),
             ),
         ),
     ),
