@@ -25,6 +25,7 @@ pre-unification format, same layout minus the version bump) load fine.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 __all__ = [
@@ -97,6 +98,7 @@ def compare_cases(
     baseline: dict | None,
     tolerance: float = DEFAULT_TOLERANCE,
     tolerances: dict[str, float] | None = None,
+    name: str | None = None,
 ) -> tuple[list[list], list[str]]:
     """Gate ``fresh`` cases against a loaded ``baseline`` payload.
 
@@ -110,6 +112,12 @@ def compare_cases(
         Default allowed relative slowdown (0.25 = 25%).
     tolerances:
         Optional per-case overrides, ``{case: tolerance}``.
+    name:
+        Bench identifier (e.g. ``"serve"``).  When set and the
+        ``BENCH_DELTAS_DIR`` environment variable points at a
+        directory, the full comparison — every gated row plus the
+        failure strings — is dumped to ``$BENCH_DELTAS_DIR/<name>.json``
+        so CI can upload machine-readable deltas on failure.
 
     Returns
     -------
@@ -122,24 +130,53 @@ def compare_cases(
     rows: list[list] = []
     failures: list[str] = []
     if baseline is None:
+        _dump_deltas(name, rows, failures)
         return rows, failures
     base_cases = baseline.get("cases", {})
     tolerances = tolerances or {}
-    for name, metrics in sorted(fresh.items()):
-        base_metrics = base_cases.get(name)
+    for case, metrics in sorted(fresh.items()):
+        base_metrics = base_cases.get(case)
         if base_metrics is None:
             continue  # new case: no baseline to regress against
-        allowed = 1.0 + tolerances.get(name, tolerance)
+        allowed = 1.0 + tolerances.get(case, tolerance)
         for metric, value in metrics.items():
             orientation = HIGHER_IS_BETTER.get(metric)
             base = base_metrics.get(metric)
             if orientation is None or base is None or base <= 0 or value <= 0:
                 continue
             ratio = base / value if orientation else value / base
-            rows.append([name, metric, base, value, ratio])
+            rows.append([case, metric, base, value, ratio])
             if ratio > allowed:
                 failures.append(
-                    f"{name}/{metric}: {ratio:.2f}x slower "
+                    f"{case}/{metric}: {ratio:.2f}x slower "
                     f"(tolerance {allowed - 1.0:.0%})"
                 )
+    _dump_deltas(name, rows, failures)
     return rows, failures
+
+
+def _dump_deltas(name: str | None, rows: list[list], failures: list[str]) -> None:
+    """Write the comparison to ``$BENCH_DELTAS_DIR/<name>.json`` (no-op
+    unless both the bench ``name`` and the env var are set)."""
+    out_dir = os.environ.get("BENCH_DELTAS_DIR")
+    if not name or not out_dir:
+        return
+    payload = {
+        "schema": 1,
+        "bench": name,
+        "passed": not failures,
+        "rows": [
+            {
+                "case": case,
+                "metric": metric,
+                "baseline": base,
+                "fresh": value,
+                "ratio": ratio,
+            }
+            for case, metric, base, value, ratio in rows
+        ],
+        "failures": list(failures),
+    }
+    path = Path(out_dir) / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -191,7 +191,7 @@ def test_regression_vs_baseline(backend_numbers, table):
     if _BASELINE is None:
         pytest.skip("no committed BENCH_backends.json baseline; run once with "
                     "--update-baseline and commit it")
-    rows, failures = compare_cases(backend_numbers, _BASELINE)
+    rows, failures = compare_cases(backend_numbers, _BASELINE, name="backends")
     table(
         "regression vs committed baseline (ratio > 1 = slower)",
         ["case", "metric", "baseline", "fresh", "ratio"],

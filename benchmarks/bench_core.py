@@ -239,7 +239,7 @@ def test_regression_vs_baseline(core_numbers, table):
     if _BASELINE is None:
         pytest.skip("no committed BENCH_core.json baseline; run once with "
                     "--update-baseline and commit it")
-    rows, failures = compare_cases(core_numbers, _BASELINE)
+    rows, failures = compare_cases(core_numbers, _BASELINE, name="core")
     table(
         "regression vs committed baseline (ratio > 1 = slower)",
         ["case", "metric", "baseline", "fresh", "ratio"],

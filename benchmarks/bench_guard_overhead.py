@@ -156,7 +156,7 @@ def test_regression_vs_baseline(guard_numbers, table):
     if _BASELINE is None:
         pytest.skip("no committed BENCH_guard.json baseline; run once with "
                     "--update-baseline and commit it")
-    rows, failures = compare_cases(guard_numbers, _BASELINE)
+    rows, failures = compare_cases(guard_numbers, _BASELINE, name="guard_overhead")
     table(
         "regression vs committed baseline (ratio > 1 = slower)",
         ["case", "metric", "baseline", "fresh", "ratio"],

@@ -289,7 +289,7 @@ def test_regression_vs_baseline(obs_numbers, table):
     if _BASELINE is None:
         pytest.skip("no committed BENCH_obs.json baseline; run once with "
                     "--update-baseline and commit it")
-    rows, failures = compare_cases(obs_numbers, _BASELINE)
+    rows, failures = compare_cases(obs_numbers, _BASELINE, name="obs_overhead")
     table(
         "regression vs committed baseline (ratio > 1 = slower)",
         ["case", "metric", "baseline", "fresh", "ratio"],

@@ -235,6 +235,7 @@ def test_regression_vs_baseline(serve_numbers, table):
             "query_outlier_score": 0.75,
             "cache_hit": 0.5,
         },
+        name="serve",
     )
     table(
         "regression vs committed baseline (ratio > 1 = slower)",

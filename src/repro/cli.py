@@ -285,6 +285,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_args(ser)
 
+    flt = sub.add_parser(
+        "fleet", help="multi-tenant sharded serving fabric replay"
+    )
+    flt.add_argument(
+        "--replay", action="store_true",
+        help="replay a seeded multi-tenant workload through the "
+             "virtual-clock load generator (the only fleet mode "
+             "available offline; required)",
+    )
+    flt.add_argument("--shards", type=int, default=4, help="serving shards")
+    flt.add_argument(
+        "--replication", type=int, default=2,
+        help="replicas per stream (>= 2 buys zero-loss failover)",
+    )
+    flt.add_argument(
+        "--tenants", type=str, default="paid:1,standard:2,free:2",
+        metavar="SPEC",
+        help="tenant mix as 'tier:count,...' over paid/standard/free",
+    )
+    flt.add_argument(
+        "--streams-per-tenant", type=int, default=1, metavar="N",
+        help="detector streams each tenant declares",
+    )
+    flt.add_argument("--batches", type=int, default=16, help="ingest batches")
+    flt.add_argument(
+        "--batch", type=int, default=60, help="frames per ingest batch"
+    )
+    flt.add_argument("--size", type=int, default=16, help="frame side length")
+    flt.add_argument("--ell", type=int, default=8, help="sketch size")
+    flt.add_argument(
+        "--publish-every", type=int, default=1, metavar="N",
+        help="publish a snapshot every N consumed batches",
+    )
+    flt.add_argument(
+        "--qps", type=float, default=60.0,
+        help="aggregate query load in queries per virtual second "
+             "(60 ~= 5.2M queries/day)",
+    )
+    flt.add_argument(
+        "--ingest-ranks", type=int, default=1, metavar="R",
+        help="when > 1, each shard sketches its batches across R "
+             "simulated ranks (DistributedSketchRunner tree merge)",
+    )
+    flt.add_argument(
+        "--queue-depth", type=int, default=64, help="per-shard queue capacity"
+    )
+    flt.add_argument(
+        "--max-batch", type=int, default=32,
+        help="requests drained per shard per process round",
+    )
+    flt.add_argument(
+        "--shared-cache", type=int, default=512,
+        help="fleet-wide shared result-cache entries (0 disables)",
+    )
+    flt.add_argument(
+        "--cache-size", type=int, default=128,
+        help="per-shard local query-cache entries (0 disables)",
+    )
+    flt.add_argument(
+        "--kill", type=str, default=None, metavar="SPEC",
+        help="fleet fault plan: 'seed=N; kill shard=shard-1 batch=4' "
+             "clauses; failover is replayed bit-identically",
+    )
+    flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument(
+        "--json", action="store_true",
+        help="print the fleet report as JSON instead of a table",
+    )
+    flt.add_argument(
+        "--report-out", type=str, default=None, metavar="PATH",
+        help="also write the fleet report JSON to PATH",
+    )
+    flt.add_argument(
+        "--html", type=str, default=None,
+        help="write an HTML fleet panel",
+    )
+    flt.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write a merged Chrome/Perfetto trace (spans, fleet flow "
+             "arrows, kill markers) to PATH on exit",
+    )
+    _add_metrics_args(flt)
+
     top = sub.add_parser(
         "top", help="live metric/alert dashboard over a serve replay"
     )
@@ -911,6 +994,162 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_mix(spec: str, streams_per_tenant: int) -> list:
+    """Build TenantSpecs from a ``tier:count,...`` mix string."""
+    from repro.serve import TENANT_TIERS, TenantSpec
+
+    streams = tuple(f"det{i}" for i in range(streams_per_tenant))
+    tenants = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        tier, _, count = clause.partition(":")
+        if tier not in TENANT_TIERS:
+            raise ValueError(
+                f"unknown tenant tier {tier!r}; expected one of "
+                f"{sorted(TENANT_TIERS)}"
+            )
+        for i in range(int(count or 1)):
+            tenants.append(
+                TenantSpec(f"{tier}{i}", tier=tier, streams=streams)
+            )
+    if not tenants:
+        raise ValueError(f"empty tenant mix {spec!r}")
+    return tenants
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.clock import StopWatch
+    from repro.serve import FleetFaultPlan, FleetReplay, SketchFleet
+
+    if not args.replay:
+        print(
+            "error: a live fleet needs external data sources; "
+            "use --replay for the deterministic replay mode",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = _command_registry()
+    try:
+        tenants = _parse_tenant_mix(args.tenants, args.streams_per_tenant)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plan = FleetFaultPlan.parse(args.kill) if args.kill else None
+    trace_sink = trace_root = None
+    if args.trace_out:
+        from repro.obs import TraceContext, TraceSink
+
+        trace_sink = TraceSink()
+        trace_root = TraceContext.root(f"fleet-replay-seed{args.seed}")
+
+    fleet = SketchFleet(
+        tenants,
+        n_shards=args.shards,
+        replication=args.replication,
+        image_shape=(args.size, args.size),
+        ell=args.ell,
+        publish_every=args.publish_every,
+        ingest_ranks=args.ingest_ranks,
+        shared_cache_size=args.shared_cache,
+        local_cache_size=args.cache_size,
+        max_queue=args.queue_depth,
+        max_batch=args.max_batch,
+        fault_plan=plan,
+        registry=registry,
+        trace_sink=trace_sink,
+        trace_context=trace_root,
+        seed=args.seed,
+    )
+    replay = FleetReplay(
+        fleet,
+        batches=args.batches,
+        frames_per_batch=args.batch,
+        queries_per_second=args.qps,
+        seed=args.seed,
+    )
+    with StopWatch() as sw, registry.span("cli.fleet"):
+        report = replay.run()
+    wall = sw.elapsed
+
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rp = report["replay"]
+        print(f"fleet replay   : {len(tenants)} tenants x "
+              f"{args.streams_per_tenant} streams on {args.shards} shards "
+              f"(replication {args.replication}), {args.batches} batches")
+        print(f"load           : {rp['issued']} issued over "
+              f"{report['virtual_seconds']:.2f} virtual s "
+              f"({rp['queries_per_day']:,.0f} queries/day extrapolated)")
+        print(f"queries        : {report['submitted']} submitted, "
+              f"{report['answered']} answered")
+        print("shed           : "
+              + (", ".join(f"{k}={v}" for k, v in sorted(report["shed"].items())
+                           if v) or "none"))
+        for tier, q in report["tiers"].items():
+            print(f"  {tier:<13}: {q['answered']} answered, "
+                  f"p50={q['p50_ms']:.3f}ms p99={q['p99_ms']:.3f}ms")
+        cache = report["cache"]
+        print(f"cache          : shared {cache['shared_hits']}/"
+              f"{cache['shared_hits'] + cache['shared_misses']} hits, "
+              f"local {cache['local_hits']}/"
+              f"{cache['local_hits'] + cache['local_misses']} hits")
+        print(f"failover       : {report['failovers']} kills, "
+              f"{report['requeued']} requeued, recovery max "
+              f"{report['recovery_seconds_max']:.4f}s")
+        for name in sorted(fleet.shards):
+            shard = fleet.shards[name]
+            state = "alive" if shard.alive else f"killed @{shard.killed_at:.2f}s"
+            print(f"  {name:<13}: {state}, {len(shard.entries)} streams, "
+                  f"{shard.admission.n_admitted} admitted")
+        diverged = [
+            key
+            for key, per_shard in report["sketch_sha"].items()
+            if len({v for v in per_shard.values() if v != '-'}) > 1
+        ]
+        lost_total = sum(report["lost"].values())
+        print(f"invariants     : lost={lost_total}, "
+              f"replica divergence={'none' if not diverged else diverged}")
+        print(f"wall time      : {wall:.1f}s "
+              f"(virtual {report['virtual_seconds']:.2f}s)")
+
+    if args.report_out:
+        from pathlib import Path
+
+        Path(args.report_out).write_text(
+            _json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"fleet report written to {args.report_out}")
+    if args.html:
+        from repro.pipeline.html_report import write_fleet_report
+
+        path = write_fleet_report(
+            args.html,
+            report,
+            title=f"ARAMS fleet replay ({len(tenants)} tenants, "
+                  f"{args.shards} shards)",
+        )
+        print(f"fleet panel written to {path}")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.trace_out,
+            registry=registry,
+            sink=trace_sink,
+            serve_lanes=((0, "kills"), (1, "answers")),
+        )
+        print(f"merged trace written to {path} "
+              f"({len(trace_sink.points)} flow points)")
+    _write_metrics(registry, args)
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.core.arams import ARAMSConfig
     from repro.data.beam import BeamProfileConfig, BeamProfileGenerator
@@ -1202,6 +1441,7 @@ def main(argv: list[str] | None = None) -> int:
         "sketch": _cmd_sketch,
         "xpcs": _cmd_xpcs,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "top": _cmd_top,
         "chaos": _cmd_chaos,
         "campaign": _cmd_campaign,

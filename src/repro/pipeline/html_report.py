@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_embedding_report", "write_campaign_report"]
+__all__ = ["write_embedding_report", "write_campaign_report", "write_fleet_report"]
 
 # Categorical palette (Okabe-Ito + extensions), colorblind-safe.
 _PALETTE = [
@@ -491,6 +491,154 @@ def _campaign_html(campaign: dict | None) -> str:
     )
 
 
+def _fleet_html(fleet: dict | None) -> str:
+    """Render the multi-tenant fleet panel (empty string when absent)."""
+    if not fleet:
+        return ""
+    lost_total = sum((fleet.get("lost") or {}).values())
+    banner = (
+        '<span class="deg bad">LOST QUERIES</span>'
+        if lost_total
+        else '<span class="deg ok">zero lost</span>'
+    )
+    replay = fleet.get("replay") or {}
+    rows = [
+        ("virtual time", f"{float(fleet.get('virtual_seconds', 0.0)):.3f}s"),
+        ("queries (submitted / answered)",
+         f"{fleet.get('submitted', 0)} / {fleet.get('answered', 0)}"),
+        ("shed (typed total)", f"{fleet.get('shed_total', 0)}"),
+        ("failovers / requeued",
+         f"{fleet.get('failovers', 0)} / {fleet.get('requeued', 0)}"),
+        ("failover recovery (max)",
+         f"{float(fleet.get('recovery_seconds_max', 0.0)):.4f}s"),
+        ("frames dropped (quota)", f"{fleet.get('dropped_frames', 0)}"),
+    ]
+    if replay:
+        rows.append(
+            ("extrapolated load",
+             f"{float(replay.get('queries_per_day', 0.0)):,.0f} queries/day "
+             f"({float(replay.get('queries_per_second', 0.0)):.0f} q/s)")
+        )
+    summary = "".join(f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in rows)
+
+    tier_rows = "".join(
+        f"<tr><td>{_escape(tier)}</td><td>{q.get('answered', 0)}</td>"
+        f"<td>{float(q.get('p50_ms', 0.0)):.3f}ms</td>"
+        f"<td>{float(q.get('p99_ms', 0.0)):.3f}ms</td></tr>"
+        for tier, q in (fleet.get("tiers") or {}).items()
+    )
+    tiers_table = (
+        '<table class="health"><tr><th>tier</th><th>answered</th>'
+        f"<th>p50</th><th>p99</th></tr>{tier_rows}</table>"
+        if tier_rows
+        else "<em>no answered queries</em>"
+    )
+
+    shard_rows = []
+    for s in fleet.get("shards") or []:
+        alive = bool(s.get("alive"))
+        cls, state = ("ok", "alive") if alive else ("bad", "killed")
+        shard_rows.append(
+            f'<tr><td>{_escape(str(s.get("name", "?")))}</td>'
+            f'<td><span class="deg {cls}">{state}</span></td>'
+            f'<td>{len(s.get("streams") or [])}</td>'
+            f'<td>{s.get("admitted", 0)}</td>'
+            f'<td>{s.get("queued", 0)}</td>'
+            f'<td>{sum((s.get("shed") or {}).values())}</td></tr>'
+        )
+    shards_table = (
+        '<table class="health"><tr><th>shard</th><th>state</th>'
+        "<th>streams</th><th>admitted</th><th>queued</th><th>shed</th></tr>"
+        f'{"".join(shard_rows)}</table>'
+    )
+
+    tenant_rows = "".join(
+        f'<tr><td>{_escape(str(t.get("tenant", "?")))}</td>'
+        f'<td>{_escape(str(t.get("tier", "?")))}</td>'
+        f'<td>{t.get("frames", 0)}</td><td>{t.get("queries", 0)}</td>'
+        f'<td>{t.get("answered", 0)}</td><td>{t.get("shed", 0)}</td></tr>'
+        for t in fleet.get("tenants") or []
+    )
+    tenants_table = (
+        '<table class="health"><tr><th>tenant</th><th>tier</th>'
+        "<th>frames</th><th>queries</th><th>answered</th><th>shed</th></tr>"
+        f"{tenant_rows}</table>"
+    )
+
+    sha_rows = []
+    for key, per_shard in (fleet.get("sketch_sha") or {}).items():
+        live = [v for v in per_shard.values() if v != "-"]
+        consistent = len(set(live)) <= 1
+        cls, state = ("ok", "replicas agree") if consistent else ("bad", "DIVERGED")
+        cells = ", ".join(
+            f"{_escape(n)}=<code>{_escape(v)}</code>"
+            for n, v in sorted(per_shard.items())
+        )
+        sha_rows.append(
+            f"<tr><td>{_escape(key)}</td><td>{cells}</td>"
+            f'<td><span class="deg {cls}">{state}</span></td></tr>'
+        )
+    sha_table = (
+        '<table class="health"><tr><th>stream</th><th>sketch sha (per shard)'
+        f'</th><th>bit-identity</th></tr>{"".join(sha_rows)}</table>'
+        if sha_rows
+        else ""
+    )
+
+    cache = fleet.get("cache") or {}
+    cache_line = (
+        f"shared {cache.get('shared_hits', 0)} hits / "
+        f"{cache.get('shared_misses', 0)} misses &middot; "
+        f"local {cache.get('local_hits', 0)} hits / "
+        f"{cache.get('local_misses', 0)} misses"
+    )
+    return (
+        f'<div id="fleet"><h2>serving fleet {banner}</h2>'
+        f'<table class="health">{summary}</table>'
+        f"<h2>latency by tenant tier (virtual)</h2>{tiers_table}"
+        f"<h2>shards</h2>{shards_table}"
+        f"<h2>tenants</h2>{tenants_table}"
+        f"<h2>replicated sketches</h2>{sha_table}"
+        f"<h2>cache tiers</h2><p>{cache_line}</p></div>"
+    )
+
+
+def write_fleet_report(
+    path: str | Path,
+    fleet: dict,
+    title: str = "Fleet report",
+    alerts: dict | None = None,
+) -> Path:
+    """Write a standalone HTML fleet panel.
+
+    Parameters
+    ----------
+    path:
+        Output ``.html`` path.
+    fleet:
+        A fleet account (:meth:`repro.serve.fleet.SketchFleet.report`,
+        optionally with the replay extras): shard/tenant tables,
+        per-tier latency, cache tiers, failover log and the
+        replica bit-identity witness.
+    title:
+        Page title.
+    alerts:
+        Optional alerting account in the shape
+        :func:`write_embedding_report` accepts.
+
+    Returns
+    -------
+    pathlib.Path
+        The written file.
+    """
+    html = _FLEET_TEMPLATE.replace("__TITLE__", _escape(title)).replace(
+        "__FLEET__", _fleet_html(fleet)
+    ).replace("__ALERTS__", _alerts_html(alerts))
+    path = Path(path)
+    path.write_text(html)
+    return path
+
+
 def write_campaign_report(
     path: str | Path,
     campaign: dict,
@@ -695,6 +843,35 @@ for (const [c, color] of Object.entries(DATA.colors)) {
 }
 draw();
 </script>
+</body>
+</html>
+"""
+
+_FLEET_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { margin: 0; font-family: system-ui, sans-serif; background: #fafafa; }
+  h1 { font-size: 16px; padding: 10px 12px 0; margin: 0; }
+  #fleet, #alerts { padding: 8px 12px; font-size: 13px; }
+  #fleet h2, #alerts h2 { font-size: 14px; margin: 6px 0; }
+  #alertwrap { display: flex; gap: 28px; align-items: flex-start; }
+  #alerts .range { font-size: 11px; color: #777; margin-bottom: 8px; }
+  table.health td, table.health th { padding: 1px 10px 1px 0; text-align: left; }
+  table.health td:last-child { font-variant-numeric: tabular-nums; }
+  code { font-size: 12px; }
+  .deg { font-size: 11px; padding: 2px 8px; border-radius: 9px; margin-left: 8px;
+         vertical-align: 1px; }
+  .deg.ok { background: #d9efe3; color: #00633c; }
+  .deg.bad { background: #fcebcc; color: #8a5a00; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+__FLEET__
+__ALERTS__
 </body>
 </html>
 """

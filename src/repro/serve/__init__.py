@@ -23,6 +23,7 @@ ratio, queue depth, per-kind latency).  See ``docs/serving.md`` and the
 
 from repro.serve.admission import (
     SHED_DEADLINE,
+    SHED_PREEMPTED,
     SHED_QUEUE_FULL,
     SHED_RATE_LIMITED,
     SHED_REASONS,
@@ -33,19 +34,37 @@ from repro.serve.admission import (
     TokenBucket,
     VirtualClock,
 )
+from repro.serve.fleet import (
+    FleetFaultPlan,
+    FleetFaultRule,
+    FleetReplay,
+    FleetShard,
+    SketchFleet,
+)
 from repro.serve.query import QUERY_KINDS, QueryEngine, QueryResult, SketchServer
+from repro.serve.router import ConsistentHashRouter
 from repro.serve.snapshot import SketchSnapshot, SnapshotStore
+from repro.serve.tenant import TENANT_TIERS, Tenant, TenantSpec
 
 __all__ = [
     "AdmissionController",
+    "ConsistentHashRouter",
+    "FleetFaultPlan",
+    "FleetFaultRule",
+    "FleetReplay",
+    "FleetShard",
     "QueryEngine",
     "QueryResult",
     "QUERY_KINDS",
     "ServeRejected",
     "ServeRequest",
+    "SketchFleet",
     "SketchServer",
     "SketchSnapshot",
     "SnapshotStore",
+    "Tenant",
+    "TenantSpec",
+    "TENANT_TIERS",
     "TokenBucket",
     "VirtualClock",
     "SHED_REASONS",
@@ -53,4 +72,5 @@ __all__ = [
     "SHED_RATE_LIMITED",
     "SHED_DEADLINE",
     "SHED_UNKNOWN_EPOCH",
+    "SHED_PREEMPTED",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "SHED_RATE_LIMITED",
     "SHED_DEADLINE",
     "SHED_UNKNOWN_EPOCH",
+    "SHED_PREEMPTED",
     "SHED_REASONS",
 ]
 
@@ -47,11 +48,13 @@ SHED_QUEUE_FULL = "queue_full"
 SHED_RATE_LIMITED = "rate_limited"
 SHED_DEADLINE = "deadline_exceeded"
 SHED_UNKNOWN_EPOCH = "unknown_epoch"
+SHED_PREEMPTED = "preempted"
 SHED_REASONS = (
     SHED_QUEUE_FULL,
     SHED_RATE_LIMITED,
     SHED_DEADLINE,
     SHED_UNKNOWN_EPOCH,
+    SHED_PREEMPTED,
 )
 
 
@@ -174,6 +177,14 @@ class ServeRequest:
     deadline: float = float("inf")
     enqueued_at: float = 0.0
     seq: int = 0
+    #: Admission priority: under queue pressure a higher-priority submit
+    #: may preempt the youngest queued lower-priority request.  The
+    #: fleet maps tenant classes (paid > standard > free) onto this.
+    priority: int = 0
+    #: Optional tenancy tags stamped by the fleet router; the plain
+    #: single-pipeline server leaves them None.
+    tenant: str | None = None
+    route: str | None = None
     #: Filled by the server when the request is answered (or left None
     #: when the request was shed after admission).
     result: Any = field(default=None, repr=False)
@@ -252,6 +263,12 @@ class AdmissionController:
         self._queue: deque[ServeRequest] = deque()
         self._seq = 0
         self.n_admitted = 0
+        #: Optional callback ``(request, reason) -> None`` fired when an
+        #: *already-admitted* request is shed (preemption victim,
+        #: deadline, drain-liveness, requeue overflow).  The fleet uses
+        #: it for per-tenant shed attribution; submit-path sheds have no
+        #: request object and are reported via :class:`ServeRejected`.
+        self.on_shed_request = None
         self.n_shed: dict[str, int] = {reason: 0 for reason in SHED_REASONS}
         self._depth_gauge = registry.gauge(
             "serve_queue_depth", help="Requests currently queued in the serving layer"
@@ -287,19 +304,37 @@ class AdmissionController:
         epoch: int | None = None,
         k: int | None = None,
         deadline: float | None = None,
+        priority: int = 0,
+        tenant: str | None = None,
+        route: str | None = None,
     ) -> ServeRequest:
         """Admit one request or raise :class:`ServeRejected`.
 
         Admission order: rate limit first (an over-rate client is shed
         even when the queue has room — the limiter protects the engine,
-        not the queue), then queue capacity.
+        not the queue), then queue capacity.  When the queue is full and
+        the submitter outranks a queued request, the *youngest* request
+        of the lowest queued priority is preempted (shed with reason
+        ``preempted``) to make room — higher tenant classes survive
+        overload at the expense of the cheapest queued work.
         """
         if self.bucket is not None and not self.bucket.allow():
             self.shed(SHED_RATE_LIMITED)
             raise ServeRejected(SHED_RATE_LIMITED)
         if len(self._queue) >= self.max_queue:
-            self.shed(SHED_QUEUE_FULL)
-            raise ServeRejected(SHED_QUEUE_FULL, f"queue at capacity {self.max_queue}")
+            victim = self._preemption_victim(priority)
+            if victim is None:
+                self.shed(SHED_QUEUE_FULL)
+                raise ServeRejected(
+                    SHED_QUEUE_FULL, f"queue at capacity {self.max_queue}"
+                )
+            # Remove by identity: ServeRequest is a dataclass and array
+            # payloads make == elementwise (deque.remove would choke).
+            for i, queued in enumerate(self._queue):
+                if queued is victim:
+                    del self._queue[i]
+                    break
+            self._shed_request(victim, SHED_PREEMPTED)
         now = self.clock.now()
         if deadline is None:
             deadline = (
@@ -316,6 +351,9 @@ class AdmissionController:
             deadline=float(deadline),
             enqueued_at=now,
             seq=self._seq,
+            priority=int(priority),
+            tenant=tenant,
+            route=route,
         )
         if self.trace_sink is not None and self.trace_context is not None:
             req.trace = self.trace_context.child(f"query:{self._seq}")
@@ -332,22 +370,80 @@ class AdmissionController:
         self._depth_gauge.set(len(self._queue))
         return req
 
-    def drain(self, max_n: int | None = None) -> list[ServeRequest]:
+    def _shed_request(self, req: ServeRequest, reason: str) -> None:
+        """Shed an already-admitted request (typed count + callback)."""
+        self.shed(reason)
+        if self.on_shed_request is not None:
+            self.on_shed_request(req, reason)
+
+    def _preemption_victim(self, priority: int) -> ServeRequest | None:
+        """Youngest queued request of the lowest priority class strictly
+        below ``priority``, or None when nothing is preemptible."""
+        if not self._queue:
+            return None
+        lowest = min(req.priority for req in self._queue)
+        if lowest >= priority:
+            return None
+        for req in reversed(self._queue):
+            if req.priority == lowest:
+                return req
+        return None  # pragma: no cover - unreachable
+
+    def drain(self, max_n: int | None = None, alive=None) -> list[ServeRequest]:
         """Pop up to ``max_n`` live requests in FIFO order.
 
         Requests whose deadline has passed are shed (reason
         ``deadline_exceeded``) and do not count against ``max_n``; the
         caller only ever sees requests it is still allowed to answer.
+
+        ``alive`` is an optional predicate ``req -> str | None``: a
+        non-None return is a typed shed reason and the request is shed
+        *inside* the drain, with the same accounting as a deadline shed
+        — it does not consume a ``max_n`` slot.  The server passes an
+        epoch-liveness check here so a request whose pinned epoch was
+        evicted after admission sheds exactly like one rejected at
+        submit (reason ``unknown_epoch``), instead of silently eating a
+        drain slot.
         """
         now = self.clock.now()
         out: list[ServeRequest] = []
         while self._queue and (max_n is None or len(out) < max_n):
             req = self._queue.popleft()
             if req.expired(now):
-                self.shed(SHED_DEADLINE)
+                self._shed_request(req, SHED_DEADLINE)
                 continue
+            if alive is not None:
+                reason = alive(req)
+                if reason is not None:
+                    self._shed_request(req, reason)
+                    continue
             out.append(req)
         self._depth_gauge.set(len(self._queue))
+        return out
+
+    def requeue(self, requests: list[ServeRequest]) -> int:
+        """Put already-admitted requests back at the queue front (FIFO
+        order preserved), e.g. after a shard failover re-route.  Returns
+        how many were requeued; overflow beyond capacity is shed with
+        reason ``queue_full``.  Requeued requests keep their original
+        deadline, priority and trace — they were admitted once and are
+        not re-counted."""
+        room = max(0, self.max_queue - len(self._queue))
+        kept, dropped = requests[:room], requests[room:]
+        for req in reversed(kept):
+            self._queue.appendleft(req)
+        for req in dropped:
+            self._shed_request(req, SHED_QUEUE_FULL)
+        self._depth_gauge.set(len(self._queue))
+        return len(kept)
+
+    def evict_all(self) -> list[ServeRequest]:
+        """Remove and return every queued request without shedding —
+        the failover path hands them to a surviving shard's controller
+        (which re-counts capacity via :meth:`requeue`)."""
+        out = list(self._queue)
+        self._queue.clear()
+        self._depth_gauge.set(0)
         return out
 
     @property

@@ -380,21 +380,23 @@ class SketchServer:
             kind, payload=payload, epoch=epoch, k=k, deadline=deadline
         )
 
+    def _epoch_alive(self, req: ServeRequest) -> str | None:
+        """Liveness predicate for the drain: a queued request whose
+        pinned epoch was evicted after admission is doomed."""
+        if req.epoch is not None and req.epoch not in self.engine.store:
+            return SHED_UNKNOWN_EPOCH
+        return None
+
     def process(self, max_n: int | None = None) -> list[QueryResult]:
         """Drain live requests and answer them (micro-batched).
 
-        Expired requests are shed inside the drain; requests whose
-        pinned epoch was evicted between admission and processing are
-        shed here with reason ``unknown_epoch``.  Returns the results in
-        admission order.
+        Expired and doomed-epoch requests are both shed *inside* the
+        drain (reasons ``deadline_exceeded`` / ``unknown_epoch``) with
+        identical accounting: neither consumes a ``max_n`` slot, so the
+        caller always receives up to ``max_n`` answerable requests.
+        Returns the results in admission order.
         """
-        drained = self.admission.drain(max_n=max_n)
-        live: list[ServeRequest] = []
-        for req in drained:
-            if req.epoch is not None and req.epoch not in self.engine.store:
-                self.admission.shed(SHED_UNKNOWN_EPOCH)
-                continue
-            live.append(req)
+        live = self.admission.drain(max_n=max_n, alive=self._epoch_alive)
         if not live:
             return []
         results = self.engine.query_batch(live)

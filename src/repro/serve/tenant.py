@@ -1,0 +1,182 @@
+"""Tenancy for the serving fleet: classes, quotas, per-tenant accounting.
+
+A *tenant* is one consumer of the fleet — a beamline group, an
+automated analysis agent, an external portal.  Tenants declare:
+
+- a **tier** (``paid`` > ``standard`` > ``free``), which maps to the
+  admission priority used for preemption under overload — paid queries
+  survive queue pressure at the expense of queued free-tier work;
+- **streams** (detector ids); each ``tenant/stream`` key is routed to
+  shards independently, so one tenant's hot detector cannot pin the
+  whole fleet;
+- **ingest and query quotas** — per-tenant :class:`~repro.serve.
+  admission.TokenBucket` limiters on the fleet's shared virtual clock.
+  Quota sheds are typed ``rate_limited`` and counted per tenant, so a
+  noisy neighbour shows up in its *own* counters, not as mystery load;
+- ``keep_epochs`` — how many published epochs each of the tenant's
+  snapshot stores retains (per-tenant epoch pinning windows).
+
+Nothing here sleeps or reads a wall clock: quota refills are pure
+arithmetic on the :class:`~repro.serve.admission.VirtualClock`, so an
+over-quota replay sheds exactly the same requests every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.admission import TokenBucket, VirtualClock
+
+__all__ = ["TENANT_TIERS", "TenantSpec", "Tenant"]
+
+#: Tier name -> admission priority (higher survives overload).
+TENANT_TIERS = {"paid": 2, "standard": 1, "free": 0}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative tenant description (immutable; validated on build).
+
+    ``None`` for a rate disables that quota (unlimited).  Rates are in
+    events per *virtual* second: frames for ingest, queries for query.
+    """
+
+    tenant_id: str
+    tier: str = "standard"
+    streams: tuple[str, ...] = ("main",)
+    ingest_rate: float | None = None
+    ingest_burst: float = 512.0
+    query_rate: float | None = None
+    query_burst: float = 8.0
+    keep_epochs: int = 4
+    deadline: float | None = 0.5
+
+    def __post_init__(self):
+        if not self.tenant_id or "/" in self.tenant_id:
+            raise ValueError(
+                f"tenant_id must be non-empty and '/'-free, got {self.tenant_id!r}"
+            )
+        if self.tier not in TENANT_TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r}; expected one of {sorted(TENANT_TIERS)}"
+            )
+        if not self.streams:
+            raise ValueError(f"tenant {self.tenant_id!r} declares no streams")
+        for stream in self.streams:
+            if not stream or "/" in stream:
+                raise ValueError(
+                    f"stream ids must be non-empty and '/'-free, got {stream!r}"
+                )
+        if self.keep_epochs < 1:
+            raise ValueError(f"keep_epochs must be >= 1, got {self.keep_epochs}")
+
+    @property
+    def priority(self) -> int:
+        """Admission priority derived from the tier."""
+        return TENANT_TIERS[self.tier]
+
+    def stream_keys(self) -> tuple[str, ...]:
+        """Routing keys, one per declared stream (``tenant/stream``)."""
+        return tuple(f"{self.tenant_id}/{s}" for s in self.streams)
+
+
+@dataclass
+class Tenant:
+    """Runtime tenant state: quota buckets + exact per-tenant counters.
+
+    Built by the fleet from a :class:`TenantSpec`; shares the fleet's
+    virtual clock so quota refills replay deterministically.
+    """
+
+    spec: TenantSpec
+    clock: VirtualClock
+    registry: object = None
+    ingest_bucket: TokenBucket | None = field(init=False, default=None)
+    query_bucket: TokenBucket | None = field(init=False, default=None)
+    n_frames: int = field(init=False, default=0)
+    n_queries: int = field(init=False, default=0)
+    n_answered: int = field(init=False, default=0)
+    n_shed: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        if self.registry is None:
+            from repro.obs.registry import get_default_registry
+
+            self.registry = get_default_registry()
+        if self.spec.ingest_rate is not None:
+            self.ingest_bucket = TokenBucket(
+                rate=self.spec.ingest_rate,
+                burst=self.spec.ingest_burst,
+                clock=self.clock,
+            )
+        if self.spec.query_rate is not None:
+            self.query_bucket = TokenBucket(
+                rate=self.spec.query_rate,
+                burst=self.spec.query_burst,
+                clock=self.clock,
+            )
+        labels = {"tenant": self.spec.tenant_id, "tier": self.spec.tier}
+        self._frames_counter = self.registry.counter(
+            "fleet_tenant_frames_total",
+            labels=labels,
+            help="Frames ingested per tenant",
+        )
+        self._query_counter = self.registry.counter(
+            "fleet_tenant_queries_total",
+            labels=labels,
+            help="Queries submitted per tenant",
+        )
+        self._shed_counter = self.registry.counter(
+            "fleet_tenant_shed_total",
+            labels=labels,
+            help="Queries shed per tenant (any typed reason)",
+        )
+
+    @property
+    def tenant_id(self) -> str:
+        return self.spec.tenant_id
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    # ------------------------------------------------------------------
+    def allow_ingest(self, n_frames: int) -> bool:
+        """Consume ingest quota for ``n_frames`` (True when unlimited)."""
+        if self.ingest_bucket is None:
+            return True
+        return self.ingest_bucket.allow(float(n_frames))
+
+    def allow_query(self) -> bool:
+        """Consume one query-quota token (True when unlimited)."""
+        if self.query_bucket is None:
+            return True
+        return self.query_bucket.allow()
+
+    def count_frames(self, n: int) -> None:
+        self.n_frames += int(n)
+        self._frames_counter.inc(int(n))
+
+    def count_query(self) -> None:
+        self.n_queries += 1
+        self._query_counter.inc()
+
+    def count_answered(self) -> None:
+        self.n_answered += 1
+
+    def count_shed(self) -> None:
+        self.n_shed += 1
+        self._shed_counter.inc()
+
+    def summary(self) -> dict:
+        """Plain-data per-tenant account (stable keys, JSON-safe)."""
+        return {
+            "tenant": self.spec.tenant_id,
+            "tier": self.spec.tier,
+            "priority": self.priority,
+            "streams": list(self.spec.streams),
+            "frames": self.n_frames,
+            "queries": self.n_queries,
+            "answered": self.n_answered,
+            "shed": self.n_shed,
+        }

@@ -1,0 +1,156 @@
+"""Property tests for the fleet's two load-bearing guarantees.
+
+1. **Routing stability** — the consistent-hash ring moves the minimum
+   possible key set under membership churn: adding a shard only pulls
+   keys *onto* the new shard, removing one only moves *its* keys, and
+   in expectation no more than ~K/n keys move at all.  This is what
+   makes shard failover cheap: survivors' placements never change.
+
+2. **Sharded sketching accuracy** — shard-local FD sketches tree-merged
+   back together satisfy the same ``2/ell`` covariance-error bound a
+   single sketch of the whole stream does (FD mergeability, Thm. 1 of
+   the source paper's lineage).  This is why the fleet can replicate and
+   shard ingest without an accuracy line-item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import relative_covariance_error
+from repro.core.frequent_directions import FrequentDirections
+from repro.core.merge import tree_merge
+from repro.serve.router import ConsistentHashRouter
+
+pytestmark = pytest.mark.serve
+
+COMMON = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _keys(n: int, seed: int) -> list[str]:
+    rng = np.random.default_rng(seed)
+    return [f"tenant{rng.integers(1_000_000)}/det{i}" for i in range(n)]
+
+
+class TestRoutingStability:
+    @COMMON
+    @given(
+        st.integers(2, 8),
+        st.integers(0, 2**31 - 1),
+        st.integers(20, 120),
+    )
+    def test_add_moves_keys_only_onto_the_new_shard(self, n_shards, seed, n_keys):
+        router = ConsistentHashRouter(
+            [f"s{i}" for i in range(n_shards)], seed=seed % 1000
+        )
+        keys = _keys(n_keys, seed)
+        before = {k: router.route(k) for k in keys}
+        router.add_shard("newcomer")
+        after = {k: router.route(k) for k in keys}
+        for k in keys:
+            if after[k] != before[k]:
+                assert after[k] == "newcomer", (k, before[k], after[k])
+
+    @COMMON
+    @given(
+        st.integers(2, 8),
+        st.integers(0, 2**31 - 1),
+        st.integers(20, 120),
+    )
+    def test_remove_moves_only_the_dead_shards_keys(self, n_shards, seed, n_keys):
+        names = [f"s{i}" for i in range(n_shards)]
+        router = ConsistentHashRouter(names, seed=seed % 1000)
+        keys = _keys(n_keys, seed)
+        before = {k: router.route(k) for k in keys}
+        victim = names[seed % n_shards]
+        router.remove_shard(victim)
+        after = {k: router.route(k) for k in keys}
+        for k in keys:
+            if before[k] != victim:
+                assert after[k] == before[k], (k, victim)
+            else:
+                assert after[k] != victim
+
+    @COMMON
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    def test_route_n_returns_distinct_shards_in_stable_order(self, n_shards, seed):
+        router = ConsistentHashRouter(
+            [f"s{i}" for i in range(n_shards)], seed=seed % 1000
+        )
+        for k in _keys(16, seed):
+            replicas = router.route_n(k, n_shards)
+            assert len(replicas) == n_shards
+            assert len(set(replicas)) == n_shards
+            assert replicas[0] == router.route(k)
+            # A shorter replica list is a prefix of the longer one.
+            assert router.route_n(k, 2) == replicas[:2]
+
+    def test_expected_move_fraction_is_about_one_over_n(self):
+        """Deterministic bulk check: adding one shard to 8 moves about
+        K/9 of 2000 keys (allow 2x slack for vnode placement variance)."""
+        router = ConsistentHashRouter([f"s{i}" for i in range(8)], seed=3)
+        keys = _keys(2000, seed=3)
+        before = {k: router.route(k) for k in keys}
+        router.add_shard("s8")
+        moved = sum(router.route(k) != before[k] for k in keys)
+        assert 0 < moved <= 2 * len(keys) / 9
+
+    def test_load_is_not_degenerate(self):
+        router = ConsistentHashRouter([f"s{i}" for i in range(4)], seed=0)
+        load = router.load(_keys(1000, seed=0))
+        assert sum(load.values()) == 1000
+        assert min(load.values()) > 0
+        assert max(load.values()) < 1000 / 2  # no shard owns half the ring
+
+
+class TestShardedSketchAccuracy:
+    @COMMON
+    @given(
+        st.integers(2, 6),
+        st.integers(0, 2**31 - 1),
+        st.integers(8, 16),
+    )
+    def test_merged_shard_sketches_meet_the_single_sketch_bound(
+        self, parts, seed, ell
+    ):
+        """Split a stream across `parts` shard-local sketches, tree-merge
+        them, and check the merged sketch obeys the declared 2/ell
+        relative covariance-error bound — same contract the conformance
+        suite pins for a single sketch of the full stream."""
+        rng = np.random.default_rng(seed)
+        d = 24
+        # Low-rank-plus-noise, the regime the paper's datasets live in.
+        base = rng.standard_normal((240, 4)) @ rng.standard_normal((4, d))
+        a = base + 0.1 * rng.standard_normal((240, d))
+        sketches = [
+            FrequentDirections(d, ell).fit(chunk).sketch
+            for chunk in np.array_split(a, parts)
+        ]
+        merged, _ = tree_merge(sketches, ell)
+        assert relative_covariance_error(a, merged) <= 2.0 / ell
+
+    def test_merged_matches_single_sketch_quality(self):
+        """The merged sketch is not materially worse than one sketch fed
+        the whole stream (both within bound; merged within 2x single)."""
+        rng = np.random.default_rng(7)
+        d, ell = 32, 12
+        a = rng.standard_normal((400, 6)) @ rng.standard_normal(
+            (6, d)
+        ) + 0.05 * rng.standard_normal((400, d))
+        single = FrequentDirections(d, ell).fit(a).sketch
+        shards = [
+            FrequentDirections(d, ell).fit(chunk).sketch
+            for chunk in np.array_split(a, 4)
+        ]
+        merged, _ = tree_merge(shards, ell)
+        e_single = relative_covariance_error(a, single)
+        e_merged = relative_covariance_error(a, merged)
+        assert e_merged <= 2.0 / ell
+        assert e_merged <= max(2 * e_single, 0.5 / ell)

@@ -15,9 +15,11 @@ import pytest
 from repro.obs.registry import Registry
 from repro.serve import (
     SHED_DEADLINE,
+    SHED_PREEMPTED,
     SHED_QUEUE_FULL,
     SHED_RATE_LIMITED,
     SHED_REASONS,
+    SHED_UNKNOWN_EPOCH,
     AdmissionController,
     ServeRejected,
     TokenBucket,
@@ -153,6 +155,114 @@ class TestDeterminism:
         )
         seqs = [adm.submit("basis").seq for _ in range(5)]
         assert [r.seq for r in adm.drain()] == seqs
+
+
+class TestPriorityPreemption:
+    """Priority-aware shedding: higher tenant classes survive overload."""
+
+    def test_higher_priority_preempts_youngest_lowest(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=3, default_deadline=None, registry=Registry()
+        )
+        low_old = adm.submit("stats", priority=0)
+        adm.submit("stats", priority=1)
+        low_young = adm.submit("stats", priority=0)
+        high = adm.submit("stats", priority=2)  # full: preempts a prio-0
+        assert adm.n_shed[SHED_PREEMPTED] == 1
+        survivors = [r.seq for r in adm.drain()]
+        # The *youngest* of the lowest class was evicted, FIFO preserved.
+        assert low_young.seq not in survivors
+        assert survivors[0] == low_old.seq and survivors[-1] == high.seq
+
+    def test_equal_priority_never_preempts(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=2, default_deadline=None, registry=Registry()
+        )
+        adm.submit("stats", priority=1)
+        adm.submit("stats", priority=1)
+        with pytest.raises(ServeRejected) as exc:
+            adm.submit("stats", priority=1)
+        assert exc.value.reason == SHED_QUEUE_FULL
+        assert adm.n_shed[SHED_PREEMPTED] == 0
+
+    def test_lower_priority_cannot_preempt_higher(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=2, default_deadline=None, registry=Registry()
+        )
+        adm.submit("stats", priority=2)
+        adm.submit("stats", priority=2)
+        with pytest.raises(ServeRejected):
+            adm.submit("stats", priority=0)
+        assert adm.depth == 2 and adm.n_shed[SHED_PREEMPTED] == 0
+
+    def test_preemption_fires_shed_callback_with_victim(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=1, default_deadline=None, registry=Registry()
+        )
+        seen = []
+        adm.on_shed_request = lambda req, reason: seen.append((req.seq, reason))
+        victim = adm.submit("stats", priority=0, tenant="freeloader")
+        adm.submit("stats", priority=2, tenant="vip")
+        assert seen == [(victim.seq, SHED_PREEMPTED)]
+
+
+class TestDrainLiveness:
+    """The drain-side `alive` predicate: doomed-epoch accounting matches
+    the submit-side check — shed inside the drain, no max_n slot burned
+    (the regression locked by this class plus TestServer in
+    test_serve_query.py)."""
+
+    def test_doomed_requests_do_not_consume_slots(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=8, default_deadline=None, registry=Registry()
+        )
+        doomed = {adm.submit("stats", epoch=99).seq, adm.submit("stats", epoch=98).seq}
+        live = [adm.submit("stats").seq for _ in range(3)]
+        out = adm.drain(
+            max_n=3,
+            alive=lambda r: SHED_UNKNOWN_EPOCH if r.seq in doomed else None,
+        )
+        # All 3 live requests fit in max_n; the doomed pair was shed.
+        assert [r.seq for r in out] == live
+        assert adm.n_shed[SHED_UNKNOWN_EPOCH] == 2
+        assert adm.depth == 0
+
+    def test_expired_and_doomed_account_identically(self):
+        clock = VirtualClock()
+        adm = AdmissionController(
+            clock, max_queue=8, default_deadline=1.0, registry=Registry()
+        )
+        adm.submit("stats")  # will expire
+        d = adm.submit("stats", deadline=float("inf"))  # will be doomed
+        s = adm.submit("stats", deadline=float("inf"))  # stays live
+        clock.advance(2.0)
+        out = adm.drain(
+            max_n=1, alive=lambda r: SHED_UNKNOWN_EPOCH if r.seq == d.seq else None
+        )
+        assert [r.seq for r in out] == [s.seq]
+        assert adm.n_shed[SHED_DEADLINE] == 1
+        assert adm.n_shed[SHED_UNKNOWN_EPOCH] == 1
+
+    def test_requeue_preserves_order_and_sheds_overflow(self):
+        adm = AdmissionController(
+            VirtualClock(), max_queue=3, default_deadline=None, registry=Registry()
+        )
+        resident = adm.submit("stats")
+        other = AdmissionController(
+            VirtualClock(), max_queue=8, default_deadline=None, registry=Registry()
+        )
+        moved = [other.submit("stats") for _ in range(3)]
+        evicted = other.evict_all()
+        assert other.depth == 0 and other.summary()["shed_total"] == 0
+        accepted = adm.requeue(evicted)
+        # Two fit in front of the resident; the overflow is typed.
+        assert accepted == 2
+        assert adm.n_shed[SHED_QUEUE_FULL] == 1
+        assert [r.seq for r in adm.drain()] == [
+            moved[0].seq,
+            moved[1].seq,
+            resident.seq,
+        ]
 
 
 class TestValidation:

@@ -1,0 +1,390 @@
+"""Fleet fabric: routing, tenancy, replication, failover, replay.
+
+The multi-tenant contracts under test:
+
+- replicas of a stream are **bit-identical** (same frames, same derived
+  seed), so shard-local sketches agree byte-for-byte;
+- failover is a flip: killing a primary promotes a replica whose state
+  matches exactly — queued requests requeue, nothing paid is lost;
+- quotas, preemption, and the shared cache tier account exactly;
+- a seeded :class:`FleetReplay` is deterministic down to the report
+  bytes, kills included.
+
+The ``@pytest.mark.fleet`` matrix at the bottom is the tier-7 failover
+sweep (every shard x several kill batches) and is excluded from the
+default run — ``python tools/ci.py --tier 7`` runs it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import Registry
+from repro.serve import (
+    SHED_PREEMPTED,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+    SHED_UNKNOWN_EPOCH,
+    FleetFaultPlan,
+    FleetReplay,
+    ServeRejected,
+    SketchFleet,
+    TenantSpec,
+)
+
+pytestmark = pytest.mark.serve
+
+SIDE = 8
+
+
+def _specs(**overrides) -> list[TenantSpec]:
+    base = dict(deadline=None)
+    base.update(overrides)
+    return [
+        TenantSpec("acme", tier="paid", streams=("det0",), **base),
+        TenantSpec("uni", tier="standard", streams=("det0",), **base),
+        TenantSpec("guest", tier="free", streams=("det0",), **base),
+    ]
+
+
+def _fleet(tenants=None, **kw) -> SketchFleet:
+    kw.setdefault("n_shards", 4)
+    kw.setdefault("replication", 2)
+    kw.setdefault("image_shape", (SIDE, SIDE))
+    kw.setdefault("ell", 4)
+    kw.setdefault("registry", Registry())
+    return SketchFleet(tenants if tenants is not None else _specs(), **kw)
+
+
+def _frames(seed: int, n: int = 24) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(1.0, 0.25, (n, SIDE, SIDE)))
+
+
+def _replay(fleet: SketchFleet, **kw) -> dict:
+    kw.setdefault("batches", 6)
+    kw.setdefault("frames_per_batch", 24)
+    kw.setdefault("queries_per_second", 40.0)
+    return FleetReplay(fleet, **kw).run()
+
+
+class TestFaultPlan:
+    def test_parse_to_spec_round_trips(self):
+        spec = "seed=7; kill shard=shard-1 batch=4; kill shard=shard-0 batch=9"
+        plan = FleetFaultPlan.parse(spec)
+        assert plan.seed == 7
+        assert plan.kills_at(4) == ("shard-1",)
+        assert plan.kills_at(9) == ("shard-0",)
+        assert plan.kills_at(0) == ()
+        assert plan.to_spec() == spec
+        assert FleetFaultPlan.parse(plan.to_spec()) == plan
+
+    def test_builder_matches_parse(self):
+        built = FleetFaultPlan(seed=3).kill("shard-2", 1)
+        assert built == FleetFaultPlan.parse("seed=3; kill shard=shard-2 batch=1")
+
+    def test_malformed_clauses_raise(self):
+        for bad in (
+            "melt shard=shard-0 batch=1",
+            "kill shard=shard-0",
+            "kill batch=1",
+            "kill shard=shard-0 when=later",
+        ):
+            with pytest.raises(ValueError):
+                FleetFaultPlan.parse(bad)
+
+
+class TestPlacementAndReplication:
+    def test_placement_is_replication_distinct_shards(self):
+        fleet = _fleet()
+        for key in fleet.stream_keys():
+            placed = fleet.placement(key)
+            assert len(placed) == 2 and len(set(placed)) == 2
+
+    def test_replicas_are_bit_identical(self):
+        fleet = _fleet()
+        for batch in range(3):
+            fleet.ingest("acme", "det0", _frames(batch))
+        shas = fleet.sketch_shas()["acme/det0"]
+        assert len(shas) == 2
+        assert len(set(shas.values())) == 1, f"replicas diverged: {shas}"
+
+    def test_ingest_ranks_ride_the_parallel_layer(self):
+        """consume_sharded (tree-merged ranks) replicas also agree."""
+        fleet = _fleet(ingest_ranks=2)
+        for batch in range(2):
+            fleet.ingest("uni", "det0", _frames(batch))
+        shas = fleet.sketch_shas()["uni/det0"]
+        assert len(set(shas.values())) == 1
+
+
+class TestQuotas:
+    def test_ingest_quota_drops_whole_batches(self):
+        specs = [TenantSpec("acme", ingest_rate=1.0, ingest_burst=24.0)]
+        fleet = _fleet(tenants=specs)
+        assert fleet.ingest("acme", "main", _frames(0)) == 24
+        assert fleet.ingest("acme", "main", _frames(1)) == 0  # bucket dry
+        assert fleet.n_dropped_frames == 24
+        assert fleet.tenants["acme"].n_frames == 24
+
+    def test_query_quota_sheds_rate_limited(self):
+        specs = [
+            TenantSpec("acme", query_rate=1.0, query_burst=2.0, deadline=None)
+        ]
+        fleet = _fleet(tenants=specs)
+        fleet.ingest("acme", "main", _frames(0))
+        outcomes = []
+        for _ in range(5):
+            try:
+                fleet.submit("acme", "main", "stats")
+                outcomes.append("ok")
+            except ServeRejected as err:
+                outcomes.append(err.reason)
+        assert outcomes == ["ok", "ok"] + [SHED_RATE_LIMITED] * 3
+        assert fleet.tenants["acme"].n_shed == 3
+        assert fleet.n_shed[SHED_RATE_LIMITED] == 3
+
+    def test_per_tenant_epoch_retention_windows(self):
+        """keep_epochs is per tenant: the same old epoch stays pinnable
+        for a long-retention tenant after a short-retention one lost it."""
+        specs = [
+            TenantSpec("longmem", keep_epochs=8, deadline=None),
+            TenantSpec("shortmem", keep_epochs=1, deadline=None),
+        ]
+        fleet = _fleet(tenants=specs)
+        for batch in range(4):
+            fleet.ingest("longmem", "main", _frames(batch))
+            fleet.ingest("shortmem", "main", _frames(batch))
+        first = 1  # both streams published epochs 1..4
+        fleet.submit("longmem", "main", "stats", epoch=first)
+        with pytest.raises(ServeRejected) as exc:
+            fleet.submit("shortmem", "main", "stats", epoch=first)
+        assert exc.value.reason == SHED_UNKNOWN_EPOCH
+
+
+class TestPreemption:
+    def test_paid_queries_survive_overload(self):
+        # One shard so every tenant contends for the same queue.
+        fleet = _fleet(n_shards=1, replication=1, max_queue=4, max_batch=4)
+        fleet.ingest("acme", "det0", _frames(0))
+        fleet.ingest("guest", "det0", _frames(0))
+        for _ in range(4):
+            fleet.submit("guest", "det0", "stats")
+        for _ in range(4):  # queue full: each paid submit evicts a free one
+            fleet.submit("acme", "det0", "stats")
+        assert fleet.n_shed[SHED_PREEMPTED] == 4
+        fleet.process()
+        assert fleet.tenants["acme"].n_answered == 4
+        assert fleet.tenants["guest"].n_answered == 0
+        assert fleet.tenants["guest"].n_shed == 4
+
+    def test_preemption_attributes_sheds_to_the_victim_tenant(self):
+        fleet = _fleet(n_shards=1, replication=1, max_queue=2)
+        fleet.ingest("uni", "det0", _frames(0))
+        fleet.submit("uni", "det0", "stats")
+        fleet.submit("uni", "det0", "stats")
+        fleet.submit("acme", "det0", "stats")
+        assert fleet.tenants["uni"].n_shed == 1
+        assert fleet.tenants["acme"].n_shed == 0
+
+
+class TestSharedCache:
+    def test_shared_tier_hits_before_the_local_engine(self):
+        fleet = _fleet()
+        fleet.ingest("acme", "det0", _frames(0))
+        payload = _frames(99, n=2).reshape(2, -1)
+        fleet.submit("acme", "det0", "project", payload=payload)
+        first = fleet.process()
+        local_hits_after_first = fleet.report()["cache"]["local_hits"]
+        fleet.submit("acme", "det0", "project", payload=payload)
+        second = fleet.process()
+        # The repeat was answered by the shared tier: zero engine-side
+        # time, local-hit count unchanged, and the exact same bytes.
+        assert second[0].cached and second[0].seconds == 0.0
+        assert (fleet.shared_hits, fleet.shared_misses) == (1, 1)
+        assert fleet.report()["cache"]["local_hits"] == local_hits_after_first
+        assert first[0].value.tobytes() == second[0].value.tobytes()
+
+    def test_shared_cache_disabled_falls_back_to_local(self):
+        fleet = _fleet(shared_cache_size=0)
+        fleet.ingest("acme", "det0", _frames(0))
+        fleet.submit("acme", "det0", "basis")
+        first = fleet.process()
+        fleet.submit("acme", "det0", "basis")
+        second = fleet.process()
+        assert fleet.shared_hits == 0
+        assert not first[0].cached and second[0].cached
+        assert fleet.report()["cache"]["local_hits"] == 1
+
+
+class TestFailover:
+    def _primary_of(self, fleet, key="acme/det0"):
+        fleet.ingest(*key.split("/", 1), _frames(0))
+        return fleet._primaries[key]
+
+    def test_kill_flips_primary_and_requeues_in_order(self):
+        fleet = _fleet()
+        primary = self._primary_of(fleet)
+        seqs = [fleet.submit("acme", "det0", "stats").seq for _ in range(3)]
+        fleet.kill_shard(primary)
+        new_primary = fleet._primaries["acme/det0"]
+        assert new_primary != primary and fleet.shards[new_primary].alive
+        assert fleet.n_failovers == 1 and fleet.n_requeued == 3
+        answered = fleet.process()
+        assert len(answered) == 3
+        assert fleet.lost_by_tenant() == {"acme": 0, "guest": 0, "uni": 0}
+        assert seqs == sorted(seqs)
+
+    def test_survivor_state_matches_clean_run(self):
+        """The bit-identity dividend: after a kill, the promoted
+        replica's sketch is byte-equal to the same stream in an
+        unfaulted fleet."""
+        clean = _fleet(seed=5)
+        faulted = _fleet(seed=5)
+        for batch in range(3):
+            for fleet in (clean, faulted):
+                fleet.ingest("acme", "det0", _frames(batch))
+            if batch == 1:
+                faulted.kill_shard(faulted._primaries["acme/det0"])
+        clean_shas = set(clean.sketch_shas()["acme/det0"].values())
+        faulted_shas = set(faulted.sketch_shas()["acme/det0"].values())
+        assert len(clean_shas) == 1
+        assert faulted_shas == clean_shas
+
+    def test_recovery_logged_at_first_postkill_answer(self):
+        fleet = _fleet()
+        primary = self._primary_of(fleet)
+        fleet.submit("acme", "det0", "stats")
+        fleet.kill_shard(primary)
+        fleet.clock.advance(0.25)
+        fleet.process()
+        assert fleet.recoveries == [{"key": "acme/det0", "seconds": 0.25}]
+        assert fleet.report()["recovery_seconds_max"] == 0.25
+
+    def test_losing_every_replica_sheds_typed(self):
+        fleet = _fleet(n_shards=2, replication=2)
+        self._primary_of(fleet)
+        queued = fleet.submit("acme", "det0", "stats")
+        with pytest.raises(ValueError):
+            for name in sorted(fleet.shards):
+                fleet.kill_shard(name)  # last survivor refuses
+        # One shard died; with replication=2 over 2 shards the stream
+        # still has a survivor and the queued request is answered.
+        assert len(fleet.process()) == 1
+        assert queued.result is not None
+
+    def test_requeue_overflow_is_typed_queue_full(self):
+        fleet = _fleet(max_queue=2)
+        primary = self._primary_of(fleet)
+        fleet.submit("acme", "det0", "stats")
+        fleet.submit("acme", "det0", "stats")
+        # Fill the backup's queue directly (untenanted filler requests)
+        # so the failover requeue finds no room.
+        backup = fleet.alive_placement("acme/det0")[1]
+        for _ in range(2):
+            fleet.shards[backup].admission.submit("stats")
+        fleet.kill_shard(primary)
+        # Both displaced requests overflowed: typed queue_full sheds
+        # attributed to their tenant — not silent loss.
+        assert fleet.n_requeued == 0
+        assert fleet.n_shed[SHED_QUEUE_FULL] == 2
+        assert fleet.tenants["acme"].n_shed == 2
+        assert all(v == 0 for v in fleet.lost_by_tenant().values())
+
+
+class TestReplay:
+    def test_replay_is_deterministic_to_the_byte(self):
+        reports = [
+            json.dumps(_replay(_fleet(seed=11), seed=11), sort_keys=True)
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_replay_with_kill_is_deterministic_and_lossless(self):
+        def run() -> dict:
+            plan = FleetFaultPlan.parse("seed=11; kill shard=shard-1 batch=3")
+            fleet = _fleet(seed=11, fault_plan=plan)
+            return _replay(fleet, seed=11)
+
+        a, b = run(), run()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert a["failovers"] == 1
+        assert all(v == 0 for v in a["lost"].values())
+
+    def test_report_schema_and_conservation(self):
+        report = _replay(_fleet(seed=2), seed=2)
+        for key in (
+            "schema",
+            "virtual_seconds",
+            "submitted",
+            "answered",
+            "shed",
+            "shed_total",
+            "tiers",
+            "tenants",
+            "shards",
+            "cache",
+            "failovers",
+            "requeued",
+            "recoveries",
+            "recovery_seconds_max",
+            "sketch_sha",
+            "lost",
+            "replay",
+        ):
+            assert key in report, key
+        assert report["schema"] == 1
+        assert report["submitted"] == report["answered"] + report["shed_total"]
+        assert all(v == 0 for v in report["lost"].values())
+        for shas in report["sketch_sha"].values():
+            assert len(set(shas.values())) == 1  # replicas agree
+        assert report["replay"]["issued"] >= report["submitted"]
+        assert report["replay"]["queries_per_day"] > 0
+
+    def test_latency_is_real_virtual_time(self):
+        report = _replay(_fleet(seed=3), seed=3)
+        for tier in report["tiers"].values():
+            assert tier["answered"] > 0
+            assert tier["p50_ms"] > 0.0
+            assert tier["p99_ms"] >= tier["p50_ms"]
+
+
+@pytest.mark.fleet
+class TestFailoverMatrix:
+    """Tier-7 sweep: kill each shard at several batches under the seeded
+    replay; every cell must fail over losslessly with survivors
+    byte-identical to the unfaulted run."""
+
+    _CLEAN: dict = {}
+
+    def _clean_report(self, seed: int) -> dict:
+        if seed not in self._CLEAN:
+            self._CLEAN[seed] = _replay(_fleet(seed=seed), seed=seed)
+        return self._CLEAN[seed]
+
+    @pytest.mark.parametrize("shard", [f"shard-{i}" for i in range(4)])
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_single_kill_cell(self, shard, batch):
+        seed = 17
+        clean = self._clean_report(seed)
+        plan = FleetFaultPlan(seed=seed).kill(shard, batch)
+        fleet = _fleet(seed=seed, fault_plan=plan)
+        report = _replay(fleet, seed=seed)
+        assert report["failovers"] == 1
+        # Nothing silently dropped, and no paid-tier query was lost.
+        assert all(v == 0 for v in report["lost"].values())
+        assert report["lost"]["acme"] == 0
+        # Recovery closes fast: the flip itself is instant (replicas are
+        # bit-identical, nothing rebuilds), so the recorded time is
+        # dominated by the wait for the affected stream's next answered
+        # query — bounded here by three ingest windows of virtual time.
+        window = 24 / 120.0
+        assert report["recovery_seconds_max"] <= 3 * window + 1e-9
+        # Surviving replicas agree with each other and with the clean run.
+        for key, shas in report["sketch_sha"].items():
+            assert len(set(shas.values())) == 1, (key, shas)
+            clean_shas = set(clean["sketch_sha"][key].values())
+            assert set(shas.values()) == clean_shas, (key, shas, clean_shas)

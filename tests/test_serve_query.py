@@ -223,6 +223,31 @@ class TestServer:
         assert server.process() == []
         assert adm.n_shed[SHED_UNKNOWN_EPOCH] == 1
 
+    def test_doomed_epoch_requests_do_not_consume_drain_slots(self, served):
+        """Regression: doomed-epoch requests used to be filtered *after*
+        ``drain(max_n)``, silently eating answer slots that deadline
+        sheds never consumed.  Both paths now shed inside the drain with
+        identical accounting, so ``process(max_n=n)`` always answers up
+        to ``n`` live requests."""
+        pipe, store, payloads = served
+        adm = AdmissionController(
+            VirtualClock(), max_queue=16, default_deadline=None, registry=Registry()
+        )
+        server = SketchServer(_engine(store), adm)
+        oldest = store.epochs()[0]
+        for _ in range(3):
+            server.submit("project", payload=payloads[0], epoch=oldest)
+        live = [server.submit("stats") for _ in range(2)]
+        while oldest in store:  # evict the pinned epoch post-admission
+            store.publish(pipe)
+        results = server.process(max_n=2)
+        # Both live requests are answered: the 3 doomed ones were shed
+        # inside the drain without counting against max_n.
+        assert [r.kind for r in results] == ["stats", "stats"]
+        assert all(req.result is not None for req in live)
+        assert adm.n_shed[SHED_UNKNOWN_EPOCH] == 3
+        assert adm.depth == 0
+
     def test_all_kinds_round_trip_through_server(self, served):
         _, store, payloads = served
         adm = AdmissionController(

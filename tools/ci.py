@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tiered CI runner: one entry point for local runs and the workflow.
 
-Six tiers, cheapest first, documented in ``docs/ci.md``:
+Seven tiers, cheapest first, documented in ``docs/ci.md``:
 
 - **Tier 1 — lint + fast tests.**  Byte-compiles every Python file
   (syntax gate; the container ships no third-party linter) and runs the
@@ -33,6 +33,10 @@ Six tiers, cheapest first, documented in ``docs/ci.md``:
   yield bit-identical sketches and the golden partial report.
   Deterministic (virtual clocks) but a full campaign per cell, so it
   rides outside the tier-1 merge gate.
+- **Tier 7 — fleet fabric.**  The multi-tenant serving-fabric failover
+  matrix (``-m fleet``: kill every shard at several replay batches,
+  assert lossless bit-identical failover) plus the per-tenant-class
+  SLO gate (``bench_fleet`` against ``BENCH_fleet.json``).
 
 Usage::
 
@@ -40,10 +44,14 @@ Usage::
     python tools/ci.py --tier 1      # just the merge gate
     python tools/ci.py --tier 2 --tier 3
     python tools/ci.py --list        # show the plan, run nothing
+    python tools/ci.py --list --json # the same plan, machine-readable
 
 Exit status is the first failing step's return code (tiers run in
 order; a failing tier aborts the later ones).  A per-step timing
-summary is always printed, covering the steps that ran.
+summary is always printed, covering the steps that ran;
+``--summary-out FILE`` additionally writes it as JSON, and
+``--junit-dir DIR`` makes every pytest step drop per-step JUnit XML
+(``tierN-step.xml``) for CI artifact upload.
 
 The runner is dependency-free (stdlib only) and never touches the
 network, so it behaves identically in CI and on a beamline console.
@@ -52,6 +60,7 @@ network, so it behaves identically in CI and on a beamline console.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -192,6 +201,26 @@ TIERS: dict[int, tuple[str, tuple[Step, ...]]] = {
             ),
         ),
     ),
+    7: (
+        "fleet fabric (failover matrix + tenant SLO gate)",
+        (
+            Step(
+                "fleet",
+                (sys.executable, "-m", "pytest", "-q", "-m", "fleet"),
+            ),
+            Step(
+                "fleet-bench",
+                (
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    "benchmarks/bench_fleet.py",
+                    "-q",
+                    "--benchmark-disable",
+                ),
+            ),
+        ),
+    ),
 }
 
 
@@ -206,6 +235,18 @@ def _env() -> dict[str, str]:
     extra = env.get("PYTHONPATH")
     env["PYTHONPATH"] = "src" if not extra else os.pathsep.join(["src", extra])
     return env
+
+
+def _is_pytest(step: Step) -> bool:
+    return "pytest" in step.argv
+
+
+def _with_junit(step: Step, tier: int, junit_dir: str | None) -> Step:
+    """Append ``--junitxml`` to pytest steps when ``--junit-dir`` is set."""
+    if junit_dir is None or not _is_pytest(step):
+        return step
+    path = Path(junit_dir) / f"tier{tier}-{step.name}.xml"
+    return Step(step.name, step.argv + (f"--junitxml={path}",))
 
 
 def _run_step(tier: int, step: Step) -> tuple[int, float]:
@@ -227,6 +268,47 @@ def _print_summary(results: list[tuple[int, str, float, int]]) -> None:
     print("=" * 56)
 
 
+def _write_summary(
+    path: str, selected: list[int], results: list[tuple[int, str, float, int]]
+) -> None:
+    """Persist the timing summary as JSON (for CI artifact upload)."""
+    payload = {
+        "schema": 1,
+        "tiers_selected": selected,
+        "passed": all(code == 0 for _, _, _, code in results),
+        "steps": [
+            {"tier": tier, "step": name, "seconds": round(seconds, 3),
+             "returncode": code}
+            for tier, name, seconds, code in results
+        ],
+    }
+    out = Path(path)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _plan_json(selected: list[int]) -> str:
+    """The selected plan in machine-readable form (``--list --json``)."""
+    return json.dumps(
+        {
+            "schema": 1,
+            "tiers": [
+                {
+                    "tier": tier,
+                    "title": TIERS[tier][0],
+                    "steps": [
+                        {"name": step.name, "argv": list(step.argv)}
+                        for step in TIERS[tier][1]
+                    ],
+                }
+                for tier in selected
+            ],
+        },
+        indent=2,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools/ci.py",
@@ -244,16 +326,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the selected plan without running anything",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --list: emit the plan as JSON instead of text",
+    )
+    parser.add_argument(
+        "--junit-dir",
+        metavar="DIR",
+        help="write per-step JUnit XML (tierN-step.xml) for pytest steps",
+    )
+    parser.add_argument(
+        "--summary-out",
+        metavar="FILE",
+        help="also write the per-step timing summary as JSON",
+    )
     args = parser.parse_args(argv)
 
     selected = sorted(set(args.tier)) if args.tier else sorted(TIERS)
     if args.list:
+        if args.json:
+            print(_plan_json(selected))
+            return 0
         for tier in selected:
             title, steps = TIERS[tier]
             print(f"tier {tier}: {title}")
             for step in steps:
                 print(f"  {step.name:<12} $ {' '.join(step.argv)}")
         return 0
+    if args.json:
+        parser.error("--json only makes sense together with --list")
+    if args.junit_dir:
+        Path(args.junit_dir).mkdir(parents=True, exist_ok=True)
 
     results: list[tuple[int, str, float, int]] = []
     failure = 0
@@ -261,7 +365,7 @@ def main(argv: list[str] | None = None) -> int:
         title, steps = TIERS[tier]
         print(f"\n### tier {tier}: {title}")
         for step in steps:
-            code, seconds = _run_step(tier, step)
+            code, seconds = _run_step(tier, _with_junit(step, tier, args.junit_dir))
             results.append((tier, step.name, seconds, code))
             if code != 0:
                 failure = code
@@ -270,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
             break
 
     _print_summary(results)
+    if args.summary_out:
+        _write_summary(args.summary_out, selected, results)
     if failure:
         print(f"tier {results[-1][0]} failed at step '{results[-1][1]}'")
     else:
